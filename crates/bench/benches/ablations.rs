@@ -1,0 +1,164 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * funnel layer order — running the (cheap) header checks before the
+//!   (expensive) scorer vs scoring everything;
+//! * bag-of-words threshold — Layer 3 at 10/20/40 minimum words;
+//! * frequency thresholds — Layer 5 at the paper's 20/10/10 vs looser;
+//! * candidate enumeration vs pairwise DL when scanning a domain list;
+//! * DNS name compression on vs (simulated) off — encoding cost and size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ets_bench::bench_collection;
+use ets_collector::funnel::{bag_of_words, Funnel, FunnelConfig};
+use ets_collector::spamscore::SpamScorer;
+use ets_core::distance;
+use ets_core::typogen;
+use ets_core::DomainName;
+use ets_dns::record::{RecordType, ResourceRecord};
+use ets_dns::wire::{encode, DnsMessage, Rcode};
+
+/// Layer ordering: L1-then-L2 (funnel order) vs scoring every email
+/// unconditionally. The funnel order wins when L1 discards cheaply.
+fn bench_layer_order(c: &mut Criterion) {
+    let (infra, emails) = bench_collection(0xAB1A);
+    let funnel = Funnel::new(&infra);
+    let scorer = SpamScorer::new();
+    let mut group = c.benchmark_group("ablation/layer-order");
+    group.sample_size(10);
+    group.bench_function("headers-first (funnel)", |b| {
+        b.iter(|| black_box(funnel.classify_all(black_box(&emails))))
+    });
+    group.bench_function("score-everything", |b| {
+        b.iter(|| {
+            let mut spam = 0usize;
+            for e in &emails {
+                if scorer.is_spam(&e.message) {
+                    spam += 1;
+                }
+            }
+            black_box(spam)
+        })
+    });
+    group.finish();
+}
+
+fn bench_bow_threshold(c: &mut Criterion) {
+    let (_, emails) = bench_collection(0xB0B0);
+    let mut group = c.benchmark_group("ablation/bow-threshold");
+    for min_words in [10usize, 20, 40] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(min_words),
+            &min_words,
+            |b, &mw| {
+                b.iter(|| {
+                    let mut bags = 0usize;
+                    for e in &emails {
+                        if bag_of_words(&e.message.body, mw).is_some() {
+                            bags += 1;
+                        }
+                    }
+                    black_box(bags)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_freq_thresholds(c: &mut Criterion) {
+    let (infra, emails) = bench_collection(0xF4E0);
+    let mut group = c.benchmark_group("ablation/freq-thresholds");
+    group.sample_size(10);
+    for (name, rcpt, sender, content) in
+        [("paper-20-10-10", 20, 10, 10), ("loose-100-50-50", 100, 50, 50)]
+    {
+        let funnel = Funnel::with_config(
+            &infra,
+            FunnelConfig {
+                recipient_freq: rcpt,
+                sender_freq: sender,
+                content_freq: content,
+                ..FunnelConfig::default()
+            },
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(funnel.classify_all(black_box(&emails))))
+        });
+    }
+    group.finish();
+}
+
+/// Scanning a list of N domains for typos of one target: enumerate the
+/// target's DL-1 set once and hash-probe, vs DL distance per pair.
+fn bench_enumeration_vs_pairwise(c: &mut Criterion) {
+    let target: DomainName = "gmail.com".parse().unwrap();
+    let scan_list: Vec<String> = (0..2_000)
+        .map(|i| format!("site{i}"))
+        .chain(["gmial", "gmaill", "gamil"].map(str::to_owned))
+        .collect();
+    let mut group = c.benchmark_group("ablation/dl1-scan-2k");
+    group.sample_size(20);
+    group.bench_function("pairwise-dl", |b| {
+        b.iter(|| {
+            let hits = scan_list
+                .iter()
+                .filter(|s| distance::damerau_levenshtein(target.sld(), s) == 1)
+                .count();
+            black_box(hits)
+        })
+    });
+    group.bench_function("enumerate-then-probe", |b| {
+        b.iter(|| {
+            let set: std::collections::HashSet<String> = typogen::generate_dl1(&target)
+                .into_iter()
+                .map(|c| c.domain.sld().to_owned())
+                .collect();
+            let hits = scan_list.iter().filter(|s| set.contains(*s)).count();
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+/// DNS encoding with shared suffixes (compression effective) vs unique
+/// names (compression useless): cost and output size.
+fn bench_dns_compression(c: &mut Criterion) {
+    let mk = |shared: bool| {
+        let q = DnsMessage::query(1, "a.exampel.com".parse().unwrap(), RecordType::Mx);
+        let mut resp = DnsMessage::response_to(&q, Rcode::NoError);
+        for i in 0..10 {
+            let owner = if shared {
+                format!("host{i}.exampel.com")
+            } else {
+                format!("host{i}.zone{i}-very-different.com")
+            };
+            resp.answers.push(ResourceRecord::mx(&owner, 300, 1, "mx.exampel.com"));
+        }
+        resp
+    };
+    let shared = mk(true);
+    let unique = mk(false);
+    println!(
+        "encoded sizes: shared-suffix {}B vs unique-names {}B",
+        encode(&shared).len(),
+        encode(&unique).len()
+    );
+    let mut group = c.benchmark_group("ablation/dns-compression");
+    group.bench_function("shared-suffixes", |b| {
+        b.iter(|| black_box(encode(black_box(&shared))))
+    });
+    group.bench_function("unique-names", |b| {
+        b.iter(|| black_box(encode(black_box(&unique))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_layer_order,
+    bench_bow_threshold,
+    bench_freq_thresholds,
+    bench_enumeration_vs_pairwise,
+    bench_dns_compression
+);
+criterion_main!(benches);

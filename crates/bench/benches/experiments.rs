@@ -1,0 +1,58 @@
+//! End-to-end experiment regeneration benchmarks: how long each paper
+//! artifact takes to rebuild from scratch at reduced scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ets_bench::bench_collection;
+use ets_collector::analysis::StudyAnalysis;
+use ets_collector::funnel::Funnel;
+use ets_ecosystem::population::{PopulationConfig, World};
+use ets_ecosystem::scan::scan_world;
+use ets_honeypot::behavior::BehaviorModel;
+use ets_honeypot::campaign::ProbeCampaign;
+
+fn bench_world_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment/world-build");
+    group.sample_size(10);
+    group.bench_function("tiny-60-targets", |b| {
+        b.iter(|| black_box(World::build(PopulationConfig::tiny(1))))
+    });
+    group.finish();
+}
+
+fn bench_table4_scan(c: &mut Criterion) {
+    let world = World::build(PopulationConfig::tiny(2));
+    c.bench_function("experiment/table4-scan", |b| {
+        b.iter(|| black_box(scan_world(black_box(&world))))
+    });
+}
+
+fn bench_probe_campaign(c: &mut Criterion) {
+    let world = World::build(PopulationConfig::tiny(3));
+    let campaign = ProbeCampaign::new(&world, BehaviorModel::default());
+    let mut group = c.benchmark_group("experiment/table5-probe");
+    group.sample_size(10);
+    group.bench_function(format!("{}-domains", world.ctypos.len()), |b| {
+        b.iter(|| black_box(campaign.run()))
+    });
+    group.finish();
+}
+
+fn bench_volumes(c: &mut Criterion) {
+    let (infra, emails) = bench_collection(0xE7);
+    let verdicts = Funnel::new(&infra).classify_all(&emails);
+    c.bench_function("experiment/volumes-analysis", |b| {
+        b.iter(|| {
+            let a = StudyAnalysis::new(&infra, &emails, &verdicts, 1.0 / 40_000.0);
+            black_box(a.volumes())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_world_build,
+    bench_table4_scan,
+    bench_probe_campaign,
+    bench_volumes
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Funnel throughput: classifying a captured traffic slice through all
+//! five layers, plus the scrubber on realistic bodies. This is the
+//! pipeline that ran on every one of the study's ~119M yearly emails.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ets_bench::bench_collection;
+use ets_collector::corpus;
+use ets_collector::funnel::Funnel;
+use ets_collector::scrub;
+use ets_collector::spamscore::SpamScorer;
+
+fn bench_funnel(c: &mut Criterion) {
+    let (infra, emails) = bench_collection(0xBE7C);
+    let funnel = Funnel::new(&infra);
+    let mut group = c.benchmark_group("funnel");
+    group.sample_size(10);
+    group.bench_function(format!("classify-{}-emails", emails.len()), |b| {
+        b.iter(|| black_box(funnel.classify_all(black_box(&emails))))
+    });
+    group.finish();
+}
+
+fn bench_spam_scorer(c: &mut Criterion) {
+    let corpus = corpus::spam_dataset(corpus::SpamDataset::Trec, 200, 5);
+    let scorer = SpamScorer::new();
+    c.bench_function("spamscore/200-messages", |b| {
+        b.iter(|| {
+            for e in &corpus {
+                black_box(scorer.score(black_box(&e.message)));
+            }
+        })
+    });
+}
+
+fn bench_scrubber(c: &mut Criterion) {
+    let corpus = corpus::enron_like(100, 0.5, 9);
+    c.bench_function("scrub/100-bodies", |b| {
+        b.iter(|| {
+            for e in &corpus {
+                black_box(scrub::scrub(black_box(&e.message.body)));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_funnel, bench_spam_scorer, bench_scrubber);
+criterion_main!(benches);

@@ -1,0 +1,518 @@
+//! The Section-4.4 analyses: everything between funnel verdicts and the
+//! numbers/figures the paper prints.
+//!
+//! All yearly numbers use the paper's normalization `y = x · 365 / d`
+//! where `d` is the days a domain actually collected. Spam was *generated*
+//! at `spam_scale` of the paper's volume (see
+//! [`crate::traffic::TrafficConfig`]), so spam-side counts are multiplied
+//! back by `1 / spam_scale`; surviving-typo counts are generated at full
+//! scale and reported as-is.
+
+use crate::extract;
+use crate::funnel::FunnelVerdict;
+use crate::infra::{CollectedEmail, CollectionInfra};
+use crate::scrub::{self, SensitiveKind};
+use crate::time::STUDY_DAYS;
+use ets_core::DomainName;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The analysis engine: emails + verdicts + infrastructure context.
+pub struct StudyAnalysis<'a> {
+    infra: &'a CollectionInfra,
+    emails: &'a [CollectedEmail],
+    verdicts: &'a [FunnelVerdict],
+    /// Spam-side generation scale (1.0 = paper scale).
+    pub spam_scale: f64,
+}
+
+/// The §4.4.1 headline volumes, yearly-projected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Volumes {
+    /// Total emails/year (spam-side scaled to paper volume).
+    pub total: f64,
+    /// Receiver/reflection candidates per year.
+    pub receiver_candidates: f64,
+    /// SMTP-typo candidates per year.
+    pub smtp_candidates: f64,
+    /// Emails passing all filters per year (survivors).
+    pub pass_funnel: f64,
+    /// Surviving receiver + reflection typos per year.
+    pub receiver_reflection: f64,
+    /// SMTP typos per year: (lower bound, upper bound) — survivors alone,
+    /// and survivors plus the frequency-filtered candidates that might be
+    /// legitimate bursts.
+    pub smtp_range: (f64, f64),
+    /// Reflection typos (Layer-4 classified) per year.
+    pub reflections: f64,
+    /// Receiver typos arriving on SMTP-purpose domains per year (the
+    /// paper's unexplained ≈700).
+    pub mystery_receiver: f64,
+}
+
+/// One day of Figure 3/4 series data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DailyCounts {
+    /// Day index from the study epoch.
+    pub day: u32,
+    /// Spam-filtered count (Layers 1–3), at generated scale.
+    pub spam: usize,
+    /// Reflection and frequency-filtered count (Layers 4–5).
+    pub auto_filtered: usize,
+    /// Surviving true typos.
+    pub true_typos: usize,
+}
+
+/// SMTP-typo persistence statistics (§4.4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersistenceStats {
+    /// Number of distinct SMTP-typo users observed.
+    pub users: usize,
+    /// Share whose persistence is a single email (undefined span).
+    pub single_email: f64,
+    /// Share persisting less than one day.
+    pub under_one_day: f64,
+    /// Share persisting less than one week.
+    pub under_one_week: f64,
+    /// Maximum persistence in days.
+    pub max_days: i64,
+    /// Share of users who sent at most four emails.
+    pub at_most_four_emails: f64,
+}
+
+impl<'a> StudyAnalysis<'a> {
+    /// Creates the analysis over classified emails.
+    pub fn new(
+        infra: &'a CollectionInfra,
+        emails: &'a [CollectedEmail],
+        verdicts: &'a [FunnelVerdict],
+        spam_scale: f64,
+    ) -> Self {
+        assert_eq!(emails.len(), verdicts.len());
+        StudyAnalysis {
+            infra,
+            emails,
+            verdicts,
+            spam_scale,
+        }
+    }
+
+    fn rcpt_is_ours(&self, e: &CollectedEmail) -> bool {
+        let rd = e.rcpt_to.domain();
+        self.infra.domains.iter().any(|d| {
+            let o = d.domain().as_str();
+            rd == o || (rd.ends_with(o) && rd.as_bytes()[rd.len() - o.len() - 1] == b'.')
+        })
+    }
+
+    /// Yearly projection for a count collected on `domain`.
+    fn project(&self, domain: &DomainName, count: f64) -> f64 {
+        let d = self
+            .infra
+            .collection_days
+            .get(domain)
+            .copied()
+            .unwrap_or(STUDY_DAYS) as f64;
+        count * 365.0 / d
+    }
+
+    /// The §4.4.1 headline volumes.
+    pub fn volumes(&self) -> Volumes {
+        let boost = 1.0 / self.spam_scale;
+        let mut total = 0.0;
+        let mut receiver_candidates = 0.0;
+        let mut smtp_candidates = 0.0;
+        let mut pass = 0.0;
+        let mut recv_refl = 0.0;
+        let mut smtp_survivors = 0.0;
+        let mut smtp_freq_filtered = 0.0;
+        let mut reflections = 0.0;
+        let mut mystery = 0.0;
+        for (e, v) in self.emails.iter().zip(self.verdicts) {
+            let per_year = self.project(&e.domain, 1.0);
+            // Scale spam-side mass back to paper volume; survivors and
+            // Layer-4/5 typo-adjacent classes are full-scale.
+            let weight = if v.is_spam() { per_year * boost } else { per_year };
+            total += weight;
+            let is_ours = self.rcpt_is_ours(e);
+            if is_ours {
+                receiver_candidates += weight;
+            } else {
+                smtp_candidates += weight;
+            }
+            match v {
+                FunnelVerdict::ReceiverTypo => {
+                    pass += per_year;
+                    recv_refl += per_year;
+                    let sd = self.infra.study_domain(&e.domain);
+                    if let Some(sd) = sd {
+                        if matches!(
+                            sd.purpose,
+                            ets_core::taxonomy::CollectionPurpose::SmtpServer
+                                | ets_core::taxonomy::CollectionPurpose::Financial
+                        ) {
+                            mystery += per_year;
+                        }
+                    }
+                }
+                FunnelVerdict::Reflection => {
+                    recv_refl += per_year;
+                    reflections += per_year;
+                }
+                FunnelVerdict::SmtpTypo => {
+                    pass += per_year;
+                    smtp_survivors += per_year;
+                }
+                FunnelVerdict::FrequencyFiltered if !is_ours => {
+                    smtp_freq_filtered += per_year;
+                }
+                _ => {}
+            }
+        }
+        Volumes {
+            total,
+            receiver_candidates,
+            smtp_candidates,
+            pass_funnel: pass + reflections,
+            receiver_reflection: recv_refl,
+            smtp_range: (smtp_survivors, smtp_survivors + smtp_freq_filtered),
+            reflections,
+            mystery_receiver: mystery,
+        }
+    }
+
+    /// Figure 3 (receiver candidates) or Figure 4 (SMTP candidates) daily
+    /// series.
+    pub fn daily_series(&self, smtp_side: bool) -> Vec<DailyCounts> {
+        let mut per_day: HashMap<u32, DailyCounts> = HashMap::new();
+        for (e, v) in self.emails.iter().zip(self.verdicts) {
+            let is_smtp_candidate = !self.rcpt_is_ours(e);
+            if is_smtp_candidate != smtp_side {
+                continue;
+            }
+            let entry = per_day.entry(e.date.day()).or_insert(DailyCounts {
+                day: e.date.day(),
+                spam: 0,
+                auto_filtered: 0,
+                true_typos: 0,
+            });
+            if v.is_spam() {
+                entry.spam += 1;
+            } else if v.is_true_typo() {
+                entry.true_typos += 1;
+            } else {
+                entry.auto_filtered += 1;
+            }
+        }
+        let mut days: Vec<DailyCounts> = per_day.into_values().collect();
+        days.sort_by_key(|d| d.day);
+        days
+    }
+
+    /// Figure 5: surviving receiver typos per provider domain, sorted
+    /// descending, with the cumulative share.
+    pub fn figure5(&self) -> Vec<(DomainName, usize, f64)> {
+        let provider_domains: Vec<&DomainName> = crate::infra::PROVIDER_TYPOS
+            .iter()
+            .map(|(t, _)| {
+                self.infra
+                    .domains
+                    .iter()
+                    .find(|d| d.domain().as_str() == *t)
+                    .expect("provider typo registered")
+                    .domain()
+            })
+            .collect();
+        let mut counts: HashMap<&DomainName, usize> = HashMap::new();
+        for (e, v) in self.emails.iter().zip(self.verdicts) {
+            if *v == FunnelVerdict::ReceiverTypo {
+                if let Some(d) = provider_domains.iter().find(|d| ***d == e.domain) {
+                    *counts.entry(d).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut rows: Vec<(DomainName, usize)> = provider_domains
+            .iter()
+            .map(|d| ((*d).clone(), counts.get(d).copied().unwrap_or(0)))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let total: usize = rows.iter().map(|(_, c)| c).sum();
+        let mut acc = 0usize;
+        rows.into_iter()
+            .map(|(d, c)| {
+                acc += c;
+                (d, c, acc as f64 / total.max(1) as f64)
+            })
+            .collect()
+    }
+
+    /// Figure 6: sensitive-information kinds per typo domain among the
+    /// surviving true typos. Card findings are split by brand, matching
+    /// the figure's `dinersclub`/`jcb`/`mastercard` rows.
+    pub fn figure6(&self) -> HashMap<(DomainName, String), usize> {
+        let mut heat: HashMap<(DomainName, String), usize> = HashMap::new();
+        for (e, v) in self.emails.iter().zip(self.verdicts) {
+            if !v.is_true_typo() && *v != FunnelVerdict::Reflection {
+                continue;
+            }
+            let text = extract::full_text(&e.message);
+            let result = scrub::scrub(&text);
+            for f in &result.findings {
+                let label = match (f.kind, f.brand) {
+                    (SensitiveKind::CreditCard, Some(b)) => b.marker().to_owned(),
+                    (k, _) => format!("{k:?}").to_ascii_lowercase(),
+                };
+                // The figure only shows the rare, high-value kinds.
+                if matches!(
+                    f.kind,
+                    SensitiveKind::CreditCard
+                        | SensitiveKind::Ein
+                        | SensitiveKind::Password
+                        | SensitiveKind::Username
+                        | SensitiveKind::Vin
+                        | SensitiveKind::Ssn
+                ) {
+                    *heat.entry((e.domain.clone(), label)).or_insert(0) += 1;
+                }
+            }
+        }
+        heat
+    }
+
+    /// Figure 7: attachment extension counts among surviving receiver
+    /// typos, sorted by count descending.
+    pub fn figure7(&self) -> Vec<(String, usize)> {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for (e, v) in self.emails.iter().zip(self.verdicts) {
+            if *v != FunnelVerdict::ReceiverTypo {
+                continue;
+            }
+            for a in &e.message.attachments {
+                if let Some(ext) = a.extension() {
+                    *counts.entry(ext).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut rows: Vec<(String, usize)> = counts.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// §4.4.2 SMTP-typo persistence, grouped by envelope sender.
+    pub fn smtp_persistence(&self) -> PersistenceStats {
+        let mut per_user: HashMap<String, Vec<i64>> = HashMap::new();
+        for (e, v) in self.emails.iter().zip(self.verdicts) {
+            if *v != FunnelVerdict::SmtpTypo {
+                continue;
+            }
+            let key = e
+                .mail_from
+                .as_ref()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| format!("ip:{}", e.vps_ip));
+            per_user.entry(key).or_default().push(e.date.day() as i64);
+        }
+        let users = per_user.len();
+        if users == 0 {
+            return PersistenceStats {
+                users: 0,
+                single_email: 0.0,
+                under_one_day: 0.0,
+                under_one_week: 0.0,
+                max_days: 0,
+                at_most_four_emails: 0.0,
+            };
+        }
+        let mut single = 0usize;
+        let mut day1 = 0usize;
+        let mut week = 0usize;
+        let mut max_days = 0i64;
+        let mut le4 = 0usize;
+        for days in per_user.values() {
+            let span = days.iter().max().unwrap() - days.iter().min().unwrap();
+            if days.len() == 1 {
+                single += 1;
+            }
+            if span < 1 {
+                day1 += 1;
+            }
+            if span < 7 {
+                week += 1;
+            }
+            if days.len() <= 4 {
+                le4 += 1;
+            }
+            max_days = max_days.max(span);
+        }
+        PersistenceStats {
+            users,
+            single_email: single as f64 / users as f64,
+            under_one_day: day1 as f64 / users as f64,
+            under_one_week: week as f64 / users as f64,
+            max_days,
+            at_most_four_emails: le4 as f64 / users as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::funnel::Funnel;
+    use crate::traffic::{TrafficConfig, TrafficGenerator};
+
+    struct Fixture {
+        infra: CollectionInfra,
+        emails: Vec<CollectedEmail>,
+        verdicts: Vec<FunnelVerdict>,
+        spam_scale: f64,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let infra = CollectionInfra::build();
+        let config = TrafficConfig::test_scale(seed);
+        let spam_scale = config.spam_scale;
+        let gen = TrafficGenerator::new(&infra, config);
+        let emails: Vec<CollectedEmail> = gen
+            .generate()
+            .into_iter()
+            .map(|e| e.collected)
+            .collect();
+        let funnel = Funnel::new(&infra);
+        let verdicts = funnel.classify_all(&emails);
+        Fixture {
+            infra,
+            emails,
+            verdicts,
+            spam_scale,
+        }
+    }
+
+    #[test]
+    fn volumes_have_paper_shape() {
+        let f = fixture(21);
+        let a = StudyAnalysis::new(&f.infra, &f.emails, &f.verdicts, f.spam_scale);
+        let v = a.volumes();
+        // Total back-projected to the 100M+ regime.
+        assert!(v.total > 2.0e7, "total {}", v.total);
+        // SMTP candidates dominate the raw volume (paper: 102.7M of 118.9M).
+        assert!(v.smtp_candidates > v.receiver_candidates, "{v:?}");
+        // Survivors are 3–4 orders of magnitude below candidates.
+        assert!(v.pass_funnel < 25_000.0, "pass {}", v.pass_funnel);
+        assert!(v.pass_funnel > 1_000.0, "pass {}", v.pass_funnel);
+        // Receiver+reflection in the thousands (paper: 6,041).
+        assert!(
+            v.receiver_reflection > 2_000.0 && v.receiver_reflection < 15_000.0,
+            "recv+refl {}",
+            v.receiver_reflection
+        );
+        // SMTP range well below receiver volume (order of magnitude).
+        assert!(v.smtp_range.0 < v.receiver_reflection / 2.0);
+        assert!(v.smtp_range.1 >= v.smtp_range.0);
+        // The mystery receiver typos on SMTP domains exist (paper: ~700).
+        assert!(v.mystery_receiver > 100.0, "mystery {}", v.mystery_receiver);
+    }
+
+    #[test]
+    fn daily_series_has_gaps_and_dominant_spam() {
+        let f = fixture(22);
+        let a = StudyAnalysis::new(&f.infra, &f.emails, &f.verdicts, f.spam_scale);
+        let series = a.daily_series(false);
+        assert!(series.len() > 150);
+        // Outage days absent.
+        for d in &series {
+            assert!(!f.infra.in_outage(crate::time::SimDate(d.day)));
+        }
+        // Spam arrives essentially every day; scaled back to paper volume
+        // (×1/spam_scale) it dwarfs the true-typo counts.
+        let spam_days = series.iter().filter(|d| d.spam > 0).count();
+        assert!(spam_days * 10 > series.len() * 6, "{spam_days}/{}", series.len());
+        let spam_total: f64 =
+            series.iter().map(|d| d.spam as f64 / f.spam_scale).sum();
+        let typo_total_f: f64 = series.iter().map(|d| d.true_typos as f64).sum();
+        assert!(spam_total > typo_total_f * 100.0);
+        // True typos occur at a near-constant low rate.
+        let typo_total: usize = series.iter().map(|d| d.true_typos).sum();
+        assert!(typo_total > 1_000);
+    }
+
+    #[test]
+    fn smtp_series_is_sparser_than_receiver_series() {
+        let f = fixture(23);
+        let a = StudyAnalysis::new(&f.infra, &f.emails, &f.verdicts, f.spam_scale);
+        let recv: usize = a.daily_series(false).iter().map(|d| d.true_typos).sum();
+        let smtp: usize = a.daily_series(true).iter().map(|d| d.true_typos).sum();
+        assert!(smtp < recv / 2, "smtp {smtp} vs receiver {recv}");
+    }
+
+    #[test]
+    fn figure5_concentration() {
+        let f = fixture(24);
+        let a = StudyAnalysis::new(&f.infra, &f.emails, &f.verdicts, f.spam_scale);
+        let rows = a.figure5();
+        assert_eq!(rows.len(), 27);
+        // Monotone cumulative reaching 1.
+        assert!((rows.last().unwrap().2 - 1.0).abs() < 1e-9);
+        // Two domains majority-ish, twelve domains ≈ everything.
+        assert!(rows[1].2 > 0.45, "top-2 share {}", rows[1].2);
+        assert!(rows[11].2 > 0.92, "top-12 share {}", rows[11].2);
+    }
+
+    #[test]
+    fn figure6_has_disposable_credentials() {
+        let f = fixture(25);
+        let a = StudyAnalysis::new(&f.infra, &f.emails, &f.verdicts, f.spam_scale);
+        let heat = a.figure6();
+        assert!(!heat.is_empty());
+        // yopail (disposable typo) accumulates usernames/passwords.
+        let yopail: DomainName = "yopail.com".parse().unwrap();
+        let yopail_creds: usize = heat
+            .iter()
+            .filter(|((d, k), _)| *d == yopail && (k == "username" || k == "password"))
+            .map(|(_, &c)| c)
+            .sum();
+        assert!(yopail_creds > 0, "heatmap: {heat:?}");
+    }
+
+    #[test]
+    fn figure7_extension_mix() {
+        let f = fixture(26);
+        let a = StudyAnalysis::new(&f.infra, &f.emails, &f.verdicts, f.spam_scale);
+        let rows = a.figure7();
+        assert!(rows.len() >= 5, "{rows:?}");
+        // pdf leads, docx close behind (Figure 7's dominant types).
+        assert_eq!(rows[0].0, "pdf", "{rows:?}");
+        let get = |e: &str| rows.iter().find(|(x, _)| x == e).map(|(_, c)| *c).unwrap_or(0);
+        assert!(get("docx") > get("xls"), "{rows:?}");
+        // No archives among true typos: Layer 2 removed them.
+        assert_eq!(get("zip"), 0);
+        assert_eq!(get("rar"), 0);
+    }
+
+    #[test]
+    fn persistence_matches_paper_shape() {
+        let f = fixture(27);
+        let a = StudyAnalysis::new(&f.infra, &f.emails, &f.verdicts, f.spam_scale);
+        let p = a.smtp_persistence();
+        assert!(p.users > 30, "users {}", p.users);
+        // 70% single email; 83% < 1 day; 90% < 1 week; ≤4 emails for 90%.
+        assert!(p.single_email > 0.5, "single {}", p.single_email);
+        assert!(p.under_one_day >= p.single_email);
+        assert!(p.under_one_week >= p.under_one_day);
+        assert!(p.under_one_week > 0.75, "week {}", p.under_one_week);
+        assert!(p.at_most_four_emails > 0.7, "≤4 {}", p.at_most_four_emails);
+        assert!(p.max_days <= 209);
+    }
+
+    #[test]
+    fn empty_input() {
+        let infra = CollectionInfra::build();
+        let a = StudyAnalysis::new(&infra, &[], &[], 1.0);
+        let v = a.volumes();
+        assert_eq!(v.total, 0.0);
+        assert!(a.daily_series(false).is_empty());
+        assert_eq!(a.smtp_persistence().users, 0);
+        let f5 = a.figure5();
+        assert_eq!(f5.len(), 27);
+    }
+}

@@ -1,0 +1,201 @@
+//! The Textract stand-in: attachment text extraction (§4.2.2).
+//!
+//! The pipeline runs every attachment through text extraction so the
+//! scrubber can see inside documents — the paper's Textract even OCRs
+//! images. The simulated attachment formats wrap their text in simple
+//! containers; each extractor understands one container, and image OCR is
+//! modeled as a lossy extraction that recovers embedded text only when an
+//! OCR marker is present.
+
+use ets_mail::Attachment;
+
+/// Simulated container magic bytes.
+pub const DOC_MAGIC: &[u8] = b"\xD0\xCF\x11\xE0ETSDOC:";
+/// Zip-based office container (docx/xlsx/pptx).
+pub const OOXML_MAGIC: &[u8] = b"PK\x03\x04ETSOOXML:";
+/// PDF container.
+pub const PDF_MAGIC: &[u8] = b"%PDF-1.4 ETSPDF:";
+/// Image container; text after the marker is "visible in the image".
+pub const IMG_MAGIC: &[u8] = b"\x89IMGETSOCR:";
+/// Archive container (never extracted; dropped in Layer 2).
+pub const ZIP_MAGIC: &[u8] = b"PK\x03\x04ETSZIP";
+
+/// How the text came out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Extraction {
+    /// Full text recovered.
+    Text(String),
+    /// OCR recovered text from an image (lossy in principle).
+    Ocr(String),
+    /// Format known, but nothing extractable (e.g. image without text).
+    Empty,
+    /// Unknown or unsupported container.
+    Unsupported,
+}
+
+impl Extraction {
+    /// The extracted text, if any.
+    pub fn text(&self) -> Option<&str> {
+        match self {
+            Extraction::Text(t) | Extraction::Ocr(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Extracts text from one attachment, dispatching on content.
+pub fn extract(attachment: &Attachment) -> Extraction {
+    let data = &attachment.data;
+    for (magic, ocr) in [
+        (DOC_MAGIC, false),
+        (OOXML_MAGIC, false),
+        (PDF_MAGIC, false),
+        (IMG_MAGIC, true),
+    ] {
+        if let Some(rest) = data.strip_prefix(magic) {
+            let text = String::from_utf8_lossy(rest).into_owned();
+            if text.trim().is_empty() {
+                return Extraction::Empty;
+            }
+            return if ocr {
+                Extraction::Ocr(text)
+            } else {
+                Extraction::Text(text)
+            };
+        }
+    }
+    if data.starts_with(ZIP_MAGIC) {
+        return Extraction::Unsupported;
+    }
+    // Plain text: printable UTF-8.
+    match std::str::from_utf8(data) {
+        Ok(s) if !s.trim().is_empty() => Extraction::Text(s.to_owned()),
+        Ok(_) => Extraction::Empty,
+        Err(_) => Extraction::Unsupported,
+    }
+}
+
+/// Builders for the simulated containers (used by the traffic generator
+/// and the corpora).
+pub mod build {
+    use super::*;
+
+    /// A legacy `.doc`-style attachment.
+    pub fn doc(filename: &str, text: &str) -> Attachment {
+        let mut data = DOC_MAGIC.to_vec();
+        data.extend_from_slice(text.as_bytes());
+        Attachment::new(filename, "application/msword", data)
+    }
+
+    /// An OOXML (`.docx`/`.xlsx`/`.pptx`) attachment.
+    pub fn ooxml(filename: &str, text: &str) -> Attachment {
+        let mut data = OOXML_MAGIC.to_vec();
+        data.extend_from_slice(text.as_bytes());
+        Attachment::new(
+            filename,
+            "application/vnd.openxmlformats-officedocument",
+            data,
+        )
+    }
+
+    /// A PDF attachment.
+    pub fn pdf(filename: &str, text: &str) -> Attachment {
+        let mut data = PDF_MAGIC.to_vec();
+        data.extend_from_slice(text.as_bytes());
+        Attachment::new(filename, "application/pdf", data)
+    }
+
+    /// An image; `visible_text` is what OCR can recover (empty = photo).
+    pub fn image(filename: &str, visible_text: &str) -> Attachment {
+        let mut data = IMG_MAGIC.to_vec();
+        data.extend_from_slice(visible_text.as_bytes());
+        Attachment::new(filename, "image/jpeg", data)
+    }
+
+    /// An archive (zip/rar) — Layer 2 drops these unopened.
+    pub fn archive(filename: &str, payload: &[u8]) -> Attachment {
+        let mut data = ZIP_MAGIC.to_vec();
+        data.extend_from_slice(payload);
+        Attachment::new(filename, "application/zip", data)
+    }
+
+    /// A plain-text attachment.
+    pub fn txt(filename: &str, text: &str) -> Attachment {
+        Attachment::new(filename, "text/plain", text.as_bytes().to_vec())
+    }
+}
+
+/// Extracts and concatenates the text of a whole message: body plus every
+/// attachment the extractors understand.
+pub fn full_text(msg: &ets_mail::Message) -> String {
+    let mut out = msg.body.clone();
+    for a in &msg.attachments {
+        if let Some(t) = extract(a).text() {
+            out.push('\n');
+            out.push_str(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_and_ooxml_extract() {
+        let a = build::doc("resume.doc", "John Doe SSN 078-05-1120");
+        assert_eq!(
+            extract(&a),
+            Extraction::Text("John Doe SSN 078-05-1120".into())
+        );
+        let b = build::ooxml("cv.docx", "curriculum vitae");
+        assert_eq!(extract(&b), Extraction::Text("curriculum vitae".into()));
+    }
+
+    #[test]
+    fn pdf_extracts() {
+        let a = build::pdf("visa.pdf", "passport number 123456789");
+        assert!(matches!(extract(&a), Extraction::Text(t) if t.contains("passport")));
+    }
+
+    #[test]
+    fn image_ocr() {
+        let with_text = build::image("scan.jpg", "Amex 371385129301004");
+        assert!(matches!(extract(&with_text), Extraction::Ocr(t) if t.contains("371385129301004")));
+        let photo = build::image("cat.jpg", "");
+        assert_eq!(extract(&photo), Extraction::Empty);
+    }
+
+    #[test]
+    fn archives_unsupported() {
+        let a = build::archive("malware.zip", &[1, 2, 3]);
+        assert_eq!(extract(&a), Extraction::Unsupported);
+    }
+
+    #[test]
+    fn plain_text_passthrough() {
+        let a = build::txt("notes.txt", "plain notes");
+        assert_eq!(extract(&a), Extraction::Text("plain notes".into()));
+    }
+
+    #[test]
+    fn binary_garbage_unsupported() {
+        let a = ets_mail::Attachment::new("x.bin", "application/octet-stream", vec![0xFF, 0xFE, 0x00]);
+        assert_eq!(extract(&a), Extraction::Unsupported);
+    }
+
+    #[test]
+    fn full_text_concatenates() {
+        let mut m = ets_mail::Message::new();
+        m.body = "body text".into();
+        m.attachments.push(build::pdf("a.pdf", "pdf text"));
+        m.attachments.push(build::archive("z.zip", b"x"));
+        m.attachments.push(build::image("i.jpg", "ocr text"));
+        let t = full_text(&m);
+        assert!(t.contains("body text"));
+        assert!(t.contains("pdf text"));
+        assert!(t.contains("ocr text"));
+        assert!(!t.contains('\u{FFFD}'));
+    }
+}

@@ -1,0 +1,160 @@
+//! The simulated study clock.
+//!
+//! The collection ran June 4 2016 – January 15 2017 (226 days). Dates are
+//! day indices from the study epoch; a tiny proleptic-Gregorian converter
+//! renders them as `y/m/d` for the figures, matching the paper's axes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The study epoch: June 4, 2016.
+pub const EPOCH: (i32, u32, u32) = (2016, 6, 4);
+
+/// Last day of collection: January 15, 2017 (inclusive).
+pub const STUDY_DAYS: u32 = 226;
+
+/// A day in simulation time: `0` = June 4 2016.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SimDate(pub u32);
+
+impl SimDate {
+    /// The study epoch.
+    pub fn epoch() -> SimDate {
+        SimDate(0)
+    }
+
+    /// Last collection day.
+    pub fn study_end() -> SimDate {
+        SimDate(STUDY_DAYS - 1)
+    }
+
+    /// Days since epoch.
+    pub fn day(self) -> u32 {
+        self.0
+    }
+
+    /// Offsets by whole days (saturating at epoch).
+    pub fn plus_days(self, d: i64) -> SimDate {
+        let v = self.0 as i64 + d;
+        SimDate(v.max(0) as u32)
+    }
+
+    /// Days between two dates (`self - other`).
+    pub fn days_since(self, other: SimDate) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+
+    /// Civil (year, month, day) of this sim date.
+    pub fn civil(self) -> (i32, u32, u32) {
+        let epoch_days = days_from_civil(EPOCH.0, EPOCH.1, EPOCH.2);
+        civil_from_days(epoch_days + self.0 as i64)
+    }
+
+    /// Builds a SimDate from a civil date; `None` if before the epoch.
+    pub fn from_civil(y: i32, m: u32, d: u32) -> Option<SimDate> {
+        let delta = days_from_civil(y, m, d) - days_from_civil(EPOCH.0, EPOCH.1, EPOCH.2);
+        if delta < 0 {
+            None
+        } else {
+            Some(SimDate(delta as u32))
+        }
+    }
+
+    /// Whether the date falls inside the collection window.
+    pub fn in_study(self) -> bool {
+        self.0 < STUDY_DAYS
+    }
+}
+
+impl fmt::Display for SimDate {
+    /// Formats as the figures' axis labels: `16/06/04`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.civil();
+        write!(f, "{:02}/{:02}/{:02}", y % 100, m, d)
+    }
+}
+
+/// Days from 1970-01-01 to the given civil date
+/// (Howard Hinnant's `days_from_civil` algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = ((m as i64) + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + (d as i64) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date from days since 1970-01-01 (inverse of `days_from_civil`).
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_renders_correctly() {
+        assert_eq!(SimDate::epoch().to_string(), "16/06/04");
+        assert_eq!(SimDate::epoch().civil(), (2016, 6, 4));
+    }
+
+    #[test]
+    fn study_end_is_january_15() {
+        assert_eq!(SimDate::study_end().civil(), (2017, 1, 15));
+        assert_eq!(SimDate::study_end().to_string(), "17/01/15");
+    }
+
+    #[test]
+    fn civil_round_trips() {
+        for day in 0..400 {
+            let d = SimDate(day);
+            let (y, m, dd) = d.civil();
+            assert_eq!(SimDate::from_civil(y, m, dd), Some(d));
+        }
+    }
+
+    #[test]
+    fn month_boundaries() {
+        // June has 30 days: day 26 is June 30, day 27 is July 1.
+        assert_eq!(SimDate(26).civil(), (2016, 6, 30));
+        assert_eq!(SimDate(27).civil(), (2016, 7, 1));
+        // 2016 is a leap year but we start after February; check new year.
+        assert_eq!(SimDate::from_civil(2016, 12, 31).unwrap().plus_days(1).civil(), (2017, 1, 1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let d = SimDate(10);
+        assert_eq!(d.plus_days(5), SimDate(15));
+        assert_eq!(d.plus_days(-20), SimDate(0), "saturates at epoch");
+        assert_eq!(SimDate(15).days_since(SimDate(10)), 5);
+        assert_eq!(SimDate(10).days_since(SimDate(15)), -5);
+    }
+
+    #[test]
+    fn study_window() {
+        assert!(SimDate::epoch().in_study());
+        assert!(SimDate::study_end().in_study());
+        assert!(!SimDate(STUDY_DAYS).in_study());
+    }
+
+    #[test]
+    fn before_epoch_rejected() {
+        assert_eq!(SimDate::from_civil(2016, 6, 3), None);
+        assert!(SimDate::from_civil(2016, 6, 5).is_some());
+    }
+}

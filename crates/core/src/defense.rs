@@ -1,0 +1,309 @@
+//! Defenses against email typosquatting (§8).
+//!
+//! The paper's discussion section sketches two practical defenses this
+//! module implements:
+//!
+//! * **Typo correction** ([`TypoCorrector`]) — "typo correction could be
+//!   integrated into any input field: at SMTP setup phase, registrations,
+//!   email recipient, or when giving contact information": given a typed
+//!   domain, rank the plausible intended targets by
+//!   `P(intended) ∝ E_target · Pt(typed | target)`.
+//! * **Defensive registration planning** ([`plan_registrations`]) —
+//!   "large providers registering their typosquatting domains defensively
+//!   would have the biggest impact per defensive registration": a greedy
+//!   budgeted plan maximizing expected intercepted emails per dollar.
+
+use crate::alexa::PopularityList;
+use crate::typing::TypingModel;
+use crate::typogen::{self, TypoCandidate};
+use crate::DomainName;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One correction suggestion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Correction {
+    /// The likely intended domain.
+    pub target: DomainName,
+    /// Posterior weight (normalized across suggestions).
+    pub confidence: f64,
+    /// The mistake that would explain the typo.
+    pub candidate: TypoCandidate,
+}
+
+/// Suggests intended domains for possibly-mistyped input.
+///
+/// Construction precomputes the DL-1 neighborhood of every known target
+/// (the same enumeration the §5 scan performs), so each lookup is a hash
+/// probe — cheap enough to run on every keystroke of an address field.
+#[derive(Debug)]
+pub struct TypoCorrector {
+    targets: PopularityList,
+    model: TypingModel,
+    /// typo domain → candidates explaining it (one per plausible target).
+    index: HashMap<DomainName, Vec<TypoCandidate>>,
+    /// Emails-per-visitor factor converting popularity into volume.
+    volume_factor: f64,
+}
+
+impl TypoCorrector {
+    /// Builds a corrector over a popularity list of known-good domains.
+    pub fn new(targets: PopularityList, model: TypingModel) -> Self {
+        let mut index: HashMap<DomainName, Vec<TypoCandidate>> = HashMap::new();
+        for entry in targets.iter() {
+            for cand in typogen::generate_dl1(&entry.domain) {
+                index.entry(cand.domain.clone()).or_default().push(cand);
+            }
+        }
+        TypoCorrector {
+            targets,
+            model,
+            index,
+            volume_factor: 30.0,
+        }
+    }
+
+    /// Whether `input` is itself a known-good domain (no correction).
+    pub fn is_known(&self, input: &DomainName) -> bool {
+        self.targets.get(input).is_some()
+    }
+
+    /// Ranks plausible intended targets for `input`.
+    ///
+    /// Returns an empty vec when the input is a known domain or nothing
+    /// plausible is within one mistake. Confidences are normalized to
+    /// sum to 1 over the returned suggestions.
+    ///
+    /// ```
+    /// use ets_core::alexa;
+    /// use ets_core::defense::TypoCorrector;
+    /// use ets_core::typing::TypingModel;
+    ///
+    /// let corrector = TypoCorrector::new(alexa::synthetic_top(50), TypingModel::default());
+    /// let typo: ets_core::DomainName = "gmial.com".parse().unwrap();
+    /// let suggestions = corrector.suggest(&typo, 3);
+    /// assert_eq!(suggestions[0].target.as_str(), "gmail.com");
+    /// ```
+    pub fn suggest(&self, input: &DomainName, limit: usize) -> Vec<Correction> {
+        if self.is_known(input) {
+            return Vec::new();
+        }
+        let mut scored: Vec<Correction> = Vec::new();
+        for cand in self.index.get(input).map(Vec::as_slice).unwrap_or(&[]) {
+            if cand.target.tld() != input.tld() {
+                continue; // corrections keep the TLD the user typed
+            }
+            let Some(entry) = self.targets.get(&cand.target) else {
+                continue;
+            };
+            let volume = entry.monthly_visitors * self.volume_factor * 12.0;
+            let weight = volume * self.model.mistype_probability(cand);
+            if weight > 0.0 {
+                scored.push(Correction {
+                    target: cand.target.clone(),
+                    confidence: weight,
+                    candidate: cand.clone(),
+                });
+            }
+        }
+        scored.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).expect("no NaN"));
+        scored.truncate(limit);
+        let total: f64 = scored.iter().map(|c| c.confidence).sum();
+        if total > 0.0 {
+            for c in &mut scored {
+                c.confidence /= total;
+            }
+        }
+        scored
+    }
+
+    /// Convenience check for a full email address string: corrects the
+    /// domain part, leaving the local part alone (§8 explicitly scopes
+    /// username typos out).
+    pub fn suggest_for_address(&self, address: &str, limit: usize) -> Vec<Correction> {
+        let Some((_, domain)) = address.rsplit_once('@') else {
+            return Vec::new();
+        };
+        let Ok(d) = domain.parse::<DomainName>() else {
+            return Vec::new();
+        };
+        self.suggest(&d, limit)
+    }
+}
+
+/// One planned defensive registration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedRegistration {
+    /// The typo domain to register.
+    pub candidate: TypoCandidate,
+    /// Expected intercepted emails per year.
+    pub expected_emails: f64,
+    /// Cumulative cost up to and including this registration.
+    pub cumulative_cost: f64,
+    /// Cumulative share of interceptable email covered.
+    pub cumulative_coverage: f64,
+}
+
+/// Greedy defensive-registration plan for one target domain.
+///
+/// Ranks the target's unregistered gtypos by expected captured email and
+/// takes them in order until `budget` is exhausted at `price_per_domain`.
+/// `already_registered` (e.g. ctypos held by squatters or the owner)
+/// are skipped — the paper notes the most valuable names are often taken,
+/// which is exactly what makes early defensive registration cheap.
+pub fn plan_registrations(
+    target: &DomainName,
+    yearly_email_volume: f64,
+    model: &TypingModel,
+    already_registered: &[DomainName],
+    budget: f64,
+    price_per_domain: f64,
+) -> Vec<PlannedRegistration> {
+    assert!(price_per_domain > 0.0, "domains are not free");
+    let mut scored: Vec<(f64, TypoCandidate)> = typogen::generate_dl1(target)
+        .into_iter()
+        .filter(|c| !already_registered.contains(&c.domain))
+        .map(|c| (model.expected_emails(yearly_email_volume, &c), c))
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN"));
+    let total_interceptable: f64 = scored.iter().map(|(e, _)| e).sum();
+    let max_domains = (budget / price_per_domain).floor() as usize;
+    let mut out = Vec::new();
+    let mut covered = 0.0;
+    for (expected, candidate) in scored.into_iter().take(max_domains) {
+        covered += expected;
+        out.push(PlannedRegistration {
+            candidate,
+            expected_emails: expected,
+            cumulative_cost: (out.len() + 1) as f64 * price_per_domain,
+            cumulative_coverage: if total_interceptable > 0.0 {
+                covered / total_interceptable
+            } else {
+                0.0
+            },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alexa;
+
+    fn corrector() -> TypoCorrector {
+        TypoCorrector::new(alexa::synthetic_top(50), TypingModel::default())
+    }
+
+    #[test]
+    fn corrects_classic_typos() {
+        let c = corrector();
+        for (typed, expected) in [
+            ("gmial.com", "gmail.com"),
+            ("gmal.com", "gmail.com"),
+            ("hotmial.com", "hotmail.com"),
+            ("outlo0k.com", "outlook.com"),
+            ("yaho.com", "yahoo.com"),
+        ] {
+            let typo: DomainName = typed.parse().unwrap();
+            let s = c.suggest(&typo, 3);
+            assert!(!s.is_empty(), "{typed} got no suggestions");
+            assert_eq!(s[0].target.as_str(), expected, "{typed}");
+        }
+    }
+
+    #[test]
+    fn known_domains_are_not_corrected() {
+        let c = corrector();
+        let good: DomainName = "gmail.com".parse().unwrap();
+        assert!(c.is_known(&good));
+        assert!(c.suggest(&good, 3).is_empty());
+    }
+
+    #[test]
+    fn unrelated_domains_get_no_suggestions() {
+        let c = corrector();
+        let unrelated: DomainName = "completely-unrelated-site.com".parse().unwrap();
+        assert!(c.suggest(&unrelated, 3).is_empty());
+    }
+
+    #[test]
+    fn confidences_normalized_and_sorted() {
+        let c = corrector();
+        // "mail.com" (rank 8) is DL-1 of "gmail.com"; both are targets, but
+        // mail.com is itself known → no correction. Use an ambiguous typo.
+        let typo: DomainName = "gmaul.com".parse().unwrap();
+        let s = c.suggest(&typo, 5);
+        assert!(!s.is_empty());
+        let total: f64 = s.iter().map(|x| x.confidence).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for w in s.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+
+    #[test]
+    fn popularity_breaks_ties() {
+        // A typo equidistant from a popular and an unpopular target should
+        // prefer the popular one.
+        let c = corrector();
+        // "aol.com" rank 5 vs "cox.net": pick a typo of aol.
+        let typo: DomainName = "aoll.com".parse().unwrap();
+        let s = c.suggest(&typo, 3);
+        assert_eq!(s[0].target.as_str(), "aol.com");
+    }
+
+    #[test]
+    fn tld_is_preserved() {
+        let c = corrector();
+        // comcast.net is a target; a .com typo must not suggest it.
+        let typo: DomainName = "comcastt.net".parse().unwrap();
+        let s = c.suggest(&typo, 3);
+        assert!(s.iter().all(|x| x.target.tld() == "net"), "{s:?}");
+    }
+
+    #[test]
+    fn address_form() {
+        let c = corrector();
+        let s = c.suggest_for_address("alice@gmial.com", 2);
+        assert_eq!(s[0].target.as_str(), "gmail.com");
+        assert!(c.suggest_for_address("not-an-address", 2).is_empty());
+    }
+
+    #[test]
+    fn plan_respects_budget_and_orders_by_yield() {
+        let target: DomainName = "gmail.com".parse().unwrap();
+        let model = TypingModel::default();
+        let plan = plan_registrations(&target, 1e9, &model, &[], 85.0, 8.5);
+        assert_eq!(plan.len(), 10, "budget buys exactly 10 domains");
+        for w in plan.windows(2) {
+            assert!(w[0].expected_emails >= w[1].expected_emails);
+            assert!(w[1].cumulative_coverage >= w[0].cumulative_coverage);
+        }
+        assert!((plan.last().unwrap().cumulative_cost - 85.0).abs() < 1e-9);
+        // The best deletions/transpositions head the list.
+        assert!(plan[0].expected_emails > plan[9].expected_emails * 2.0);
+    }
+
+    #[test]
+    fn plan_skips_taken_domains() {
+        let target: DomainName = "gmail.com".parse().unwrap();
+        let model = TypingModel::default();
+        let full = plan_registrations(&target, 1e9, &model, &[], 17.0, 8.5);
+        let taken = vec![full[0].candidate.domain.clone()];
+        let constrained = plan_registrations(&target, 1e9, &model, &taken, 17.0, 8.5);
+        assert!(constrained.iter().all(|p| p.candidate.domain != taken[0]));
+        assert_eq!(constrained[0].candidate.domain, full[1].candidate.domain);
+    }
+
+    #[test]
+    fn coverage_has_diminishing_returns() {
+        // §8's point: the first few registrations cover most of the risk.
+        let target: DomainName = "outlook.com".parse().unwrap();
+        let model = TypingModel::default();
+        let plan = plan_registrations(&target, 1e9, &model, &[], 8.5 * 30.0, 8.5);
+        assert_eq!(plan.len(), 30);
+        let ten = plan[9].cumulative_coverage;
+        assert!(ten > 0.5, "first 10 of ~450 gtypos cover {ten:.2}");
+    }
+}

@@ -1,0 +1,454 @@
+//! Distance metrics between domain names.
+//!
+//! Three metrics from the paper's Section 3:
+//!
+//! * [`damerau_levenshtein`] — minimum number of insertions, deletions,
+//!   substitutions, or transpositions of adjacent characters (the "DL"
+//!   distance; typosquatting papers conventionally use DL-1).
+//! * [`fat_finger`] — Moore & Edelman's restriction of DL where every
+//!   operation must involve characters adjacent on a QWERTY keyboard
+//!   (an FF-1 typo is always a DL-1 typo).
+//! * [`visual`] — a heuristic measuring how different a mistyped string
+//!   *looks*, built from per-character confusability weights (`o`/`0` and
+//!   `l`/`1` are nearly invisible; `g`/`h` is glaring).
+
+use crate::keyboard;
+
+/// Damerau-Levenshtein distance (restricted edit distance with adjacent
+/// transpositions), computed over the full strings.
+///
+/// This is the "optimal string alignment" variant used throughout the
+/// typosquatting literature: a substring may not be edited more than once,
+/// which is exactly the regime of single typing mistakes that DL-1 captures.
+///
+/// ```
+/// use ets_core::distance::damerau_levenshtein;
+/// assert_eq!(damerau_levenshtein("gmail", "gmial"), 1); // transposition
+/// assert_eq!(damerau_levenshtein("gmail", "gmal"), 1);  // deletion
+/// assert_eq!(damerau_levenshtein("gmail", "gmaiql"), 1); // addition
+/// assert_eq!(damerau_levenshtein("gmail", "gmaik"), 1); // substitution
+/// assert_eq!(damerau_levenshtein("gmail", "gmail"), 0);
+/// ```
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    dl_matrix(&a, &b, |_, _| true)
+}
+
+/// Fat-finger distance: like [`damerau_levenshtein`], but substitutions and
+/// insertions only count as a single operation when the characters involved
+/// are QWERTY-adjacent; otherwise that alignment is forbidden (treated as
+/// unreachable, cost ∞ for the restricted operation).
+///
+/// Deletions and transpositions are always allowed (deleting a character or
+/// swapping two neighbors is a fat-finger slip regardless of geometry),
+/// matching Moore & Edelman's definition where the *typed* stray character
+/// must be adjacent to an intended one. An inserted character equal to a
+/// neighboring intended character is also allowed: double-pressing a key is
+/// the canonical fat-finger insertion (`outlook` → `outloook`).
+///
+/// Returns `None` when `b` cannot be produced from `a` by *any* sequence
+/// of fat-finger operations. Note that a non-FF-1 string may still have a
+/// finite fat-finger distance greater than one via a chain of allowed
+/// operations (e.g. a deletion plus an adjacent insertion); use
+/// [`is_ff1`] when testing the single-mistake regime the paper studies.
+///
+/// ```
+/// use ets_core::distance::fat_finger;
+/// assert_eq!(fat_finger("outlook", "outlo0k"), Some(1));  // 0 adjacent to o
+/// assert_eq!(fat_finger("outlook", "outloook"), Some(1)); // doubled key
+/// assert_eq!(fat_finger("gmail", "gmial"), Some(1));      // transposition
+/// assert_ne!(fat_finger("verizon", "vexizon"), Some(1));  // x not near r
+/// ```
+pub fn fat_finger(a: &str, b: &str) -> Option<usize> {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let d = dl_matrix_ff(&av, &bv);
+    if d > av.len() + bv.len() {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+/// True when `typo` is at fat-finger distance exactly one from `target`.
+pub fn is_ff1(target: &str, typo: &str) -> bool {
+    fat_finger(target, typo) == Some(1)
+}
+
+/// True when `typo` is at Damerau-Levenshtein distance exactly one from
+/// `target`.
+pub fn is_dl1(target: &str, typo: &str) -> bool {
+    damerau_levenshtein(target, typo) == 1
+}
+
+#[allow(clippy::needless_range_loop)] // DP matrix init reads clearer indexed
+fn dl_matrix(a: &[char], b: &[char], _allowed: impl Fn(char, char) -> bool) -> usize {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let w = m + 1;
+    let mut d = vec![0usize; (n + 1) * w];
+    for i in 0..=n {
+        d[i * w] = i;
+    }
+    for j in 0..=m {
+        d[j] = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (d[(i - 1) * w + j] + 1) // deletion
+                .min(d[i * w + j - 1] + 1) // insertion
+                .min(d[(i - 1) * w + j - 1] + cost); // substitution / match
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(d[(i - 2) * w + j - 2] + 1); // transposition
+            }
+            d[i * w + j] = best;
+        }
+    }
+    d[n * w + m]
+}
+
+/// Fat-finger DL matrix: substitutions require adjacency between the
+/// intended and the typed character; insertions require the inserted
+/// character to be adjacent to a neighboring intended character.
+fn dl_matrix_ff(a: &[char], b: &[char]) -> usize {
+    const INF: usize = usize::MAX / 4;
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        // Pure insertion of arbitrary characters is not a fat-finger typo
+        // unless each inserted character is adjacent to something intended;
+        // with an empty reference there is nothing to be adjacent to.
+        return if n == m { 0 } else { INF };
+    }
+    let w = m + 1;
+    let mut d = vec![INF; (n + 1) * w];
+    d[0] = 0;
+    for i in 1..=n {
+        d[i * w] = i; // deletions always allowed
+    }
+    for j in 1..=m {
+        // Leading insertions: inserted b[j-1] must neighbor (or equal —
+        // doubled keypress) the first intended character a[0].
+        if (b[j - 1] == a[0] || keyboard::adjacent(b[j - 1], a[0])) && d[j - 1] < INF {
+            d[j] = d[j - 1] + 1;
+        }
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let mut best = INF;
+            // deletion of a[i-1]
+            if d[(i - 1) * w + j] < INF {
+                best = best.min(d[(i - 1) * w + j] + 1);
+            }
+            // insertion of b[j-1]: the stray key must be adjacent to (or a
+            // double-press of) an intended character next to the insertion
+            // point.
+            if d[i * w + j - 1] < INF {
+                let near = |x: char| b[j - 1] == x || keyboard::adjacent(b[j - 1], x);
+                if near(a[i - 1]) || (i < n && near(a[i])) {
+                    best = best.min(d[i * w + j - 1] + 1);
+                }
+            }
+            // match / substitution
+            if d[(i - 1) * w + j - 1] < INF {
+                if a[i - 1] == b[j - 1] {
+                    best = best.min(d[(i - 1) * w + j - 1]);
+                } else if keyboard::adjacent(a[i - 1], b[j - 1]) {
+                    best = best.min(d[(i - 1) * w + j - 1] + 1);
+                }
+            }
+            // transposition
+            if i > 1
+                && j > 1
+                && a[i - 1] == b[j - 2]
+                && a[i - 2] == b[j - 1]
+                && d[(i - 2) * w + j - 2] < INF
+            {
+                best = best.min(d[(i - 2) * w + j - 2] + 1);
+            }
+            d[i * w + j] = best;
+        }
+    }
+    d[n * w + m]
+}
+
+/// Visual confusability of substituting `typed` for `intended`, in `[0, 1]`:
+/// `0.0` means the substitution is essentially invisible, `1.0` maximally
+/// conspicuous.
+///
+/// The heuristic encodes the paper's observation that letter/digit
+/// look-alikes (`o`/`0`, `l`/`1`) are far more likely to go unnoticed than
+/// two different letters, and that some letter pairs (`i`/`l`, `m`/`n`,
+/// `u`/`v`) are themselves easily confused.
+pub fn char_confusability(intended: char, typed: char) -> f64 {
+    let (a, b) = (
+        intended.to_ascii_lowercase(),
+        typed.to_ascii_lowercase(),
+    );
+    if a == b {
+        return 0.0;
+    }
+    // Near-identical glyph pairs.
+    const NEAR: &[(char, char, f64)] = &[
+        ('o', '0', 0.05),
+        ('l', '1', 0.05),
+        ('i', '1', 0.10),
+        ('i', 'l', 0.10),
+        ('i', 'j', 0.25),
+        ('m', 'n', 0.25),
+        ('u', 'v', 0.25),
+        ('v', 'w', 0.30),
+        ('u', 'w', 0.40),
+        ('c', 'e', 0.40),
+        ('e', 'o', 0.45),
+        ('c', 'o', 0.40),
+        ('g', 'q', 0.35),
+        ('b', 'd', 0.45),
+        ('p', 'q', 0.45),
+        ('h', 'n', 0.40),
+        ('f', 't', 0.45),
+        ('s', '5', 0.30),
+        ('b', '8', 0.35),
+        ('g', '9', 0.40),
+        ('z', '2', 0.40),
+        ('a', '4', 0.50),
+        ('t', '7', 0.50),
+        ('e', '3', 0.40),
+    ];
+    for &(x, y, v) in NEAR {
+        if (a == x && b == y) || (a == y && b == x) {
+            return v;
+        }
+    }
+    let digit_a = a.is_ascii_digit();
+    let digit_b = b.is_ascii_digit();
+    match (digit_a, digit_b) {
+        // Letter for letter: moderately visible.
+        (false, false) if a != '-' && b != '-' => 0.8,
+        // Digit for digit.
+        (true, true) => 0.7,
+        // Letter/digit with no glyph similarity: glaring.
+        (true, false) | (false, true) => 0.9,
+        // Hyphen involved: a dash in a name is conspicuous but thin.
+        _ => 0.6,
+    }
+}
+
+/// Visual distance between a target name and a candidate typo.
+///
+/// Aligns the two strings with a DL trace and sums per-operation visual
+/// weights: substitutions use [`char_confusability`]; transpositions of two
+/// characters are mildly visible (0.3); a deletion is weighted by how much
+/// the string shrinks visually (thin glyphs like `i`, `l` barely register);
+/// an addition weighs like the inserted glyph's prominence. The result is
+/// *not* normalized; the Section-6 regression normalizes by target length.
+///
+/// ```
+/// use ets_core::distance::visual;
+/// // outlo0k looks much closer to outlook than outmook does
+/// assert!(visual("outlook", "outlo0k") < visual("outlook", "outmook"));
+/// ```
+pub fn visual(target: &str, typo: &str) -> f64 {
+    let a: Vec<char> = target.chars().collect();
+    let b: Vec<char> = typo.chars().collect();
+    visual_cost(&a, &b)
+}
+
+fn glyph_prominence(c: char) -> f64 {
+    match c {
+        'i' | 'l' | '1' | 'j' | '.' | '-' => 0.35,
+        't' | 'f' | 'r' => 0.55,
+        'm' | 'w' => 0.9,
+        _ => 0.7,
+    }
+}
+
+fn visual_cost(a: &[char], b: &[char]) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    let w = m + 1;
+    let mut d = vec![f64::INFINITY; (n + 1) * w];
+    d[0] = 0.0;
+    for i in 1..=n {
+        d[i * w] = d[(i - 1) * w] + glyph_prominence(a[i - 1]);
+    }
+    for j in 1..=m {
+        d[j] = d[j - 1] + glyph_prominence(b[j - 1]);
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let del = d[(i - 1) * w + j] + glyph_prominence(a[i - 1]);
+            let ins = d[i * w + j - 1] + glyph_prominence(b[j - 1]);
+            let sub_cost = if a[i - 1] == b[j - 1] {
+                0.0
+            } else {
+                char_confusability(a[i - 1], b[j - 1])
+            };
+            let sub = d[(i - 1) * w + j - 1] + sub_cost;
+            let mut best = del.min(ins).min(sub);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] && a[i - 1] != a[i - 2]
+            {
+                best = best.min(d[(i - 2) * w + j - 2] + 0.3);
+            }
+            d[i * w + j] = best;
+        }
+    }
+    d[n * w + m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dl_identity() {
+        assert_eq!(damerau_levenshtein("gmail", "gmail"), 0);
+        assert_eq!(damerau_levenshtein("", ""), 0);
+    }
+
+    #[test]
+    fn dl_empty() {
+        assert_eq!(damerau_levenshtein("", "abc"), 3);
+        assert_eq!(damerau_levenshtein("abc", ""), 3);
+    }
+
+    #[test]
+    fn dl_single_ops() {
+        assert_eq!(damerau_levenshtein("hotmail", "hotmial"), 1); // transposition
+        assert_eq!(damerau_levenshtein("hotmail", "hotmal"), 1); // deletion
+        assert_eq!(damerau_levenshtein("hotmail", "hotmaill"), 1); // addition
+        assert_eq!(damerau_levenshtein("hotmail", "hovmail"), 1); // substitution
+    }
+
+    #[test]
+    fn dl_counts_multiple_ops() {
+        assert_eq!(damerau_levenshtein("gmail", "gmx"), 3);
+        assert_eq!(damerau_levenshtein("verizon", "horizon"), 2);
+    }
+
+    #[test]
+    fn dl_transposition_not_two_substitutions() {
+        assert_eq!(damerau_levenshtein("ab", "ba"), 1);
+        assert_eq!(damerau_levenshtein("abcd", "acbd"), 1);
+    }
+
+    #[test]
+    fn ff_implies_dl() {
+        // Every FF-1 pair must be DL-1 (the paper states this implication).
+        let pairs = [
+            ("outlook", "outlo0k"),
+            ("outlook", "ohtlook"),
+            ("outlook", "outloook"),
+            ("hotmail", "ho6mail"),
+            ("verizon", "ve5izon"),
+        ];
+        for (t, typo) in pairs {
+            assert_eq!(fat_finger(t, typo), Some(1), "{t} -> {typo}");
+            assert_eq!(damerau_levenshtein(t, typo), 1, "{t} -> {typo}");
+        }
+    }
+
+    #[test]
+    fn ff_rejects_distant_keys() {
+        assert_ne!(fat_finger("verizon", "vexizon"), Some(1)); // r vs x
+        assert_eq!(fat_finger("gmail", "gmqil"), Some(1)); // a vs q adjacent
+        assert_eq!(fat_finger("gmail", "gmzil"), Some(1)); // a vs z adjacent
+        assert_ne!(fat_finger("gmail", "gmpil"), Some(1)); // a vs p distant
+    }
+
+    #[test]
+    fn ff_deletion_always_allowed() {
+        assert_eq!(fat_finger("yopmail", "yopail"), Some(1));
+        assert_eq!(fat_finger("zohomail", "zohomil"), Some(1));
+    }
+
+    #[test]
+    fn ff_transposition_always_allowed() {
+        assert_eq!(fat_finger("zohomail", "zohomial"), Some(1));
+    }
+
+    #[test]
+    fn ff_insertion_needs_adjacency() {
+        // k is adjacent to both i and l, so inserting it between them is FF-1.
+        assert_eq!(fat_finger("gmail", "gmaikl"), Some(1));
+        // Inserting x between a and i: x neighbors z,c,s,d — none of a/i/l,
+        // so the single-insertion route is forbidden and the cheapest
+        // fat-finger route needs several operations.
+        assert!(fat_finger("gmail", "gmaxil").is_none_or(|d| d > 1));
+        // gmaiql (a domain the paper registered) is DL-1 but NOT FF-1:
+        // q neighbors neither i nor l.
+        assert_eq!(damerau_levenshtein("gmail", "gmaiql"), 1);
+        assert!(!is_ff1("gmail", "gmaiql"));
+    }
+
+    #[test]
+    fn ff_double_press_insertion() {
+        assert_eq!(fat_finger("outlook", "outloook"), Some(1));
+        assert_eq!(fat_finger("gmail", "ggmail"), Some(1));
+        assert_eq!(fat_finger("gmail", "gmaill"), Some(1));
+    }
+
+    #[test]
+    fn ff_identity_is_zero() {
+        assert_eq!(fat_finger("comcast", "comcast"), Some(0));
+    }
+
+    #[test]
+    fn visual_lookalikes_are_cheap() {
+        assert!(visual("outlook", "outlo0k") < 0.2);
+        assert!(visual("paypal", "paypa1") < 0.2);
+    }
+
+    #[test]
+    fn visual_orders_paper_examples() {
+        // §4.4.2: for a target, low-visual-distance FF-1 typos win.
+        assert!(visual("outlook", "outlo0k") < visual("outlook", "outmook"));
+        assert!(visual("verizon", "evrizon") < visual("verizon", "vebizon") + 0.5);
+        assert!(visual("gmail", "gmial") < visual("gmail", "qmail"));
+    }
+
+    #[test]
+    fn visual_zero_iff_equal() {
+        assert_eq!(visual("gmail", "gmail"), 0.0);
+        assert!(visual("gmail", "gmial") > 0.0);
+    }
+
+    #[test]
+    fn visual_deletion_weights_glyph() {
+        // Deleting thin 'i' is less visible than deleting wide 'm'.
+        assert!(visual("gmail", "gmal") < visual("gmail", "gail"));
+    }
+
+    #[test]
+    fn confusability_symmetric() {
+        for a in crate::keyboard::alphabet() {
+            for b in crate::keyboard::alphabet() {
+                assert_eq!(
+                    char_confusability(a, b),
+                    char_confusability(b, a),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn confusability_bounds() {
+        for a in crate::keyboard::alphabet() {
+            for b in crate::keyboard::alphabet() {
+                let v = char_confusability(a, b);
+                assert!((0.0..=1.0).contains(&v));
+                if a == b {
+                    assert_eq!(v, 0.0);
+                } else {
+                    assert!(v > 0.0);
+                }
+            }
+        }
+    }
+}

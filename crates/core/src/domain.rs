@@ -1,0 +1,358 @@
+//! Validated domain names.
+//!
+//! The study operates almost exclusively on registrable second-level domains
+//! (`gmail.com`, `outlo0k.com`, ...). [`DomainName`] stores a lower-cased,
+//! syntactically valid name and offers cheap access to its labels, the
+//! second-level label that typo generation mutates, and the public suffix
+//! (modeled as the final label, which is accurate for the `.com`-centric
+//! corpus the paper uses).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum length of a full domain name in presentation format.
+///
+/// RFC 1035 limits names to 255 octets in wire format; 253 characters is the
+/// corresponding presentation-format limit.
+pub const MAX_NAME_LEN: usize = 253;
+
+/// Maximum length of a single label (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+
+/// Errors produced when parsing a [`DomainName`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainParseError {
+    /// The name was empty.
+    Empty,
+    /// The name exceeded [`MAX_NAME_LEN`] characters.
+    TooLong(usize),
+    /// A label was empty (leading/trailing/double dot).
+    EmptyLabel,
+    /// A label exceeded [`MAX_LABEL_LEN`] characters.
+    LabelTooLong(String),
+    /// A label contained a character outside `[a-z0-9-]`.
+    BadCharacter(char),
+    /// A label started or ended with a hyphen.
+    BadHyphen(String),
+    /// The name had fewer than two labels (no TLD).
+    MissingTld,
+}
+
+impl fmt::Display for DomainParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainParseError::Empty => write!(f, "empty domain name"),
+            DomainParseError::TooLong(n) => {
+                write!(f, "domain name of {n} chars exceeds {MAX_NAME_LEN}")
+            }
+            DomainParseError::EmptyLabel => write!(f, "empty label in domain name"),
+            DomainParseError::LabelTooLong(l) => {
+                write!(f, "label `{l}` exceeds {MAX_LABEL_LEN} chars")
+            }
+            DomainParseError::BadCharacter(c) => {
+                write!(f, "character `{c}` not allowed in domain names")
+            }
+            DomainParseError::BadHyphen(l) => {
+                write!(f, "label `{l}` must not start or end with a hyphen")
+            }
+            DomainParseError::MissingTld => write!(f, "domain name needs at least two labels"),
+        }
+    }
+}
+
+impl std::error::Error for DomainParseError {}
+
+/// A validated, lower-cased domain name with at least two labels.
+///
+/// ```
+/// use ets_core::DomainName;
+///
+/// let d: DomainName = "GMail.com".parse().unwrap();
+/// assert_eq!(d.as_str(), "gmail.com");
+/// assert_eq!(d.sld(), "gmail");
+/// assert_eq!(d.tld(), "com");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(try_from = "String", into = "String")]
+pub struct DomainName {
+    name: String,
+    /// Byte offset of the dot separating the second-level label from the
+    /// public suffix, i.e. `name[..sld_end]` is everything up to the TLD.
+    sld_end: usize,
+}
+
+impl DomainName {
+    /// Parses and validates a domain name, lower-casing it.
+    pub fn parse(input: &str) -> Result<Self, DomainParseError> {
+        let trimmed = input.strip_suffix('.').unwrap_or(input);
+        if trimmed.is_empty() {
+            return Err(DomainParseError::Empty);
+        }
+        if trimmed.len() > MAX_NAME_LEN {
+            return Err(DomainParseError::TooLong(trimmed.len()));
+        }
+        let name = trimmed.to_ascii_lowercase();
+        let mut label_count = 0usize;
+        for label in name.split('.') {
+            if label.is_empty() {
+                return Err(DomainParseError::EmptyLabel);
+            }
+            if label.len() > MAX_LABEL_LEN {
+                return Err(DomainParseError::LabelTooLong(label.to_owned()));
+            }
+            for c in label.chars() {
+                if !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-') {
+                    return Err(DomainParseError::BadCharacter(c));
+                }
+            }
+            if label.starts_with('-') || label.ends_with('-') {
+                return Err(DomainParseError::BadHyphen(label.to_owned()));
+            }
+            label_count += 1;
+        }
+        if label_count < 2 {
+            return Err(DomainParseError::MissingTld);
+        }
+        let sld_end = name.rfind('.').expect("at least two labels");
+        Ok(DomainName { name, sld_end })
+    }
+
+    /// The full name in presentation format, without a trailing dot.
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+
+    /// The label immediately left of the public suffix (the part that typo
+    /// generation mutates). For `mail.google.com` this is `google`.
+    pub fn sld(&self) -> &str {
+        let head = &self.name[..self.sld_end];
+        match head.rfind('.') {
+            Some(i) => &head[i + 1..],
+            None => head,
+        }
+    }
+
+    /// The public suffix, modeled as the final label (`com`, `net`, ...).
+    pub fn tld(&self) -> &str {
+        &self.name[self.sld_end + 1..]
+    }
+
+    /// The registrable domain: second-level label plus public suffix.
+    ///
+    /// For `smtp.gmail.com` this returns `gmail.com`; for `gmail.com` it is
+    /// the name itself.
+    pub fn registrable(&self) -> DomainName {
+        let reg = format!("{}.{}", self.sld(), self.tld());
+        DomainName::parse(&reg).expect("registrable part of a valid name is valid")
+    }
+
+    /// Labels from left to right.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.name.split('.')
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.name.split('.').count()
+    }
+
+    /// Whether this is exactly a registrable domain (two labels).
+    pub fn is_registrable(&self) -> bool {
+        self.label_count() == 2
+    }
+
+    /// True if `self` is a subdomain of `parent` (not equal to it).
+    ///
+    /// ```
+    /// use ets_core::DomainName;
+    /// let a: DomainName = "smtp.gmail.com".parse().unwrap();
+    /// let b: DomainName = "gmail.com".parse().unwrap();
+    /// assert!(a.is_subdomain_of(&b));
+    /// assert!(!b.is_subdomain_of(&a));
+    /// ```
+    pub fn is_subdomain_of(&self, parent: &DomainName) -> bool {
+        self.name.len() > parent.name.len()
+            && self.name.ends_with(parent.name.as_str())
+            && self.name.as_bytes()[self.name.len() - parent.name.len() - 1] == b'.'
+    }
+
+    /// Builds a new registrable domain with the same TLD but a different
+    /// second-level label (the primitive used by typo generation).
+    pub fn with_sld(&self, sld: &str) -> Result<DomainName, DomainParseError> {
+        DomainName::parse(&format!("{}.{}", sld, self.tld()))
+    }
+
+    /// The "missing dot" flattening of a subdomain, used by doppelganger
+    /// typosquatting: `ca.ibm.com` → `caibm.com`. Returns `None` when the
+    /// name is already registrable.
+    pub fn doppelganger(&self) -> Option<DomainName> {
+        if self.is_registrable() {
+            return None;
+        }
+        let labels: Vec<&str> = self.labels().collect();
+        let flattened = format!("{}{}.{}", labels[0], labels[1], labels[2..].join("."));
+        DomainName::parse(&flattened).ok()
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = DomainParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainName::parse(s)
+    }
+}
+
+impl TryFrom<String> for DomainName {
+    type Error = DomainParseError;
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        DomainName::parse(&s)
+    }
+}
+
+impl From<DomainName> for String {
+    fn from(d: DomainName) -> String {
+        d.name
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl AsRef<str> for DomainName {
+    fn as_ref(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parses_and_lowercases() {
+        assert_eq!(d("GMail.COM").as_str(), "gmail.com");
+    }
+
+    #[test]
+    fn strips_trailing_dot() {
+        assert_eq!(d("gmail.com.").as_str(), "gmail.com");
+    }
+
+    #[test]
+    fn sld_and_tld() {
+        let dom = d("mail.google.com");
+        assert_eq!(dom.sld(), "google");
+        assert_eq!(dom.tld(), "com");
+        assert_eq!(dom.registrable().as_str(), "google.com");
+    }
+
+    #[test]
+    fn registrable_of_registrable_is_identity() {
+        let dom = d("yopmail.com");
+        assert_eq!(dom.registrable(), dom);
+    }
+
+    #[test]
+    fn rejects_single_label() {
+        assert_eq!(DomainName::parse("localhost"), Err(DomainParseError::MissingTld));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(DomainName::parse(""), Err(DomainParseError::Empty));
+        assert_eq!(DomainName::parse("."), Err(DomainParseError::Empty));
+    }
+
+    #[test]
+    fn rejects_empty_label() {
+        assert_eq!(DomainName::parse("a..com"), Err(DomainParseError::EmptyLabel));
+        assert_eq!(DomainName::parse(".com"), Err(DomainParseError::EmptyLabel));
+    }
+
+    #[test]
+    fn rejects_bad_chars() {
+        assert_eq!(
+            DomainName::parse("gm_ail.com"),
+            Err(DomainParseError::BadCharacter('_'))
+        );
+        assert_eq!(
+            DomainName::parse("gmaïl.com"),
+            Err(DomainParseError::BadCharacter('ï'))
+        );
+    }
+
+    #[test]
+    fn rejects_hyphen_edges() {
+        assert!(matches!(
+            DomainName::parse("-gmail.com"),
+            Err(DomainParseError::BadHyphen(_))
+        ));
+        assert!(matches!(
+            DomainName::parse("gmail-.com"),
+            Err(DomainParseError::BadHyphen(_))
+        ));
+        // interior hyphen is fine (the paper registered gmai-l.com)
+        assert_eq!(d("gmai-l.com").sld(), "gmai-l");
+    }
+
+    #[test]
+    fn rejects_long_label() {
+        let long = "a".repeat(64);
+        assert!(matches!(
+            DomainName::parse(&format!("{long}.com")),
+            Err(DomainParseError::LabelTooLong(_))
+        ));
+        let ok = "a".repeat(63);
+        assert!(DomainName::parse(&format!("{ok}.com")).is_ok());
+    }
+
+    #[test]
+    fn rejects_long_name() {
+        let label = "a".repeat(60);
+        let name = format!("{label}.{label}.{label}.{label}.{label}.com");
+        assert!(matches!(
+            DomainName::parse(&name),
+            Err(DomainParseError::TooLong(_))
+        ));
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        assert!(d("smtp.gmail.com").is_subdomain_of(&d("gmail.com")));
+        assert!(!d("gmail.com").is_subdomain_of(&d("gmail.com")));
+        // suffix match without a dot boundary is not a subdomain
+        assert!(!d("mygmail.com").is_subdomain_of(&d("gmail.com")));
+    }
+
+    #[test]
+    fn with_sld_replaces_second_level() {
+        assert_eq!(d("gmail.com").with_sld("gmial").unwrap().as_str(), "gmial.com");
+    }
+
+    #[test]
+    fn doppelganger_flattens_one_dot() {
+        assert_eq!(d("ca.ibm.com").doppelganger().unwrap().as_str(), "caibm.com");
+        assert_eq!(
+            d("smtp.gmail.com").doppelganger().unwrap().as_str(),
+            "smtpgmail.com"
+        );
+        assert!(d("ibm.com").doppelganger().is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let dom = d("outlo0k.com");
+        let json = serde_json::to_string(&dom).unwrap();
+        assert_eq!(json, "\"outlo0k.com\"");
+        let back: DomainName = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dom);
+    }
+}

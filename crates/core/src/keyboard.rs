@@ -1,0 +1,166 @@
+//! QWERTY keyboard geometry.
+//!
+//! The fat-finger distance (Moore & Edelman) restricts edit operations to
+//! characters *adjacent on a QWERTY keyboard*; the typing-error model uses
+//! the same adjacency to weight substitution and addition mistakes. Domain
+//! names may contain `[a-z0-9-]`, so the model covers the digit row, the
+//! letter rows, and the hyphen key.
+
+/// Row/column coordinates of a key on a QWERTY layout.
+///
+/// Rows are numbered top (digit row) to bottom; columns follow the physical
+/// stagger: each row is offset roughly half a key right of the row above,
+/// which the adjacency predicate accounts for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyPos {
+    /// Row index: 0 = digit row, 1 = qwerty row, 2 = home row, 3 = bottom.
+    pub row: u8,
+    /// Column index within the row, starting at 0.
+    pub col: u8,
+}
+
+const ROWS: [&str; 4] = ["1234567890-", "qwertyuiop", "asdfghjkl", "zxcvbnm"];
+
+/// Returns the position of `c` on the QWERTY layout, or `None` for
+/// characters that do not appear in domain names.
+pub fn key_pos(c: char) -> Option<KeyPos> {
+    let c = c.to_ascii_lowercase();
+    for (r, row) in ROWS.iter().enumerate() {
+        if let Some(col) = row.find(c) {
+            return Some(KeyPos {
+                row: r as u8,
+                col: col as u8,
+            });
+        }
+    }
+    None
+}
+
+/// Whether two characters sit on physically adjacent QWERTY keys.
+///
+/// Two keys are adjacent when they are neighbors in the same row, or in
+/// neighboring rows with columns offset by at most one after accounting for
+/// the stagger (row `r+1` is shifted ~half a key right of row `r`, so key
+/// `(r+1, c)` touches `(r, c)` and `(r, c+1)`).
+///
+/// ```
+/// use ets_core::keyboard::adjacent;
+/// assert!(adjacent('g', 'h'));   // same row
+/// assert!(adjacent('g', 't'));   // row above
+/// assert!(adjacent('g', 'b'));   // row below
+/// assert!(!adjacent('g', 'p'));
+/// assert!(adjacent('o', '0'));   // digit row neighbors letters
+/// ```
+pub fn adjacent(a: char, b: char) -> bool {
+    let (Some(pa), Some(pb)) = (key_pos(a), key_pos(b)) else {
+        return false;
+    };
+    if pa.row == pb.row {
+        return pa.col.abs_diff(pb.col) == 1;
+    }
+    if pa.row.abs_diff(pb.row) != 1 {
+        return false;
+    }
+    // Order so `upper` is the higher row (smaller index).
+    let (upper, lower) = if pa.row < pb.row { (pa, pb) } else { (pb, pa) };
+    // Lower-row key at column c sits between upper-row columns c and c+1.
+    lower.col == upper.col || lower.col + 1 == upper.col
+}
+
+/// All keys adjacent to `c`, in layout order.
+///
+/// Used by the typo generator to enumerate fat-finger substitutions and
+/// additions, and by the typing model to weight mistake probabilities.
+pub fn neighbors(c: char) -> Vec<char> {
+    let mut out = Vec::new();
+    for row in ROWS {
+        for cand in row.chars() {
+            if cand != c.to_ascii_lowercase() && adjacent(c, cand) {
+                out.push(cand);
+            }
+        }
+    }
+    out
+}
+
+/// Whether a character may appear inside a domain label.
+pub fn domain_char(c: char) -> bool {
+    c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'
+}
+
+/// The full domain-label alphabet in a stable order: `a..z`, `0..9`, `-`.
+pub fn alphabet() -> impl Iterator<Item = char> {
+    ('a'..='z').chain('0'..='9').chain(std::iter::once('-'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_cover_alphabet() {
+        for c in alphabet() {
+            assert!(key_pos(c).is_some(), "no position for {c:?}");
+        }
+        assert!(key_pos('!').is_none());
+        assert!(key_pos('.').is_none());
+    }
+
+    #[test]
+    fn same_row_adjacency() {
+        assert!(adjacent('a', 's'));
+        assert!(adjacent('s', 'a'));
+        assert!(!adjacent('a', 'd'));
+        assert!(!adjacent('a', 'a'));
+    }
+
+    #[test]
+    fn cross_row_adjacency() {
+        // home row g: neighbors f,h (row), t,y (above), v,b (below)
+        let n = neighbors('g');
+        for c in ['f', 'h', 't', 'y', 'v', 'b'] {
+            assert!(n.contains(&c), "g should neighbor {c}, got {n:?}");
+        }
+        assert_eq!(n.len(), 6);
+    }
+
+    #[test]
+    fn digit_row_touches_letters() {
+        assert!(adjacent('q', '1'));
+        assert!(adjacent('q', '2'));
+        assert!(adjacent('0', 'o'));
+        assert!(adjacent('0', 'p'));
+        // The paper registered o7tlook.com and ho6mail.com: 7/u and 6/t are
+        // fat-finger confusions.
+        assert!(adjacent('u', '7'));
+        assert!(adjacent('t', '6'));
+        // and outlo0k.com: 0/o
+        assert!(adjacent('o', '0'));
+    }
+
+    #[test]
+    fn hyphen_neighbors_p_and_zero() {
+        let n = neighbors('-');
+        assert!(n.contains(&'0'));
+        assert!(n.contains(&'p'));
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let alpha: Vec<char> = alphabet().collect();
+        for &a in &alpha {
+            for &b in &alpha {
+                assert_eq!(adjacent(a, b), adjacent(b, a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_bounded() {
+        // No key on this layout has more than 8 in-alphabet neighbors.
+        for c in alphabet() {
+            let n = neighbors(c).len();
+            assert!((2..=8).contains(&n), "{c} has {n} neighbors");
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The Section-6 projection model.
+//!
+//! The paper predicts the yearly email volume of a typo domain from three
+//! features, in square-root response space:
+//!
+//! * log of the target's Alexa rank,
+//! * square root of the visual distance normalized by target length,
+//! * fat-finger distance (0 or 1).
+//!
+//! The fitted model (R² = 0.74; LOOCV R² = 0.63) is then applied to the
+//! 1,211 ctypo domains of the five seed targets, yielding ≈260,514
+//! emails/year (95% CI 22,577–905,174). Because the registered corpus
+//! lacked deletion/transposition typos of popular providers, a correction
+//! derived from Alexa traffic of existing ctypos (Figure 9) scales the
+//! projection to ≈846,219 (95% CI 58,460–4,039,500).
+
+use crate::stats::ci::ConfidenceInterval;
+use crate::stats::regression::{FitError, Ols, OlsFit};
+use crate::stats::{mean_confidence_interval, t_critical};
+use crate::typogen::{MistakeKind, TypoCandidate};
+use serde::{Deserialize, Serialize};
+
+/// One training observation: a typo domain the study operated, with its
+/// measured yearly email count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The typo candidate (carries target, mistake kind, visual distance).
+    pub candidate: TypoCandidate,
+    /// Alexa rank of the target domain.
+    pub target_rank: usize,
+    /// Measured "legitimate" (post-funnel) emails per year.
+    pub yearly_emails: f64,
+}
+
+/// Feature vector of the Section-6 regression.
+pub fn features(candidate: &TypoCandidate, target_rank: usize) -> [f64; 3] {
+    [
+        (target_rank.max(1) as f64).ln(),
+        candidate.visual_normalized().max(0.0).sqrt(),
+        if candidate.fat_finger { 1.0 } else { 0.0 },
+    ]
+}
+
+/// The fitted projection model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProjectionModel {
+    fit: OlsFit,
+    /// Training R².
+    pub r_squared: f64,
+    /// Leave-one-out cross-validated R².
+    pub loocv_r_squared: f64,
+}
+
+impl ProjectionModel {
+    /// Fits the model on observations from the study's own domains.
+    pub fn fit(observations: &[Observation]) -> Result<ProjectionModel, FitError> {
+        let mut ols = Ols::new();
+        for obs in observations {
+            let x = features(&obs.candidate, obs.target_rank);
+            ols.push(&x, obs.yearly_emails.max(0.0).sqrt())?;
+        }
+        let fit = ols.fit()?;
+        let loocv = ols.loocv_r_squared()?;
+        Ok(ProjectionModel {
+            r_squared: fit.r_squared,
+            loocv_r_squared: loocv,
+            fit,
+        })
+    }
+
+    /// Predicted yearly emails for one candidate (response is fit in sqrt
+    /// space, so the prediction is squared back; negative sqrt-space
+    /// predictions clamp to zero).
+    pub fn predict(&self, candidate: &TypoCandidate, target_rank: usize) -> f64 {
+        let x = features(candidate, target_rank);
+        let s = self.fit.predict(&x).max(0.0);
+        s * s
+    }
+
+    /// Projects total yearly volume over a population of candidates, with a
+    /// 95% confidence interval.
+    ///
+    /// The interval propagates the fit's residual standard error: each
+    /// prediction in sqrt space carries ±t·SE, and the bounds square and
+    /// sum those per-domain extremes — a deliberately conservative
+    /// (wide) interval, matching the paper's very wide reported ranges.
+    pub fn project_total(
+        &self,
+        candidates: &[(TypoCandidate, usize)],
+        confidence: f64,
+    ) -> Projection {
+        let t = t_critical(confidence, self.fit.n.saturating_sub(4).max(1));
+        let se = self.fit.residual_se;
+        let mut total = 0.0;
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for (cand, rank) in candidates {
+            let x = features(cand, *rank);
+            let s = self.fit.predict(&x).max(0.0);
+            total += s * s;
+            let s_lo = (s - t * se).max(0.0);
+            let s_hi = s + t * se;
+            lo += s_lo * s_lo;
+            hi += s_hi * s_hi;
+        }
+        Projection {
+            expected: total,
+            interval: ConfidenceInterval {
+                mean: total,
+                lo,
+                hi,
+                confidence,
+            },
+            domains: candidates.len(),
+        }
+    }
+}
+
+/// A projected yearly total with its confidence interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Projection {
+    /// Expected yearly emails across the population.
+    pub expected: f64,
+    /// Confidence interval on the total.
+    pub interval: ConfidenceInterval,
+    /// Number of domains projected over.
+    pub domains: usize,
+}
+
+/// The Figure-9 mistake-type correction.
+///
+/// The registered corpus under-represents deletion and transposition typos
+/// (the good ones were taken), so the paper measures the *relative Alexa
+/// popularity* of existing ctypos per mistake type and scales the
+/// projection by the ratio of each type's mean popularity to the mean over
+/// the types present in the corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MistakeTypePopularity {
+    /// Mean relative popularity per kind, Figure 9 order
+    /// (addition, transposition, deletion, substitution).
+    pub means: [f64; 4],
+    /// 95% CI half-widths per kind.
+    pub half_widths: [f64; 4],
+}
+
+impl MistakeTypePopularity {
+    /// Estimates from per-domain relative popularity samples grouped by
+    /// mistake kind. Outliers (per MAD, 3σ) are dropped before averaging,
+    /// as in §6.1. Returns `None` if any kind has fewer than two samples.
+    pub fn estimate(samples: &[(MistakeKind, f64)]) -> Option<MistakeTypePopularity> {
+        let mut means = [0.0; 4];
+        let mut half_widths = [0.0; 4];
+        for (i, kind) in MistakeKind::ALL.iter().enumerate() {
+            let mut vals: Vec<f64> = samples
+                .iter()
+                .filter(|(k, _)| k == kind)
+                .map(|&(_, v)| v)
+                .collect();
+            if vals.len() < 2 {
+                return None;
+            }
+            let outliers = crate::stats::mad_outliers(&vals, 3.0);
+            let mut keep: Vec<f64> = Vec::with_capacity(vals.len());
+            for (idx, v) in vals.drain(..).enumerate() {
+                if !outliers.contains(&idx) {
+                    keep.push(v);
+                }
+            }
+            let ci = mean_confidence_interval(&keep, 0.95)?;
+            means[i] = ci.mean;
+            half_widths[i] = ci.half_width();
+        }
+        Some(MistakeTypePopularity { means, half_widths })
+    }
+
+    /// Mean popularity of one kind.
+    pub fn mean_of(&self, kind: MistakeKind) -> f64 {
+        let i = MistakeKind::ALL.iter().position(|k| *k == kind).unwrap();
+        self.means[i]
+    }
+
+    /// Scaling factor to apply to a projection trained only on kinds
+    /// `trained_on`: ratio of the all-kind mean to the trained-kind mean,
+    /// weighted by each kind's share of the candidate population
+    /// (uniform weights here, matching the paper's aggregate correction).
+    pub fn correction_factor(&self, trained_on: &[MistakeKind]) -> f64 {
+        let all_mean: f64 = self.means.iter().sum::<f64>() / 4.0;
+        let trained: Vec<f64> = MistakeKind::ALL
+            .iter()
+            .zip(self.means.iter())
+            .filter(|(k, _)| trained_on.contains(k))
+            .map(|(_, &m)| m)
+            .collect();
+        if trained.is_empty() {
+            return 1.0;
+        }
+        let trained_mean = trained.iter().sum::<f64>() / trained.len() as f64;
+        if trained_mean <= 0.0 {
+            1.0
+        } else {
+            all_mean / trained_mean
+        }
+    }
+}
+
+/// Cost model of §6.2: a registration costs about $8.50/year, so the cost
+/// per captured email is `registrations × price / yearly emails`.
+pub fn cost_per_email(domains: usize, yearly_emails: f64, price_per_domain: f64) -> f64 {
+    if yearly_emails <= 0.0 {
+        return f64::INFINITY;
+    }
+    domains as f64 * price_per_domain / yearly_emails
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typogen::generate_dl1;
+    use crate::typing::TypingModel;
+    use crate::DomainName;
+
+    /// Builds a synthetic training set from the typing model: the
+    /// regression should recover the model's structure well enough to give
+    /// a respectable R².
+    fn training_set() -> Vec<Observation> {
+        let model = TypingModel::default();
+        let targets = [
+            ("gmail.com", 1usize, 4.0e9),
+            ("hotmail.com", 2, 2.5e9),
+            ("outlook.com", 3, 2.2e9),
+            ("comcast.net", 8, 6.0e8),
+            ("verizon.net", 9, 5.0e8),
+        ];
+        let mut out = Vec::new();
+        for (name, rank, volume) in targets {
+            let t: DomainName = name.parse().unwrap();
+            for cand in generate_dl1(&t).into_iter().step_by(17).take(5) {
+                let y = model.expected_emails(volume, &cand);
+                out.push(Observation {
+                    candidate: cand,
+                    target_rank: rank,
+                    yearly_emails: y,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fits_with_positive_r2() {
+        let model = ProjectionModel::fit(&training_set()).unwrap();
+        assert!(model.r_squared > 0.2, "R² = {}", model.r_squared);
+        assert!(model.loocv_r_squared <= model.r_squared + 1e-9);
+    }
+
+    #[test]
+    fn predictions_are_nonnegative() {
+        let model = ProjectionModel::fit(&training_set()).unwrap();
+        let t: DomainName = "yahoo.com".parse().unwrap();
+        for cand in generate_dl1(&t).into_iter().take(50) {
+            assert!(model.predict(&cand, 4) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn popular_targets_predict_more() {
+        let model = ProjectionModel::fit(&training_set()).unwrap();
+        let t: DomainName = "gmail.com".parse().unwrap();
+        let cand = generate_dl1(&t)
+            .into_iter()
+            .find(|c| c.domain.as_str() == "gmial.com")
+            .unwrap();
+        let popular = model.predict(&cand, 1);
+        let obscure = model.predict(&cand, 100_000);
+        assert!(popular > obscure);
+    }
+
+    #[test]
+    fn projection_interval_brackets_expectation() {
+        let model = ProjectionModel::fit(&training_set()).unwrap();
+        let t: DomainName = "aol.com".parse().unwrap();
+        let cands: Vec<(TypoCandidate, usize)> = generate_dl1(&t)
+            .into_iter()
+            .take(100)
+            .map(|c| (c, 5usize))
+            .collect();
+        let proj = model.project_total(&cands, 0.95);
+        assert_eq!(proj.domains, 100);
+        assert!(proj.interval.lo <= proj.expected);
+        assert!(proj.interval.hi >= proj.expected);
+        assert!(proj.interval.hi > proj.interval.lo);
+    }
+
+    #[test]
+    fn mistake_popularity_estimation_and_correction() {
+        // Deletion/transposition twice as popular as addition/substitution.
+        let mut samples = Vec::new();
+        for i in 0..10 {
+            let jitter = (i as f64) * 0.01;
+            samples.push((MistakeKind::Addition, 0.5 + jitter));
+            samples.push((MistakeKind::Substitution, 0.5 + jitter));
+            samples.push((MistakeKind::Deletion, 1.0 + jitter));
+            samples.push((MistakeKind::Transposition, 1.0 + jitter));
+        }
+        let pop = MistakeTypePopularity::estimate(&samples).unwrap();
+        assert!(pop.mean_of(MistakeKind::Deletion) > pop.mean_of(MistakeKind::Addition));
+        // Trained only on addition+substitution: factor > 1 scales up.
+        let f = pop.correction_factor(&[MistakeKind::Addition, MistakeKind::Substitution]);
+        assert!(f > 1.2 && f < 2.0, "factor {f}");
+        // Trained on everything: factor 1.
+        let f_all = pop.correction_factor(&MistakeKind::ALL);
+        assert!((f_all - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mistake_popularity_drops_outliers() {
+        let mut samples = Vec::new();
+        for kind in MistakeKind::ALL {
+            for i in 0..8 {
+                samples.push((kind, 1.0 + i as f64 * 0.01));
+            }
+        }
+        // A benign-collision ctypo with enormous accidental traffic.
+        samples.push((MistakeKind::Deletion, 500.0));
+        let pop = MistakeTypePopularity::estimate(&samples).unwrap();
+        assert!(pop.mean_of(MistakeKind::Deletion) < 2.0);
+    }
+
+    #[test]
+    fn missing_kind_yields_none() {
+        let samples = vec![(MistakeKind::Addition, 1.0), (MistakeKind::Addition, 2.0)];
+        assert!(MistakeTypePopularity::estimate(&samples).is_none());
+    }
+
+    #[test]
+    fn cost_model() {
+        // §6.2: 1,211 domains × $8.5 ÷ 846,219 emails ≈ 1.2 cents
+        let c = cost_per_email(1211, 846_219.0, 8.5);
+        assert!(c < 0.02, "cost {c}");
+        assert!(c > 0.005);
+        assert_eq!(cost_per_email(10, 0.0, 8.5), f64::INFINITY);
+    }
+}

@@ -1,0 +1,259 @@
+//! Student-t confidence intervals.
+//!
+//! Figure 9 marks 95% confidence intervals for the mean relative popularity
+//! of each mistake type, and §6.2 reports 95% intervals around the
+//! projected email volumes. Sample sizes there are small (a handful of
+//! domains per mistake type), so the normal approximation is inadequate and
+//! a t quantile is required.
+
+/// Two-sided critical value of the Student-t distribution.
+///
+/// `confidence` is the two-sided level (e.g. `0.95`); `df` the degrees of
+/// freedom. Computed by bisecting the regularized incomplete beta function
+/// (the t CDF), accurate to ~1e-8 — more than enough for interval
+/// construction, and exact enough to match printed t-tables.
+///
+/// ```
+/// use ets_core::stats::t_critical;
+/// assert!((t_critical(0.95, 10) - 2.228).abs() < 1e-3);
+/// assert!((t_critical(0.95, 1) - 12.706).abs() < 1e-2);
+/// ```
+pub fn t_critical(confidence: f64, df: usize) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&confidence),
+        "confidence must be in (0,1)"
+    );
+    assert!(df >= 1, "need at least one degree of freedom");
+    let target = 1.0 - (1.0 - confidence) / 2.0; // upper-tail CDF value
+    let (mut lo, mut hi) = (0.0f64, 1e3f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if t_cdf(mid, df) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// CDF of the Student-t distribution with `df` degrees of freedom.
+pub fn t_cdf(t: f64, df: usize) -> f64 {
+    let v = df as f64;
+    let x = v / (v + t * t);
+    let ib = 0.5 * incomplete_beta(0.5 * v, 0.5, x);
+    if t >= 0.0 {
+        1.0 - ib
+    } else {
+        ib
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction of Numerical Recipes (Lentz's algorithm).
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - incomplete_beta(b, a, 1.0 - x)
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m_f = m as f64;
+        let m2 = 2.0 * m_f;
+        // even step
+        let aa = m_f * (b - m_f) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // odd step
+        let aa = -(a + m_f) * (qab + m_f) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // reflection formula
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// A two-sided confidence interval for a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (the sample mean).
+    pub mean: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level, e.g. 0.95.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval half-width.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Whether `x` lies inside the interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+}
+
+/// Student-t confidence interval for the mean of `xs`.
+///
+/// Returns `None` for fewer than two observations (no variance estimate).
+pub fn mean_confidence_interval(xs: &[f64], confidence: f64) -> Option<ConfidenceInterval> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let m = super::descriptive::mean(xs);
+    let s = super::descriptive::stddev(xs);
+    let t = t_critical(confidence, xs.len() - 1);
+    let hw = t * s / n.sqrt();
+    Some(ConfidenceInterval {
+        mean: m,
+        lo: m - hw,
+        hi: m + hw,
+        confidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_cdf_symmetry_and_midpoint() {
+        for df in [1, 5, 30] {
+            assert!((t_cdf(0.0, df) - 0.5).abs() < 1e-10);
+            assert!((t_cdf(1.5, df) + t_cdf(-1.5, df) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn t_critical_matches_tables() {
+        // Classic two-sided 95% table values.
+        let cases = [
+            (1, 12.706),
+            (2, 4.303),
+            (5, 2.571),
+            (10, 2.228),
+            (30, 2.042),
+            (100, 1.984),
+        ];
+        for (df, expect) in cases {
+            let got = t_critical(0.95, df);
+            assert!((got - expect).abs() < 5e-3, "df={df}: got {got}, want {expect}");
+        }
+        // 99% level
+        assert!((t_critical(0.99, 10) - 3.169).abs() < 5e-3);
+    }
+
+    #[test]
+    fn t_approaches_normal_for_large_df() {
+        assert!((t_critical(0.95, 100_000) - 1.96).abs() < 1e-2);
+    }
+
+    #[test]
+    fn interval_contains_mean_and_shrinks_with_n() {
+        let xs4: Vec<f64> = (0..4).map(|i| 10.0 + i as f64).collect();
+        let xs40: Vec<f64> = (0..40).map(|i| 10.0 + (i % 4) as f64).collect();
+        let ci4 = mean_confidence_interval(&xs4, 0.95).unwrap();
+        let ci40 = mean_confidence_interval(&xs40, 0.95).unwrap();
+        assert!(ci4.contains(ci4.mean));
+        assert!(ci40.half_width() < ci4.half_width());
+    }
+
+    #[test]
+    fn interval_requires_two_points() {
+        assert!(mean_confidence_interval(&[1.0], 0.95).is_none());
+        assert!(mean_confidence_interval(&[], 0.95).is_none());
+    }
+
+    #[test]
+    fn higher_confidence_is_wider() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let c90 = mean_confidence_interval(&xs, 0.90).unwrap();
+        let c99 = mean_confidence_interval(&xs, 0.99).unwrap();
+        assert!(c99.half_width() > c90.half_width());
+    }
+}

@@ -1,0 +1,151 @@
+//! Descriptive statistics and robust outlier detection.
+
+/// Arithmetic mean. Returns `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (n − 1 denominator). Returns `0.0` for fewer than two
+/// observations.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median. Returns `0.0` for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in median input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Median absolute deviation (Rousseeuw & Hubert), *not* scaled by 1.4826.
+///
+/// The paper uses "the median of all absolute deviations from the median
+/// (MAD)" to detect ctypos with outlier traffic (§6.1).
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = median(xs);
+    let dev: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&dev)
+}
+
+/// Indices of values whose distance from the median exceeds
+/// `threshold × MAD × 1.4826` (the 1.4826 factor makes MAD consistent with
+/// the standard deviation under normality, so `threshold` is in σ-units;
+/// 3.0 — "3-sigma" — is the conventional choice).
+///
+/// When MAD is zero (half the data identical) the comparison falls back to
+/// flagging any value different from the median, times the threshold rule
+/// applied to the mean absolute deviation, to avoid flagging everything.
+pub fn mad_outliers(xs: &[f64], threshold: f64) -> Vec<usize> {
+    if xs.len() < 3 {
+        return Vec::new();
+    }
+    let med = median(xs);
+    let mut scale = mad(xs) * 1.4826;
+    if scale == 0.0 {
+        // Degenerate: fall back to mean absolute deviation.
+        let mean_abs = xs.iter().map(|x| (x - med).abs()).sum::<f64>() / xs.len() as f64;
+        if mean_abs == 0.0 {
+            return Vec::new();
+        }
+        scale = mean_abs * 1.2533; // consistency constant for mean abs dev
+    }
+    xs.iter()
+        .enumerate()
+        .filter(|(_, &x)| ((x - med) / scale).abs() > threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // sample variance of this classic set is 32/7
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((stddev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(mad(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn mad_of_known_set() {
+        // median 2, |dev| = [1,1,0,2,6] -> sorted [0,1,1,2,6] -> MAD 1
+        let xs = [1.0, 1.0, 2.0, 4.0, 8.0];
+        assert_eq!(mad(&xs), 1.0);
+    }
+
+    #[test]
+    fn outlier_detection_flags_the_spike() {
+        let mut xs = vec![10.0, 11.0, 9.0, 10.5, 9.5, 10.2, 9.8];
+        xs.push(1000.0);
+        let out = mad_outliers(&xs, 3.0);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn no_outliers_in_tight_data() {
+        let xs = [10.0, 11.0, 9.0, 10.5, 9.5];
+        assert!(mad_outliers(&xs, 3.0).is_empty());
+    }
+
+    #[test]
+    fn degenerate_mad_does_not_flag_everything() {
+        // More than half identical: MAD = 0, but moderate values nearby
+        // should survive; only the huge spike is flagged.
+        let xs = [5.0, 5.0, 5.0, 5.0, 5.1, 500.0];
+        let out = mad_outliers(&xs, 3.0);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn all_identical_yields_none() {
+        let xs = [5.0; 10];
+        assert!(mad_outliers(&xs, 3.0).is_empty());
+    }
+
+    #[test]
+    fn short_input_yields_none() {
+        assert!(mad_outliers(&[1.0, 100.0], 3.0).is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! Statistics used throughout the study.
+//!
+//! * [`descriptive`] — means, variance, medians, and the MAD outlier
+//!   detector used in §6.1 to drop accidentally-popular ctypos.
+//! * [`ci`] — Student-t confidence intervals for means (Figure 9's error
+//!   bars and the §6.2 projection intervals).
+//! * [`regression`] — ordinary least squares with R² and leave-one-out
+//!   cross-validation (the §6.2 model quality metrics).
+//! * [`prf`] — precision / recall (sensitivity) / F1 scoring for the
+//!   scrubber (Table 2) and spam-classifier (Table 3) evaluations.
+
+pub mod ci;
+pub mod descriptive;
+pub mod prf;
+pub mod regression;
+
+pub use ci::{mean_confidence_interval, t_critical};
+pub use descriptive::{mad, mad_outliers, mean, median, stddev, variance};
+pub use prf::{Confusion, PrfScores};
+pub use regression::{Ols, OlsFit};

@@ -1,0 +1,197 @@
+//! Precision / recall (sensitivity) / F1 scoring.
+//!
+//! The paper stresses (§4.2.2) that for its *imbalanced* datasets accuracy
+//! is meaningless — an always-negative classifier scores high accuracy —
+//! and reports precision and sensitivity instead (Tables 2 and 3).
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix, accumulated one prediction at a time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Predicted positive, actually positive.
+    pub tp: u64,
+    /// Predicted positive, actually negative.
+    pub fp: u64,
+    /// Predicted negative, actually positive.
+    pub fn_: u64,
+    /// Predicted negative, actually negative.
+    pub tn: u64,
+}
+
+impl Confusion {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one `(predicted, actual)` observation.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Precision: TP / (TP + FP). `None` when nothing was predicted
+    /// positive (the paper prints "–" for Untroubled, an all-spam corpus
+    /// where precision over ham is undefined).
+    pub fn precision(&self) -> Option<f64> {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            None
+        } else {
+            Some(self.tp as f64 / denom as f64)
+        }
+    }
+
+    /// Recall / sensitivity: TP / (TP + FN). `None` when there are no actual
+    /// positives.
+    pub fn recall(&self) -> Option<f64> {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            None
+        } else {
+            Some(self.tp as f64 / denom as f64)
+        }
+    }
+
+    /// F1: harmonic mean of precision and recall.
+    pub fn f1(&self) -> Option<f64> {
+        let p = self.precision()?;
+        let r = self.recall()?;
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Accuracy — provided to *demonstrate* its inadequacy on imbalanced
+    /// data, as the paper argues.
+    pub fn accuracy(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            None
+        } else {
+            Some((self.tp + self.tn) as f64 / total as f64)
+        }
+    }
+
+    /// Collapses into the three scores reported by Tables 2 and 3.
+    pub fn scores(&self) -> PrfScores {
+        PrfScores {
+            precision: self.precision(),
+            recall: self.recall(),
+            f1: self.f1(),
+        }
+    }
+
+    /// Merges another confusion matrix into this one.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+}
+
+/// The precision / recall / F1 triple of Tables 2 and 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrfScores {
+    /// TP / (TP + FP), `None` if undefined.
+    pub precision: Option<f64>,
+    /// TP / (TP + FN), `None` if undefined.
+    pub recall: Option<f64>,
+    /// Harmonic mean, `None` if either component is undefined.
+    pub f1: Option<f64>,
+}
+
+impl PrfScores {
+    /// Formats a score as the paper does: two decimals, or "–" when
+    /// undefined.
+    pub fn fmt_score(s: Option<f64>) -> String {
+        match s {
+            Some(v) => format!("{v:.2}"),
+            None => "–".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(tp: u64, fp: u64, fn_: u64, tn: u64) -> Confusion {
+        Confusion { tp, fp, fn_, tn }
+    }
+
+    #[test]
+    fn record_routes_correctly() {
+        let mut c = Confusion::new();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        assert_eq!(c, matrix(1, 1, 1, 1));
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let c = matrix(10, 0, 0, 90);
+        assert_eq!(c.precision(), Some(1.0));
+        assert_eq!(c.recall(), Some(1.0));
+        assert_eq!(c.f1(), Some(1.0));
+    }
+
+    #[test]
+    fn known_values() {
+        // precision 0.75, recall 0.6, F1 = 2*.75*.6/1.35 = 2/3
+        let c = matrix(3, 1, 2, 4);
+        assert!((c.precision().unwrap() - 0.75).abs() < 1e-12);
+        assert!((c.recall().unwrap() - 0.6).abs() < 1e-12);
+        assert!((c.f1().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_scores() {
+        // never predicts positive
+        let c = matrix(0, 0, 5, 95);
+        assert_eq!(c.precision(), None);
+        assert_eq!(c.recall(), Some(0.0));
+        assert_eq!(c.f1(), None);
+        // no actual positives
+        let c = matrix(0, 3, 0, 97);
+        assert_eq!(c.recall(), None);
+    }
+
+    #[test]
+    fn accuracy_misleads_on_imbalance() {
+        // The paper's point: an all-negative classifier on 1% positives has
+        // 99% accuracy and no recall.
+        let c = matrix(0, 0, 10, 990);
+        assert!(c.accuracy().unwrap() > 0.98);
+        assert_eq!(c.recall(), Some(0.0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = matrix(1, 2, 3, 4);
+        a.merge(&matrix(10, 20, 30, 40));
+        assert_eq!(a, matrix(11, 22, 33, 44));
+    }
+
+    #[test]
+    fn formatting_matches_paper() {
+        assert_eq!(PrfScores::fmt_score(Some(0.964)), "0.96");
+        assert_eq!(PrfScores::fmt_score(None), "–");
+    }
+}

@@ -1,0 +1,196 @@
+//! The paper's Section-3 taxonomies.
+//!
+//! * Domain taxonomy (after Szurdi et al. 2014): **gtypos** are lexically
+//!   close (DL-1) candidates, **ctypos** are the registered subset, and
+//!   **typosquatting domains** are ctypos registered by a different entity
+//!   to benefit from the target's traffic.
+//! * Misdirected-email taxonomy: **receiver** typos (sender mistyped the
+//!   recipient's domain), **reflection** typos (user mistyped their own
+//!   address when signing up for a service), and **SMTP** typos (user
+//!   mistyped the SMTP server name in their mail client).
+
+use crate::domain::DomainName;
+use crate::typogen::TypoCandidate;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classification of a candidate typo domain relative to its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DomainClass {
+    /// Lexically close but unregistered: a generated typo ("gtypo") only.
+    Unregistered,
+    /// Registered by the target's own organization (defensive registration).
+    Defensive,
+    /// Registered by a third party that plausibly operates a legitimate,
+    /// unrelated site that merely happens to be lexically close.
+    BenignCollision,
+    /// Registered by a different entity to capture traffic intended for the
+    /// target: a true typosquatting domain.
+    Typosquatting,
+}
+
+impl fmt::Display for DomainClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DomainClass::Unregistered => "unregistered gtypo",
+            DomainClass::Defensive => "defensive registration",
+            DomainClass::BenignCollision => "benign collision",
+            DomainClass::Typosquatting => "typosquatting",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Facts about a registration needed to classify a ctypo.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistrationFacts {
+    /// Whether the domain is registered at all.
+    pub registered: bool,
+    /// Whether the registrant is (an agent of) the target's owner.
+    pub owned_by_target: bool,
+    /// Whether the domain hosts content genuinely unrelated to the target
+    /// (a real business that happens to be lexically close).
+    pub independent_content: bool,
+}
+
+/// Applies the Section-3 definitions: a typosquatting domain is a ctypo
+/// (i) registered to benefit from traffic intended for a target and
+/// (ii) owned by a different entity.
+pub fn classify(facts: &RegistrationFacts) -> DomainClass {
+    if !facts.registered {
+        DomainClass::Unregistered
+    } else if facts.owned_by_target {
+        DomainClass::Defensive
+    } else if facts.independent_content {
+        DomainClass::BenignCollision
+    } else {
+        DomainClass::Typosquatting
+    }
+}
+
+/// The three kinds of misdirected email the study measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EmailTypoKind {
+    /// The sender mistyped the recipient's domain
+    /// (`alice@gmial.com` instead of `alice@gmail.com`).
+    Receiver,
+    /// The user mistyped their own address when registering for a service;
+    /// the service then mails the wrong address.
+    Reflection,
+    /// The user mistyped the SMTP server name in their mail client; *all*
+    /// their outgoing mail is intercepted until fixed.
+    Smtp,
+}
+
+impl fmt::Display for EmailTypoKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EmailTypoKind::Receiver => "receiver",
+            EmailTypoKind::Reflection => "reflection",
+            EmailTypoKind::Smtp => "smtp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a registered collection domain is designed to catch, mirroring the
+/// paper's registration strategy (§4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectionPurpose {
+    /// Typos of email providers: catches receiver and reflection typos.
+    Provider,
+    /// Typos of disposable-address providers: expected to skew reflection.
+    Disposable,
+    /// Typos of ISP SMTP server names: catches SMTP typos.
+    SmtpServer,
+    /// Typos of sensitive financial domains' SMTP settings.
+    Financial,
+    /// Typos of bulk email sending services.
+    BulkSender,
+}
+
+/// A typo domain in the study's registered corpus, with its purpose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyDomain {
+    /// The generated candidate (domain, target, mistake metadata).
+    pub candidate: TypoCandidate,
+    /// What the domain was registered to measure.
+    pub purpose: CollectionPurpose,
+}
+
+impl StudyDomain {
+    /// Which email-typo kinds this domain is *expected* to receive.
+    pub fn expected_kinds(&self) -> &'static [EmailTypoKind] {
+        match self.purpose {
+            CollectionPurpose::Provider | CollectionPurpose::Disposable => {
+                &[EmailTypoKind::Receiver, EmailTypoKind::Reflection]
+            }
+            CollectionPurpose::SmtpServer | CollectionPurpose::Financial => {
+                &[EmailTypoKind::Smtp]
+            }
+            CollectionPurpose::BulkSender => &[EmailTypoKind::Reflection],
+        }
+    }
+
+    /// Convenience accessor for the typo domain name.
+    pub fn domain(&self) -> &DomainName {
+        &self.candidate.domain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typogen::generate_dl1;
+
+    #[test]
+    fn classify_matrix() {
+        let f = |registered, owned_by_target, independent_content| RegistrationFacts {
+            registered,
+            owned_by_target,
+            independent_content,
+        };
+        assert_eq!(classify(&f(false, false, false)), DomainClass::Unregistered);
+        assert_eq!(classify(&f(true, true, false)), DomainClass::Defensive);
+        assert_eq!(classify(&f(true, false, true)), DomainClass::BenignCollision);
+        assert_eq!(classify(&f(true, false, false)), DomainClass::Typosquatting);
+    }
+
+    #[test]
+    fn unregistered_wins_over_other_flags() {
+        let facts = RegistrationFacts {
+            registered: false,
+            owned_by_target: true,
+            independent_content: true,
+        };
+        assert_eq!(classify(&facts), DomainClass::Unregistered);
+    }
+
+    #[test]
+    fn expected_kinds_by_purpose() {
+        let target: DomainName = "gmail.com".parse().unwrap();
+        let cand = generate_dl1(&target).into_iter().next().unwrap();
+        let mk = |purpose| StudyDomain {
+            candidate: cand.clone(),
+            purpose,
+        };
+        assert!(mk(CollectionPurpose::Provider)
+            .expected_kinds()
+            .contains(&EmailTypoKind::Receiver));
+        assert_eq!(
+            mk(CollectionPurpose::SmtpServer).expected_kinds(),
+            &[EmailTypoKind::Smtp]
+        );
+        assert_eq!(
+            mk(CollectionPurpose::BulkSender).expected_kinds(),
+            &[EmailTypoKind::Reflection]
+        );
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(EmailTypoKind::Receiver.to_string(), "receiver");
+        assert_eq!(EmailTypoKind::Smtp.to_string(), "smtp");
+        assert_eq!(DomainClass::Typosquatting.to_string(), "typosquatting");
+    }
+}

@@ -1,0 +1,257 @@
+//! The Section-6 typing-error model.
+//!
+//! The paper models sending an email as a two-step process (hypothesis H2):
+//! the user types the address, then verifies it and possibly corrects a
+//! mistake. The expected number of emails reaching typo domain *j* of
+//! target *i* is
+//!
+//! ```text
+//! E_ij = E_i · Pt_ij · (1 − Pc_ij)
+//! ```
+//!
+//! where `E_i` is the target's email volume, `Pt_ij` the probability of
+//! typing *j* instead of *i*, and `Pc_ij` the probability the mistake is
+//! caught during verification. The paper cannot observe `Pt` and `Pc`
+//! directly and instead regresses on proxies; this module provides a
+//! concrete, parameterized instantiation that (a) the traffic generator
+//! uses as ground truth and (b) the regression of [`crate::regress`] is
+//! evaluated against — exactly the "simulate the unobservable" substitution
+//! recorded in DESIGN.md.
+
+use crate::typogen::{MistakeKind, TypoCandidate};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the typing-error model.
+///
+/// Defaults are calibrated so the paper's qualitative findings hold:
+/// deletion and transposition mistakes are markedly more common than
+/// addition and substitution (Figure 9); fat-finger variants are likelier
+/// than arbitrary ones; visually glaring mistakes get corrected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypingModel {
+    /// Probability that one *keystroke* goes wrong. Literature on typing
+    /// errors puts this around 1–3%; the domain is short, so per-address
+    /// mistake probability stays small.
+    pub per_keystroke_error: f64,
+    /// Relative weight of each mistake kind
+    /// (addition, transposition, deletion, substitution) — Figure 9 order.
+    pub kind_weights: [f64; 4],
+    /// Multiplier applied to fat-finger variants relative to an arbitrary
+    /// same-kind variant at the same position.
+    pub fat_finger_boost: f64,
+    /// Baseline probability a user catches *any* mistake when verifying.
+    pub base_correction: f64,
+    /// How steeply correction probability grows with normalized visual
+    /// distance: `Pc = base + (1 - base) * (1 - exp(-steepness * v))`.
+    pub visual_steepness: f64,
+}
+
+impl Default for TypingModel {
+    fn default() -> Self {
+        TypingModel {
+            per_keystroke_error: 0.02,
+            // Figure 9: deletion & transposition dominate; addition rarest.
+            kind_weights: [0.10, 0.30, 0.40, 0.20],
+            fat_finger_boost: 4.0,
+            base_correction: 0.85,
+            visual_steepness: 6.0,
+        }
+    }
+}
+
+impl TypingModel {
+    /// Weight of one mistake kind.
+    pub fn kind_weight(&self, kind: MistakeKind) -> f64 {
+        match kind {
+            MistakeKind::Addition => self.kind_weights[0],
+            MistakeKind::Transposition => self.kind_weights[1],
+            MistakeKind::Deletion => self.kind_weights[2],
+            MistakeKind::Substitution => self.kind_weights[3],
+        }
+    }
+
+    /// `Pt_ij`: probability of typing the candidate instead of its target.
+    ///
+    /// A mistake happens with probability `per_keystroke_error` per intended
+    /// character; conditioned on a mistake at a position, its kind follows
+    /// `kind_weights` and the specific variant is drawn uniformly among
+    /// same-kind variants at that position, with fat-finger variants
+    /// weighted up by `fat_finger_boost`.
+    pub fn mistype_probability(&self, cand: &TypoCandidate) -> f64 {
+        let len = cand.target.sld().len().max(1) as f64;
+        let p_mistake_here = self.per_keystroke_error; // per position
+        let kind_w = self.kind_weight(cand.kind);
+        // Branching factor: how many same-kind variants compete at one
+        // position (alphabet of 37 for addition/substitution; 1 for
+        // deletion/transposition).
+        let branching = match cand.kind {
+            MistakeKind::Addition | MistakeKind::Substitution => 36.0,
+            MistakeKind::Deletion | MistakeKind::Transposition => 1.0,
+        };
+        // The fat-finger boost only differentiates additions and
+        // substitutions: a deletion or adjacent transposition is a
+        // fat-finger slip by construction, so no variant of those kinds
+        // is privileged over another.
+        let ff = match cand.kind {
+            MistakeKind::Addition | MistakeKind::Substitution if cand.fat_finger => {
+                self.fat_finger_boost
+            }
+            _ => 1.0,
+        };
+        // Normalize the fat-finger boost crudely: a position has ~6 adjacent
+        // keys out of 36 possibilities.
+        let ff_norm = match cand.kind {
+            MistakeKind::Addition | MistakeKind::Substitution => {
+                (6.0 * self.fat_finger_boost + 30.0) / 36.0
+            }
+            _ => 1.0,
+        };
+        p_mistake_here * kind_w * ff / (branching * ff_norm) * position_factor(cand.position, len)
+    }
+
+    /// `Pc_ij`: probability the user notices and corrects the mistake while
+    /// verifying the address. Driven by the normalized visual distance —
+    /// an `o`→`0` swap survives verification far more often than `out`→`omt`.
+    pub fn correction_probability(&self, cand: &TypoCandidate) -> f64 {
+        let v = cand.visual_normalized();
+        let p = self.base_correction
+            + (1.0 - self.base_correction) * (1.0 - (-self.visual_steepness * v).exp());
+        p.clamp(0.0, 1.0)
+    }
+
+    /// `E_ij = E_i · Pt_ij · (1 − Pc_ij)`: expected yearly emails reaching
+    /// the candidate, given the target receives `target_volume` per year.
+    pub fn expected_emails(&self, target_volume: f64, cand: &TypoCandidate) -> f64 {
+        target_volume
+            * self.mistype_probability(cand)
+            * (1.0 - self.correction_probability(cand))
+    }
+}
+
+/// Mistakes near the start of a name are slightly rarer (users look at what
+/// they begin typing) — a mild linear effect.
+fn position_factor(position: usize, len: f64) -> f64 {
+    let rel = (position as f64 / len).clamp(0.0, 1.0);
+    0.8 + 0.4 * rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typogen::generate_dl1;
+    use crate::DomainName;
+
+    fn candidates(target: &str) -> Vec<TypoCandidate> {
+        let t: DomainName = target.parse().unwrap();
+        generate_dl1(&t)
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let m = TypingModel::default();
+        for cand in candidates("outlook.com") {
+            let pt = m.mistype_probability(&cand);
+            let pc = m.correction_probability(&cand);
+            assert!((0.0..=1.0).contains(&pt), "Pt={pt} for {}", cand.domain);
+            assert!((0.0..=1.0).contains(&pc), "Pc={pc} for {}", cand.domain);
+        }
+    }
+
+    #[test]
+    fn deletion_beats_addition_on_average() {
+        let m = TypingModel::default();
+        let cands = candidates("hotmail.com");
+        let avg = |kind: MistakeKind| {
+            let v: Vec<f64> = cands
+                .iter()
+                .filter(|c| c.kind == kind)
+                .map(|c| m.mistype_probability(c))
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(MistakeKind::Deletion) > avg(MistakeKind::Addition));
+        assert!(avg(MistakeKind::Transposition) > avg(MistakeKind::Substitution));
+    }
+
+    #[test]
+    fn fat_finger_variants_likelier() {
+        let m = TypingModel::default();
+        let cands = candidates("verizon.com");
+        // Compare substitutions at the same position with/without adjacency.
+        let ff = cands
+            .iter()
+            .find(|c| c.kind == MistakeKind::Substitution && c.fat_finger)
+            .unwrap();
+        let non = cands
+            .iter()
+            .find(|c| {
+                c.kind == MistakeKind::Substitution && !c.fat_finger && c.position == ff.position
+            })
+            .unwrap();
+        assert!(m.mistype_probability(ff) > m.mistype_probability(non));
+    }
+
+    #[test]
+    fn visible_mistakes_get_corrected() {
+        let m = TypingModel::default();
+        let cands = candidates("outlook.com");
+        let invisible = cands.iter().find(|c| c.domain.as_str() == "outlo0k.com").unwrap();
+        let glaring = cands.iter().find(|c| c.domain.as_str() == "outmook.com").unwrap();
+        assert!(m.correction_probability(invisible) < m.correction_probability(glaring));
+    }
+
+    #[test]
+    fn expected_emails_scales_with_volume() {
+        let m = TypingModel::default();
+        let cands = candidates("gmail.com");
+        let c = &cands[0];
+        let e1 = m.expected_emails(1e6, c);
+        let e2 = m.expected_emails(2e6, c);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_shape_top_typos_are_low_visual_ff1() {
+        // §4.4.2: "FF-1 domains always receive the most emails if the typing
+        // mistake is not totally obvious" — the model's best candidates for
+        // outlook should be low-visual FF-1 names like outlo0k / ohtlook.
+        let m = TypingModel::default();
+        let mut subs: Vec<TypoCandidate> = candidates("outlook.com")
+            .into_iter()
+            .filter(|c| c.kind == MistakeKind::Substitution)
+            .collect();
+        subs.sort_by(|a, b| {
+            m.expected_emails(1e9, b)
+                .partial_cmp(&m.expected_emails(1e9, a))
+                .unwrap()
+        });
+        // The best substitution must be the invisible fat-finger o→0 swap.
+        assert_eq!(subs[0].domain.as_str(), "outlo0k.com", "got {:?}",
+            subs.iter().take(5).map(|c| c.domain.as_str()).collect::<Vec<_>>());
+        assert!(subs[0].fat_finger);
+        // and visible non-adjacent swaps rank far below
+        let pos_of = |name: &str| subs.iter().position(|c| c.domain.as_str() == name).unwrap();
+        assert!(pos_of("out-ook.com") > pos_of("outlo0k.com"));
+    }
+
+    #[test]
+    fn position_factor_monotone() {
+        assert!(position_factor(0, 7.0) < position_factor(6, 7.0));
+        assert!(position_factor(0, 7.0) >= 0.8);
+        assert!(position_factor(7, 7.0) <= 1.2 + 1e-9);
+    }
+
+    #[test]
+    fn total_mistype_mass_is_bounded() {
+        // Summing Pt over *all* DL-1 candidates of a target must stay well
+        // below 1: most attempts type the domain correctly.
+        let m = TypingModel::default();
+        for target in ["gmail.com", "comcast.net", "yopmail.com"] {
+            let total: f64 = candidates(target)
+                .iter()
+                .map(|c| m.mistype_probability(c))
+                .sum();
+            assert!(total < 0.5, "{target}: total Pt = {total}");
+        }
+    }
+}

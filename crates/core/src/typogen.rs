@@ -1,0 +1,365 @@
+//! Typo candidate generation ("gtypos").
+//!
+//! Generates every Damerau-Levenshtein-distance-one variant of a target
+//! domain's second-level label, tagged with the mistake type (addition,
+//! deletion, substitution, transposition — Figure 9's categories), the
+//! position of the mistake, whether the variant is also at fat-finger
+//! distance one, and its visual distance from the target.
+//!
+//! The gtypo set of the Alexa top-10,000 contains millions of candidates
+//! (§4.2.1); generation is allocation-conscious and deduplicated.
+
+use crate::distance;
+use crate::domain::DomainName;
+use crate::keyboard;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The four DL-1 typing-mistake types of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MistakeKind {
+    /// One extra character typed (`gmail` → `gmaiql`).
+    Addition,
+    /// One character omitted (`zohomail` → `zohomil`).
+    Deletion,
+    /// One character replaced (`hotmail` → `hovmail`).
+    Substitution,
+    /// Two neighboring characters swapped (`gmail` → `gmial`).
+    Transposition,
+}
+
+impl MistakeKind {
+    /// All four kinds, in Figure 9's display order.
+    pub const ALL: [MistakeKind; 4] = [
+        MistakeKind::Addition,
+        MistakeKind::Transposition,
+        MistakeKind::Deletion,
+        MistakeKind::Substitution,
+    ];
+}
+
+impl fmt::Display for MistakeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MistakeKind::Addition => "addition",
+            MistakeKind::Deletion => "deletion",
+            MistakeKind::Substitution => "substitution",
+            MistakeKind::Transposition => "transposition",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A generated typo candidate of some target domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypoCandidate {
+    /// The typo domain itself.
+    pub domain: DomainName,
+    /// The target it was generated from.
+    pub target: DomainName,
+    /// Which of the four DL-1 mistakes produced it.
+    pub kind: MistakeKind,
+    /// Zero-based position of the mistake within the second-level label.
+    pub position: usize,
+    /// Whether the candidate is also at fat-finger distance one.
+    pub fat_finger: bool,
+    /// Visual distance from the target (unnormalized; see
+    /// [`crate::distance::visual`]).
+    pub visual: f64,
+}
+
+impl TypoCandidate {
+    /// Visual distance normalized by target SLD length, the feature the
+    /// Section-6 regression consumes.
+    pub fn visual_normalized(&self) -> f64 {
+        self.visual / self.target.sld().len() as f64
+    }
+}
+
+/// Generates all distinct DL-1 typo candidates of `target`'s second-level
+/// label, keeping the TLD fixed.
+///
+/// Candidates equal to the target, syntactically invalid (leading/trailing
+/// hyphen), or duplicating another candidate are skipped; when several
+/// operations produce the same string, the earliest in the order
+/// deletion → transposition → substitution → addition at the smallest
+/// position wins (deletions and transpositions are the most frequent
+/// mistakes per Figure 9, so ties attribute to the likelier cause).
+///
+/// ```
+/// use ets_core::typogen::generate_dl1;
+/// let typos = generate_dl1(&"gmail.com".parse().unwrap());
+/// assert!(typos.iter().any(|t| t.domain.as_str() == "gmial.com"));
+/// assert!(typos.iter().all(|t| t.domain.as_str() != "gmail.com"));
+/// ```
+pub fn generate_dl1(target: &DomainName) -> Vec<TypoCandidate> {
+    let sld: Vec<char> = target.sld().chars().collect();
+    let n = sld.len();
+    let mut seen: HashSet<String> = HashSet::new();
+    seen.insert(target.sld().to_owned());
+    let mut out = Vec::new();
+
+    let mut push = |variant: String, kind: MistakeKind, position: usize, out: &mut Vec<_>| {
+        if variant.starts_with('-') || variant.ends_with('-') || variant.is_empty() {
+            return;
+        }
+        if !seen.insert(variant.clone()) {
+            return;
+        }
+        let Ok(domain) = target.with_sld(&variant) else {
+            return;
+        };
+        let fat_finger = distance::is_ff1(target.sld(), &variant);
+        let visual = distance::visual(target.sld(), &variant);
+        out.push(TypoCandidate {
+            domain,
+            target: target.clone(),
+            kind,
+            position,
+            fat_finger,
+            visual,
+        });
+    };
+
+    // Deletions.
+    for i in 0..n {
+        let mut v = String::with_capacity(n - 1);
+        v.extend(sld.iter().take(i));
+        v.extend(sld.iter().skip(i + 1));
+        push(v, MistakeKind::Deletion, i, &mut out);
+    }
+    // Transpositions of neighbors.
+    for i in 0..n.saturating_sub(1) {
+        if sld[i] == sld[i + 1] {
+            continue;
+        }
+        let mut v: Vec<char> = sld.clone();
+        v.swap(i, i + 1);
+        push(v.into_iter().collect(), MistakeKind::Transposition, i, &mut out);
+    }
+    // Substitutions.
+    for i in 0..n {
+        for c in keyboard::alphabet() {
+            if c == sld[i] {
+                continue;
+            }
+            let mut v: Vec<char> = sld.clone();
+            v[i] = c;
+            push(v.into_iter().collect(), MistakeKind::Substitution, i, &mut out);
+        }
+    }
+    // Additions (insert before position i, 0..=n).
+    for i in 0..=n {
+        for c in keyboard::alphabet() {
+            let mut v = String::with_capacity(n + 1);
+            v.extend(sld.iter().take(i));
+            v.push(c);
+            v.extend(sld.iter().skip(i));
+            push(v, MistakeKind::Addition, i, &mut out);
+        }
+    }
+    out
+}
+
+/// Generates only the fat-finger-distance-one subset (the registration
+/// strategy of §4.2.1: "most of the typo domains we generated have a
+/// fat-finger distance of one").
+pub fn generate_ff1(target: &DomainName) -> Vec<TypoCandidate> {
+    generate_dl1(target)
+        .into_iter()
+        .filter(|t| t.fat_finger)
+        .collect()
+}
+
+/// Generates gtypos for a whole target list, deduplicating candidates that
+/// are DL-1 from several targets (kept once, attributed to the target whose
+/// visual distance is smallest — the most plausible victim).
+pub fn generate_for_targets(targets: &[DomainName]) -> Vec<TypoCandidate> {
+    let mut best: std::collections::HashMap<DomainName, TypoCandidate> =
+        std::collections::HashMap::new();
+    let target_set: HashSet<&DomainName> = targets.iter().collect();
+    for t in targets {
+        for cand in generate_dl1(t) {
+            // A gtypo that is itself a target is not a typo domain.
+            if target_set.contains(&cand.domain) {
+                continue;
+            }
+            match best.get(&cand.domain) {
+                Some(prev) if prev.visual <= cand.visual => {}
+                _ => {
+                    best.insert(cand.domain.clone(), cand);
+                }
+            }
+        }
+    }
+    let mut out: Vec<TypoCandidate> = best.into_values().collect();
+    out.sort_by(|a, b| a.domain.cmp(&b.domain));
+    out
+}
+
+/// Count of DL-1 candidates of a label of length `n` over an alphabet of
+/// size `a`, before deduplication: `n` deletions + `n-1` transpositions +
+/// `n(a-1)` substitutions + `(n+1)a` additions.
+pub fn dl1_upper_bound(label_len: usize, alphabet_size: usize) -> usize {
+    let n = label_len;
+    let a = alphabet_size;
+    n + n.saturating_sub(1) + n * (a - 1) + (n + 1) * a
+}
+
+/// Doppelganger ("missing dot") typos of a set of subdomains, per the Godai
+/// white paper discussed in §2: `ca.ibm.com` → `caibm.com`.
+pub fn generate_doppelgangers(subdomains: &[DomainName]) -> Vec<TypoCandidate> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for s in subdomains {
+        if let Some(d) = s.doppelganger() {
+            if seen.insert(d.clone()) {
+                let visual = 0.35; // a missing dot is a thin-glyph deletion
+                out.push(TypoCandidate {
+                    domain: d,
+                    target: s.clone(),
+                    kind: MistakeKind::Deletion,
+                    position: s.labels().next().map(str::len).unwrap_or(0),
+                    fat_finger: true,
+                    visual,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn all_candidates_are_dl1() {
+        let t = d("gmail.com");
+        for cand in generate_dl1(&t) {
+            assert_eq!(
+                distance::damerau_levenshtein(t.sld(), cand.domain.sld()),
+                1,
+                "{} not DL-1 of gmail",
+                cand.domain
+            );
+            assert_eq!(cand.domain.tld(), "com");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_and_no_target() {
+        let t = d("gmail.com");
+        let typos = generate_dl1(&t);
+        let mut set = HashSet::new();
+        for c in &typos {
+            assert!(set.insert(c.domain.clone()), "duplicate {}", c.domain);
+            assert_ne!(c.domain, t);
+        }
+    }
+
+    #[test]
+    fn contains_paper_examples() {
+        let typos = generate_dl1(&d("gmail.com"));
+        let names: HashSet<&str> = typos.iter().map(|t| t.domain.as_str()).collect();
+        for expect in ["gmial.com", "gmaiql.com", "gmai-l.com", "gmil.com", "gnail.com"] {
+            assert!(names.contains(expect), "missing {expect}");
+        }
+        let typos = generate_dl1(&d("outlook.com"));
+        let names: HashSet<&str> = typos.iter().map(|t| t.domain.as_str()).collect();
+        for expect in ["outlo0k.com", "ohtlook.com", "outmook.com", "o7tlook.com", "outloook.com"] {
+            assert!(names.contains(expect), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn kinds_are_attributed() {
+        let typos = generate_dl1(&d("gmail.com"));
+        let find = |name: &str| typos.iter().find(|t| t.domain.as_str() == name).unwrap();
+        assert_eq!(find("gmial.com").kind, MistakeKind::Transposition);
+        assert_eq!(find("gmil.com").kind, MistakeKind::Deletion);
+        assert_eq!(find("gmqil.com").kind, MistakeKind::Substitution);
+        assert_eq!(find("gmaiql.com").kind, MistakeKind::Addition);
+    }
+
+    #[test]
+    fn ff1_subset_is_consistent() {
+        let t = d("outlook.com");
+        let ff = generate_ff1(&t);
+        assert!(!ff.is_empty());
+        for c in &ff {
+            assert!(c.fat_finger);
+            assert_eq!(distance::fat_finger(t.sld(), c.domain.sld()), Some(1));
+        }
+        let all = generate_dl1(&t);
+        assert!(ff.len() < all.len());
+    }
+
+    #[test]
+    fn hyphen_edges_excluded() {
+        let typos = generate_dl1(&d("gmail.com"));
+        for c in &typos {
+            assert!(!c.domain.sld().starts_with('-'));
+            assert!(!c.domain.sld().ends_with('-'));
+        }
+    }
+
+    #[test]
+    fn candidate_count_close_to_upper_bound() {
+        // 37-character alphabet; dedup removes only a handful (doubled
+        // letters, hyphen-edge cases).
+        let t = d("gmail.com");
+        let ub = dl1_upper_bound(5, 37);
+        let got = generate_dl1(&t).len();
+        assert!(got <= ub);
+        assert!(got > ub * 8 / 10, "got {got}, ub {ub}");
+    }
+
+    #[test]
+    fn single_char_label() {
+        let typos = generate_dl1(&d("x.org"));
+        assert!(!typos.is_empty());
+        for c in &typos {
+            assert_eq!(distance::damerau_levenshtein("x", c.domain.sld()), 1);
+        }
+        // no transpositions possible, deletion would be empty
+        assert!(typos.iter().all(|c| c.kind != MistakeKind::Transposition));
+        assert!(typos.iter().all(|c| c.kind != MistakeKind::Deletion));
+    }
+
+    #[test]
+    fn multi_target_dedup_prefers_visually_closer() {
+        // "gmsil.com" is DL-1 of gmail; also check a candidate reachable from
+        // two targets is kept once.
+        let targets = [d("gmail.com"), d("gmal.com")];
+        let typos = generate_for_targets(&targets);
+        let mut counts = std::collections::HashMap::new();
+        for t in &typos {
+            *counts.entry(t.domain.clone()).or_insert(0usize) += 1;
+        }
+        assert!(counts.values().all(|&v| v == 1));
+        // neither target appears as a candidate of the other
+        assert!(typos.iter().all(|t| t.domain != targets[0] && t.domain != targets[1]));
+    }
+
+    #[test]
+    fn doppelgangers() {
+        let subs = [d("ca.ibm.com"), d("smtp.gmail.com"), d("mail.google.com")];
+        let dg = generate_doppelgangers(&subs);
+        let names: Vec<&str> = dg.iter().map(|t| t.domain.as_str()).collect();
+        assert_eq!(names, vec!["caibm.com", "smtpgmail.com", "mailgoogle.com"]);
+    }
+
+    #[test]
+    fn visual_normalization() {
+        let t = d("outlook.com");
+        let typos = generate_dl1(&t);
+        let c = typos.iter().find(|c| c.domain.as_str() == "outlo0k.com").unwrap();
+        assert!((c.visual_normalized() - c.visual / 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,294 @@
+//! Fully-qualified domain names for the DNS substrate.
+//!
+//! Unlike [`ets_core::DomainName`] (registrable names only), [`Fqdn`]
+//! models anything DNS can name: single labels, deep subdomains, the root,
+//! and wildcard owners (`*.exampel.com.`) as used in Table 1's zone setup.
+
+use ets_core::DomainName;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors from parsing an [`Fqdn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FqdnError {
+    /// A label was empty (double dot).
+    EmptyLabel,
+    /// A label exceeded 63 octets.
+    LabelTooLong(String),
+    /// Total name exceeded 255 octets in wire form.
+    NameTooLong,
+    /// A label contained a byte outside letters/digits/hyphen/underscore
+    /// (underscore is tolerated: service labels like `_dmarc` exist).
+    BadCharacter(char),
+    /// `*` appeared anywhere but as a whole leftmost label.
+    BadWildcard,
+}
+
+impl fmt::Display for FqdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FqdnError::EmptyLabel => write!(f, "empty label"),
+            FqdnError::LabelTooLong(l) => write!(f, "label `{l}` over 63 octets"),
+            FqdnError::NameTooLong => write!(f, "name over 255 octets"),
+            FqdnError::BadCharacter(c) => write!(f, "character `{c}` not allowed"),
+            FqdnError::BadWildcard => write!(f, "wildcard must be the whole leftmost label"),
+        }
+    }
+}
+
+impl std::error::Error for FqdnError {}
+
+/// A fully-qualified, lower-cased domain name. The root is the empty label
+/// sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(try_from = "String", into = "String")]
+pub struct Fqdn {
+    labels: Vec<String>,
+}
+
+impl Fqdn {
+    /// The root name (`.`).
+    pub fn root() -> Self {
+        Fqdn { labels: Vec::new() }
+    }
+
+    /// Parses a name; a trailing dot is accepted and ignored, `.` or the
+    /// empty string denote the root.
+    pub fn parse(input: &str) -> Result<Self, FqdnError> {
+        let trimmed = input.strip_suffix('.').unwrap_or(input);
+        if trimmed.is_empty() {
+            return Ok(Fqdn::root());
+        }
+        let mut labels = Vec::new();
+        let mut wire_len = 1usize; // root byte
+        for (i, raw) in trimmed.split('.').enumerate() {
+            if raw.is_empty() {
+                return Err(FqdnError::EmptyLabel);
+            }
+            if raw.len() > 63 {
+                return Err(FqdnError::LabelTooLong(raw.to_owned()));
+            }
+            if raw.contains('*') {
+                if raw != "*" || i != 0 {
+                    return Err(FqdnError::BadWildcard);
+                }
+            } else {
+                for c in raw.chars() {
+                    if !(c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+                        return Err(FqdnError::BadCharacter(c));
+                    }
+                }
+            }
+            wire_len += raw.len() + 1;
+            labels.push(raw.to_ascii_lowercase());
+        }
+        if wire_len > 255 {
+            return Err(FqdnError::NameTooLong);
+        }
+        Ok(Fqdn { labels })
+    }
+
+    /// Labels left to right.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels (0 for the root).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Whether the leftmost label is `*`.
+    pub fn is_wildcard(&self) -> bool {
+        self.labels.first().map(String::as_str) == Some("*")
+    }
+
+    /// The name with its leftmost label removed (`a.b.c` → `b.c`;
+    /// root stays root).
+    pub fn parent(&self) -> Fqdn {
+        if self.labels.is_empty() {
+            return Fqdn::root();
+        }
+        Fqdn {
+            labels: self.labels[1..].to_vec(),
+        }
+    }
+
+    /// Prepends a label (`x` + `b.c` → `x.b.c`).
+    pub fn child(&self, label: &str) -> Result<Fqdn, FqdnError> {
+        Fqdn::parse(&format!("{label}.{self}"))
+    }
+
+    /// Whether `self` equals `other` or is underneath it
+    /// (`a.b.c` is within `b.c` and within `c`).
+    pub fn is_within(&self, other: &Fqdn) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        self.labels[self.labels.len() - other.labels.len()..] == other.labels[..]
+    }
+
+    /// Whether a wildcard owner name covers `name` (RFC 4592: `*.zone`
+    /// matches any name at least one label below `zone`, but not `zone`
+    /// itself). Non-wildcard owners match only exact names.
+    pub fn matches(&self, name: &Fqdn) -> bool {
+        if !self.is_wildcard() {
+            return self == name;
+        }
+        let suffix = self.parent();
+        name.label_count() > suffix.label_count() && name.is_within(&suffix)
+    }
+
+    /// Converts a registrable [`DomainName`] from `ets-core`.
+    pub fn from_domain(d: &DomainName) -> Fqdn {
+        Fqdn::parse(d.as_str()).expect("DomainName is always a valid Fqdn")
+    }
+
+    /// Tries to view this name as a registrable two-label domain.
+    pub fn to_domain(&self) -> Option<DomainName> {
+        DomainName::parse(&self.to_string()).ok()
+    }
+
+    /// The registrable suffix (last two labels), if this name has one.
+    pub fn registrable(&self) -> Option<Fqdn> {
+        if self.labels.len() < 2 {
+            return None;
+        }
+        Some(Fqdn {
+            labels: self.labels[self.labels.len() - 2..].to_vec(),
+        })
+    }
+
+    /// Wire-format length (sum of label length bytes + label bytes + root).
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Fqdn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        f.write_str(&self.labels.join("."))
+    }
+}
+
+impl FromStr for Fqdn {
+    type Err = FqdnError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Fqdn::parse(s)
+    }
+}
+
+impl TryFrom<String> for Fqdn {
+    type Error = FqdnError;
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        Fqdn::parse(&s)
+    }
+}
+
+impl From<Fqdn> for String {
+    fn from(f: Fqdn) -> String {
+        f.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Fqdn {
+        Fqdn::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(n("ExAmPeL.com.").to_string(), "exampel.com");
+        assert_eq!(n(".").to_string(), ".");
+        assert_eq!(n("").to_string(), ".");
+        assert!(n(".").is_root());
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert_eq!(Fqdn::parse("a..b"), Err(FqdnError::EmptyLabel));
+        assert!(matches!(Fqdn::parse("é.com"), Err(FqdnError::BadCharacter(_))));
+        let long = "a".repeat(64);
+        assert!(matches!(
+            Fqdn::parse(&format!("{long}.com")),
+            Err(FqdnError::LabelTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn underscore_labels_allowed() {
+        assert_eq!(n("_dmarc.gmail.com").label_count(), 3);
+    }
+
+    #[test]
+    fn wildcard_rules() {
+        assert!(n("*.exampel.com").is_wildcard());
+        assert_eq!(Fqdn::parse("a.*.com"), Err(FqdnError::BadWildcard));
+        assert_eq!(Fqdn::parse("x*.com"), Err(FqdnError::BadWildcard));
+    }
+
+    #[test]
+    fn wildcard_matching_rfc4592() {
+        let wc = n("*.exampel.com");
+        assert!(wc.matches(&n("mail.exampel.com")));
+        assert!(wc.matches(&n("a.b.exampel.com")));
+        assert!(!wc.matches(&n("exampel.com")), "wildcard must not match the zone apex");
+        assert!(!wc.matches(&n("other.com")));
+        // exact owner matches only itself
+        let exact = n("exampel.com");
+        assert!(exact.matches(&n("exampel.com")));
+        assert!(!exact.matches(&n("mail.exampel.com")));
+    }
+
+    #[test]
+    fn parent_and_within() {
+        assert_eq!(n("a.b.c").parent(), n("b.c"));
+        assert!(n("a.b.c").is_within(&n("b.c")));
+        assert!(n("a.b.c").is_within(&n("a.b.c")));
+        assert!(!n("b.c").is_within(&n("a.b.c")));
+        assert!(n("a.b.c").is_within(&Fqdn::root()));
+    }
+
+    #[test]
+    fn child_builds_subdomains() {
+        assert_eq!(n("gmail.com").child("smtp").unwrap(), n("smtp.gmail.com"));
+    }
+
+    #[test]
+    fn domain_conversions() {
+        let d: DomainName = "gmial.com".parse().unwrap();
+        let f = Fqdn::from_domain(&d);
+        assert_eq!(f.to_string(), "gmial.com");
+        assert_eq!(f.to_domain().unwrap(), d);
+        assert!(n("*.x.com").to_domain().is_none());
+        assert_eq!(n("smtp.gmail.com").registrable().unwrap(), n("gmail.com"));
+        assert!(n("com").registrable().is_none());
+    }
+
+    #[test]
+    fn wire_len() {
+        // "ab.cd" -> 1+2 + 1+2 + 1 = 7
+        assert_eq!(n("ab.cd").wire_len(), 7);
+        assert_eq!(Fqdn::root().wire_len(), 1);
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v = vec![n("b.com"), n("a.com"), n("a.com")];
+        v.sort();
+        v.dedup();
+        assert_eq!(v, vec![n("a.com"), n("b.com")]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Resource records: the types the study touches.
+
+use crate::name::Fqdn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Record types, with their RFC 1035 type codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordType {
+    /// IPv4 address.
+    A,
+    /// Authoritative name server.
+    Ns,
+    /// Canonical name alias.
+    Cname,
+    /// Start of authority.
+    Soa,
+    /// Mail exchange.
+    Mx,
+    /// Free-form text.
+    Txt,
+}
+
+impl RecordType {
+    /// RFC 1035 TYPE code.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Mx => 15,
+            RecordType::Txt => 16,
+        }
+    }
+
+    /// Parses an RFC 1035 TYPE code.
+    pub fn from_code(code: u16) -> Option<RecordType> {
+        Some(match code {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            15 => RecordType::Mx,
+            16 => RecordType::Txt,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecordType::A => "A",
+            RecordType::Ns => "NS",
+            RecordType::Cname => "CNAME",
+            RecordType::Soa => "SOA",
+            RecordType::Mx => "MX",
+            RecordType::Txt => "TXT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Typed record data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// Name server host.
+    Ns(Fqdn),
+    /// Alias target.
+    Cname(Fqdn),
+    /// Start of authority (primary NS, responsible mailbox, serial).
+    Soa {
+        /// Primary name server.
+        mname: Fqdn,
+        /// Responsible mailbox (dots for @).
+        rname: Fqdn,
+        /// Zone serial.
+        serial: u32,
+    },
+    /// Mail exchange: preference then host.
+    Mx {
+        /// Preference (lower is tried first).
+        preference: u16,
+        /// Mail server host name.
+        exchange: Fqdn,
+    },
+    /// Text record.
+    Txt(String),
+}
+
+impl RecordData {
+    /// The record type of this data.
+    pub fn record_type(&self) -> RecordType {
+        match self {
+            RecordData::A(_) => RecordType::A,
+            RecordData::Ns(_) => RecordType::Ns,
+            RecordData::Cname(_) => RecordType::Cname,
+            RecordData::Soa { .. } => RecordType::Soa,
+            RecordData::Mx { .. } => RecordType::Mx,
+            RecordData::Txt(_) => RecordType::Txt,
+        }
+    }
+}
+
+/// A resource record: owner name, TTL, typed data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceRecord {
+    /// Owner name (may be a wildcard like `*.exampel.com`).
+    pub name: Fqdn,
+    /// Time to live, seconds. Table 1 uses 300.
+    pub ttl: u32,
+    /// Typed payload.
+    pub data: RecordData,
+}
+
+impl ResourceRecord {
+    /// Creates a record.
+    pub fn new(name: Fqdn, ttl: u32, data: RecordData) -> Self {
+        ResourceRecord { name, ttl, data }
+    }
+
+    /// Shorthand for an A record.
+    pub fn a(name: &str, ttl: u32, addr: Ipv4Addr) -> Self {
+        ResourceRecord::new(name.parse().expect("valid name"), ttl, RecordData::A(addr))
+    }
+
+    /// Shorthand for an MX record.
+    pub fn mx(name: &str, ttl: u32, preference: u16, exchange: &str) -> Self {
+        ResourceRecord::new(
+            name.parse().expect("valid name"),
+            ttl,
+            RecordData::Mx {
+                preference,
+                exchange: exchange.parse().expect("valid exchange"),
+            },
+        )
+    }
+
+    /// Shorthand for an NS record.
+    pub fn ns(name: &str, ttl: u32, host: &str) -> Self {
+        ResourceRecord::new(
+            name.parse().expect("valid name"),
+            ttl,
+            RecordData::Ns(host.parse().expect("valid host")),
+        )
+    }
+
+    /// The record type.
+    pub fn record_type(&self) -> RecordType {
+        self.data.record_type()
+    }
+
+    /// Zone-file-style presentation, as in Table 1:
+    /// `*.exampel.com.  300  MX  1  exampel.com.`
+    pub fn presentation(&self) -> String {
+        let rdata = match &self.data {
+            RecordData::A(ip) => format!("NA {ip}"),
+            RecordData::Ns(h) => format!("NA {h}."),
+            RecordData::Cname(h) => format!("NA {h}."),
+            RecordData::Soa { mname, rname, serial } => {
+                format!("NA {mname}. {rname}. {serial}")
+            }
+            RecordData::Mx { preference, exchange } => format!("{preference} {exchange}."),
+            RecordData::Txt(t) => format!("NA \"{t}\""),
+        };
+        format!(
+            "{}. {} {} {}",
+            self.name,
+            self.ttl,
+            self.record_type(),
+            rdata
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_round_trip() {
+        for t in [
+            RecordType::A,
+            RecordType::Ns,
+            RecordType::Cname,
+            RecordType::Soa,
+            RecordType::Mx,
+            RecordType::Txt,
+        ] {
+            assert_eq!(RecordType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(RecordType::from_code(999), None);
+    }
+
+    #[test]
+    fn data_knows_its_type() {
+        assert_eq!(
+            RecordData::A(Ipv4Addr::new(1, 1, 1, 1)).record_type(),
+            RecordType::A
+        );
+        assert_eq!(
+            RecordData::Mx {
+                preference: 1,
+                exchange: "exampel.com".parse().unwrap()
+            }
+            .record_type(),
+            RecordType::Mx
+        );
+    }
+
+    #[test]
+    fn table1_presentation() {
+        // Table 1's four rows for an example typo domain.
+        let rows = [
+            ResourceRecord::mx("*.exampel.com", 300, 1, "exampel.com"),
+            ResourceRecord::mx("exampel.com", 300, 1, "exampel.com"),
+            ResourceRecord::a("*.exampel.com", 300, Ipv4Addr::new(1, 1, 1, 1)),
+            ResourceRecord::a("exampel.com", 300, Ipv4Addr::new(1, 1, 1, 1)),
+        ];
+        assert_eq!(rows[0].presentation(), "*.exampel.com. 300 MX 1 exampel.com.");
+        assert_eq!(rows[2].presentation(), "*.exampel.com. 300 A NA 1.1.1.1");
+    }
+}

@@ -1,0 +1,275 @@
+//! The registration database.
+//!
+//! Holds, for every registered domain: its WHOIS record (possibly behind a
+//! privacy proxy), its registrar, its name servers, and its authoritative
+//! zone. This is the substrate §5 scans: generate gtypos, ask the registry
+//! which are registered (ctypos), resolve their MX/A records, fetch WHOIS,
+//! and read the `.com` zone file for name-server statistics.
+
+use crate::name::Fqdn;
+use crate::whois::WhoisRecord;
+use crate::zone::Zone;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One domain registration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Registration {
+    /// The registered domain.
+    pub domain: Fqdn,
+    /// Registrar identifier (e.g. `reg-7`).
+    pub registrar: String,
+    /// True WHOIS data of the owner (may be partly fake/missing).
+    pub whois: WhoisRecord,
+    /// Privacy proxy service, if the owner hides behind one.
+    pub privacy_proxy: Option<String>,
+    /// Name-server host names serving the domain.
+    pub nameservers: Vec<Fqdn>,
+    /// Registration day (simulation days since epoch).
+    pub created_day: u32,
+}
+
+impl Registration {
+    /// The WHOIS record a public query returns: the proxy record when the
+    /// registration is proxied, the owner's record otherwise.
+    pub fn public_whois(&self) -> WhoisRecord {
+        match &self.privacy_proxy {
+            Some(service) => WhoisRecord::privacy_proxy(service),
+            None => self.whois.clone(),
+        }
+    }
+
+    /// Whether the registration is privacy-proxied.
+    pub fn is_private(&self) -> bool {
+        self.privacy_proxy.is_some()
+    }
+}
+
+/// The registry: registrations plus the authoritative zones behind them.
+///
+/// Thread-safe: the scanning experiments fan out across worker threads.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    inner: Arc<RwLock<RegistryInner>>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    registrations: HashMap<Fqdn, Registration>,
+    zones: HashMap<Fqdn, Zone>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a domain with its zone. Returns `false` (and changes
+    /// nothing) if the domain was already taken.
+    pub fn register(&self, registration: Registration, zone: Option<Zone>) -> bool {
+        let mut inner = self.inner.write();
+        if inner.registrations.contains_key(&registration.domain) {
+            return false;
+        }
+        let domain = registration.domain.clone();
+        inner.registrations.insert(domain.clone(), registration);
+        if let Some(z) = zone {
+            assert!(
+                z.origin == domain,
+                "zone origin {} does not match registration {}",
+                z.origin,
+                domain
+            );
+            inner.zones.insert(domain, z);
+        }
+        true
+    }
+
+    /// Removes a registration (domain surrender, per the study's trademark
+    /// policy). Returns the removed registration, if any.
+    pub fn surrender(&self, domain: &Fqdn) -> Option<Registration> {
+        let mut inner = self.inner.write();
+        inner.zones.remove(domain);
+        inner.registrations.remove(domain)
+    }
+
+    /// Whether a domain is registered.
+    pub fn is_registered(&self, domain: &Fqdn) -> bool {
+        self.inner.read().registrations.contains_key(domain)
+    }
+
+    /// The registration of a domain.
+    pub fn registration(&self, domain: &Fqdn) -> Option<Registration> {
+        self.inner.read().registrations.get(domain).cloned()
+    }
+
+    /// The public WHOIS view of a domain (proxy record when proxied).
+    pub fn whois(&self, domain: &Fqdn) -> Option<WhoisRecord> {
+        self.inner
+            .read()
+            .registrations
+            .get(domain)
+            .map(Registration::public_whois)
+    }
+
+    /// The authoritative zone for a domain, if one is published.
+    pub fn zone(&self, domain: &Fqdn) -> Option<Zone> {
+        self.inner.read().zones.get(domain).cloned()
+    }
+
+    /// Replaces (or publishes) a domain's zone. Returns `false` if the
+    /// domain is not registered.
+    pub fn publish_zone(&self, zone: Zone) -> bool {
+        let mut inner = self.inner.write();
+        if !inner.registrations.contains_key(&zone.origin) {
+            return false;
+        }
+        inner.zones.insert(zone.origin.clone(), zone);
+        true
+    }
+
+    /// Number of registrations.
+    pub fn len(&self) -> usize {
+        self.inner.read().registrations.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All registered domains (sorted, for determinism).
+    pub fn domains(&self) -> Vec<Fqdn> {
+        let mut v: Vec<Fqdn> = self.inner.read().registrations.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// The zone-file view used by §5.1's name-server analysis: one
+    /// `(domain, nameserver)` row per NS delegation, sorted.
+    pub fn zone_file(&self) -> Vec<(Fqdn, Fqdn)> {
+        let inner = self.inner.read();
+        let mut rows: Vec<(Fqdn, Fqdn)> = Vec::new();
+        for (domain, reg) in &inner.registrations {
+            for ns in &reg.nameservers {
+                rows.push((domain.clone(), ns.clone()));
+            }
+        }
+        rows.sort();
+        rows
+    }
+
+    /// Runs `f` over every registration without cloning the map.
+    pub fn for_each<F: FnMut(&Registration)>(&self, mut f: F) {
+        let inner = self.inner.read();
+        let mut keys: Vec<&Fqdn> = inner.registrations.keys().collect();
+        keys.sort();
+        for k in keys {
+            f(&inner.registrations[k]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordType;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Fqdn {
+        s.parse().unwrap()
+    }
+
+    fn reg(domain: &str, private: bool) -> Registration {
+        Registration {
+            domain: n(domain),
+            registrar: "reg-1".to_owned(),
+            whois: WhoisRecord::full("Owner", "Org", "o@x.com", "+1.5550000000", "", "addr"),
+            privacy_proxy: private.then(|| "proxy.example".to_owned()),
+            nameservers: vec![n("ns1.host.example"), n("ns2.host.example")],
+            created_day: 100,
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let r = Registry::new();
+        assert!(r.register(reg("gmial.com", false), None));
+        assert!(r.is_registered(&n("gmial.com")));
+        assert!(!r.is_registered(&n("gmaill.com")));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn double_registration_fails() {
+        let r = Registry::new();
+        assert!(r.register(reg("gmial.com", false), None));
+        assert!(!r.register(reg("gmial.com", true), None));
+        assert!(!r.registration(&n("gmial.com")).unwrap().is_private());
+    }
+
+    #[test]
+    fn whois_respects_privacy_proxy() {
+        let r = Registry::new();
+        r.register(reg("hidden.com", true), None);
+        r.register(reg("open.com", false), None);
+        let hidden = r.whois(&n("hidden.com")).unwrap();
+        assert_eq!(hidden.organization.as_deref(), Some("proxy.example"));
+        let open = r.whois(&n("open.com")).unwrap();
+        assert_eq!(open.registrant_name.as_deref(), Some("Owner"));
+    }
+
+    #[test]
+    fn zone_publication_and_lookup() {
+        let r = Registry::new();
+        r.register(reg("typo.com", false), None);
+        assert!(r.zone(&n("typo.com")).is_none());
+        let z = Zone::catch_all(&n("typo.com"), Ipv4Addr::new(5, 5, 5, 5), 300);
+        assert!(r.publish_zone(z));
+        let z = r.zone(&n("typo.com")).unwrap();
+        assert_eq!(z.lookup(&n("a.typo.com"), RecordType::Mx).len(), 1);
+        // Unregistered domains cannot publish.
+        let z2 = Zone::parked(&n("other.com"), Ipv4Addr::new(1, 2, 3, 4), 300);
+        assert!(!r.publish_zone(z2));
+    }
+
+    #[test]
+    fn surrender_removes_everything() {
+        let r = Registry::new();
+        let zone = Zone::parked(&n("trademark.com"), Ipv4Addr::new(1, 1, 1, 1), 300);
+        r.register(reg("trademark.com", false), Some(zone));
+        assert!(r.surrender(&n("trademark.com")).is_some());
+        assert!(!r.is_registered(&n("trademark.com")));
+        assert!(r.zone(&n("trademark.com")).is_none());
+        assert!(r.surrender(&n("trademark.com")).is_none());
+    }
+
+    #[test]
+    fn zone_file_lists_delegations() {
+        let r = Registry::new();
+        r.register(reg("a.com", false), None);
+        r.register(reg("b.com", false), None);
+        let rows = r.zone_file();
+        assert_eq!(rows.len(), 4); // 2 domains × 2 NS
+        assert!(rows.iter().all(|(_, ns)| ns.to_string().starts_with("ns")));
+    }
+
+    #[test]
+    fn registry_is_shared_across_clones() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.register(reg("shared.com", false), None);
+        assert!(r2.is_registered(&n("shared.com")));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match registration")]
+    fn mismatched_zone_panics() {
+        let r = Registry::new();
+        let z = Zone::parked(&n("other.com"), Ipv4Addr::new(1, 1, 1, 1), 300);
+        r.register(reg("mine.com", false), Some(z));
+    }
+}

@@ -1,0 +1,32 @@
+//! # ets-ecosystem
+//!
+//! The synthetic Internet population and the Section-5 ecosystem analyses.
+//!
+//! The paper's §5 studies typosquatting "in the wild": it generates every
+//! DL-1 typo of the Alexa top million, finds which are registered, scans
+//! their MX/A records and SMTP ports, collects WHOIS, and looks for
+//! concentration among registrants, mail servers, and name servers. The
+//! wild Internet of 2016 is gone, so [`population`] builds a deterministic
+//! synthetic stand-in with the same statistical skeleton — heavy-tailed
+//! registrant portfolios, a handful of mail-hosting providers serving most
+//! typo domains, "cesspool" name servers, privacy proxies, and defensive
+//! registrations — and the analyses run against it:
+//!
+//! * [`whois_cluster`] — the 4-of-6 WHOIS field clustering (union-find).
+//! * [`mxconc`] — MX concentration (Figure 8, Table 6).
+//! * [`nameserver`] — suspicious name-server ratios.
+//! * [`scan`] — the SMTP-support census (Table 4).
+//! * [`malware`] — the VirusTotal-style attachment-hash oracle (§4.4.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod malware;
+pub mod mxconc;
+pub mod nameserver;
+pub mod population;
+pub mod scan;
+pub mod whois_cluster;
+
+pub use population::{CtypoInfo, PopulationConfig, RegistrantArchetype, SmtpProfile, World};
+pub use scan::{scan_world, SmtpSupport, SupportCensus};

@@ -1,0 +1,173 @@
+//! Mail-exchange concentration (Figure 8, Table 6).
+//!
+//! §5.2: "the top eleven SMTP servers handle mail for more than one third
+//! of typosquatting domains and 51 for the majority. Less than one percent
+//! of the SMTP servers supports more than 74% of domains." Given each
+//! ctypo's resolved MX domain, this module produces the per-provider
+//! counts, the cumulative-share curve, and the Table-6 style distribution.
+
+use ets_dns::resolver::Resolver;
+use ets_dns::Fqdn;
+use std::collections::HashMap;
+
+/// Mail-server usage over a domain population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MxConcentration {
+    /// `(mx_domain, count)` sorted by count descending, then name.
+    pub providers: Vec<(Fqdn, usize)>,
+    /// Domains that resolved to *some* mail target.
+    pub total_with_mail: usize,
+    /// Domains with no mail target at all.
+    pub unreachable: usize,
+}
+
+impl MxConcentration {
+    /// Measures concentration by resolving every domain's mail routing.
+    pub fn measure<'a>(
+        resolver: &Resolver,
+        domains: impl Iterator<Item = &'a Fqdn>,
+    ) -> MxConcentration {
+        let mut counts: HashMap<Fqdn, usize> = HashMap::new();
+        let mut total = 0usize;
+        let mut unreachable = 0usize;
+        for d in domains {
+            match resolver.mx_domain(d) {
+                Some(mx) => {
+                    *counts.entry(mx).or_insert(0) += 1;
+                    total += 1;
+                }
+                None => unreachable += 1,
+            }
+        }
+        let mut providers: Vec<(Fqdn, usize)> = counts.into_iter().collect();
+        providers.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        MxConcentration {
+            providers,
+            total_with_mail: total,
+            unreachable,
+        }
+    }
+
+    /// Cumulative share of mail-capable domains served by the top `k`
+    /// providers.
+    pub fn top_share(&self, k: usize) -> f64 {
+        if self.total_with_mail == 0 {
+            return 0.0;
+        }
+        let top: usize = self.providers.iter().take(k).map(|(_, c)| c).sum();
+        top as f64 / self.total_with_mail as f64
+    }
+
+    /// Smallest number of providers covering at least `share` of
+    /// mail-capable domains.
+    pub fn providers_for_share(&self, share: f64) -> usize {
+        let mut acc = 0usize;
+        for (i, (_, c)) in self.providers.iter().enumerate() {
+            acc += c;
+            if acc as f64 / self.total_with_mail.max(1) as f64 >= share {
+                return i + 1;
+            }
+        }
+        self.providers.len()
+    }
+
+    /// The full cumulative curve (x: provider index, y: cumulative share).
+    pub fn cumulative_curve(&self) -> Vec<f64> {
+        let mut acc = 0usize;
+        self.providers
+            .iter()
+            .map(|(_, c)| {
+                acc += c;
+                acc as f64 / self.total_with_mail.max(1) as f64
+            })
+            .collect()
+    }
+
+    /// Table-6 style rows for the top `k`: name, count, percent,
+    /// cumulative percent.
+    pub fn table6_rows(&self, k: usize) -> Vec<(String, usize, f64, f64)> {
+        let mut acc = 0.0;
+        self.providers
+            .iter()
+            .take(k)
+            .map(|(d, c)| {
+                let pct = 100.0 * *c as f64 / self.total_with_mail.max(1) as f64;
+                acc += pct;
+                (d.to_string(), *c, pct, acc)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{PopulationConfig, World};
+
+    #[test]
+    fn synthetic_world_is_concentrated() {
+        let w = World::build(PopulationConfig::tiny(5));
+        let resolver = w.resolver();
+        let domains: Vec<Fqdn> = w
+            .ctypos
+            .iter()
+            .map(|c| Fqdn::from_domain(&c.candidate.domain))
+            .collect();
+        let conc = MxConcentration::measure(&resolver, domains.iter());
+        assert!(conc.total_with_mail > 50);
+        // Table 6 shape: ten providers dominate the hosted population. The
+        // synthetic world also contains self-hosted catch-alls (each its
+        // own provider), so check the curve, not an absolute.
+        let ten = conc.top_share(10);
+        let one = conc.top_share(1);
+        assert!(ten > one);
+        assert!(ten > 0.25, "top-10 share {ten}");
+        assert!(conc.providers_for_share(ten - 1e-9) <= 10);
+    }
+
+    #[test]
+    fn table6_rows_are_cumulative() {
+        let w = World::build(PopulationConfig::tiny(6));
+        let resolver = w.resolver();
+        let domains: Vec<Fqdn> = w
+            .ctypos
+            .iter()
+            .map(|c| Fqdn::from_domain(&c.candidate.domain))
+            .collect();
+        let conc = MxConcentration::measure(&resolver, domains.iter());
+        let rows = conc.table6_rows(5);
+        assert_eq!(rows.len(), 5);
+        for w2 in rows.windows(2) {
+            assert!(w2[1].3 >= w2[0].3, "cumulative must grow");
+            assert!(w2[1].1 <= w2[0].1, "counts must be sorted");
+        }
+        let last = rows.last().unwrap();
+        assert!(last.3 <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_population() {
+        let w = World::build(PopulationConfig::tiny(5));
+        let resolver = w.resolver();
+        let conc = MxConcentration::measure(&resolver, std::iter::empty());
+        assert_eq!(conc.total_with_mail, 0);
+        assert_eq!(conc.top_share(10), 0.0);
+        assert!(conc.cumulative_curve().is_empty());
+    }
+
+    #[test]
+    fn unreachable_counted() {
+        let w = World::build(PopulationConfig::tiny(5));
+        let resolver = w.resolver();
+        let lame: Vec<Fqdn> = w
+            .ctypos
+            .iter()
+            .filter(|c| !c.has_zone)
+            .map(|c| Fqdn::from_domain(&c.candidate.domain))
+            .collect();
+        assert!(!lame.is_empty());
+        let conc = MxConcentration::measure(&resolver, lame.iter());
+        assert_eq!(conc.total_with_mail, 0);
+        assert_eq!(conc.unreachable, lame.len());
+    }
+}

@@ -1,0 +1,837 @@
+//! The synthetic Internet population.
+//!
+//! Builds a deterministic world with the statistical skeleton the paper
+//! measured in the wild:
+//!
+//! * targets from a Zipf popularity list, each spawning DL-1 gtypos;
+//! * a registration process in which gtypos of popular targets with low
+//!   visual distance are far likelier to be taken (ctypos);
+//! * registrants drawn from archetypes — bulk domain sellers,
+//!   mail-hosting typosquatters, small-time squatters, defensive
+//!   registrars, benign collisions — with Zipf-sized portfolios
+//!   (2.3% of registrants own the majority of domains, Figure 8);
+//! * mail hosting concentrated on a few provider MX domains (Table 6);
+//! * a minority of "cesspool" name servers carrying a typo ratio far
+//!   above the ~4% baseline (§5.2);
+//! * per-host SMTP behaviour (listening ports, STARTTLS health, whether
+//!   anyone ever reads the mailbox) that the scans and honey campaigns
+//!   observe.
+
+use ets_core::alexa::{self, PopularityList};
+use ets_core::taxonomy::DomainClass;
+use ets_core::typogen::{self, TypoCandidate};
+use ets_core::DomainName;
+use ets_dns::registry::{Registration, Registry};
+use ets_dns::resolver::Resolver;
+use ets_dns::whois::WhoisRecord;
+use ets_dns::zone::Zone;
+use ets_dns::Fqdn;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Registrant archetypes observed in §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegistrantArchetype {
+    /// Companies holding large portfolios for resale; SMTP usually on
+    /// (parking providers enable it by default).
+    DomainSeller,
+    /// Registrants operating SMTP on most of their many typo domains —
+    /// the suspicious population of §5.2.
+    MailTyposquatter,
+    /// Small-time squatters with a handful of domains, often web-only.
+    SmallSquatter,
+    /// The target's own organization (defensive registrations).
+    Defensive,
+    /// Legitimate sites that merely happen to be lexically close.
+    BenignCollision,
+}
+
+/// How a host answers SMTP connections (feeds Table 4 and Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SmtpProfile {
+    /// No listener on ports 25/465/587.
+    NoListener,
+    /// Listens, accepts, plain only.
+    PlainOnly,
+    /// Listens, advertises STARTTLS, upgrade fails.
+    StarttlsBroken,
+    /// Listens, STARTTLS works.
+    StarttlsOk,
+    /// Listens but times out before the banner.
+    SilentTimeout,
+    /// TCP connection resets (network error).
+    ConnectionReset,
+    /// Listens and rejects every recipient.
+    BounceAll,
+}
+
+/// One registered candidate typo domain, with ground truth the analyses
+/// must *recover*, never read directly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CtypoInfo {
+    /// The generated candidate (domain, target, mistake metadata).
+    pub candidate: TypoCandidate,
+    /// Ground-truth owner id (index into [`World::registrants`]).
+    pub owner: usize,
+    /// Ground-truth classification.
+    pub class: DomainClass,
+    /// Whether WHOIS hides behind a privacy proxy.
+    pub private: bool,
+    /// SMTP behaviour of the host serving this domain.
+    pub smtp: SmtpProfile,
+    /// Whether a DNS zone is published at all ("No info" rows of Table 4
+    /// come from registered names whose delegation is lame).
+    pub has_zone: bool,
+}
+
+/// A registrant with a portfolio.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Registrant {
+    /// Stable id (index).
+    pub id: usize,
+    /// Archetype.
+    pub archetype: RegistrantArchetype,
+    /// The registrant's true WHOIS identity.
+    pub whois: WhoisRecord,
+    /// Whether this registrant hides behind a privacy proxy.
+    pub private: bool,
+    /// Name-server provider index used for the portfolio.
+    pub ns_provider: usize,
+    /// Mail-hosting MX domain index (None = self-hosted or none).
+    pub mx_provider: Option<usize>,
+    /// Probability this registrant actually reads captured mail
+    /// (§7: nearly always ~0; a handful of actors are curious).
+    pub reads_mail: f64,
+}
+
+/// Configuration of the synthetic world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Number of target domains (Alexa top-N).
+    pub n_targets: usize,
+    /// RNG seed (every world with the same config is identical).
+    pub seed: u64,
+    /// Base probability that a gtypo of the #1 target is registered.
+    pub base_registration_rate: f64,
+    /// How quickly registration probability decays with target rank.
+    pub rank_decay: f64,
+    /// Fraction of ctypos that are defensive registrations.
+    pub defensive_share: f64,
+    /// Fraction of ctypos that are benign collisions.
+    pub benign_share: f64,
+    /// Share of registrants using privacy proxies.
+    pub privacy_share: f64,
+    /// Number of distinct non-proxy registrant identities.
+    pub n_registrants: usize,
+    /// Number of name-server providers (first `n_cesspool_ns` are dirty).
+    pub n_ns_providers: usize,
+    /// How many of the NS providers cater to typosquatters.
+    pub n_cesspool_ns: usize,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            n_targets: 1_000,
+            seed: 20161105, // the paper's ctypo snapshot date (Nov 5, 2016)
+            base_registration_rate: 1.3,
+            rank_decay: 0.35,
+            defensive_share: 0.04,
+            benign_share: 0.06,
+            privacy_share: 0.44, // Table 5: 22,341 of 50,995 private
+            n_registrants: 600,
+            n_ns_providers: 40,
+            n_cesspool_ns: 4,
+        }
+    }
+}
+
+impl PopulationConfig {
+    /// A small world for unit tests (fast to build).
+    pub fn tiny(seed: u64) -> Self {
+        PopulationConfig {
+            n_targets: 60,
+            n_registrants: 80,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// The Table-6 mail-hosting provider domains, most private, plus the two
+/// public Google rows.
+pub const MX_PROVIDERS: [(&str, bool, f64); 10] = [
+    ("b-io.co", true, 0.436),
+    ("h-email.net", true, 0.185),
+    ("mb5p.com", true, 0.101),
+    ("m1bp.com", true, 0.087),
+    ("mb1p.com", true, 0.077),
+    ("hostedmxserver.com", true, 0.031),
+    ("hope-mail.com", true, 0.024),
+    ("m2bp.com", true, 0.013),
+    ("google.com", false, 0.008),
+    ("googlemail.com", false, 0.005),
+];
+
+/// Number of mid-tier mail hosts beyond the Table-6 head: smaller hosted
+/// providers that carry the middle of Figure 8's curve but whose hosted
+/// domains rarely accept probe mail.
+pub const MID_TIER_MX: usize = 40;
+
+/// The assembled world.
+#[derive(Debug)]
+pub struct World {
+    /// The registry holding every registration and zone.
+    pub registry: Registry,
+    /// Popularity list of targets (and benign filler sites).
+    pub popularity: PopularityList,
+    /// The target domains, most popular first.
+    pub targets: Vec<DomainName>,
+    /// All registered candidate typo domains, sorted by name.
+    pub ctypos: Vec<CtypoInfo>,
+    /// The registrant population (ground truth).
+    pub registrants: Vec<Registrant>,
+    /// Name-server provider host names (`ns1.<provider>`), index-aligned
+    /// with `Registrant::ns_provider`.
+    pub ns_providers: Vec<Fqdn>,
+    /// Mail-provider MX domains, index-aligned with
+    /// `Registrant::mx_provider`.
+    pub mx_providers: Vec<Fqdn>,
+    /// Per-NS-provider background customer base: unrelated benign domains
+    /// that exist in .com but are not individually materialized here.
+    /// Used by the §5.2 name-server ratios (the live study saw each NS
+    /// against the whole zone file).
+    pub ns_customer_base: Vec<(Fqdn, usize)>,
+    /// Config used to build this world.
+    pub config: PopulationConfig,
+}
+
+impl World {
+    /// Builds the world deterministically from a config.
+    pub fn build(config: PopulationConfig) -> World {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let popularity = alexa::synthetic_top(config.n_targets);
+        let targets: Vec<DomainName> = popularity.iter().map(|e| e.domain.clone()).collect();
+        let registry = Registry::new();
+
+        let ns_providers: Vec<Fqdn> = (0..config.n_ns_providers)
+            .map(|i| {
+                let name = if i < config.n_cesspool_ns {
+                    format!("ns1.cheap-dns-{i}.example")
+                } else {
+                    format!("ns1.provider-{i}.example")
+                };
+                name.parse().expect("generated ns names are valid")
+            })
+            .collect();
+        let mx_providers: Vec<Fqdn> = MX_PROVIDERS
+            .iter()
+            .map(|(d, _, _)| d.parse::<Fqdn>().expect("static"))
+            .chain((0..MID_TIER_MX).map(|i| {
+                format!("mailhost-{i}.example").parse().expect("generated")
+            }))
+            .collect();
+
+        // --- registrants with Zipf-sized portfolios -------------------
+        let mut registrants: Vec<Registrant> = Vec::with_capacity(config.n_registrants);
+        for id in 0..config.n_registrants {
+            let archetype = match id {
+                0..=2 => RegistrantArchetype::DomainSeller,
+                3..=13 => RegistrantArchetype::MailTyposquatter,
+                _ => RegistrantArchetype::SmallSquatter,
+            };
+            let private = rng.gen_bool(config.privacy_share);
+            // Typosquatters favor the cesspool name servers.
+            let ns_provider = match archetype {
+                RegistrantArchetype::MailTyposquatter | RegistrantArchetype::DomainSeller
+                    if rng.gen_bool(0.7) =>
+                {
+                    rng.gen_range(0..config.n_cesspool_ns.max(1))
+                }
+                _ => rng.gen_range(0..config.n_ns_providers),
+            };
+            // Mail hosting: weighted pick over the Table-6 providers.
+            let mx_provider = match archetype {
+                RegistrantArchetype::MailTyposquatter | RegistrantArchetype::DomainSeller => {
+                    Some(pick_mx_provider(&mut rng))
+                }
+                RegistrantArchetype::SmallSquatter if rng.gen_bool(0.55) => {
+                    Some(pick_mx_provider(&mut rng))
+                }
+                _ => None,
+            };
+            let reads_mail = if rng.gen_bool(0.002) { 0.5 } else { 0.0 };
+            registrants.push(Registrant {
+                id,
+                archetype,
+                whois: synth_whois(id, &mut rng),
+                private,
+                ns_provider,
+                mx_provider,
+                reads_mail,
+            });
+        }
+
+        // --- register benign filler sites (the targets themselves) ----
+        for (rank, t) in targets.iter().enumerate() {
+            let fq = Fqdn::from_domain(t);
+            let zone = Zone::hosted_mail(
+                &fq,
+                &fq.child("mx").expect("valid"),
+                Some(ip_for(rank as u64, 1)),
+                300,
+            );
+            let mut full_zone = zone;
+            full_zone.add(ets_dns::record::ResourceRecord::a(
+                &format!("mx.{fq}"),
+                300,
+                ip_for(rank as u64, 2),
+            ));
+            registry.register(
+                Registration {
+                    domain: fq,
+                    registrar: "registrar-legit".to_owned(),
+                    whois: synth_whois(1_000_000 + rank, &mut rng),
+                    privacy_proxy: None,
+                    nameservers: vec![ns_providers[rank % config.n_ns_providers.max(1)].clone()],
+                    created_day: 0,
+                },
+                Some(full_zone),
+            );
+        }
+
+        // --- benign background per name-server provider ----------------
+        // §5.2's ratios only make sense against each provider's ordinary
+        // customer base: clean providers host many unrelated businesses,
+        // cesspools host few.
+        for (pi, ns) in ns_providers.iter().enumerate() {
+            let benign_customers = if pi < config.n_cesspool_ns { 4 } else { 30 };
+            for j in 0..benign_customers {
+                let name: Fqdn = format!("biz-{pi}-{j}.com").parse().expect("valid");
+                registry.register(
+                    Registration {
+                        domain: name.clone(),
+                        registrar: "registrar-legit".to_owned(),
+                        whois: synth_whois(4_000_000 + pi * 1000 + j, &mut rng),
+                        privacy_proxy: None,
+                        nameservers: vec![ns.clone()],
+                        created_day: 0,
+                    },
+                    Some(Zone::parked(&name, ip_for((pi * 1000 + j) as u64, 9), 300)),
+                );
+            }
+        }
+
+        // --- the registration process over gtypos ----------------------
+        let mut ctypos: Vec<CtypoInfo> = Vec::new();
+        // Portfolio assignment: Zipf over registrants (registrant 0 has
+        // the biggest appetite).
+        let appetite: Vec<f64> = (0..config.n_registrants)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(0.7))
+            .collect();
+        let appetite_total: f64 = appetite.iter().sum();
+
+        for (rank0, target) in targets.iter().enumerate() {
+            let rank = rank0 + 1;
+            // Skip filler sites for typo generation beyond a band: gtypos
+            // of rank > n_targets still exist but almost none registered;
+            // generating them all would be wasted work, so sample.
+            let p_target = config.base_registration_rate / (rank as f64).powf(config.rank_decay);
+            if p_target < 0.01 {
+                continue;
+            }
+            for cand in typogen::generate_dl1(target) {
+                // Low visual distance and fat-finger adjacency make a typo
+                // attractive; deletions/transpositions too (Figure 9).
+                let attractiveness = {
+                    let v = cand.visual_normalized();
+                    let base = (1.0 - v).clamp(0.05, 1.0);
+                    let ff = if cand.fat_finger { 1.5 } else { 1.0 };
+                    let kind = match cand.kind {
+                        ets_core::MistakeKind::Deletion => 1.4,
+                        ets_core::MistakeKind::Transposition => 1.3,
+                        ets_core::MistakeKind::Substitution => 1.0,
+                        ets_core::MistakeKind::Addition => 0.8,
+                    };
+                    (base * ff * kind).min(2.0)
+                };
+                let p = (p_target * attractiveness * 0.35).min(0.95);
+                if !rng.gen_bool(p) {
+                    continue;
+                }
+                // Who takes it?
+                let class_roll: f64 = rng.gen();
+                let (class, owner) = if class_roll < config.defensive_share {
+                    (DomainClass::Defensive, usize::MAX)
+                } else if class_roll < config.defensive_share + config.benign_share {
+                    (DomainClass::BenignCollision, usize::MAX - 1)
+                } else {
+                    let mut pick = rng.gen::<f64>() * appetite_total;
+                    let mut owner = config.n_registrants - 1;
+                    for (i, a) in appetite.iter().enumerate() {
+                        if pick < *a {
+                            owner = i;
+                            break;
+                        }
+                        pick -= *a;
+                    }
+                    (DomainClass::Typosquatting, owner)
+                };
+                let info = register_ctypo(
+                    &registry,
+                    &registrants,
+                    &ns_providers,
+                    &mx_providers,
+                    cand,
+                    class,
+                    owner,
+                    &mut rng,
+                );
+                if let Some(i) = info {
+                    ctypos.push(i);
+                }
+            }
+        }
+        ctypos.sort_by(|a, b| a.candidate.domain.cmp(&b.candidate.domain));
+        let ns_customer_base: Vec<(Fqdn, usize)> = ns_providers
+            .iter()
+            .enumerate()
+            .map(|(pi, ns)| {
+                // Clean providers' customer base scales with world size so
+                // the §5.2 average ratio stays in the low single digits at
+                // any simulation scale.
+                let base = if pi < config.n_cesspool_ns {
+                    rng.gen_range(100..400)
+                } else {
+                    let per_provider = (ctypos.len() / config.n_ns_providers.max(1)).max(50);
+                    rng.gen_range(per_provider * 10..per_provider * 40)
+                };
+                (ns.clone(), base)
+            })
+            .collect();
+        World {
+            registry,
+            popularity,
+            targets,
+            ctypos,
+            registrants,
+            ns_providers,
+            mx_providers,
+            ns_customer_base,
+            config,
+        }
+    }
+
+    /// Resolver over this world's registry.
+    pub fn resolver(&self) -> Resolver {
+        Resolver::new(self.registry.clone())
+    }
+
+    /// Ctypos that are true typosquatting domains (ground truth).
+    pub fn true_typosquats(&self) -> impl Iterator<Item = &CtypoInfo> {
+        self.ctypos
+            .iter()
+            .filter(|c| c.class == DomainClass::Typosquatting)
+    }
+
+    /// The SMTP behaviour profile of a domain, if it is a known ctypo.
+    pub fn smtp_profile(&self, domain: &DomainName) -> Option<SmtpProfile> {
+        self.ctypos
+            .iter()
+            .find(|c| &c.candidate.domain == domain)
+            .map(|c| c.smtp)
+    }
+
+    /// The registrant who owns a ctypo (ground truth), if any.
+    pub fn owner_of(&self, domain: &DomainName) -> Option<&Registrant> {
+        let info = self.ctypos.iter().find(|c| &c.candidate.domain == domain)?;
+        self.registrants.get(info.owner)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn register_ctypo(
+    registry: &Registry,
+    registrants: &[Registrant],
+    ns_providers: &[Fqdn],
+    mx_providers: &[Fqdn],
+    cand: TypoCandidate,
+    class: DomainClass,
+    owner: usize,
+    rng: &mut ChaCha8Rng,
+) -> Option<CtypoInfo> {
+    let fq = Fqdn::from_domain(&cand.domain);
+    let (whois, private, ns, mx, smtp): (WhoisRecord, bool, Fqdn, Option<Fqdn>, SmtpProfile) =
+        match class {
+            DomainClass::Defensive => {
+                // Defensive registrations point at the owner, park the web
+                // host, and rarely run mail.
+                (
+                    synth_whois(2_000_000 + (owner_hash(&cand.target) % 100_000) as usize, rng),
+                    false,
+                    ns_providers[ns_providers.len() - 1].clone(),
+                    None,
+                    SmtpProfile::NoListener,
+                )
+            }
+            DomainClass::BenignCollision => (
+                synth_whois(3_000_000 + (owner_hash(&cand.domain) % 100_000) as usize, rng),
+                rng.gen_bool(0.2),
+                ns_providers[rng.gen_range(0..ns_providers.len())].clone(),
+                rng.gen_bool(0.3).then(|| mx_providers[8].clone()),
+                if rng.gen_bool(0.5) {
+                    SmtpProfile::StarttlsOk
+                } else {
+                    SmtpProfile::NoListener
+                },
+            ),
+            DomainClass::Typosquatting => {
+                let r = &registrants[owner];
+                let mx = r.mx_provider.map(|i| mx_providers[i].clone());
+                let top_tier = r.mx_provider.map(|i| i < MX_PROVIDERS.len()).unwrap_or(false);
+                let smtp = sample_smtp_profile(r.archetype, mx.is_some(), top_tier, rng);
+                (
+                    r.whois.clone(),
+                    r.private,
+                    ns_providers[r.ns_provider].clone(),
+                    mx,
+                    smtp,
+                )
+            }
+            DomainClass::Unregistered => return None,
+        };
+
+    // Lame delegation (Table 4 "No info"): registered, but no zone answers.
+    let has_zone = !rng.gen_bool(0.34);
+    let zone = if !has_zone {
+        None
+    } else {
+        match (&mx, smtp) {
+            (_, SmtpProfile::NoListener) if mx.is_none() => {
+                // Web-only parking or nothing at all.
+                if rng.gen_bool(0.6) {
+                    Some(Zone::parked(&fq, ip_for(owner_hash(&cand.domain), 3), 300))
+                } else {
+                    Some(Zone::new(fq.clone())) // neither MX nor A
+                }
+            }
+            (Some(mx_domain), _) => Some(Zone::hosted_mail(
+                &fq,
+                &mx_domain.child("mx1").expect("valid"),
+                Some(ip_for(owner_hash(&cand.domain), 4)),
+                300,
+            )),
+            (None, _) => Some(Zone::catch_all(&fq, ip_for(owner_hash(&cand.domain), 5), 300)),
+        }
+    };
+
+    let private_svc = private.then(|| "privacy-guard.example".to_owned());
+    let ok = registry.register(
+        Registration {
+            domain: fq,
+            registrar: format!("registrar-{}", owner_hash(&cand.domain) % 10),
+            whois,
+            privacy_proxy: private_svc,
+            nameservers: vec![ns],
+            created_day: rng.gen_range(0..3650),
+        },
+        zone,
+    );
+    if !ok {
+        return None; // already registered as a filler/benign site
+    }
+    Some(CtypoInfo {
+        candidate: cand,
+        owner,
+        class,
+        private,
+        smtp,
+        has_zone,
+    })
+}
+
+fn sample_smtp_profile(
+    archetype: RegistrantArchetype,
+    has_mx: bool,
+    top_tier: bool,
+    rng: &mut ChaCha8Rng,
+) -> SmtpProfile {
+    if has_mx && !top_tier {
+        // Mid-tier hosted: MX resolves, but the host is mostly parked
+        // infrastructure that rarely accepts (the paper's probe saw the
+        // accepting population concentrate on eight private hosts).
+        let roll: f64 = rng.gen();
+        return if roll < 0.38 {
+            SmtpProfile::SilentTimeout
+        } else if roll < 0.60 {
+            SmtpProfile::ConnectionReset
+        } else if roll < 0.88 {
+            SmtpProfile::BounceAll
+        } else if roll < 0.93 {
+            SmtpProfile::StarttlsOk
+        } else if roll < 0.98 {
+            SmtpProfile::StarttlsBroken
+        } else {
+            SmtpProfile::PlainOnly
+        };
+    }
+    if !has_mx {
+        // Self-hosted or web-only: mostly dead ports, echoing Table 5's
+        // dominance of timeouts and network errors.
+        let roll: f64 = rng.gen();
+        return if roll < 0.45 {
+            SmtpProfile::SilentTimeout
+        } else if roll < 0.75 {
+            SmtpProfile::ConnectionReset
+        } else if roll < 0.85 {
+            SmtpProfile::NoListener
+        } else if roll < 0.93 {
+            SmtpProfile::BounceAll
+        } else {
+            SmtpProfile::PlainOnly
+        };
+    }
+    match archetype {
+        RegistrantArchetype::MailTyposquatter | RegistrantArchetype::DomainSeller => {
+            let roll: f64 = rng.gen();
+            if roll < 0.62 {
+                SmtpProfile::StarttlsOk
+            } else if roll < 0.72 {
+                SmtpProfile::StarttlsBroken
+            } else if roll < 0.74 {
+                SmtpProfile::PlainOnly
+            } else if roll < 0.86 {
+                SmtpProfile::BounceAll
+            } else {
+                SmtpProfile::SilentTimeout
+            }
+        }
+        _ => {
+            if rng.gen_bool(0.5) {
+                SmtpProfile::StarttlsOk
+            } else {
+                SmtpProfile::BounceAll
+            }
+        }
+    }
+}
+
+fn pick_mx_provider(rng: &mut ChaCha8Rng) -> usize {
+    // 35% of hosted portfolios sit on the mid-tier hosts (the middle of
+    // Figure 8's curve); the rest concentrate on the Table-6 head.
+    if rng.gen_bool(0.35) {
+        return MX_PROVIDERS.len() + rng.gen_range(0..MID_TIER_MX);
+    }
+    let total: f64 = MX_PROVIDERS.iter().map(|(_, _, w)| w).sum();
+    let mut pick = rng.gen::<f64>() * total;
+    for (i, (_, _, w)) in MX_PROVIDERS.iter().enumerate() {
+        if pick < *w {
+            return i;
+        }
+        pick -= w;
+    }
+    MX_PROVIDERS.len() - 1
+}
+
+fn synth_whois(id: usize, rng: &mut ChaCha8Rng) -> WhoisRecord {
+    // Most registrants fill most fields (with plausibly fake data); some
+    // leave fields blank so they can never cluster.
+    let mut w = WhoisRecord::full(
+        &format!("Registrant {id}"),
+        &format!("Org {}", id % 97),
+        &format!("contact{id}@mail.example"),
+        &format!("+1.555{:07}", id % 10_000_000),
+        &format!("+1.556{:07}", id % 10_000_000),
+        &format!("{} Main Street, Springfield", id % 9_999),
+    );
+    if rng.gen_bool(0.15) {
+        w.fax = None;
+    }
+    if rng.gen_bool(0.1) {
+        w.organization = None;
+    }
+    if rng.gen_bool(0.05) {
+        w.phone = None;
+        w.mail_address = None;
+        w.fax = None;
+    }
+    w
+}
+
+fn owner_hash(d: impl std::fmt::Display) -> u64 {
+    let s = d.to_string();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn ip_for(seed: u64, salt: u64) -> Ipv4Addr {
+    let h = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(salt);
+    Ipv4Addr::new(
+        10,
+        (h >> 16) as u8,
+        (h >> 8) as u8,
+        (h as u8).max(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn tiny_world() -> World {
+        World::build(PopulationConfig::tiny(7))
+    }
+
+    #[test]
+    fn world_is_deterministic() {
+        let a = World::build(PopulationConfig::tiny(7));
+        let b = World::build(PopulationConfig::tiny(7));
+        assert_eq!(a.ctypos.len(), b.ctypos.len());
+        for (x, y) in a.ctypos.iter().zip(&b.ctypos) {
+            assert_eq!(x.candidate.domain, y.candidate.domain);
+            assert_eq!(x.owner, y.owner);
+            assert_eq!(x.smtp, y.smtp);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::build(PopulationConfig::tiny(7));
+        let b = World::build(PopulationConfig::tiny(8));
+        let a_names: Vec<_> = a.ctypos.iter().map(|c| c.candidate.domain.as_str().to_owned()).collect();
+        let b_names: Vec<_> = b.ctypos.iter().map(|c| c.candidate.domain.as_str().to_owned()).collect();
+        assert_ne!(a_names, b_names);
+    }
+
+    #[test]
+    fn ctypos_are_registered_and_dl1() {
+        let w = tiny_world();
+        assert!(w.ctypos.len() > 100, "got {}", w.ctypos.len());
+        for c in w.ctypos.iter().take(200) {
+            assert!(w
+                .registry
+                .is_registered(&Fqdn::from_domain(&c.candidate.domain)));
+            assert_eq!(
+                ets_core::distance::damerau_levenshtein(
+                    c.candidate.target.sld(),
+                    c.candidate.domain.sld()
+                ),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn popular_targets_attract_more_ctypos() {
+        let w = tiny_world();
+        let count_for = |t: &DomainName| {
+            w.ctypos
+                .iter()
+                .filter(|c| &c.candidate.target == t)
+                .count()
+        };
+        let top = count_for(&w.targets[0]);
+        let bottom = count_for(&w.targets[w.targets.len() - 1]);
+        assert!(
+            top > bottom,
+            "top target has {top} ctypos, bottom has {bottom}"
+        );
+    }
+
+    #[test]
+    fn ownership_is_heavy_tailed() {
+        let w = World::build(PopulationConfig {
+            n_targets: 120,
+            ..PopulationConfig::tiny(3)
+        });
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for c in w.true_typosquats() {
+            *counts.entry(c.owner).or_insert(0) += 1;
+        }
+        let mut sizes: Vec<usize> = counts.values().copied().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = sizes.iter().sum();
+        let top14: usize = sizes.iter().take(14).sum();
+        // Figure 8: the top registrants own a large share.
+        assert!(
+            top14 as f64 / total as f64 > 0.2,
+            "top-14 share {}",
+            top14 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn privacy_share_is_plausible() {
+        let w = tiny_world();
+        let private = w.ctypos.iter().filter(|c| c.private).count();
+        let share = private as f64 / w.ctypos.len() as f64;
+        assert!(share > 0.2 && share < 0.7, "privacy share {share}");
+    }
+
+    #[test]
+    fn defensive_and_benign_exist() {
+        let w = World::build(PopulationConfig {
+            n_targets: 150,
+            ..PopulationConfig::tiny(11)
+        });
+        assert!(w.ctypos.iter().any(|c| c.class == DomainClass::Defensive));
+        assert!(w
+            .ctypos
+            .iter()
+            .any(|c| c.class == DomainClass::BenignCollision));
+        assert!(w.true_typosquats().count() > w.ctypos.len() / 2);
+    }
+
+    #[test]
+    fn hosted_mail_resolves_to_provider() {
+        let w = tiny_world();
+        let resolver = w.resolver();
+        let hosted: Vec<&CtypoInfo> = w
+            .ctypos
+            .iter()
+            .filter(|c| c.has_zone && matches!(c.smtp, SmtpProfile::StarttlsOk))
+            .take(20)
+            .collect();
+        assert!(!hosted.is_empty());
+        let provider_names: Vec<String> =
+            w.mx_providers.iter().map(|p| p.to_string()).collect();
+        let mut saw_provider = false;
+        for c in hosted {
+            if let Some(mx) = resolver.mx_domain(&Fqdn::from_domain(&c.candidate.domain)) {
+                if provider_names.contains(&mx.to_string()) {
+                    saw_provider = true;
+                }
+            }
+        }
+        assert!(saw_provider, "no hosted ctypo resolved to a Table-6 provider");
+    }
+
+    #[test]
+    fn owner_lookup_round_trips() {
+        let w = tiny_world();
+        let squat = w.true_typosquats().next().unwrap();
+        let owner = w.owner_of(&squat.candidate.domain).unwrap();
+        assert_eq!(owner.id, squat.owner);
+    }
+
+    #[test]
+    fn lame_delegations_exist() {
+        let w = tiny_world();
+        let lame = w.ctypos.iter().filter(|c| !c.has_zone).count();
+        let share = lame as f64 / w.ctypos.len() as f64;
+        assert!(share > 0.2 && share < 0.5, "lame share {share}");
+        // And they really have no zone in the registry.
+        let c = w.ctypos.iter().find(|c| !c.has_zone).unwrap();
+        assert!(w
+            .registry
+            .zone(&Fqdn::from_domain(&c.candidate.domain))
+            .is_none());
+    }
+}

@@ -1,0 +1,363 @@
+//! Registrant clustering from WHOIS records (§5.1).
+//!
+//! Two domains belong to the same entity when at least four of the six
+//! WHOIS fields match (after Halvorson et al.). Privacy-proxied domains
+//! and records with fewer than four populated fields are excluded — proxy
+//! boilerplate would falsely merge every proxy customer.
+//!
+//! The pairwise rule is made near-linear by bucketing: since a 4-of-6
+//! match requires at least one *specific* field pair to agree, records are
+//! indexed by each populated field value and only bucket-mates are
+//! compared. Union-find merges matches into clusters.
+
+use ets_dns::whois::WhoisRecord;
+use ets_dns::Fqdn;
+use std::collections::HashMap;
+
+/// The paper's threshold: four of six fields.
+pub const MATCH_THRESHOLD: usize = 4;
+
+/// One input row: a domain and its *public* WHOIS view.
+#[derive(Debug, Clone)]
+pub struct WhoisRow {
+    /// The domain.
+    pub domain: Fqdn,
+    /// Public WHOIS record.
+    pub whois: WhoisRecord,
+    /// Whether the registration sits behind a privacy proxy.
+    pub private: bool,
+}
+
+/// A cluster of domains attributed to one entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// Domains in the cluster, sorted.
+    pub domains: Vec<Fqdn>,
+}
+
+impl Cluster {
+    /// Portfolio size.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether the cluster is empty (never produced by the clusterer).
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+}
+
+/// Disjoint-set forest with path compression and union by size.
+#[derive(Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns false if already merged.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+/// Clusters rows by the 4-of-6 rule, excluding proxies and sparse records.
+/// Returns clusters sorted by size, largest first.
+pub fn cluster_registrants(rows: &[WhoisRow]) -> Vec<Cluster> {
+    // Eligible rows only.
+    let eligible: Vec<(usize, &WhoisRow)> = rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.private && r.whois.populated_fields() >= MATCH_THRESHOLD)
+        .collect();
+    let mut uf = UnionFind::new(eligible.len());
+
+    // Bucket by normalized field values; compare within buckets.
+    let mut buckets: HashMap<(u8, String), Vec<usize>> = HashMap::new();
+    for (local, (_, row)) in eligible.iter().enumerate() {
+        for (fi, field) in fields(&row.whois).into_iter().enumerate() {
+            if let Some(v) = field {
+                buckets
+                    .entry((fi as u8, normalize(v)))
+                    .or_default()
+                    .push(local);
+            }
+        }
+    }
+    for members in buckets.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        let anchor = members[0];
+        for &other in &members[1..] {
+            if uf.find(anchor) == uf.find(other) {
+                continue;
+            }
+            let a = &eligible[anchor].1.whois;
+            let b = &eligible[other].1.whois;
+            if a.same_entity(b, MATCH_THRESHOLD) {
+                uf.union(anchor, other);
+            }
+        }
+    }
+    // Note: bucket comparison against the anchor only is an approximation
+    // of all-pairs; records equal on a field but differing from the anchor
+    // could be missed, so do a second pass comparing consecutive members.
+    for members in buckets.values() {
+        for w in members.windows(2) {
+            if uf.find(w[0]) != uf.find(w[1]) {
+                let a = &eligible[w[0]].1.whois;
+                let b = &eligible[w[1]].1.whois;
+                if a.same_entity(b, MATCH_THRESHOLD) {
+                    uf.union(w[0], w[1]);
+                }
+            }
+        }
+    }
+
+    let mut groups: HashMap<usize, Vec<Fqdn>> = HashMap::new();
+    for (local, (_, row)) in eligible.iter().enumerate() {
+        let root = uf.find(local);
+        groups.entry(root).or_default().push(row.domain.clone());
+    }
+    let mut clusters: Vec<Cluster> = groups
+        .into_values()
+        .map(|mut domains| {
+            domains.sort();
+            Cluster { domains }
+        })
+        .collect();
+    clusters.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.domains.cmp(&b.domains)));
+    clusters
+}
+
+fn fields(w: &WhoisRecord) -> [Option<&String>; 6] {
+    [
+        w.registrant_name.as_ref(),
+        w.organization.as_ref(),
+        w.email.as_ref(),
+        w.phone.as_ref(),
+        w.fax.as_ref(),
+        w.mail_address.as_ref(),
+    ]
+}
+
+fn normalize(v: &str) -> String {
+    v.trim().to_ascii_lowercase()
+}
+
+/// The cumulative-ownership curve of Figure 8: for clusters sorted largest
+/// first, the cumulative fraction of domains owned by the top `i+1`
+/// clusters at index `i`.
+pub fn cumulative_ownership(clusters: &[Cluster]) -> Vec<f64> {
+    let total: usize = clusters.iter().map(Cluster::len).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut acc = 0usize;
+    clusters
+        .iter()
+        .map(|c| {
+            acc += c.len();
+            acc as f64 / total as f64
+        })
+        .collect()
+}
+
+/// Smallest fraction of registrants owning at least `share` of domains
+/// (§5.2: "2.3% of all of the registrants own the majority").
+pub fn registrant_fraction_owning(clusters: &[Cluster], share: f64) -> f64 {
+    let curve = cumulative_ownership(clusters);
+    if curve.is_empty() {
+        return 0.0;
+    }
+    let n = curve.len() as f64;
+    for (i, &c) in curve.iter().enumerate() {
+        if c >= share {
+            return (i + 1) as f64 / n;
+        }
+    }
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Fqdn {
+        s.parse().unwrap()
+    }
+
+    fn row(domain: &str, whois: WhoisRecord, private: bool) -> WhoisRow {
+        WhoisRow {
+            domain: n(domain),
+            whois,
+            private,
+        }
+    }
+
+    fn identity(i: usize) -> WhoisRecord {
+        WhoisRecord::full(
+            &format!("Owner {i}"),
+            &format!("Org {i}"),
+            &format!("o{i}@x.com"),
+            &format!("+1.55500000{i:02}"),
+            &format!("+1.55600000{i:02}"),
+            &format!("{i} Main St"),
+        )
+    }
+
+    #[test]
+    fn same_identity_clusters() {
+        let rows = vec![
+            row("a.com", identity(1), false),
+            row("b.com", identity(1), false),
+            row("c.com", identity(2), false),
+        ];
+        let clusters = cluster_registrants(&rows);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].len(), 2);
+        assert_eq!(clusters[0].domains, vec![n("a.com"), n("b.com")]);
+    }
+
+    #[test]
+    fn partial_match_of_four_clusters() {
+        let mut w2 = identity(5);
+        w2.registrant_name = Some("Different Name".to_owned());
+        w2.fax = None; // 4 fields still match
+        let rows = vec![
+            row("a.com", identity(5), false),
+            row("b.com", w2, false),
+        ];
+        let clusters = cluster_registrants(&rows);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 2);
+    }
+
+    #[test]
+    fn three_matches_do_not_cluster() {
+        let mut w2 = identity(5);
+        w2.registrant_name = Some("X".to_owned());
+        w2.organization = Some("Y".to_owned());
+        w2.fax = None;
+        let rows = vec![row("a.com", identity(5), false), row("b.com", w2, false)];
+        let clusters = cluster_registrants(&rows);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn private_rows_excluded() {
+        let rows = vec![
+            row("a.com", identity(1), true),
+            row("b.com", identity(1), true),
+            row("c.com", identity(2), false),
+        ];
+        let clusters = cluster_registrants(&rows);
+        // only c.com is eligible
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].domains, vec![n("c.com")]);
+    }
+
+    #[test]
+    fn sparse_records_excluded() {
+        let sparse = WhoisRecord {
+            registrant_name: Some("Bob".into()),
+            email: Some("b@x.com".into()),
+            ..Default::default()
+        };
+        let rows = vec![
+            row("a.com", sparse.clone(), false),
+            row("b.com", sparse, false),
+        ];
+        assert!(cluster_registrants(&rows).is_empty());
+    }
+
+    #[test]
+    fn transitive_clustering() {
+        // A matches B on fields 1-4; B matches C on fields 3-6; A and C
+        // match on only 2 — union-find still merges all three.
+        let a = identity(9);
+        let mut b = identity(9);
+        let mut c = identity(9);
+        b.registrant_name = Some("B Name".into());
+        b.organization = Some("B Org".into());
+        c.registrant_name = Some("B Name".into());
+        c.organization = Some("B Org".into());
+        c.email = Some("c@x.com".into());
+        c.phone = Some("+1.999".into());
+        // a∩b: email, phone, fax, addr = 4 ✓; b∩c: name, org, fax, addr = 4 ✓
+        // a∩c: fax, addr = 2
+        assert_eq!(a.matching_fields(&b), 4);
+        assert_eq!(b.matching_fields(&c), 4);
+        assert_eq!(a.matching_fields(&c), 2);
+        let rows = vec![
+            row("a.com", a, false),
+            row("b.com", b, false),
+            row("c.com", c, false),
+        ];
+        let clusters = cluster_registrants(&rows);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 3);
+    }
+
+    #[test]
+    fn cumulative_curve() {
+        let clusters = vec![
+            Cluster { domains: vec![n("a.com"), n("b.com"), n("c.com")] },
+            Cluster { domains: vec![n("d.com")] },
+        ];
+        let curve = cumulative_ownership(&clusters);
+        assert_eq!(curve, vec![0.75, 1.0]);
+        assert!((registrant_fraction_owning(&clusters, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_find_behaves() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.find(2), uf.find(0));
+        assert_ne!(uf.find(3), uf.find(0));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(cluster_registrants(&[]).is_empty());
+        assert!(cumulative_ownership(&[]).is_empty());
+    }
+}

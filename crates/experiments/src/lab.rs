@@ -1,0 +1,112 @@
+//! Shared experiment context: lazily-built worlds, collections, and
+//! funnel outputs, so `repro all` builds each expensive substrate once.
+
+use ets_collector::funnel::{Funnel, FunnelVerdict};
+use ets_collector::infra::{CollectedEmail, CollectionInfra};
+use ets_collector::traffic::{TrafficConfig, TrafficGenerator};
+use ets_ecosystem::population::{PopulationConfig, World};
+use parking_lot::Mutex;
+use std::sync::OnceLock;
+
+/// The lab bench: seeds, scale, output directory, cached substrates.
+pub struct Lab {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Reduced-scale mode for quick runs.
+    pub fast: bool,
+    /// Output directory for JSON records.
+    pub out_dir: String,
+    world: OnceLock<World>,
+    collection: OnceLock<Collection>,
+    log: Mutex<()>,
+}
+
+/// A completed collection run: infrastructure, generated mail, verdicts.
+pub struct Collection {
+    /// The 76-domain study infrastructure.
+    pub infra: CollectionInfra,
+    /// Envelope view of every generated email (what the funnel sees).
+    pub collected: Vec<CollectedEmail>,
+    /// Funnel verdicts, index-aligned with `collected`.
+    pub verdicts: Vec<FunnelVerdict>,
+    /// Spam generation scale.
+    pub spam_scale: f64,
+}
+
+impl Lab {
+    /// Creates a lab bench.
+    pub fn new(seed: u64, fast: bool, out_dir: String) -> Lab {
+        Lab {
+            seed,
+            fast,
+            out_dir,
+            world: OnceLock::new(),
+            collection: OnceLock::new(),
+            log: Mutex::new(()),
+        }
+    }
+
+    /// The ecosystem world (§5/§6/§7 substrate), built once.
+    pub fn world(&self) -> &World {
+        self.world.get_or_init(|| {
+            let config = if self.fast {
+                PopulationConfig {
+                    n_targets: 150,
+                    seed: self.seed,
+                    ..PopulationConfig::default()
+                }
+            } else {
+                PopulationConfig {
+                    seed: self.seed,
+                    ..PopulationConfig::default()
+                }
+            };
+            eprintln!(
+                "[lab] building world ({} targets)...",
+                config.n_targets
+            );
+            World::build(config)
+        })
+    }
+
+    /// The collection run (§4 substrate), built once.
+    pub fn collection(&self) -> &Collection {
+        self.collection.get_or_init(|| {
+            let infra = CollectionInfra::build();
+            let config = TrafficConfig {
+                seed: self.seed,
+                spam_scale: if self.fast { 1.0 / 20_000.0 } else { 1.0 / 1_000.0 },
+                ..TrafficConfig::default()
+            };
+            let spam_scale = config.spam_scale;
+            eprintln!(
+                "[lab] generating {} months of traffic (spam scale 1/{:.0})...",
+                7.5,
+                1.0 / spam_scale
+            );
+            let collected: Vec<CollectedEmail> = TrafficGenerator::new(&infra, config)
+                .generate()
+                .into_iter()
+                .map(|e| e.collected)
+                .collect();
+            eprintln!("[lab] running the funnel over {} emails...", collected.len());
+            let verdicts = Funnel::new(&infra).classify_all(&collected);
+            Collection {
+                infra,
+                collected,
+                verdicts,
+                spam_scale,
+            }
+        })
+    }
+
+    /// Writes one experiment's JSON record.
+    pub fn write_json(&self, name: &str, value: &serde_json::Value) {
+        let _guard = self.log.lock();
+        let path = format!("{}/{name}.json", self.out_dir);
+        match std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializable")) {
+            Ok(()) => eprintln!("[lab] wrote {path}"),
+            Err(e) => eprintln!("[lab] cannot write {path}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! `repro` — regenerates every table and figure of *Email Typosquatting*
+//! (Szurdi & Christin, IMC 2017) from the simulated substrate.
+//!
+//! ```text
+//! repro <experiment> [--seed N] [--out DIR] [--fast]
+//!
+//! experiments:
+//!   table1      DNS settings of a typo domain
+//!   table2      sensitive-info scrubber precision/sensitivity
+//!   table3      spam-scorer evaluation on four datasets
+//!   table4      SMTP support census of ctypo domains
+//!   table5      honey-probe outcome counts
+//!   table6      MX usage of accepting domains
+//!   fig3        daily receiver-typo series
+//!   fig4        daily SMTP-typo series
+//!   fig5        cumulative receiver typos per domain
+//!   fig6        sensitive-info heatmap
+//!   fig7        attachment extensions
+//!   fig8        ctypo concentration by mail server / registrant
+//!   fig9        relative popularity by mistake type
+//!   volumes     §4.4.1 headline volumes
+//!   regression  §6 projection model
+//!   honey       §7 honey-token campaign
+//!   all         everything above
+//! ```
+//!
+//! Each experiment prints the paper-shaped rows and writes a JSON record
+//! under `--out` (default `results/`).
+
+mod lab;
+mod report;
+mod section4;
+mod section5;
+mod section6;
+mod section7;
+
+use std::process::ExitCode;
+
+/// An experiment entry: name plus runner.
+type Experiment = (&'static str, fn(&lab::Lab));
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment: Option<String> = None;
+    let mut seed: u64 = 2016_0604;
+    let mut out_dir = "results".to_owned();
+    let mut fast = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed needs an integer"),
+            },
+            "--out" => match it.next() {
+                Some(d) => out_dir = d.clone(),
+                None => return usage("--out needs a directory"),
+            },
+            "--fast" => fast = true,
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_owned());
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(experiment) = experiment else {
+        return usage("no experiment given");
+    };
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let ctx = lab::Lab::new(seed, fast, out_dir);
+    let known: Vec<Experiment> = vec![
+        ("table1", section4::table1),
+        ("table2", section4::table2),
+        ("table3", section4::table3),
+        ("table4", section5::table4),
+        ("table5", section7::table5),
+        ("table6", section7::table6),
+        ("fig3", section4::fig3),
+        ("fig4", section4::fig4),
+        ("fig5", section4::fig5),
+        ("fig6", section4::fig6),
+        ("fig7", section4::fig7),
+        ("fig8", section5::fig8),
+        ("fig9", section6::fig9),
+        ("volumes", section4::volumes),
+        ("regression", section6::regression),
+        ("honey", section7::honey),
+    ];
+    match experiment.as_str() {
+        "all" => {
+            for (name, f) in &known {
+                println!("\n=== {name} ===");
+                f(&ctx);
+            }
+            ExitCode::SUCCESS
+        }
+        name => match known.iter().find(|(n, _)| *n == name) {
+            Some((_, f)) => {
+                f(&ctx);
+                ExitCode::SUCCESS
+            }
+            None => usage(&format!("unknown experiment {name:?}")),
+        },
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: repro <table1|table2|table3|table4|table5|table6|fig3..fig9|volumes|regression|honey|all> [--seed N] [--out DIR] [--fast]"
+    );
+    ExitCode::FAILURE
+}

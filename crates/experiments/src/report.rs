@@ -1,0 +1,91 @@
+//! Small text-table helpers for the experiment printouts.
+
+/// Prints a table: header row plus data rows, columns padded.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{c:<w$}", w = widths.get(i).copied().unwrap_or(0)));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<String>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a float with thousands separators, no decimals.
+pub fn thousands(x: f64) -> String {
+    let v = x.round() as i64;
+    let s = v.abs().to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if v < 0 {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+/// A simple log-ish sparkline for daily series (console figure stand-in).
+pub fn sparkline(values: &[usize]) -> String {
+    const BARS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let level = if v == 0 {
+                0
+            } else {
+                (((v as f64).ln_1p() / (values.iter().max().copied().unwrap_or(1) as f64).ln_1p())
+                    * 8.0)
+                    .ceil() as usize
+            };
+            BARS[level.min(8)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0.0), "0");
+        assert_eq!(thousands(999.0), "999");
+        assert_eq!(thousands(1000.0), "1,000");
+        assert_eq!(thousands(118_894_960.0), "118,894,960");
+        assert_eq!(thousands(-1234.0), "-1,234");
+    }
+
+    #[test]
+    fn sparkline_scales() {
+        let s = sparkline(&[0, 1, 10, 100]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with(' '));
+        assert!(s.ends_with('█'));
+    }
+}

@@ -1,0 +1,282 @@
+//! Section-4 experiments: Tables 1–3, Figures 3–7, headline volumes.
+
+use crate::lab::Lab;
+use crate::report::{print_table, sparkline, thousands};
+use ets_collector::analysis::StudyAnalysis;
+use ets_collector::corpus::{self, SpamDataset};
+use ets_collector::scrub::{self, SensitiveKind};
+use ets_collector::spamscore::SpamScorer;
+use ets_core::stats::Confusion;
+use ets_dns::zone::{table1_listing, Zone};
+use serde_json::json;
+use std::net::Ipv4Addr;
+
+/// Table 1: the DNS settings of an example typo domain.
+pub fn table1(lab: &Lab) {
+    let zone = Zone::catch_all(
+        &"exampel.com".parse().expect("valid"),
+        Ipv4Addr::new(1, 1, 1, 1),
+        300,
+    );
+    let listing = table1_listing(&zone);
+    println!("{listing}");
+    lab.write_json("table1", &json!({ "listing": listing }));
+}
+
+/// Table 2: precision/sensitivity of the scrubber per identifier type,
+/// following the paper's protocol: per-type samples plus a 100-email
+/// random sample, evaluated against the planted ground truth.
+pub fn table2(lab: &Lab) {
+    let corpus = corpus::enron_like(4_000, 0.35, lab.seed ^ 0x7ab1e2);
+    let mut per_kind: Vec<(SensitiveKind, Confusion)> = SensitiveKind::ALL
+        .iter()
+        .map(|k| (*k, Confusion::new()))
+        .collect();
+    for email in &corpus {
+        let result = scrub::scrub(&email.message.body);
+        for (kind, confusion) in &mut per_kind {
+            let predicted = result.has(*kind);
+            let actual = email.sensitive.contains(kind);
+            // The paper scores per email-and-type: was this type found
+            // where present / absent.
+            confusion.record(predicted, actual);
+        }
+    }
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (kind, confusion) in &per_kind {
+        let s = confusion.scores();
+        rows.push(vec![
+            kind.label().to_owned(),
+            fmt(s.f1),
+            fmt(s.precision),
+            fmt(s.recall),
+        ]);
+        out.push(json!({
+            "kind": kind.label(),
+            "f1": s.f1, "precision": s.precision, "sensitivity": s.recall,
+            "tp": confusion.tp, "fp": confusion.fp, "fn": confusion.fn_,
+        }));
+    }
+    print_table(&["Sensitive info", "F1-score", "Prec.", "Sens."], &rows);
+    lab.write_json("table2", &json!({ "rows": out, "corpus_size": corpus.len() }));
+}
+
+fn fmt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}"),
+        None => "–".to_owned(),
+    }
+}
+
+/// Table 3: the spam scorer on the four dataset profiles.
+pub fn table3(lab: &Lab) {
+    let scorer = SpamScorer::new();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for ds in SpamDataset::ALL {
+        let corpus = corpus::spam_dataset(ds, 3_000, lab.seed ^ 0x5e7);
+        let mut confusion = Confusion::new();
+        for email in &corpus {
+            confusion.record(scorer.is_spam(&email.message), email.spam);
+        }
+        let s = confusion.scores();
+        rows.push(vec![
+            ds.name().to_owned(),
+            fmt(s.precision),
+            fmt(s.recall),
+        ]);
+        out.push(json!({
+            "dataset": ds.name(),
+            "precision": s.precision,
+            "recall": s.recall,
+        }));
+    }
+    print_table(&["Dataset", "Precision", "Recall"], &rows);
+    lab.write_json("table3", &json!({ "rows": out }));
+}
+
+/// Figure 3: daily receiver-candidate series by funnel category.
+pub fn fig3(lab: &Lab) {
+    daily_figure(lab, false, "fig3");
+}
+
+/// Figure 4: daily SMTP-candidate series by funnel category.
+pub fn fig4(lab: &Lab) {
+    daily_figure(lab, true, "fig4");
+}
+
+fn daily_figure(lab: &Lab, smtp_side: bool, name: &str) {
+    let c = lab.collection();
+    let analysis = StudyAnalysis::new(&c.infra, &c.collected, &c.verdicts, c.spam_scale);
+    let series = analysis.daily_series(smtp_side);
+    let spam: Vec<usize> = series.iter().map(|d| d.spam).collect();
+    let auto: Vec<usize> = series.iter().map(|d| d.auto_filtered).collect();
+    let typo: Vec<usize> = series.iter().map(|d| d.true_typos).collect();
+    println!(
+        "daily {} emails, {} collection days (spam at 1/{:.0} scale)",
+        if smtp_side { "SMTP-typo" } else { "receiver-typo" },
+        series.len(),
+        1.0 / c.spam_scale
+    );
+    println!("spam      {}", sparkline(&spam));
+    println!("filtered  {}", sparkline(&auto));
+    println!("true typo {}", sparkline(&typo));
+    println!(
+        "totals: spam {} (≈{} at paper scale), filtered {}, true {}",
+        spam.iter().sum::<usize>(),
+        thousands(spam.iter().sum::<usize>() as f64 / c.spam_scale),
+        auto.iter().sum::<usize>(),
+        typo.iter().sum::<usize>()
+    );
+    let rows: Vec<serde_json::Value> = series
+        .iter()
+        .map(|d| json!({"day": d.day, "spam": d.spam, "filtered": d.auto_filtered, "true": d.true_typos}))
+        .collect();
+    lab.write_json(name, &json!({ "series": rows, "spam_scale": c.spam_scale }));
+}
+
+/// Figure 5: cumulative receiver typos across the 27 provider domains.
+pub fn fig5(lab: &Lab) {
+    let c = lab.collection();
+    let analysis = StudyAnalysis::new(&c.infra, &c.collected, &c.verdicts, c.spam_scale);
+    let rows = analysis.figure5();
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(d, n, cum)| vec![d.to_string(), n.to_string(), format!("{cum:.3}")])
+        .collect();
+    print_table(&["Domain", "Receiver typos", "Cumulative"], &printable);
+    let top2 = rows.get(1).map(|r| r.2).unwrap_or(0.0);
+    let top12 = rows.get(11).map(|r| r.2).unwrap_or(0.0);
+    println!("top-2 share: {top2:.2}; top-12 share: {top12:.2} (paper: majority / 0.99)");
+    lab.write_json(
+        "fig5",
+        &json!({
+            "rows": rows.iter().map(|(d, n, c)| json!({"domain": d.to_string(), "count": n, "cumulative": c})).collect::<Vec<_>>(),
+            "top2_share": top2,
+            "top12_share": top12,
+        }),
+    );
+}
+
+/// Figure 6: sensitive-info heatmap over true typo emails.
+pub fn fig6(lab: &Lab) {
+    let c = lab.collection();
+    let analysis = StudyAnalysis::new(&c.infra, &c.collected, &c.verdicts, c.spam_scale);
+    let heat = analysis.figure6();
+    let mut rows: Vec<(&(ets_core::DomainName, String), &usize)> = heat.iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .take(25)
+        .map(|((d, k), n)| vec![d.to_string(), k.clone(), n.to_string()])
+        .collect();
+    print_table(&["Typo domain", "Sensitive info", "Count"], &printable);
+    lab.write_json(
+        "fig6",
+        &json!({
+            "cells": rows.iter().map(|((d, k), n)| json!({"domain": d.to_string(), "kind": k, "count": n})).collect::<Vec<_>>(),
+        }),
+    );
+}
+
+/// Figure 7: attachment extension frequencies among true typos.
+pub fn fig7(lab: &Lab) {
+    let c = lab.collection();
+    let analysis = StudyAnalysis::new(&c.infra, &c.collected, &c.verdicts, c.spam_scale);
+    let rows = analysis.figure7();
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(e, n)| vec![e.clone(), n.to_string()])
+        .collect();
+    print_table(&["Extension", "Count"], &printable);
+    lab.write_json(
+        "fig7",
+        &json!({
+            "rows": rows.iter().map(|(e, n)| json!({"ext": e, "count": n})).collect::<Vec<_>>(),
+        }),
+    );
+}
+
+/// §4.4.1: the headline yearly volumes, plus SMTP-typo persistence.
+pub fn volumes(lab: &Lab) {
+    let c = lab.collection();
+    let analysis = StudyAnalysis::new(&c.infra, &c.collected, &c.verdicts, c.spam_scale);
+    let v = analysis.volumes();
+    let rows = vec![
+        vec!["total emails/yr".to_owned(), thousands(v.total), "118,894,960".to_owned()],
+        vec![
+            "receiver/reflection candidates/yr".to_owned(),
+            thousands(v.receiver_candidates),
+            "16,233,730".to_owned(),
+        ],
+        vec![
+            "SMTP candidates/yr".to_owned(),
+            thousands(v.smtp_candidates),
+            "102,661,230".to_owned(),
+        ],
+        vec![
+            "pass all filters/yr".to_owned(),
+            thousands(v.pass_funnel),
+            "7,260".to_owned(),
+        ],
+        vec![
+            "receiver+reflection/yr".to_owned(),
+            thousands(v.receiver_reflection),
+            "6,041".to_owned(),
+        ],
+        vec![
+            "SMTP typos/yr (range)".to_owned(),
+            format!("{} – {}", thousands(v.smtp_range.0), thousands(v.smtp_range.1)),
+            "415 – 5,970".to_owned(),
+        ],
+        vec![
+            "receiver typos on SMTP domains/yr".to_owned(),
+            thousands(v.mystery_receiver),
+            "≈700".to_owned(),
+        ],
+    ];
+    print_table(&["Quantity", "Measured", "Paper"], &rows);
+    let p = analysis.smtp_persistence();
+    println!(
+        "\nSMTP persistence: {} users; single-email {:.0}%; <1 day {:.0}%; <1 week {:.0}%; ≤4 emails {:.0}%; max {} days",
+        p.users,
+        p.single_email * 100.0,
+        p.under_one_day * 100.0,
+        p.under_one_week * 100.0,
+        p.at_most_four_emails * 100.0,
+        p.max_days
+    );
+    println!("(paper: 70% single; 83% <1 day; 90% <1 week; 90% ≤4 emails; max 209 days)");
+    lab.write_json(
+        "volumes",
+        &json!({
+            "measured": {
+                "total": v.total,
+                "receiver_candidates": v.receiver_candidates,
+                "smtp_candidates": v.smtp_candidates,
+                "pass_funnel": v.pass_funnel,
+                "receiver_reflection": v.receiver_reflection,
+                "smtp_range": [v.smtp_range.0, v.smtp_range.1],
+                "mystery_receiver": v.mystery_receiver,
+            },
+            "paper": {
+                "total": 118_894_960.0,
+                "receiver_candidates": 16_233_730.0,
+                "smtp_candidates": 102_661_230.0,
+                "pass_funnel": 7_260.0,
+                "receiver_reflection": 6_041.0,
+                "smtp_range": [415.0, 5_970.0],
+                "mystery_receiver": 700.0,
+            },
+            "persistence": {
+                "users": p.users,
+                "single_email": p.single_email,
+                "under_one_day": p.under_one_day,
+                "under_one_week": p.under_one_week,
+                "at_most_four": p.at_most_four_emails,
+                "max_days": p.max_days,
+            },
+        }),
+    );
+}

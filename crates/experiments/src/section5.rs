@@ -1,0 +1,154 @@
+//! Section-5 experiments: the ecosystem census (Table 4, Figure 8) and
+//! the name-server suspicion analysis.
+
+use crate::lab::Lab;
+use crate::report::{print_table, thousands};
+use ets_dns::Fqdn;
+use ets_ecosystem::mxconc::MxConcentration;
+use ets_ecosystem::nameserver::NsAnalysis;
+use ets_ecosystem::scan::{scan_world, SmtpSupport};
+use ets_ecosystem::whois_cluster::{self, WhoisRow};
+use serde_json::json;
+use std::collections::HashSet;
+
+/// Table 4: SMTP support of candidate typo domains.
+pub fn table4(lab: &Lab) {
+    let world = lab.world();
+    let census = scan_world(world);
+    let rows: Vec<Vec<String>> = census
+        .rows()
+        .into_iter()
+        .map(|(label, count, pct_total, pct_analyzed)| {
+            vec![
+                label,
+                thousands(count as f64),
+                format!("{pct_total:.1}"),
+                pct_analyzed,
+            ]
+        })
+        .collect();
+    print_table(&["Support status", "Count", "% total", "% analyzed"], &rows);
+    println!(
+        "\nemail-capable share: {:.1}% (paper: 43.3%)",
+        census.supports_email_share() * 100.0
+    );
+    lab.write_json(
+        "table4",
+        &json!({
+            "counts": census.counts,
+            "total": census.total(),
+            "email_capable_share": census.supports_email_share(),
+            "paper_email_capable_share": 0.433,
+            "no_info_pct": census.percent_total(SmtpSupport::NoInfo),
+        }),
+    );
+}
+
+/// Figure 8: cumulative ctypo share by mail server and by registrant,
+/// plus the suspicious name servers of §5.2.
+pub fn fig8(lab: &Lab) {
+    let world = lab.world();
+    let resolver = world.resolver();
+    let domains: Vec<Fqdn> = world
+        .ctypos
+        .iter()
+        .map(|c| Fqdn::from_domain(&c.candidate.domain))
+        .collect();
+
+    // --- mail-server concentration -----------------------------------
+    let conc = MxConcentration::measure(&resolver, domains.iter());
+    println!("mail-capable ctypos: {}", conc.total_with_mail);
+    let mut rows = Vec::new();
+    for k in [1usize, 5, 11, 51] {
+        rows.push(vec![
+            format!("top {k} mail servers"),
+            format!("{:.1}%", conc.top_share(k) * 100.0),
+        ]);
+    }
+    let one_pct = (conc.providers.len() / 100).max(1);
+    rows.push(vec![
+        format!("top 1% of servers ({one_pct})"),
+        format!("{:.1}%", conc.top_share(one_pct) * 100.0),
+    ]);
+    print_table(&["Mail servers", "Share of ctypos"], &rows);
+    println!(
+        "paper: top 11 serve >1/3; 51 serve the majority; <1% serve >74%"
+    );
+
+    // --- registrant concentration --------------------------------------
+    let whois_rows: Vec<WhoisRow> = world
+        .ctypos
+        .iter()
+        .map(|c| {
+            let fq = Fqdn::from_domain(&c.candidate.domain);
+            let reg = world
+                .registry
+                .registration(&fq)
+                .expect("ctypos are registered");
+            WhoisRow {
+                domain: fq,
+                whois: reg.public_whois(),
+                private: reg.is_private(),
+            }
+        })
+        .collect();
+    let clusters = whois_cluster::cluster_registrants(&whois_rows);
+    let curve = whois_cluster::cumulative_ownership(&clusters);
+    let top14 = curve.get(13).copied().unwrap_or(1.0);
+    let majority_frac = whois_cluster::registrant_fraction_owning(&clusters, 0.5);
+    println!(
+        "\nregistrants (public WHOIS, ≥4 fields): {} clusters over {} domains",
+        clusters.len(),
+        clusters.iter().map(|c| c.len()).sum::<usize>()
+    );
+    println!(
+        "top-14 registrants own {:.1}% (paper: 20%); {:.1}% of registrants own the majority (paper: 2.3%)",
+        top14 * 100.0,
+        majority_frac * 100.0
+    );
+
+    // --- suspicious name servers ---------------------------------------
+    let zone_file = world.registry.zone_file();
+    let ctypo_set: HashSet<Fqdn> = domains.iter().cloned().collect();
+    let ns = NsAnalysis::run_with_background(
+        &zone_file,
+        &ctypo_set,
+        &world.ns_customer_base,
+        10,
+    );
+    println!(
+        "\naverage NS typo ratio: {:.1}% (paper: ≈4%)",
+        ns.average_ratio * 100.0
+    );
+    let sus = ns.suspicious(5.0);
+    for s in sus.iter().take(5) {
+        println!(
+            "suspicious NS {}: {:.0}% typo ratio over {} domains",
+            s.nameserver,
+            s.typo_ratio() * 100.0,
+            s.total_count
+        );
+    }
+    println!("(paper: one name server at 89%)");
+
+    lab.write_json(
+        "fig8",
+        &json!({
+            "mx_top_shares": {
+                "top1": conc.top_share(1), "top5": conc.top_share(5),
+                "top11": conc.top_share(11), "top51": conc.top_share(51),
+                "top_1pct": conc.top_share(one_pct),
+            },
+            "mx_curve_first_100": conc.cumulative_curve().into_iter().take(100).collect::<Vec<f64>>(),
+            "registrant_top14": top14,
+            "registrant_majority_fraction": majority_frac,
+            "registrant_clusters": clusters.len(),
+            "ns_average_ratio": ns.average_ratio,
+            "ns_suspicious": sus.iter().map(|s| json!({
+                "ns": s.nameserver.to_string(),
+                "ratio": s.typo_ratio(),
+                "domains": s.total_count,
+            })).collect::<Vec<_>>(),
+        }),
+    );
+}

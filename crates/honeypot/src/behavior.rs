@@ -1,0 +1,258 @@
+//! The typosquatter behaviour model.
+//!
+//! §7.2's central (negative) finding: almost nobody does anything with
+//! captured mail. Of ~7,300 accepting domains sent four honey emails
+//! each, 15 emails were opened and 2 honey tokens accessed; opens lagged
+//! sends by hours (human pace) and sometimes recurred days later from
+//! different cities. The model assigns each *registrant* (not domain!) a
+//! curiosity level and produces exactly this sparse, slow signal.
+
+use ets_core::DomainName;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a mail recipient behaves once a message lands in their catch-all.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReaderBehavior {
+    /// Probability an arrived email is ever opened in a client that
+    /// fetches remote images (fires the pixel).
+    pub open_prob: f64,
+    /// Probability an opened credential/link is actually tried.
+    pub act_prob: f64,
+    /// Mean hours between arrival and first open.
+    pub mean_open_delay_hours: f64,
+    /// Probability an opened email gets re-opened days later.
+    pub reopen_prob: f64,
+}
+
+impl ReaderBehavior {
+    /// The overwhelmingly common case: a dormant catch-all nobody reads.
+    pub fn dormant() -> ReaderBehavior {
+        ReaderBehavior {
+            open_prob: 0.0,
+            act_prob: 0.0,
+            mean_open_delay_hours: 0.0,
+            reopen_prob: 0.0,
+        }
+    }
+
+    /// The rare curious operator (the Caracas/Poland anecdotes of §7.2).
+    pub fn curious() -> ReaderBehavior {
+        ReaderBehavior {
+            open_prob: 0.2,
+            act_prob: 0.1,
+            mean_open_delay_hours: 6.0,
+            reopen_prob: 0.3,
+        }
+    }
+}
+
+/// Geographic origin of an access (the paper logged Caracas, Orlando,
+/// Poland).
+pub const ACCESS_ORIGINS: [&str; 6] = [
+    "Caracas, Venezuela",
+    "Orlando, Florida",
+    "Warsaw, Poland",
+    "Kyiv, Ukraine",
+    "Shenzhen, China",
+    "Amsterdam, Netherlands",
+];
+
+/// The behaviour assignment across a registrant population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BehaviorModel {
+    /// Fraction of registrants that are curious at all (paper-calibrated:
+    /// ~19 of thousands of accepting registrants read something).
+    pub curious_share: f64,
+    /// Seed for deterministic assignment.
+    pub seed: u64,
+}
+
+impl Default for BehaviorModel {
+    fn default() -> Self {
+        BehaviorModel {
+            curious_share: 0.008,
+            seed: 0x7e57,
+        }
+    }
+}
+
+impl BehaviorModel {
+    /// The behaviour of the registrant identified by `registrant_key`
+    /// (all domains of one registrant behave identically — the paper sent
+    /// each registrant each design exactly once for this reason).
+    pub fn behavior_for(&self, registrant_key: &str) -> ReaderBehavior {
+        let h = fnv(registrant_key) ^ self.seed;
+        let u = unit(h);
+        if u < self.curious_share {
+            ReaderBehavior::curious()
+        } else {
+            ReaderBehavior::dormant()
+        }
+    }
+
+    /// Samples what a recipient does with one delivered honey email.
+    /// `key` should be unique per email. Returns open delay (hours) and
+    /// whether the honey resource gets accessed, plus reopen events.
+    pub fn sample_actions(
+        &self,
+        behavior: ReaderBehavior,
+        key: u64,
+    ) -> Vec<ReaderAction> {
+        let mut rng = ChaCha8Rng::seed_from_u64(key ^ self.seed.rotate_left(17));
+        let mut out = Vec::new();
+        if !rng.gen_bool(behavior.open_prob.clamp(0.0, 1.0)) {
+            return out;
+        }
+        // Exponential open delay at human pace: -ln(1-u) is a unit-mean
+        // exponential draw, capped at 5 means.
+        let exp_draw = (-((1.0 - rng.gen::<f64>()).max(1e-12).ln())).clamp(0.0, 5.0);
+        let delay = behavior.mean_open_delay_hours * exp_draw;
+        let origin = ACCESS_ORIGINS[rng.gen_range(0..ACCESS_ORIGINS.len())];
+        out.push(ReaderAction {
+            kind: ActionKind::Open,
+            delay_hours: delay.max(0.5),
+            origin,
+        });
+        if rng.gen_bool(behavior.act_prob.clamp(0.0, 1.0)) {
+            out.push(ReaderAction {
+                kind: ActionKind::UseResource,
+                delay_hours: delay.max(0.5) + rng.gen_range(0.1..4.0),
+                origin: ACCESS_ORIGINS[rng.gen_range(0..ACCESS_ORIGINS.len())],
+            });
+        }
+        if rng.gen_bool(behavior.reopen_prob.clamp(0.0, 1.0)) {
+            out.push(ReaderAction {
+                kind: ActionKind::Open,
+                delay_hours: delay.max(0.5) + rng.gen_range(24.0..340.0),
+                origin: ACCESS_ORIGINS[rng.gen_range(0..ACCESS_ORIGINS.len())],
+            });
+        }
+        out
+    }
+}
+
+/// What a reader did with a honey email.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReaderAction {
+    /// Open (pixel fetch) or resource use (credential login / doc view).
+    pub kind: ActionKind,
+    /// Hours after delivery.
+    pub delay_hours: f64,
+    /// Where the access came from.
+    pub origin: &'static str,
+}
+
+/// Action kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// Email opened (tracking pixel fired).
+    Open,
+    /// Honey resource accessed (login attempt / document view).
+    UseResource,
+}
+
+/// A registrant key for behaviour lookup: the WHOIS cluster id when known,
+/// else the domain itself (unclustered registrants act independently).
+pub fn registrant_key(domain: &DomainName, cluster: Option<usize>) -> String {
+    match cluster {
+        Some(c) => format!("cluster:{c}"),
+        None => format!("domain:{domain}"),
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn unit(h: u64) -> f64 {
+    let mut x = h;
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    ((x ^ (x >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavior_is_deterministic_per_registrant() {
+        let m = BehaviorModel::default();
+        let a = m.behavior_for("cluster:7");
+        let b = m.behavior_for("cluster:7");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn most_registrants_are_dormant() {
+        let m = BehaviorModel::default();
+        let curious = (0..10_000)
+            .filter(|i| m.behavior_for(&format!("cluster:{i}")).open_prob > 0.0)
+            .count();
+        assert!(curious < 200, "curious {curious}");
+        assert!(curious > 20, "curious {curious}");
+    }
+
+    #[test]
+    fn dormant_registrants_never_act() {
+        let m = BehaviorModel::default();
+        for key in 0..200 {
+            let actions = m.sample_actions(ReaderBehavior::dormant(), key);
+            assert!(actions.is_empty());
+        }
+    }
+
+    #[test]
+    fn curious_registrants_open_at_human_pace() {
+        let m = BehaviorModel::default();
+        let mut opened = 0usize;
+        let mut used = 0usize;
+        for key in 0..500 {
+            let actions = m.sample_actions(ReaderBehavior::curious(), key);
+            if let Some(first) = actions.first() {
+                opened += 1;
+                assert_eq!(first.kind, ActionKind::Open);
+                // Hours, not milliseconds: humans, not bots (§7.2).
+                assert!(first.delay_hours >= 0.5);
+            }
+            if actions.iter().any(|a| a.kind == ActionKind::UseResource) {
+                used += 1;
+            }
+        }
+        assert!(opened > 50, "opened {opened}");
+        assert!(used > 2 && used < opened, "used {used}");
+    }
+
+    #[test]
+    fn reopens_happen_days_later() {
+        let m = BehaviorModel::default();
+        let mut saw_reopen = false;
+        for key in 0..500 {
+            let actions = m.sample_actions(ReaderBehavior::curious(), key);
+            let opens: Vec<&ReaderAction> = actions
+                .iter()
+                .filter(|a| a.kind == ActionKind::Open)
+                .collect();
+            if opens.len() >= 2 {
+                saw_reopen = true;
+                assert!(opens[1].delay_hours - opens[0].delay_hours >= 24.0);
+            }
+        }
+        assert!(saw_reopen);
+    }
+
+    #[test]
+    fn registrant_keys() {
+        let d: DomainName = "outfook.com".parse().unwrap();
+        assert_eq!(registrant_key(&d, Some(3)), "cluster:3");
+        assert_eq!(registrant_key(&d, None), "domain:outfook.com");
+    }
+}

@@ -1,0 +1,370 @@
+//! The probe and honey-token campaigns (§7.1–7.2).
+//!
+//! **Probe campaign:** benign test emails to every candidate typo domain
+//! that listens on an SMTP port, through the real client/server state
+//! machines ([`ets_smtp::pipe`]). Outcomes land in the five Table-5
+//! buckets, split by public vs private registration; the accepting
+//! population's MX usage reproduces Table 6.
+//!
+//! **Honey campaign:** the four honey designs to each accepting domain
+//! (pilot: a capped subset, ≤ 4 domains per registrant), with reads and
+//! token uses drawn from the registrant behaviour model and logged by the
+//! [`Monitor`].
+
+use crate::behavior::{registrant_key, ActionKind, BehaviorModel};
+use crate::design::{self, HoneyDesign};
+use crate::monitor::{AccessEvent, AccessKind, Monitor};
+use ets_core::DomainName;
+use ets_ecosystem::population::{SmtpProfile, World};
+use ets_mail::EmailAddress;
+use ets_smtp::client::Email;
+use ets_smtp::fault::DeliveryOutcome;
+use ets_smtp::pipe;
+use ets_smtp::session::ServerPolicy;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of the probe campaign (Table 5 + Table 6 inputs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeReport {
+    /// Outcome counts: `[public, private] × Table-5 category`.
+    pub outcomes: [[usize; 5]; 2],
+    /// Domains that accepted without error.
+    pub accepted: Vec<DomainName>,
+    /// Probe emails that were demonstrably read (pixel fired), with the
+    /// registration privacy of the domain.
+    pub reads: Vec<(DomainName, bool)>,
+}
+
+impl ProbeReport {
+    /// Total probed domains.
+    pub fn total(&self) -> usize {
+        self.outcomes.iter().flatten().sum()
+    }
+
+    /// Table-5 style rows: (category, public count, private count).
+    pub fn table5_rows(&self) -> Vec<(String, usize, usize)> {
+        DeliveryOutcome::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.to_string(), self.outcomes[0][i], self.outcomes[1][i]))
+            .collect()
+    }
+}
+
+/// The probe campaign.
+pub struct ProbeCampaign<'a> {
+    world: &'a World,
+    behavior: BehaviorModel,
+}
+
+impl<'a> ProbeCampaign<'a> {
+    /// Creates a probe campaign over a world.
+    pub fn new(world: &'a World, behavior: BehaviorModel) -> Self {
+        ProbeCampaign { world, behavior }
+    }
+
+    /// Delivers one benign probe to `domain` given its SMTP behaviour.
+    /// Uses the real state machines whenever a server exists.
+    pub fn probe_one(&self, domain: &DomainName, smtp: SmtpProfile) -> DeliveryOutcome {
+        let policy = match smtp {
+            SmtpProfile::NoListener | SmtpProfile::ConnectionReset => {
+                return DeliveryOutcome::NetworkError
+            }
+            SmtpProfile::SilentTimeout => return DeliveryOutcome::Timeout,
+            SmtpProfile::BounceAll => ServerPolicy::bouncing(&format!("mx.{domain}")),
+            SmtpProfile::PlainOnly => {
+                let mut p = ServerPolicy::catch_all(&format!("mx.{domain}"), &[]);
+                p.supports_starttls = false;
+                p
+            }
+            SmtpProfile::StarttlsBroken => {
+                let mut p = ServerPolicy::catch_all(&format!("mx.{domain}"), &[]);
+                p.broken_starttls = true;
+                p
+            }
+            SmtpProfile::StarttlsOk => ServerPolicy::catch_all(&format!("mx.{domain}"), &[]),
+        };
+        let rcpt: EmailAddress = format!("test@{domain}")
+            .parse()
+            .expect("probe recipient is valid");
+        let email = Email::new(
+            Some("probe@research-vps.example".parse().expect("valid")),
+            vec![rcpt],
+            "Subject: test\r\n\r\nThis is a connectivity test, please ignore.".to_owned(),
+        );
+        match pipe::deliver(email, "research-vps.example", true, policy) {
+            Ok(result) => result.delivery_outcome(),
+            Err(pipe::PipeError::Timeout) => DeliveryOutcome::Timeout,
+            Err(pipe::PipeError::ConnectionRefused) => DeliveryOutcome::NetworkError,
+            Err(pipe::PipeError::ConnectionClosed) => DeliveryOutcome::OtherError,
+        }
+    }
+
+    /// Runs the probe across every ctypo in the world.
+    pub fn run(&self) -> ProbeReport {
+        let mut outcomes = [[0usize; 5]; 2];
+        let mut accepted = Vec::new();
+        let mut reads = Vec::new();
+        for c in &self.world.ctypos {
+            let outcome = if !c.has_zone {
+                // No resolvable mail target at all: the connection attempt
+                // never happens; zmap would not have listed it, but the
+                // bulk send treats it as a network error.
+                DeliveryOutcome::NetworkError
+            } else {
+                self.probe_one(&c.candidate.domain, c.smtp)
+            };
+            let side = usize::from(c.private);
+            let idx = DeliveryOutcome::ALL
+                .iter()
+                .position(|o| *o == outcome)
+                .expect("known outcome");
+            outcomes[side][idx] += 1;
+            if outcome == DeliveryOutcome::NoError {
+                accepted.push(c.candidate.domain.clone());
+                // A curious operator may read even the benign probe.
+                let owner = self.world.owner_of(&c.candidate.domain);
+                let key = registrant_key(&c.candidate.domain, owner.map(|r| r.id));
+                let b = self.behavior.behavior_for(&key);
+                let actions = self
+                    .behavior
+                    .sample_actions(b, fnv(c.candidate.domain.as_str()));
+                if actions.iter().any(|a| a.kind == ActionKind::Open) {
+                    reads.push((c.candidate.domain.clone(), c.private));
+                }
+            }
+        }
+        ProbeReport {
+            outcomes,
+            accepted,
+            reads,
+        }
+    }
+}
+
+/// Result of a honey-token campaign.
+#[derive(Debug)]
+pub struct HoneyReport {
+    /// Emails sent.
+    pub sent: usize,
+    /// Domains covered.
+    pub domains: usize,
+    /// The access log.
+    pub monitor: Monitor,
+}
+
+/// The honey-token campaign.
+pub struct HoneyCampaign<'a> {
+    world: &'a World,
+    behavior: BehaviorModel,
+}
+
+impl<'a> HoneyCampaign<'a> {
+    /// Creates a campaign over a world.
+    pub fn new(world: &'a World, behavior: BehaviorModel) -> Self {
+        HoneyCampaign { world, behavior }
+    }
+
+    /// The pilot selection: at most `per_registrant` domains per known
+    /// registrant, capped at `limit` total (the paper used 738).
+    pub fn pilot_selection(
+        &self,
+        accepted: &[DomainName],
+        per_registrant: usize,
+        limit: usize,
+    ) -> Vec<DomainName> {
+        let mut per_owner: HashMap<String, usize> = HashMap::new();
+        let mut out = Vec::new();
+        for d in accepted {
+            let key = registrant_key(d, self.world.owner_of(d).map(|r| r.id));
+            let n = per_owner.entry(key).or_insert(0);
+            if *n < per_registrant {
+                *n += 1;
+                out.push(d.clone());
+                if out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sends every design once to every domain in `targets`, collecting
+    /// monitored accesses.
+    pub fn run(&self, targets: &[DomainName]) -> HoneyReport {
+        let mut monitor = Monitor::new();
+        let mut sent = 0usize;
+        for (di, domain) in targets.iter().enumerate() {
+            let owner = self.world.owner_of(domain);
+            let key = registrant_key(domain, owner.map(|r| r.id));
+            let b = self.behavior.behavior_for(&key);
+            for (si, design) in HoneyDesign::ALL.into_iter().enumerate() {
+                let token = (di as u64) << 3 | si as u64;
+                let honey = design::build(design, domain, token);
+                // Delivery: the accepting population accepted before, so
+                // the send itself succeeds; what matters is what happens
+                // after.
+                sent += 1;
+                let actions = self.behavior.sample_actions(b, token ^ fnv(domain.as_str()));
+                for a in actions {
+                    let kind = match (a.kind, design) {
+                        (ActionKind::Open, HoneyDesign::PaymentDocx) => AccessKind::DocxBeacon,
+                        (ActionKind::Open, _) => AccessKind::PixelFetch,
+                        (ActionKind::UseResource, HoneyDesign::SharedTaxDocument) => {
+                            AccessKind::DocumentView
+                        }
+                        (ActionKind::UseResource, _) => AccessKind::CredentialUse,
+                    };
+                    monitor.record(AccessEvent {
+                        domain: domain.clone(),
+                        design,
+                        kind,
+                        hours_after_send: a.delay_hours,
+                        origin: a.origin.to_owned(),
+                    });
+                }
+                let _ = honey; // the built message itself is exercised in tests
+            }
+        }
+        HoneyReport {
+            sent,
+            domains: targets.len(),
+            monitor,
+        }
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ets_ecosystem::population::PopulationConfig;
+
+    fn world() -> World {
+        World::build(PopulationConfig::tiny(31))
+    }
+
+    #[test]
+    fn probe_outcomes_cover_population() {
+        let w = world();
+        let campaign = ProbeCampaign::new(&w, BehaviorModel::default());
+        let report = campaign.run();
+        assert_eq!(report.total(), w.ctypos.len());
+        // Failures dominate (Table 5: most sends time out or err).
+        let accepted = report.accepted.len();
+        assert!(accepted > 0);
+        assert!(
+            accepted * 2 < report.total(),
+            "accepted {accepted} of {}",
+            report.total()
+        );
+    }
+
+    #[test]
+    fn probe_outcome_matches_profile() {
+        let w = world();
+        let campaign = ProbeCampaign::new(&w, BehaviorModel::default());
+        let d: DomainName = "x.com".parse().unwrap();
+        assert_eq!(
+            campaign.probe_one(&d, SmtpProfile::StarttlsOk),
+            DeliveryOutcome::NoError
+        );
+        assert_eq!(
+            campaign.probe_one(&d, SmtpProfile::PlainOnly),
+            DeliveryOutcome::NoError
+        );
+        assert_eq!(
+            campaign.probe_one(&d, SmtpProfile::BounceAll),
+            DeliveryOutcome::Bounce
+        );
+        assert_eq!(
+            campaign.probe_one(&d, SmtpProfile::SilentTimeout),
+            DeliveryOutcome::Timeout
+        );
+        assert_eq!(
+            campaign.probe_one(&d, SmtpProfile::NoListener),
+            DeliveryOutcome::NetworkError
+        );
+        assert_eq!(
+            campaign.probe_one(&d, SmtpProfile::StarttlsBroken),
+            DeliveryOutcome::OtherError
+        );
+    }
+
+    #[test]
+    fn probe_reads_are_rare() {
+        let w = world();
+        let campaign = ProbeCampaign::new(&w, BehaviorModel::default());
+        let report = campaign.run();
+        assert!(
+            report.reads.len() * 20 < report.accepted.len().max(1),
+            "{} reads of {} accepted",
+            report.reads.len(),
+            report.accepted.len()
+        );
+    }
+
+    #[test]
+    fn pilot_caps_per_registrant() {
+        let w = world();
+        let campaign = HoneyCampaign::new(&w, BehaviorModel::default());
+        let probe = ProbeCampaign::new(&w, BehaviorModel::default()).run();
+        let pilot = campaign.pilot_selection(&probe.accepted, 4, 100);
+        assert!(pilot.len() <= 100);
+        let mut per_owner: HashMap<String, usize> = HashMap::new();
+        for d in &pilot {
+            let key = registrant_key(d, w.owner_of(d).map(|r| r.id));
+            *per_owner.entry(key).or_insert(0) += 1;
+        }
+        assert!(per_owner.values().all(|&c| c <= 4));
+    }
+
+    #[test]
+    fn honey_campaign_produces_sparse_human_signal() {
+        let w = world();
+        let behavior = BehaviorModel {
+            curious_share: 0.02, // slightly raised so the tiny world signals
+            ..BehaviorModel::default()
+        };
+        let probe = ProbeCampaign::new(&w, behavior.clone()).run();
+        let campaign = HoneyCampaign::new(&w, behavior);
+        let report = campaign.run(&probe.accepted);
+        assert_eq!(report.sent, probe.accepted.len() * 4);
+        let s = report.monitor.summary();
+        // Sparse: reads an order of magnitude below sends.
+        assert!(
+            s.opens * 5 < report.sent.max(1),
+            "opens {} of {}",
+            s.opens,
+            report.sent
+        );
+        // Human pace when signal exists.
+        if s.domains_read > 0 {
+            assert!(s.median_open_delay_hours >= 0.5);
+        }
+        assert!(s.token_accesses <= s.opens);
+    }
+
+    #[test]
+    fn dormant_world_is_silent() {
+        let w = world();
+        let behavior = BehaviorModel {
+            curious_share: 0.0,
+            ..BehaviorModel::default()
+        };
+        let probe = ProbeCampaign::new(&w, behavior.clone()).run();
+        let campaign = HoneyCampaign::new(&w, behavior);
+        let report = campaign.run(&probe.accepted);
+        assert_eq!(report.monitor.summary().opens, 0);
+        assert!(probe.reads.is_empty());
+    }
+}

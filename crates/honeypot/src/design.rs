@@ -1,0 +1,213 @@
+//! Honey email designs (§7.1).
+//!
+//! Four templates, each sent at most once per typosquatting registrant:
+//!
+//! 1. webmail credentials for a monitored account at a major provider;
+//! 2. shell credentials for a monitored VPS account;
+//! 3. a link to a "tax document" on a monitored sharing service;
+//! 4. a DOCX attachment with fake payment details that beacons when
+//!    opened (DOCX readers fetch external resources more readily than PDF
+//!    readers, which is why the paper settled on DOCX).
+//!
+//! Every design embeds a 1×1 tracking pixel: presence of a fetch proves
+//! the email was opened; absence proves nothing (clients may block remote
+//! images).
+
+use ets_core::DomainName;
+use ets_mail::{Message, MessageBuilder};
+use serde::{Deserialize, Serialize};
+
+/// The four §7.1 designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HoneyDesign {
+    /// Login for a monitored webmail account.
+    WebmailCredentials,
+    /// Login for a monitored shell account.
+    ShellCredentials,
+    /// Link to a monitored shared document.
+    SharedTaxDocument,
+    /// Beaconing DOCX with fake payment information.
+    PaymentDocx,
+}
+
+impl HoneyDesign {
+    /// All four designs.
+    pub const ALL: [HoneyDesign; 4] = [
+        HoneyDesign::WebmailCredentials,
+        HoneyDesign::ShellCredentials,
+        HoneyDesign::SharedTaxDocument,
+        HoneyDesign::PaymentDocx,
+    ];
+}
+
+/// A built honey email plus its monitored resources.
+#[derive(Debug, Clone)]
+pub struct HoneyEmail {
+    /// Which design was used.
+    pub design: HoneyDesign,
+    /// The message to send.
+    pub message: Message,
+    /// Target typo domain.
+    pub to_domain: DomainName,
+    /// URL of the tracking pixel (unique per email).
+    pub pixel_url: String,
+    /// The monitored honey resource (account name / document URL), if the
+    /// design carries one beyond the pixel.
+    pub honey_resource: Option<String>,
+}
+
+/// Builds one honey email of the given design for a target domain.
+///
+/// `token` must be unique per (domain, design): it keys the monitoring
+/// logs. The wording deliberately mimics plausible human email (the paper
+/// piloted designs with colleagues until spam filters passed them).
+pub fn build(design: HoneyDesign, to_domain: &DomainName, token: u64) -> HoneyEmail {
+    let pixel_url = format!("http://cdn-metrics.example/px/{token}.gif");
+    let pixel = format!("<img src=\"{pixel_url}\" width=1 height=1>");
+    let rcpt_local = pick_local(token);
+    let to = format!("{rcpt_local}@{to_domain}");
+    let (subject, body, honey_resource, attach): (String, String, Option<String>, Option<(String, String)>) =
+        match design {
+            HoneyDesign::WebmailCredentials => {
+                let account = format!("taxreturns.helper+{token}@bigwebmail.example");
+                (
+                    "your new mailbox".to_owned(),
+                    format!(
+                        "Hey,\n\nI set up the shared mailbox we talked about.\nLogin: {account}\npassword: Spring2017!{}\n\nDelete this after you log in.\n{pixel}",
+                        token % 97
+                    ),
+                    Some(account),
+                    None,
+                )
+            }
+            HoneyDesign::ShellCredentials => {
+                let account = format!("deploy{}@build-box.example", token % 1000);
+                (
+                    "ssh access".to_owned(),
+                    format!(
+                        "As requested:\nhost: build-box.example\nusername: deploy{}\npassword: hunter{}!\n\nPing me if the key does not work.\n{pixel}",
+                        token % 1000,
+                        token % 89
+                    ),
+                    Some(account),
+                    None,
+                )
+            }
+            HoneyDesign::SharedTaxDocument => {
+                let url = format!("https://docshare.example/d/tax-{token}");
+                (
+                    "2016 tax forms".to_owned(),
+                    format!(
+                        "Hi,\n\nthe accountant uploaded the 2016 tax documents here:\n{url}\n\nPlease check the W-2 figures before Friday.\n{pixel}"
+                    ),
+                    Some(url),
+                    None,
+                )
+            }
+            HoneyDesign::PaymentDocx => {
+                let beacon = format!("http://cdn-metrics.example/doc/{token}.png");
+                (
+                    "updated payment details".to_owned(),
+                    format!(
+                        "Hello,\n\nthe updated payment information is attached.\n\nRegards\n{pixel}"
+                    ),
+                    Some(beacon.clone()),
+                    Some((
+                        "payment-details.docx".to_owned(),
+                        format!("REMOTE:{beacon}\nBeneficiary: Acme Supplies\nIBAN: XX00 0000 {token}"),
+                    )),
+                )
+            }
+        };
+    let mut builder = MessageBuilder::new()
+        .raw_from(&format!("{} <{}@plausible-sender.example>", sender_name(token), sender_name(token)))
+        .raw_to(&to)
+        .subject(&subject)
+        .date("Thu, 15 Jun 2017 10:00:00 +0000")
+        .message_id(&format!("<honey-{token}@plausible-sender.example>"))
+        .body(&body);
+    if let Some((name, content)) = attach {
+        let mut data = b"PK\x03\x04ETSOOXML:".to_vec();
+        data.extend_from_slice(content.as_bytes());
+        builder = builder.attach(&name, "application/vnd.openxmlformats-officedocument", data);
+    }
+    HoneyEmail {
+        design,
+        message: builder.build(),
+        to_domain: to_domain.clone(),
+        pixel_url,
+        honey_resource,
+    }
+}
+
+fn pick_local(token: u64) -> &'static str {
+    const LOCALS: [&str; 8] = [
+        "john.smith", "accounting", "m.jones", "sarah.g", "office", "k.chen", "dpatel", "maria",
+    ];
+    LOCALS[(token % LOCALS.len() as u64) as usize]
+}
+
+fn sender_name(token: u64) -> &'static str {
+    const NAMES: [&str; 6] = ["paul", "jenny", "marcus", "olivia", "tom", "rachel"];
+    NAMES[(token % NAMES.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn all_designs_build() {
+        for (i, design) in HoneyDesign::ALL.into_iter().enumerate() {
+            let h = build(design, &d("outfook.com"), i as u64 + 1);
+            assert_eq!(h.design, design);
+            assert!(h.message.body.contains("cdn-metrics.example/px/"));
+            assert!(h.message.to_addr().unwrap().domain().ends_with("outfook.com"));
+        }
+    }
+
+    #[test]
+    fn tokens_make_unique_pixels() {
+        let a = build(HoneyDesign::WebmailCredentials, &d("x.com"), 1);
+        let b = build(HoneyDesign::WebmailCredentials, &d("x.com"), 2);
+        assert_ne!(a.pixel_url, b.pixel_url);
+    }
+
+    #[test]
+    fn credential_designs_carry_credentials() {
+        let h = build(HoneyDesign::WebmailCredentials, &d("x.com"), 7);
+        assert!(h.message.body.contains("password:"));
+        assert!(h.honey_resource.is_some());
+        let s = build(HoneyDesign::ShellCredentials, &d("x.com"), 7);
+        assert!(s.message.body.contains("username:"));
+    }
+
+    #[test]
+    fn docx_design_attaches_beaconing_document() {
+        let h = build(HoneyDesign::PaymentDocx, &d("x.com"), 9);
+        assert_eq!(h.message.attachments.len(), 1);
+        assert_eq!(h.message.attachments[0].extension().as_deref(), Some("docx"));
+        let text = String::from_utf8_lossy(&h.message.attachments[0].data);
+        assert!(text.contains("REMOTE:http://cdn-metrics.example/doc/9.png"));
+    }
+
+    #[test]
+    fn tax_document_links_monitored_service() {
+        let h = build(HoneyDesign::SharedTaxDocument, &d("x.com"), 11);
+        assert!(h.honey_resource.as_deref().unwrap().contains("docshare.example"));
+        assert!(h.message.body.contains("docshare.example/d/tax-11"));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let h = build(HoneyDesign::PaymentDocx, &d("bankofamericqa.com"), 13);
+        let wire = h.message.to_wire();
+        let parsed = Message::parse(&wire).unwrap();
+        assert_eq!(parsed.attachments.len(), 1);
+        assert_eq!(parsed.subject(), "updated payment details");
+    }
+}

@@ -1,0 +1,32 @@
+//! # ets-honeypot
+//!
+//! The Section-7 experiments: playing the typosquatting *victim*.
+//!
+//! Two measurement rounds ran in the paper. First, ~153,000 benign probe
+//! emails to 50,995 candidate typosquatting domains (three per domain —
+//! ports 25/465/587) established who even accepts mail (Table 5) and which
+//! mail servers sit behind the accepting population (Table 6). Second,
+//! four designs of "honey email" — a tracking pixel, webmail credentials,
+//! shell credentials, a shared "tax document" link, and a beaconing DOCX —
+//! went to the accepting domains, and access to the honey resources was
+//! monitored for months (outcome: a handful of human reads, two token
+//! accesses, no systematic abuse).
+//!
+//! * [`design`] — the four honey email templates with their monitored
+//!   resources.
+//! * [`behavior`] — the typosquatter behaviour model (who reads mail,
+//!   after what delay, from where).
+//! * [`campaign`] — the probe and honey-token campaigns.
+//! * [`monitor`] — the access log and signal analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod campaign;
+pub mod design;
+pub mod monitor;
+
+pub use campaign::{HoneyCampaign, ProbeCampaign, ProbeReport};
+pub use design::{HoneyDesign, HoneyEmail};
+pub use monitor::{AccessEvent, AccessKind, Monitor};

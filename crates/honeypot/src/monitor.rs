@@ -1,0 +1,189 @@
+//! Access-log monitoring for honey resources.
+//!
+//! Every honey email carries monitored resources (tracking pixel, honey
+//! account, shared document, beaconing DOCX). The monitor collects access
+//! events — what was touched, when, from where — and answers the §7.2
+//! questions: how many emails were read, how many tokens were used, and
+//! whether the timing looks human.
+
+use crate::design::HoneyDesign;
+use ets_core::DomainName;
+use serde::{Deserialize, Serialize};
+
+/// What kind of monitored resource fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// The 1×1 tracking pixel was fetched (email opened).
+    PixelFetch,
+    /// A honey credential was used (login attempt observed).
+    CredentialUse,
+    /// The shared document was viewed.
+    DocumentView,
+    /// The DOCX beacon fetched its remote resource.
+    DocxBeacon,
+}
+
+/// One access event in the logs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessEvent {
+    /// The typo domain the email had been sent to.
+    pub domain: DomainName,
+    /// Which design the email used.
+    pub design: HoneyDesign,
+    /// What fired.
+    pub kind: AccessKind,
+    /// Hours after the email was sent.
+    pub hours_after_send: f64,
+    /// Claimed geographic origin of the access.
+    pub origin: String,
+}
+
+/// The collected log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Monitor {
+    events: Vec<AccessEvent>,
+}
+
+/// Summary of a campaign's signals (the §7.2 result set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalSummary {
+    /// Distinct domains whose email was opened.
+    pub domains_read: usize,
+    /// Distinct domains where a honey token (credential/document) was
+    /// accessed.
+    pub domains_acted: usize,
+    /// Total pixel/beacon fetches.
+    pub opens: usize,
+    /// Total credential uses + document views.
+    pub token_accesses: usize,
+    /// Median hours from send to first open (human-pace check).
+    pub median_open_delay_hours: f64,
+    /// Domains opened more than once (the "days later, another city"
+    /// anecdotes).
+    pub reopened_domains: usize,
+}
+
+impl Monitor {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, event: AccessEvent) {
+        self.events.push(event);
+    }
+
+    /// All events, in arrival order.
+    pub fn events(&self) -> &[AccessEvent] {
+        &self.events
+    }
+
+    /// Events within the logging window (the paper logged shell access
+    /// only to July 1, other resources to September 14).
+    pub fn events_before(&self, hours: f64) -> impl Iterator<Item = &AccessEvent> {
+        self.events.iter().filter(move |e| e.hours_after_send <= hours)
+    }
+
+    /// Aggregates the §7.2 summary.
+    pub fn summary(&self) -> SignalSummary {
+        use std::collections::{HashMap, HashSet};
+        let mut read: HashSet<&DomainName> = HashSet::new();
+        let mut acted: HashSet<&DomainName> = HashSet::new();
+        let mut opens = 0usize;
+        let mut tokens = 0usize;
+        let mut first_open: HashMap<&DomainName, f64> = HashMap::new();
+        let mut open_counts: HashMap<&DomainName, usize> = HashMap::new();
+        for e in &self.events {
+            match e.kind {
+                AccessKind::PixelFetch | AccessKind::DocxBeacon => {
+                    opens += 1;
+                    read.insert(&e.domain);
+                    *open_counts.entry(&e.domain).or_insert(0) += 1;
+                    let f = first_open.entry(&e.domain).or_insert(e.hours_after_send);
+                    if e.hours_after_send < *f {
+                        *f = e.hours_after_send;
+                    }
+                }
+                AccessKind::CredentialUse | AccessKind::DocumentView => {
+                    tokens += 1;
+                    acted.insert(&e.domain);
+                }
+            }
+        }
+        let mut delays: Vec<f64> = first_open.values().copied().collect();
+        delays.sort_by(|a, b| a.partial_cmp(b).expect("no NaN delays"));
+        let median = if delays.is_empty() {
+            0.0
+        } else {
+            delays[delays.len() / 2]
+        };
+        SignalSummary {
+            domains_read: read.len(),
+            domains_acted: acted.len(),
+            opens,
+            token_accesses: tokens,
+            median_open_delay_hours: median,
+            reopened_domains: open_counts.values().filter(|&&c| c > 1).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(domain: &str, kind: AccessKind, hours: f64) -> AccessEvent {
+        AccessEvent {
+            domain: domain.parse().unwrap(),
+            design: HoneyDesign::WebmailCredentials,
+            kind,
+            hours_after_send: hours,
+            origin: "Caracas, Venezuela".to_owned(),
+        }
+    }
+
+    #[test]
+    fn empty_log_summary() {
+        let m = Monitor::new();
+        let s = m.summary();
+        assert_eq!(s.domains_read, 0);
+        assert_eq!(s.token_accesses, 0);
+        assert_eq!(s.median_open_delay_hours, 0.0);
+    }
+
+    #[test]
+    fn summary_counts_domains_once() {
+        let mut m = Monitor::new();
+        m.record(ev("outfook.com", AccessKind::PixelFetch, 0.5));
+        m.record(ev("outfook.com", AccessKind::PixelFetch, 220.0)); // 9 days later
+        m.record(ev("uutlook.com", AccessKind::PixelFetch, 3.0));
+        m.record(ev("parked-bank.com", AccessKind::DocumentView, 0.6));
+        let s = m.summary();
+        assert_eq!(s.domains_read, 2);
+        assert_eq!(s.opens, 3);
+        assert_eq!(s.domains_acted, 1);
+        assert_eq!(s.token_accesses, 1);
+        assert_eq!(s.reopened_domains, 1);
+    }
+
+    #[test]
+    fn first_open_delay_is_minimum() {
+        let mut m = Monitor::new();
+        m.record(ev("a.com", AccessKind::PixelFetch, 8.0));
+        m.record(ev("a.com", AccessKind::PixelFetch, 2.0));
+        m.record(ev("b.com", AccessKind::DocxBeacon, 6.0));
+        let s = m.summary();
+        // delays: [2, 6] → median index 1 → 6
+        assert_eq!(s.median_open_delay_hours, 6.0);
+    }
+
+    #[test]
+    fn windowing() {
+        let mut m = Monitor::new();
+        m.record(ev("a.com", AccessKind::CredentialUse, 10.0));
+        m.record(ev("b.com", AccessKind::CredentialUse, 5000.0));
+        assert_eq!(m.events_before(24.0 * 16.0).count(), 1);
+        assert_eq!(m.events_before(1e9).count(), 2);
+    }
+}

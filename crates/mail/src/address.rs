@@ -1,0 +1,269 @@
+//! Email addresses (`local@domain`).
+//!
+//! Receiver typos live in the *domain* part (`alice@gmial.com`); the study
+//! explicitly leaves local-part typos to future work (§8), but the funnel
+//! still needs to parse, compare, and classify full addresses — including
+//! the system-user locals (`postmaster`, `root`, ...) filtered by Layer 4.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors from parsing an [`EmailAddress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddressParseError {
+    /// No `@` separator was found.
+    MissingAt,
+    /// More than one unquoted `@`.
+    MultipleAt,
+    /// The local part was empty or contained forbidden characters.
+    BadLocal(String),
+    /// The domain part failed domain validation.
+    BadDomain(String),
+}
+
+impl fmt::Display for AddressParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddressParseError::MissingAt => write!(f, "address has no @"),
+            AddressParseError::MultipleAt => write!(f, "address has multiple @"),
+            AddressParseError::BadLocal(l) => write!(f, "bad local part `{l}`"),
+            AddressParseError::BadDomain(d) => write!(f, "bad domain `{d}`"),
+        }
+    }
+}
+
+impl std::error::Error for AddressParseError {}
+
+/// A parsed `local@domain` address. The domain is lower-cased; the local
+/// part keeps its case for display but compares case-insensitively, which
+/// matches how every large provider actually routes mail.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmailAddress {
+    local: String,
+    domain: String,
+}
+
+impl EmailAddress {
+    /// Parses an address, accepting an optional `Display Name <addr>` form.
+    pub fn parse(input: &str) -> Result<Self, AddressParseError> {
+        let inner = match (input.rfind('<'), input.rfind('>')) {
+            (Some(a), Some(b)) if a < b => &input[a + 1..b],
+            _ => input,
+        };
+        let inner = inner.trim();
+        let mut parts = inner.splitn(2, '@');
+        let local = parts.next().unwrap_or("");
+        let domain = parts.next().ok_or(AddressParseError::MissingAt)?;
+        if domain.contains('@') {
+            return Err(AddressParseError::MultipleAt);
+        }
+        if local.is_empty()
+            || !local.chars().all(|c| {
+                c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+' | '=')
+            })
+        {
+            return Err(AddressParseError::BadLocal(local.to_owned()));
+        }
+        // Validate the domain with the same rules as ets-core, but without
+        // depending on it (keep ets-mail substrate-free).
+        if !valid_domain(domain) {
+            return Err(AddressParseError::BadDomain(domain.to_owned()));
+        }
+        Ok(EmailAddress {
+            local: local.to_owned(),
+            domain: domain.to_ascii_lowercase(),
+        })
+    }
+
+    /// Builds an address from already-validated parts.
+    pub fn new(local: &str, domain: &str) -> Result<Self, AddressParseError> {
+        Self::parse(&format!("{local}@{domain}"))
+    }
+
+    /// The local part (case preserved).
+    pub fn local(&self) -> &str {
+        &self.local
+    }
+
+    /// The domain part (lower-cased).
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+
+    /// The registrable domain of the address
+    /// (`alice@smtp.gmail.com` → `gmail.com`).
+    pub fn registrable_domain(&self) -> &str {
+        let mut labels: Vec<&str> = self.domain.split('.').collect();
+        if labels.len() <= 2 {
+            return &self.domain;
+        }
+        let tail = labels.split_off(labels.len() - 2);
+        let offset = self.domain.len() - (tail[0].len() + 1 + tail[1].len());
+        &self.domain[offset..]
+    }
+
+    /// Whether the local part is a "system user" Layer 4 filters out
+    /// (`postmaster`, `root`, `admin`, ... — §4.3).
+    pub fn is_system_user(&self) -> bool {
+        const SYSTEM: &[&str] = &[
+            "postmaster",
+            "root",
+            "admin",
+            "administrator",
+            "mailer-daemon",
+            "noreply",
+            "no-reply",
+            "nobody",
+            "hostmaster",
+            "webmaster",
+            "abuse",
+        ];
+        let l = self.local.to_ascii_lowercase();
+        SYSTEM.iter().any(|s| l == *s || l.starts_with(&format!("{s}+")))
+    }
+}
+
+fn valid_domain(domain: &str) -> bool {
+    let d = domain.strip_suffix('.').unwrap_or(domain);
+    if d.is_empty() || d.len() > 253 {
+        return false;
+    }
+    let mut labels = 0;
+    for label in d.split('.') {
+        if label.is_empty() || label.len() > 63 {
+            return false;
+        }
+        if label.starts_with('-') || label.ends_with('-') {
+            return false;
+        }
+        if !label
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-')
+        {
+            return false;
+        }
+        labels += 1;
+    }
+    labels >= 2
+}
+
+impl PartialEq for EmailAddress {
+    fn eq(&self, other: &Self) -> bool {
+        self.local.eq_ignore_ascii_case(&other.local) && self.domain == other.domain
+    }
+}
+
+impl Eq for EmailAddress {}
+
+impl std::hash::Hash for EmailAddress {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.local.to_ascii_lowercase().hash(state);
+        self.domain.hash(state);
+    }
+}
+
+impl FromStr for EmailAddress {
+    type Err = AddressParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EmailAddress::parse(s)
+    }
+}
+
+impl fmt::Display for EmailAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.local, self.domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> EmailAddress {
+        EmailAddress::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parses_plain_address() {
+        let addr = a("alice@gmail.com");
+        assert_eq!(addr.local(), "alice");
+        assert_eq!(addr.domain(), "gmail.com");
+        assert_eq!(addr.to_string(), "alice@gmail.com");
+    }
+
+    #[test]
+    fn parses_display_name_form() {
+        let addr = a("Alice Liddell <alice@Gmail.Com>");
+        assert_eq!(addr.local(), "alice");
+        assert_eq!(addr.domain(), "gmail.com");
+    }
+
+    #[test]
+    fn local_part_characters() {
+        assert!(EmailAddress::parse("first.last+tag@x.com").is_ok());
+        assert!(EmailAddress::parse("under_score=x@x.com").is_ok());
+        assert!(EmailAddress::parse("sp ace@x.com").is_err());
+        assert!(EmailAddress::parse("@x.com").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_or_multiple_at() {
+        assert_eq!(
+            EmailAddress::parse("nobody"),
+            Err(AddressParseError::MissingAt)
+        );
+        assert_eq!(
+            EmailAddress::parse("a@b@c.com"),
+            Err(AddressParseError::MultipleAt)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_domains() {
+        assert!(matches!(
+            EmailAddress::parse("a@nodot"),
+            Err(AddressParseError::BadDomain(_))
+        ));
+        assert!(matches!(
+            EmailAddress::parse("a@-x.com"),
+            Err(AddressParseError::BadDomain(_))
+        ));
+        assert!(matches!(
+            EmailAddress::parse("a@x..com"),
+            Err(AddressParseError::BadDomain(_))
+        ));
+    }
+
+    #[test]
+    fn equality_ignores_local_case() {
+        assert_eq!(a("Alice@gmail.com"), a("alice@GMAIL.com"));
+        assert_ne!(a("alice@gmail.com"), a("alice@gmial.com"));
+    }
+
+    #[test]
+    fn registrable_domain() {
+        assert_eq!(a("a@smtp.gmail.com").registrable_domain(), "gmail.com");
+        assert_eq!(a("a@gmail.com").registrable_domain(), "gmail.com");
+        assert_eq!(a("a@x.y.z.verizon.net").registrable_domain(), "verizon.net");
+    }
+
+    #[test]
+    fn system_users() {
+        assert!(a("postmaster@x.com").is_system_user());
+        assert!(a("ROOT@x.com").is_system_user());
+        assert!(a("no-reply@shop.com").is_system_user());
+        assert!(a("abuse+tickets@x.com").is_system_user());
+        assert!(!a("alice@x.com").is_system_user());
+        // Layer-4 matches whole local parts, not substrings.
+        assert!(!a("rootbeer@x.com").is_system_user());
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(a("Alice@gmail.com"));
+        assert!(set.contains(&a("alice@gmail.com")));
+    }
+}

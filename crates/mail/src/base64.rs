@@ -1,0 +1,181 @@
+//! Minimal standard-alphabet base64 (RFC 4648), used to carry binary
+//! attachment bodies inside MIME parts.
+//!
+//! Implemented locally rather than pulled in as a dependency: the study
+//! only needs encode/decode of whole buffers, and a local implementation is
+//! ~80 lines with exhaustive round-trip property tests.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` as base64 with padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = *chunk.get(1).unwrap_or(&0) as u32;
+        let b2 = *chunk.get(2).unwrap_or(&0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A character outside the base64 alphabet (and not padding/whitespace).
+    BadCharacter(char),
+    /// Input length (ignoring whitespace) was not a multiple of 4.
+    BadLength(usize),
+    /// Padding appeared in the middle of the input.
+    MisplacedPadding,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadCharacter(c) => write!(f, "invalid base64 character {c:?}"),
+            DecodeError::BadLength(n) => write!(f, "base64 length {n} not a multiple of 4"),
+            DecodeError::MisplacedPadding => write!(f, "padding before end of base64 input"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes padded base64, ignoring ASCII whitespace (MIME folds encoded
+/// bodies at 76 columns).
+pub fn decode(text: &str) -> Result<Vec<u8>, DecodeError> {
+    let mut vals: Vec<u8> = Vec::with_capacity(text.len());
+    let mut padding = 0usize;
+    for c in text.chars() {
+        if c.is_ascii_whitespace() {
+            continue;
+        }
+        if c == '=' {
+            padding += 1;
+            vals.push(0);
+            continue;
+        }
+        if padding > 0 {
+            return Err(DecodeError::MisplacedPadding);
+        }
+        let v = match c {
+            'A'..='Z' => c as u8 - b'A',
+            'a'..='z' => c as u8 - b'a' + 26,
+            '0'..='9' => c as u8 - b'0' + 52,
+            '+' => 62,
+            '/' => 63,
+            _ => return Err(DecodeError::BadCharacter(c)),
+        };
+        vals.push(v);
+    }
+    if !vals.len().is_multiple_of(4) {
+        return Err(DecodeError::BadLength(vals.len()));
+    }
+    if padding > 2 {
+        return Err(DecodeError::MisplacedPadding);
+    }
+    let mut out = Vec::with_capacity(vals.len() / 4 * 3);
+    for quad in vals.chunks(4) {
+        let n = ((quad[0] as u32) << 18)
+            | ((quad[1] as u32) << 12)
+            | ((quad[2] as u32) << 6)
+            | quad[3] as u32;
+        out.push((n >> 16) as u8);
+        out.push((n >> 8) as u8);
+        out.push(n as u8);
+    }
+    out.truncate(out.len() - padding);
+    Ok(out)
+}
+
+/// Encodes with lines folded at 76 characters, as MIME bodies require.
+pub fn encode_mime(data: &[u8]) -> String {
+    let raw = encode(data);
+    let mut out = String::with_capacity(raw.len() + raw.len() / 76 * 2);
+    for (i, c) in raw.chars().enumerate() {
+        if i > 0 && i % 76 == 0 {
+            out.push_str("\r\n");
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        let cases: [(&str, &str); 7] = [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, enc) in cases {
+            assert_eq!(encode(plain.as_bytes()), enc);
+            assert_eq!(decode(enc).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn decode_ignores_whitespace() {
+        assert_eq!(decode("Zm9v\r\nYmFy").unwrap(), b"foobar");
+        assert_eq!(decode(" Z m 9 v ").unwrap(), b"foo");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode("Zm9*"), Err(DecodeError::BadCharacter('*')));
+        assert_eq!(decode("Zm9"), Err(DecodeError::BadLength(3)));
+        assert_eq!(decode("Zm=v"), Err(DecodeError::MisplacedPadding));
+        assert_eq!(decode("Z==="), Err(DecodeError::MisplacedPadding));
+    }
+
+    #[test]
+    fn mime_folding() {
+        let data = vec![0xABu8; 100];
+        let folded = encode_mime(&data);
+        for line in folded.split("\r\n") {
+            assert!(line.len() <= 76);
+        }
+        assert_eq!(decode(&folded).unwrap(), data);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(data: Vec<u8>) {
+            let enc = encode(&data);
+            prop_assert_eq!(decode(&enc).unwrap(), data);
+        }
+
+        #[test]
+        fn mime_round_trip(data: Vec<u8>) {
+            let enc = encode_mime(&data);
+            prop_assert_eq!(decode(&enc).unwrap(), data);
+        }
+
+        #[test]
+        fn encoded_length_formula(data: Vec<u8>) {
+            prop_assert_eq!(encode(&data).len(), data.len().div_ceil(3) * 4);
+        }
+    }
+}

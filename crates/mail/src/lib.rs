@@ -1,0 +1,28 @@
+//! # ets-mail
+//!
+//! An RFC 5322-subset email message model for the email-typosquatting
+//! reproduction: addresses, case-insensitive headers, multipart bodies with
+//! attachments, and a parser/serializer pair that round-trips everything
+//! the collection pipeline and the SMTP substrate exchange.
+//!
+//! The model is intentionally a *subset*: it implements the exact header
+//! fields and body structures the study's five-layer funnel inspects
+//! (`From`, `To`, `Sender`, `Reply-To`, `Return-Path`, `List-Unsubscribe`,
+//! subject, attachments with filenames) plus enough MIME structure to carry
+//! the attachment corpus of Figure 7, without chasing the long tail of RFC
+//! 5322 oddities the study never exercises.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod base64;
+pub mod builder;
+pub mod header;
+pub mod message;
+pub mod mime;
+
+pub use address::EmailAddress;
+pub use builder::MessageBuilder;
+pub use header::{HeaderMap, HeaderName};
+pub use message::{Attachment, Message};

@@ -1,0 +1,326 @@
+//! MIME serialization and parsing (multipart/mixed subset).
+//!
+//! A message without attachments serializes as a plain `text/plain` body;
+//! with attachments it becomes `multipart/mixed` with one `text/plain`
+//! part followed by one base64 part per attachment. The parser accepts
+//! both forms plus unknown single-part content types (treated as body
+//! text), which is all the traffic generator and honey campaigns produce.
+
+use crate::base64;
+use crate::header::{names, HeaderMap};
+use crate::message::{Attachment, Message};
+use std::fmt;
+
+/// Errors from [`parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MimeError {
+    /// The header block failed to parse.
+    Header(crate::header::HeaderParseError),
+    /// `Content-Type: multipart/*` without a boundary parameter.
+    MissingBoundary,
+    /// A multipart body without a terminating boundary marker.
+    UnterminatedMultipart,
+    /// An attachment part failed base64 decoding.
+    BadAttachment(base64::DecodeError),
+}
+
+impl fmt::Display for MimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MimeError::Header(e) => write!(f, "header: {e}"),
+            MimeError::MissingBoundary => write!(f, "multipart content type without boundary"),
+            MimeError::UnterminatedMultipart => write!(f, "multipart body never terminated"),
+            MimeError::BadAttachment(e) => write!(f, "attachment: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MimeError {}
+
+impl From<crate::header::HeaderParseError> for MimeError {
+    fn from(e: crate::header::HeaderParseError) -> Self {
+        MimeError::Header(e)
+    }
+}
+
+/// A deterministic boundary derived from message content, so serialization
+/// is reproducible (no RNG in the mail crate).
+fn boundary_for(msg: &Message) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(msg.body.as_bytes());
+    for a in &msg.attachments {
+        eat(a.filename.as_bytes());
+        eat(&a.data);
+    }
+    format!("=_ets_{h:016x}")
+}
+
+/// Serializes a [`Message`] to wire format.
+pub fn serialize(msg: &Message) -> String {
+    let mut headers = msg.headers.clone();
+    let mut out = String::new();
+    if msg.attachments.is_empty() {
+        headers.set(names::CONTENT_TYPE, "text/plain; charset=utf-8");
+        out.push_str(&headers.to_wire());
+        out.push_str("\r\n");
+        out.push_str(&msg.body);
+        return out;
+    }
+    let boundary = boundary_for(msg);
+    headers.set(names::MIME_VERSION, "1.0");
+    headers.set(
+        names::CONTENT_TYPE,
+        format!("multipart/mixed; boundary=\"{boundary}\""),
+    );
+    out.push_str(&headers.to_wire());
+    out.push_str("\r\n");
+    // Text part.
+    out.push_str(&format!("--{boundary}\r\n"));
+    out.push_str("Content-Type: text/plain; charset=utf-8\r\n\r\n");
+    out.push_str(&msg.body);
+    out.push_str("\r\n");
+    // Attachment parts.
+    for a in &msg.attachments {
+        out.push_str(&format!("--{boundary}\r\n"));
+        out.push_str(&format!("Content-Type: {}\r\n", a.content_type));
+        out.push_str("Content-Transfer-Encoding: base64\r\n");
+        out.push_str(&format!(
+            "Content-Disposition: attachment; filename=\"{}\"\r\n\r\n",
+            a.filename.replace('"', "")
+        ));
+        out.push_str(&base64::encode_mime(&a.data));
+        out.push_str("\r\n");
+    }
+    out.push_str(&format!("--{boundary}--\r\n"));
+    out
+}
+
+/// Parses a wire-format message.
+pub fn parse(wire: &str) -> Result<Message, MimeError> {
+    let (header_block, body) = split_header_body(wire);
+    let headers = HeaderMap::parse(header_block)?;
+    let content_type = headers.get(names::CONTENT_TYPE).unwrap_or("text/plain");
+    if !content_type.to_ascii_lowercase().starts_with("multipart/") {
+        return Ok(Message {
+            headers,
+            body: body.to_owned(),
+            attachments: Vec::new(),
+        });
+    }
+    let boundary = param(content_type, "boundary").ok_or(MimeError::MissingBoundary)?;
+    let mut msg = Message {
+        headers,
+        body: String::new(),
+        attachments: Vec::new(),
+    };
+    let open = format!("--{boundary}");
+    let close = format!("--{boundary}--");
+    let mut parts: Vec<&str> = Vec::new();
+    let rest = body;
+    let mut terminated = false;
+    // Walk boundary lines.
+    let mut current_start: Option<usize> = None;
+    let mut offset = 0usize;
+    for line in rest.split_inclusive('\n') {
+        let trimmed = line.trim_end();
+        if trimmed == close {
+            if let Some(s) = current_start {
+                parts.push(&rest[s..offset]);
+            }
+            terminated = true;
+            break;
+        } else if trimmed == open {
+            if let Some(s) = current_start {
+                parts.push(&rest[s..offset]);
+            }
+            current_start = Some(offset + line.len());
+        }
+        offset += line.len();
+    }
+    if !terminated {
+        return Err(MimeError::UnterminatedMultipart);
+    }
+    for part in parts {
+        let (ph, pb) = split_header_body(part);
+        let pheaders = HeaderMap::parse(ph)?;
+        let ptype = pheaders.get(names::CONTENT_TYPE).unwrap_or("text/plain");
+        let disposition = pheaders.get(names::CONTENT_DISPOSITION).unwrap_or("");
+        let encoding = pheaders
+            .get(names::CONTENT_TRANSFER_ENCODING)
+            .unwrap_or("7bit");
+        let is_attachment = disposition.to_ascii_lowercase().contains("attachment");
+        if is_attachment {
+            let filename = param(disposition, "filename").unwrap_or_else(|| "unnamed".to_owned());
+            let data = if encoding.eq_ignore_ascii_case("base64") {
+                base64::decode(pb).map_err(MimeError::BadAttachment)?
+            } else {
+                trim_part_body(pb).as_bytes().to_vec()
+            };
+            msg.attachments.push(Attachment {
+                filename,
+                content_type: ptype.split(';').next().unwrap_or(ptype).trim().to_owned(),
+                data,
+            });
+        } else {
+            if !msg.body.is_empty() {
+                msg.body.push('\n');
+            }
+            msg.body.push_str(&trim_part_body(pb));
+        }
+    }
+    Ok(msg)
+}
+
+fn trim_part_body(b: &str) -> String {
+    b.trim_end_matches(['\r', '\n']).to_owned()
+}
+
+fn split_header_body(wire: &str) -> (&str, &str) {
+    for sep in ["\r\n\r\n", "\n\n"] {
+        if let Some(pos) = wire.find(sep) {
+            return (&wire[..pos], &wire[pos + sep.len()..]);
+        }
+    }
+    (wire, "")
+}
+
+/// Extracts a quoted or bare parameter from a header value
+/// (`multipart/mixed; boundary="x"` → `x`).
+fn param(value: &str, name: &str) -> Option<String> {
+    let lower = value.to_ascii_lowercase();
+    let needle = format!("{name}=");
+    let at = lower.find(&needle)?;
+    let rest = &value[at + needle.len()..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next().map(str::to_owned)
+    } else {
+        rest.split(&[';', ' ', '\t'][..]).next().map(str::to_owned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn plain_message() -> Message {
+        let mut m = Message::new();
+        m.headers.append("From", "alice@gmail.com");
+        m.headers.append("To", "bob@gmial.com");
+        m.headers.append("Subject", "hi");
+        m.body = "line one\nline two".to_owned();
+        m
+    }
+
+    fn multipart_message() -> Message {
+        let mut m = plain_message();
+        m.attachments.push(Attachment::new(
+            "visa.pdf",
+            "application/pdf",
+            vec![0u8, 1, 2, 255, 254],
+        ));
+        m.attachments
+            .push(Attachment::new("cv.docx", "application/vnd.docx", b"PK fake".to_vec()));
+        m
+    }
+
+    #[test]
+    fn plain_round_trip() {
+        let m = plain_message();
+        let wire = serialize(&m);
+        let parsed = parse(&wire).unwrap();
+        assert_eq!(parsed.body, m.body);
+        assert_eq!(parsed.subject(), "hi");
+        assert!(parsed.attachments.is_empty());
+    }
+
+    #[test]
+    fn multipart_round_trip() {
+        let m = multipart_message();
+        let wire = serialize(&m);
+        let parsed = parse(&wire).unwrap();
+        assert_eq!(parsed.body, m.body);
+        assert_eq!(parsed.attachments.len(), 2);
+        assert_eq!(parsed.attachments[0].filename, "visa.pdf");
+        assert_eq!(parsed.attachments[0].data, vec![0u8, 1, 2, 255, 254]);
+        assert_eq!(parsed.attachments[1].content_type, "application/vnd.docx");
+        assert_eq!(parsed.attachments[1].data, b"PK fake");
+    }
+
+    #[test]
+    fn missing_boundary_is_an_error() {
+        let wire = "Content-Type: multipart/mixed\r\n\r\nbody";
+        assert_eq!(parse(wire).unwrap_err(), MimeError::MissingBoundary);
+    }
+
+    #[test]
+    fn unterminated_multipart_is_an_error() {
+        let wire = "Content-Type: multipart/mixed; boundary=\"b\"\r\n\r\n--b\r\n\r\npart";
+        assert_eq!(parse(wire).unwrap_err(), MimeError::UnterminatedMultipart);
+    }
+
+    #[test]
+    fn unknown_single_part_type_is_body() {
+        let wire = "Content-Type: text/html\r\n\r\n<p>hello</p>";
+        let m = parse(wire).unwrap();
+        assert_eq!(m.body, "<p>hello</p>");
+    }
+
+    #[test]
+    fn no_content_type_defaults_to_plain() {
+        let wire = "From: a@x.com\r\n\r\nhello";
+        let m = parse(wire).unwrap();
+        assert_eq!(m.body, "hello");
+    }
+
+    #[test]
+    fn param_extraction() {
+        assert_eq!(
+            param("multipart/mixed; boundary=\"abc\"", "boundary").as_deref(),
+            Some("abc")
+        );
+        assert_eq!(
+            param("multipart/mixed; boundary=abc; x=y", "boundary").as_deref(),
+            Some("abc")
+        );
+        assert_eq!(
+            param("attachment; filename=\"a b.pdf\"", "filename").as_deref(),
+            Some("a b.pdf")
+        );
+        assert_eq!(param("text/plain", "boundary"), None);
+    }
+
+    #[test]
+    fn boundary_is_deterministic_and_content_dependent() {
+        let m1 = multipart_message();
+        let mut m2 = multipart_message();
+        assert_eq!(boundary_for(&m1), boundary_for(&m1));
+        m2.attachments[0].data.push(7);
+        assert_ne!(boundary_for(&m1), boundary_for(&m2));
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_binary_attachment_round_trips(data: Vec<u8>, body in "[ -~]{0,200}") {
+            let mut m = Message::new();
+            m.headers.append("From", "a@x.com");
+            m.body = body.clone();
+            m.attachments.push(Attachment::new("f.bin", "application/octet-stream", data.clone()));
+            let parsed = parse(&serialize(&m)).unwrap();
+            prop_assert_eq!(parsed.attachments[0].data.clone(), data);
+            prop_assert_eq!(parsed.body.trim_end_matches(['\r','\n']).to_owned(),
+                            body.trim_end_matches(['\r','\n']).to_owned());
+        }
+
+        #[test]
+        fn parser_never_panics(wire in "[ -~\r\n]{0,500}") {
+            let _ = parse(&wire);
+        }
+    }
+}

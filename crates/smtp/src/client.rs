@@ -1,0 +1,339 @@
+//! The client-side SMTP state machine (sans-io).
+//!
+//! Drives one message through HELO/EHLO → (optional STARTTLS) →
+//! MAIL FROM → RCPT TO → DATA → QUIT, reporting what to send next after
+//! each server reply. The honey-email campaigns (§7) use it to send to
+//! tens of thousands of typosquatting servers; the TCP driver uses it for
+//! real loopback delivery.
+
+use crate::codec;
+use crate::reply::Reply;
+use ets_mail::EmailAddress;
+
+/// An outgoing message: envelope plus raw content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Email {
+    /// Envelope sender (`None` sends `MAIL FROM:<>`).
+    pub mail_from: Option<EmailAddress>,
+    /// Envelope recipients.
+    pub rcpt_to: Vec<EmailAddress>,
+    /// Wire-format message content.
+    pub data: String,
+}
+
+impl Email {
+    /// Builds an envelope around a wire-format message.
+    pub fn new(mail_from: Option<EmailAddress>, rcpt_to: Vec<EmailAddress>, data: String) -> Self {
+        Email {
+            mail_from,
+            rcpt_to,
+            data,
+        }
+    }
+}
+
+/// How the delivery attempt ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOutcome {
+    /// Message accepted (250 after DATA).
+    Accepted,
+    /// A permanent 5xx rejection; the code and the phase it happened in.
+    Rejected {
+        /// The refusing reply code.
+        code: u16,
+        /// Which phase refused.
+        phase: Phase,
+    },
+    /// A transient 4xx failure.
+    TransientFailure {
+        /// The reply code.
+        code: u16,
+        /// Which phase failed.
+        phase: Phase,
+    },
+}
+
+/// Protocol phases, for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Waiting for the 220 banner.
+    Banner,
+    /// After EHLO.
+    Hello,
+    /// After STARTTLS.
+    Tls,
+    /// After MAIL FROM.
+    MailFrom,
+    /// After RCPT TO.
+    RcptTo,
+    /// After DATA (the 354 prompt).
+    DataPrompt,
+    /// After the payload.
+    DataBody,
+}
+
+/// What the driver should transmit next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Send this command line (CRLF appended by the driver).
+    SendLine(String),
+    /// Send this pre-stuffed DATA payload (terminator included).
+    SendData(String),
+    /// Transaction finished (outcome available); send QUIT and close.
+    Finished(ClientOutcome),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    AwaitBanner,
+    AwaitHello,
+    AwaitTls,
+    AwaitMail,
+    AwaitRcpt(usize),
+    AwaitDataPrompt,
+    AwaitDataAck,
+    Done,
+}
+
+/// The client state machine: feed every server reply to
+/// [`ClientSession::on_reply`].
+#[derive(Debug)]
+pub struct ClientSession {
+    email: Email,
+    helo_name: String,
+    use_starttls: bool,
+    state: State,
+}
+
+impl ClientSession {
+    /// Creates a session for one message. `helo_name` is the name announced
+    /// in EHLO; `use_starttls` requests opportunistic TLS.
+    pub fn new(email: Email, helo_name: &str, use_starttls: bool) -> Self {
+        assert!(!email.rcpt_to.is_empty(), "need at least one recipient");
+        ClientSession {
+            email,
+            helo_name: helo_name.to_owned(),
+            use_starttls,
+            state: State::AwaitBanner,
+        }
+    }
+
+    /// Feeds one server reply, returning the next action.
+    pub fn on_reply(&mut self, reply: &Reply) -> ClientAction {
+        let phase = self.phase();
+        if reply.is_permanent_failure() {
+            self.state = State::Done;
+            return ClientAction::Finished(ClientOutcome::Rejected {
+                code: reply.code,
+                phase,
+            });
+        }
+        if reply.is_transient_failure() {
+            self.state = State::Done;
+            return ClientAction::Finished(ClientOutcome::TransientFailure {
+                code: reply.code,
+                phase,
+            });
+        }
+        match self.state {
+            State::AwaitBanner => {
+                self.state = State::AwaitHello;
+                ClientAction::SendLine(format!("EHLO {}", self.helo_name))
+            }
+            State::AwaitHello => {
+                if self.use_starttls && reply.text.to_ascii_uppercase().contains("STARTTLS") {
+                    self.use_starttls = false; // only once
+                    self.state = State::AwaitTls;
+                    ClientAction::SendLine("STARTTLS".to_owned())
+                } else {
+                    self.state = State::AwaitMail;
+                    ClientAction::SendLine(match &self.email.mail_from {
+                        Some(a) => format!("MAIL FROM:<{a}>"),
+                        None => "MAIL FROM:<>".to_owned(),
+                    })
+                }
+            }
+            State::AwaitTls => {
+                // 220: TLS negotiated (simulated); re-EHLO per RFC 3207.
+                self.state = State::AwaitHello;
+                ClientAction::SendLine(format!("EHLO {}", self.helo_name))
+            }
+            State::AwaitMail => {
+                self.state = State::AwaitRcpt(0);
+                ClientAction::SendLine(format!("RCPT TO:<{}>", self.email.rcpt_to[0]))
+            }
+            State::AwaitRcpt(i) => {
+                let next = i + 1;
+                if next < self.email.rcpt_to.len() {
+                    self.state = State::AwaitRcpt(next);
+                    ClientAction::SendLine(format!("RCPT TO:<{}>", self.email.rcpt_to[next]))
+                } else {
+                    self.state = State::AwaitDataPrompt;
+                    ClientAction::SendLine("DATA".to_owned())
+                }
+            }
+            State::AwaitDataPrompt => {
+                if !reply.is_intermediate() {
+                    self.state = State::Done;
+                    return ClientAction::Finished(ClientOutcome::Rejected {
+                        code: reply.code,
+                        phase: Phase::DataPrompt,
+                    });
+                }
+                self.state = State::AwaitDataAck;
+                ClientAction::SendData(codec::stuff(&self.email.data))
+            }
+            State::AwaitDataAck => {
+                self.state = State::Done;
+                ClientAction::Finished(ClientOutcome::Accepted)
+            }
+            State::Done => ClientAction::Finished(ClientOutcome::Rejected {
+                code: reply.code,
+                phase: Phase::DataBody,
+            }),
+        }
+    }
+
+    fn phase(&self) -> Phase {
+        match self.state {
+            State::AwaitBanner => Phase::Banner,
+            State::AwaitHello => Phase::Hello,
+            State::AwaitTls => Phase::Tls,
+            State::AwaitMail => Phase::MailFrom,
+            State::AwaitRcpt(_) => Phase::RcptTo,
+            State::AwaitDataPrompt => Phase::DataPrompt,
+            State::AwaitDataAck | State::Done => Phase::DataBody,
+        }
+    }
+
+    /// Whether the session has reached a terminal state.
+    pub fn is_done(&self) -> bool {
+        self.state == State::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn email(to: &str) -> Email {
+        Email::new(
+            Some("probe@research.example".parse().unwrap()),
+            vec![to.parse().unwrap()],
+            "Subject: test\r\n\r\nhello".to_owned(),
+        )
+    }
+
+    #[test]
+    fn happy_path_sequence() {
+        let mut c = ClientSession::new(email("u@typo.com"), "vps.example", false);
+        let a1 = c.on_reply(&Reply::service_ready("mx.typo.com"));
+        assert_eq!(a1, ClientAction::SendLine("EHLO vps.example".into()));
+        let a2 = c.on_reply(&Reply::new(250, "ok"));
+        assert_eq!(
+            a2,
+            ClientAction::SendLine("MAIL FROM:<probe@research.example>".into())
+        );
+        let a3 = c.on_reply(&Reply::ok());
+        assert_eq!(a3, ClientAction::SendLine("RCPT TO:<u@typo.com>".into()));
+        let a4 = c.on_reply(&Reply::ok());
+        assert_eq!(a4, ClientAction::SendLine("DATA".into()));
+        let a5 = c.on_reply(&Reply::start_data());
+        match a5 {
+            ClientAction::SendData(d) => assert!(d.ends_with(".\r\n")),
+            other => panic!("{other:?}"),
+        }
+        let a6 = c.on_reply(&Reply::new(250, "queued"));
+        assert_eq!(a6, ClientAction::Finished(ClientOutcome::Accepted));
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn starttls_negotiation() {
+        let mut c = ClientSession::new(email("u@typo.com"), "vps.example", true);
+        c.on_reply(&Reply::service_ready("mx"));
+        let a = c.on_reply(&Reply::new(250, "mx greets you; STARTTLS"));
+        assert_eq!(a, ClientAction::SendLine("STARTTLS".into()));
+        let a = c.on_reply(&Reply::new(220, "go ahead"));
+        assert_eq!(a, ClientAction::SendLine("EHLO vps.example".into()));
+        // Second EHLO reply leads to MAIL, not STARTTLS again.
+        let a = c.on_reply(&Reply::new(250, "mx greets you; STARTTLS"));
+        assert!(matches!(a, ClientAction::SendLine(l) if l.starts_with("MAIL")));
+    }
+
+    #[test]
+    fn server_without_tls_skips_negotiation() {
+        let mut c = ClientSession::new(email("u@typo.com"), "vps", true);
+        c.on_reply(&Reply::service_ready("mx"));
+        let a = c.on_reply(&Reply::new(250, "mx greets you"));
+        assert!(matches!(a, ClientAction::SendLine(l) if l.starts_with("MAIL")));
+    }
+
+    #[test]
+    fn rejection_at_rcpt_is_reported() {
+        let mut c = ClientSession::new(email("u@typo.com"), "vps", false);
+        c.on_reply(&Reply::service_ready("mx"));
+        c.on_reply(&Reply::ok());
+        c.on_reply(&Reply::ok());
+        let a = c.on_reply(&Reply::mailbox_unavailable());
+        assert_eq!(
+            a,
+            ClientAction::Finished(ClientOutcome::Rejected {
+                code: 550,
+                phase: Phase::RcptTo
+            })
+        );
+    }
+
+    #[test]
+    fn banner_rejection() {
+        let mut c = ClientSession::new(email("u@typo.com"), "vps", false);
+        let a = c.on_reply(&Reply::new(554, "go away"));
+        assert_eq!(
+            a,
+            ClientAction::Finished(ClientOutcome::Rejected {
+                code: 554,
+                phase: Phase::Banner
+            })
+        );
+    }
+
+    #[test]
+    fn transient_failure() {
+        let mut c = ClientSession::new(email("u@typo.com"), "vps", false);
+        let a = c.on_reply(&Reply::unavailable());
+        assert_eq!(
+            a,
+            ClientAction::Finished(ClientOutcome::TransientFailure {
+                code: 421,
+                phase: Phase::Banner
+            })
+        );
+    }
+
+    #[test]
+    fn multiple_recipients_sequenced() {
+        let e = Email::new(
+            None,
+            vec!["a@t.com".parse().unwrap(), "b@t.com".parse().unwrap()],
+            "x".to_owned(),
+        );
+        let mut c = ClientSession::new(e, "vps", false);
+        c.on_reply(&Reply::service_ready("mx"));
+        let a = c.on_reply(&Reply::ok());
+        assert_eq!(a, ClientAction::SendLine("MAIL FROM:<>".into()));
+        let a = c.on_reply(&Reply::ok());
+        assert_eq!(a, ClientAction::SendLine("RCPT TO:<a@t.com>".into()));
+        let a = c.on_reply(&Reply::ok());
+        assert_eq!(a, ClientAction::SendLine("RCPT TO:<b@t.com>".into()));
+        let a = c.on_reply(&Reply::ok());
+        assert_eq!(a, ClientAction::SendLine("DATA".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one recipient")]
+    fn empty_recipients_panics() {
+        let e = Email::new(None, vec![], "x".to_owned());
+        ClientSession::new(e, "vps", false);
+    }
+}

@@ -1,0 +1,319 @@
+//! Line framing for the TCP driver.
+//!
+//! SMTP is line-oriented: commands and replies end with CRLF, and the DATA
+//! payload ends with the lone-dot line `CRLF . CRLF` with leading-dot
+//! transparency ("dot stuffing", RFC 5321 §4.5.2). [`LineCodec`]
+//! accumulates raw socket bytes and yields complete frames.
+
+use bytes::{Buf, BytesMut};
+
+/// Maximum accepted command-line length (RFC 5321 allows 512 for commands;
+/// we are generous to tolerate long paths).
+pub const MAX_LINE_LEN: usize = 2048;
+
+/// Maximum accepted DATA payload (defensive cap; the study's emails are
+/// far smaller).
+pub const MAX_DATA_LEN: usize = 16 * 1024 * 1024;
+
+/// Framing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A line exceeded [`MAX_LINE_LEN`].
+    LineTooLong,
+    /// A DATA payload exceeded [`MAX_DATA_LEN`].
+    DataTooLong,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::LineTooLong => write!(f, "line exceeds {MAX_LINE_LEN} bytes"),
+            CodecError::DataTooLong => write!(f, "data exceeds {MAX_DATA_LEN} bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// What the codec is currently framing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Command/reply lines.
+    Line,
+    /// DATA payload until `CRLF . CRLF`.
+    Data,
+}
+
+/// An incremental framer over a byte stream.
+#[derive(Debug)]
+pub struct LineCodec {
+    buf: BytesMut,
+    mode: Mode,
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// One command or reply line, CRLF stripped.
+    Line(String),
+    /// A complete DATA payload, dot-unstuffed, terminator stripped.
+    Data(String),
+}
+
+impl LineCodec {
+    /// Creates an empty codec in line mode.
+    pub fn new() -> Self {
+        LineCodec {
+            buf: BytesMut::with_capacity(1024),
+            mode: Mode::Line,
+        }
+    }
+
+    /// Feeds raw bytes from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Switches to DATA framing (after the server answers 354).
+    pub fn enter_data_mode(&mut self) {
+        self.mode = Mode::Data;
+    }
+
+    /// Whether the codec is framing a DATA payload.
+    pub fn in_data_mode(&self) -> bool {
+        self.mode == Mode::Data
+    }
+
+    /// Attempts to extract the next complete frame.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, CodecError> {
+        match self.mode {
+            Mode::Line => self.next_line(),
+            Mode::Data => self.next_data(),
+        }
+    }
+
+    fn next_line(&mut self) -> Result<Option<Frame>, CodecError> {
+        if let Some(pos) = find_crlf(&self.buf) {
+            if pos > MAX_LINE_LEN {
+                return Err(CodecError::LineTooLong);
+            }
+            let line = self.buf.split_to(pos);
+            self.buf.advance(2); // CRLF
+            let text = String::from_utf8_lossy(&line).into_owned();
+            return Ok(Some(Frame::Line(text)));
+        }
+        if self.buf.len() > MAX_LINE_LEN {
+            return Err(CodecError::LineTooLong);
+        }
+        Ok(None)
+    }
+
+    fn next_data(&mut self) -> Result<Option<Frame>, CodecError> {
+        // Terminator: CRLF.CRLF — or the degenerate ".CRLF" as the very
+        // first bytes of the payload (empty message).
+        if self.buf.starts_with(b".\r\n") {
+            self.buf.advance(3);
+            self.mode = Mode::Line;
+            return Ok(Some(Frame::Data(String::new())));
+        }
+        let term = b"\r\n.\r\n";
+        if let Some(pos) = find_subslice(&self.buf, term) {
+            let raw = self.buf.split_to(pos + 2); // keep the final CRLF of the body
+            self.buf.advance(3); // ".\r\n"
+            self.mode = Mode::Line;
+            let text = String::from_utf8_lossy(&raw).into_owned();
+            return Ok(Some(Frame::Data(unstuff(&text))));
+        }
+        if self.buf.len() > MAX_DATA_LEN {
+            return Err(CodecError::DataTooLong);
+        }
+        Ok(None)
+    }
+
+    /// Bytes buffered but not yet framed.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl Default for LineCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
+}
+
+fn find_subslice(buf: &[u8], needle: &[u8]) -> Option<usize> {
+    buf.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Removes dot-stuffing: a leading `..` on a line becomes `.`.
+pub fn unstuff(data: &str) -> String {
+    let mut out = String::with_capacity(data.len());
+    for (i, line) in data.split_inclusive("\r\n").enumerate() {
+        let _ = i;
+        if let Some(rest) = line.strip_prefix("..") {
+            out.push('.');
+            out.push_str(rest);
+        } else {
+            out.push_str(line);
+        }
+    }
+    // Drop the trailing CRLF that belonged to the terminator framing.
+    out.strip_suffix("\r\n").map(str::to_owned).unwrap_or(out)
+}
+
+/// Adds dot-stuffing and the terminator to a payload for transmission.
+pub fn stuff(data: &str) -> String {
+    let mut out = String::with_capacity(data.len() + 8);
+    for line in data.split('\n') {
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        if line.starts_with('.') {
+            out.push('.');
+        }
+        out.push_str(line);
+        out.push_str("\r\n");
+    }
+    out.push_str(".\r\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splits_lines() {
+        let mut c = LineCodec::new();
+        c.feed(b"EHLO a.com\r\nMAIL FROM:<x@y.com>\r\npartial");
+        assert_eq!(
+            c.next_frame().unwrap(),
+            Some(Frame::Line("EHLO a.com".into()))
+        );
+        assert_eq!(
+            c.next_frame().unwrap(),
+            Some(Frame::Line("MAIL FROM:<x@y.com>".into()))
+        );
+        assert_eq!(c.next_frame().unwrap(), None);
+        c.feed(b" done\r\n");
+        assert_eq!(
+            c.next_frame().unwrap(),
+            Some(Frame::Line("partial done".into()))
+        );
+    }
+
+    #[test]
+    fn data_mode_frames_payload() {
+        let mut c = LineCodec::new();
+        c.enter_data_mode();
+        c.feed(b"Subject: hi\r\n\r\nbody line\r\n.\r\nQUIT\r\n");
+        assert_eq!(
+            c.next_frame().unwrap(),
+            Some(Frame::Data("Subject: hi\r\n\r\nbody line".into()))
+        );
+        assert!(!c.in_data_mode());
+        assert_eq!(c.next_frame().unwrap(), Some(Frame::Line("QUIT".into())));
+    }
+
+    #[test]
+    fn empty_data_payload() {
+        let mut c = LineCodec::new();
+        c.enter_data_mode();
+        c.feed(b".\r\n");
+        assert_eq!(c.next_frame().unwrap(), Some(Frame::Data(String::new())));
+    }
+
+    #[test]
+    fn dot_unstuffing() {
+        let mut c = LineCodec::new();
+        c.enter_data_mode();
+        c.feed(b"..leading dot\r\nnormal\r\n.\r\n");
+        assert_eq!(
+            c.next_frame().unwrap(),
+            Some(Frame::Data(".leading dot\r\nnormal".into()))
+        );
+    }
+
+    #[test]
+    fn line_length_limit() {
+        let mut c = LineCodec::new();
+        c.feed(&vec![b'a'; MAX_LINE_LEN + 1]);
+        assert_eq!(c.next_frame(), Err(CodecError::LineTooLong));
+        // The cap also applies when the oversized line arrives complete
+        // with its CRLF in one segment.
+        let mut c2 = LineCodec::new();
+        let mut big = vec![b'a'; MAX_LINE_LEN + 1];
+        big.extend_from_slice(b"\r\n");
+        c2.feed(&big);
+        assert_eq!(c2.next_frame(), Err(CodecError::LineTooLong));
+    }
+
+    #[test]
+    fn incremental_data_terminator() {
+        // Terminator split across feeds.
+        let mut c = LineCodec::new();
+        c.enter_data_mode();
+        c.feed(b"body\r\n.");
+        assert_eq!(c.next_frame().unwrap(), None);
+        c.feed(b"\r\n");
+        assert_eq!(c.next_frame().unwrap(), Some(Frame::Data("body".into())));
+    }
+
+    #[test]
+    fn stuff_round_trips_dotted_lines() {
+        let payload = ".starts with dot\nplain\n..double";
+        let stuffed = stuff(payload);
+        let mut c = LineCodec::new();
+        c.enter_data_mode();
+        c.feed(stuffed.as_bytes());
+        match c.next_frame().unwrap() {
+            Some(Frame::Data(d)) => {
+                assert_eq!(d, ".starts with dot\r\nplain\r\n..double");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn stuffed_payload_round_trips(body in "[ -~]{0,300}") {
+            // Normalize: transmission canonicalizes line endings to CRLF.
+            let stuffed = stuff(&body);
+            let mut c = LineCodec::new();
+            c.enter_data_mode();
+            c.feed(stuffed.as_bytes());
+            let frame = c.next_frame().unwrap().expect("complete payload");
+            let expected = body.split('\n')
+                .map(|l| l.strip_suffix('\r').unwrap_or(l))
+                .collect::<Vec<_>>()
+                .join("\r\n");
+            prop_assert_eq!(frame, Frame::Data(expected));
+            prop_assert_eq!(c.pending(), 0);
+        }
+
+        #[test]
+        fn feed_in_chunks_equals_feed_at_once(body in "[a-z\r\n.]{0,200}", split in 0usize..200) {
+            let stuffed = stuff(&body);
+            let bytes = stuffed.as_bytes();
+            let cut = split.min(bytes.len());
+            let mut c1 = LineCodec::new();
+            c1.enter_data_mode();
+            c1.feed(bytes);
+            let mut c2 = LineCodec::new();
+            c2.enter_data_mode();
+            c2.feed(&bytes[..cut]);
+            let early = c2.next_frame().unwrap();
+            c2.feed(&bytes[cut..]);
+            let f1 = c1.next_frame().unwrap();
+            let f2 = match early {
+                Some(f) => Some(f),
+                None => c2.next_frame().unwrap(),
+            };
+            prop_assert_eq!(f1, f2);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # ets-smtp
+//!
+//! The SMTP substrate of the email-typosquatting reproduction.
+//!
+//! The protocol logic is *sans-io*, in the smoltcp style: the server and
+//! client are pure state machines ([`session::ServerSession`],
+//! [`client::ClientSession`]) that consume protocol lines and emit replies
+//! and events, with no sockets anywhere in sight. Two drivers exist:
+//!
+//! * an **in-memory driver** ([`pipe`]) that runs a client session against
+//!   a server session directly — this is what the large-scale simulations
+//!   (50,995-domain honey-probe campaigns) use;
+//! * a **TCP driver** ([`server`], [`net_client`]) over `std::net` with a
+//!   crossbeam thread pool — this is what the loopback examples and
+//!   integration tests use to prove the state machines speak real SMTP
+//!   over real sockets.
+//!
+//! [`fault`] injects the failure modes of Table 5 (bounce, timeout,
+//! network error, other error) into either driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod command;
+pub mod fault;
+pub mod net_client;
+pub mod pipe;
+pub mod reply;
+pub mod server;
+pub mod session;
+
+pub use client::{ClientSession, Email};
+pub use codec::LineCodec;
+pub use command::Command;
+pub use fault::{DeliveryOutcome, FaultPlan};
+pub use reply::Reply;
+pub use session::{ReceivedEmail, ServerPolicy, ServerSession};

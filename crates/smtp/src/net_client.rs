@@ -1,0 +1,159 @@
+//! The TCP client driver: delivers one message over a real socket.
+
+use crate::client::{ClientAction, ClientOutcome, ClientSession, Email};
+use crate::codec::{Frame, LineCodec};
+use crate::reply::Reply;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Errors from a TCP delivery attempt. Protocol-level rejections are *not*
+/// errors — they come back as [`ClientOutcome`].
+#[derive(Debug)]
+pub enum SendError {
+    /// TCP connect/read/write failure (Table 5 "Network Error" / "Timeout").
+    Io(std::io::Error),
+    /// The server sent something that is not an SMTP reply.
+    ProtocolGarbage(String),
+    /// The server closed the connection mid-session.
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Io(e) => write!(f, "io: {e}"),
+            SendError::ProtocolGarbage(l) => write!(f, "not an SMTP reply: {l:?}"),
+            SendError::ConnectionClosed => write!(f, "connection closed mid-session"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+impl From<std::io::Error> for SendError {
+    fn from(e: std::io::Error) -> Self {
+        SendError::Io(e)
+    }
+}
+
+/// Connects to `addr` and delivers `email`, driving a [`ClientSession`].
+pub fn send_email(
+    addr: &str,
+    email: Email,
+    helo_name: &str,
+    use_starttls: bool,
+    timeout: Duration,
+) -> Result<ClientOutcome, SendError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    let mut session = ClientSession::new(email, helo_name, use_starttls);
+    let mut framer = LineCodec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        // Read one complete reply line.
+        let line = loop {
+            match framer.next_frame() {
+                Ok(Some(Frame::Line(l))) => break l,
+                Ok(Some(Frame::Data(_))) => unreachable!("client never reads DATA frames"),
+                Ok(None) => {
+                    let n = stream.read(&mut buf)?;
+                    if n == 0 {
+                        return Err(SendError::ConnectionClosed);
+                    }
+                    framer.feed(&buf[..n]);
+                }
+                Err(e) => return Err(SendError::ProtocolGarbage(e.to_string())),
+            }
+        };
+        // Multiline replies: consume continuation lines (code-dash).
+        if line.len() >= 4 && &line[3..4] == "-" {
+            continue;
+        }
+        let reply = Reply::parse(&line).ok_or(SendError::ProtocolGarbage(line))?;
+        match session.on_reply(&reply) {
+            ClientAction::SendLine(l) => {
+                stream.write_all(l.as_bytes())?;
+                stream.write_all(b"\r\n")?;
+                stream.flush()?;
+            }
+            ClientAction::SendData(payload) => {
+                stream.write_all(payload.as_bytes())?;
+                stream.flush()?;
+            }
+            ClientAction::Finished(outcome) => {
+                let _ = stream.write_all(b"QUIT\r\n");
+                return Ok(outcome);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_refused_is_io_error() {
+        // Bind then immediately drop to get a (very likely) dead port.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let email = Email::new(
+            None,
+            vec!["a@b.com".parse().unwrap()],
+            "x".to_owned(),
+        );
+        let r = send_email(
+            &format!("127.0.0.1:{port}"),
+            email,
+            "c",
+            false,
+            Duration::from_millis(500),
+        );
+        assert!(matches!(r, Err(SendError::Io(_))));
+    }
+
+    #[test]
+    fn garbage_server_is_protocol_error() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = s.write_all(b"NOT SMTP AT ALL\r\n");
+        });
+        let email = Email::new(None, vec!["a@b.com".parse().unwrap()], "x".to_owned());
+        let r = send_email(
+            &addr.to_string(),
+            email,
+            "c",
+            false,
+            Duration::from_millis(1000),
+        );
+        assert!(matches!(r, Err(SendError::ProtocolGarbage(_))));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn server_hangup_is_connection_closed() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            drop(s);
+        });
+        let email = Email::new(None, vec!["a@b.com".parse().unwrap()], "x".to_owned());
+        let r = send_email(
+            &addr.to_string(),
+            email,
+            "c",
+            false,
+            Duration::from_millis(1000),
+        );
+        assert!(matches!(r, Err(SendError::ConnectionClosed) | Err(SendError::Io(_))));
+        t.join().unwrap();
+    }
+}

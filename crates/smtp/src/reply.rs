@@ -1,0 +1,149 @@
+//! SMTP replies (RFC 5321 §4.2).
+
+use std::fmt;
+
+/// A server reply: three-digit code plus text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The reply code (e.g. 250).
+    pub code: u16,
+    /// Human-readable text (single line in this subset).
+    pub text: String,
+}
+
+impl Reply {
+    /// Creates a reply.
+    pub fn new(code: u16, text: &str) -> Self {
+        Reply {
+            code,
+            text: text.to_owned(),
+        }
+    }
+
+    /// `220` service ready greeting.
+    pub fn service_ready(host: &str) -> Self {
+        Reply::new(220, &format!("{host} ESMTP ready"))
+    }
+
+    /// `250 OK`.
+    pub fn ok() -> Self {
+        Reply::new(250, "OK")
+    }
+
+    /// `221` closing.
+    pub fn closing() -> Self {
+        Reply::new(221, "Bye")
+    }
+
+    /// `354` start mail input.
+    pub fn start_data() -> Self {
+        Reply::new(354, "End data with <CR><LF>.<CR><LF>")
+    }
+
+    /// `550` mailbox unavailable (the bounce of Table 5).
+    pub fn mailbox_unavailable() -> Self {
+        Reply::new(550, "No such user here")
+    }
+
+    /// `503` bad sequence of commands.
+    pub fn bad_sequence() -> Self {
+        Reply::new(503, "Bad sequence of commands")
+    }
+
+    /// `500` syntax error.
+    pub fn syntax_error() -> Self {
+        Reply::new(500, "Syntax error")
+    }
+
+    /// `502` command not implemented.
+    pub fn not_implemented() -> Self {
+        Reply::new(502, "Command not implemented")
+    }
+
+    /// `421` service not available (used when shedding load / faulting).
+    pub fn unavailable() -> Self {
+        Reply::new(421, "Service not available")
+    }
+
+    /// Positive completion (2xx).
+    pub fn is_positive(&self) -> bool {
+        (200..300).contains(&self.code)
+    }
+
+    /// Positive intermediate (3xx — continue with data).
+    pub fn is_intermediate(&self) -> bool {
+        (300..400).contains(&self.code)
+    }
+
+    /// Transient negative (4xx).
+    pub fn is_transient_failure(&self) -> bool {
+        (400..500).contains(&self.code)
+    }
+
+    /// Permanent negative (5xx).
+    pub fn is_permanent_failure(&self) -> bool {
+        (500..600).contains(&self.code)
+    }
+
+    /// Parses a single-line reply (`250 OK`).
+    pub fn parse(line: &str) -> Option<Reply> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.len() < 3 {
+            return None;
+        }
+        let code: u16 = line[..3].parse().ok()?;
+        if !(200..600).contains(&code) {
+            return None;
+        }
+        let rest = line[3..].strip_prefix([' ', '-']).unwrap_or(&line[3..]);
+        Some(Reply::new(code, rest))
+    }
+}
+
+impl fmt::Display for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories() {
+        assert!(Reply::ok().is_positive());
+        assert!(Reply::start_data().is_intermediate());
+        assert!(Reply::unavailable().is_transient_failure());
+        assert!(Reply::mailbox_unavailable().is_permanent_failure());
+        assert!(!Reply::ok().is_permanent_failure());
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for r in [
+            Reply::service_ready("mx.gmial.com"),
+            Reply::ok(),
+            Reply::start_data(),
+            Reply::mailbox_unavailable(),
+        ] {
+            let line = r.to_string();
+            assert_eq!(Reply::parse(&line).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_crlf_and_dash() {
+        assert_eq!(Reply::parse("250 OK\r\n").unwrap(), Reply::ok());
+        assert_eq!(Reply::parse("250-PIPELINING").unwrap().code, 250);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Reply::parse("").is_none());
+        assert!(Reply::parse("ab").is_none());
+        assert!(Reply::parse("999 nope").is_none());
+        assert!(Reply::parse("abc hello").is_none());
+        assert!(Reply::parse("100 too low").is_none());
+    }
+}

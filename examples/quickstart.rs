@@ -1,0 +1,67 @@
+//! Quickstart: generate the typo candidates of a target domain and rank
+//! them by expected captured email, the way a (hypothetical) typosquatter
+//! would choose what to register.
+//!
+//! ```sh
+//! cargo run --example quickstart [target-domain]
+//! ```
+
+use ets_core::distance;
+use ets_core::typing::TypingModel;
+use ets_core::typogen;
+use ets_core::DomainName;
+
+fn main() {
+    let raw = std::env::args().nth(1).unwrap_or_else(|| "gmail.com".to_owned());
+    let target: DomainName = match raw.parse() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {raw:?} is not a valid domain name: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let candidates = typogen::generate_dl1(&target);
+    println!(
+        "{} has {} DL-1 typo candidates ({} of them fat-finger)",
+        target,
+        candidates.len(),
+        candidates.iter().filter(|c| c.fat_finger).count()
+    );
+
+    // Rank by the Section-6 typing-error model, assuming 1B emails/year
+    // to the target.
+    let model = TypingModel::default();
+    let mut ranked: Vec<_> = candidates
+        .iter()
+        .map(|c| (model.expected_emails(1e9, c), c))
+        .collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN"));
+
+    println!("\ntop 15 candidates by expected captured email (per 1B sent):");
+    println!(
+        "{:<22} {:>12} {:<14} {:>4} {:>7} {:>7}",
+        "domain", "emails/yr", "mistake", "pos", "FF-1", "visual"
+    );
+    for (expected, c) in ranked.iter().take(15) {
+        println!(
+            "{:<22} {:>12.0} {:<14} {:>4} {:>7} {:>7.2}",
+            c.domain.as_str(),
+            expected,
+            c.kind.to_string(),
+            c.position,
+            if c.fat_finger { "yes" } else { "no" },
+            c.visual
+        );
+    }
+
+    // Show the distance metrics on the best candidate.
+    let best = ranked[0].1;
+    println!(
+        "\nbest candidate {}: DL={} FF={:?} visual={:.2}",
+        best.domain,
+        distance::damerau_levenshtein(target.sld(), best.domain.sld()),
+        distance::fat_finger(target.sld(), best.domain.sld()),
+        distance::visual(target.sld(), best.domain.sld()),
+    );
+}

@@ -1,0 +1,85 @@
+//! A real TCP catch-all SMTP server on loopback, receiving a mistyped
+//! email and pushing it through the processing pipeline — the collection
+//! path of Figure 1 over actual sockets.
+//!
+//! ```sh
+//! cargo run --example smtp_loopback
+//! ```
+
+use ets_collector::crypto;
+use ets_collector::scrub;
+use ets_mail::MessageBuilder;
+use ets_smtp::client::Email;
+use ets_smtp::net_client::send_email;
+use ets_smtp::server::SmtpServer;
+use ets_smtp::session::ServerPolicy;
+use std::time::Duration;
+
+fn main() {
+    // 1. The collection server: a catch-all for the typo domain.
+    let policy = ServerPolicy::catch_all("mx.gmial.com", &["gmial.com".to_owned()]);
+    let server = SmtpServer::bind("127.0.0.1:0", policy).expect("bind loopback");
+    println!("catch-all SMTP server listening on {}", server.addr());
+
+    // 2. A sender who meant to write to alice@gmail.com.
+    let msg = MessageBuilder::new()
+        .from("john.lavorato@business.example")
+        .expect("valid")
+        .to("alice@gmial.com") // the typo
+        .expect("valid")
+        .subject("hotel booking")
+        .date("Mon, 6 Jun 2016 09:00:00 +0000")
+        .message_id("<booking-123@business.example>")
+        .body("Amex 371385129301004 Exp 06/03\nBook us 3 rooms and make sure that we can have 2 beds in one of the rooms.\nThanks\nJohn")
+        .build();
+    let email = Email::new(
+        Some("john.lavorato@business.example".parse().expect("valid")),
+        vec!["alice@gmial.com".parse().expect("valid")],
+        msg.to_wire(),
+    );
+    let outcome = send_email(
+        &server.addr().to_string(),
+        email,
+        "mail-out.business.example",
+        true, // opportunistic STARTTLS
+        Duration::from_secs(5),
+    )
+    .expect("loopback delivery");
+    println!("client outcome: {outcome:?}");
+
+    // 3. Collect and process, exactly like the pipeline of Figure 2.
+    let received = server.shutdown();
+    assert_eq!(received.len(), 1, "one message must arrive");
+    let raw = &received[0];
+    println!(
+        "received via {} (TLS: {}): envelope {} -> {}",
+        raw.client_helo,
+        raw.tls,
+        raw.mail_from
+            .as_ref()
+            .map(ToString::to_string)
+            .unwrap_or_else(|| "<>".into()),
+        raw.rcpt_to[0]
+    );
+    let parsed = ets_mail::Message::parse(&raw.data).expect("parseable message");
+
+    // Scrub sensitive information before storage.
+    let scrubbed = scrub::scrub(&parsed.body);
+    println!("\nsanitized body:\n---\n{}\n---", scrubbed.text);
+    println!(
+        "sensitive information removed: {:?}",
+        scrubbed.kinds()
+    );
+
+    // Encrypt at rest.
+    let key: crypto::Key = [0x42; 32];
+    let sealed = crypto::seal(&key, 1, scrubbed.text.as_bytes());
+    println!(
+        "stored {} ciphertext bytes (nonce {:02x?}...)",
+        sealed.ciphertext.len(),
+        &sealed.nonce[..4]
+    );
+    let back = crypto::open(&key, &sealed).expect("round trip");
+    assert_eq!(back, scrubbed.text.as_bytes());
+    println!("decryption with the offline key verified");
+}

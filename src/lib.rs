@@ -1,0 +1,48 @@
+//! # email-typosquatting
+//!
+//! A full reproduction of *Email Typosquatting* (Szurdi & Christin,
+//! IMC 2017) as a Rust workspace: typo generation and distance metrics,
+//! a simulated DNS/SMTP substrate, the five-layer spam/typo funnel, the
+//! ecosystem census, the Section-6 projection regression, and the
+//! honey-email campaigns.
+//!
+//! This facade crate re-exports the workspace members under one roof so
+//! the examples and downstream users can depend on a single crate:
+//!
+//! * [`core`] — distances, typo generation, typing model, statistics.
+//! * [`mail`] — the RFC 5322-subset message model.
+//! * [`dns`] — zones, RFC 1035 wire codec, resolver, registry, WHOIS.
+//! * [`smtp`] — sans-io SMTP state machines plus TCP drivers.
+//! * [`ecosystem`] — the synthetic Internet and the §5 analyses.
+//! * [`collector`] — the §4 measurement apparatus.
+//! * [`honeypot`] — the §7 honey-email experiments.
+//!
+//! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for
+//! paper-vs-measured results, and `crates/experiments` for the `repro`
+//! CLI that regenerates every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ets_collector as collector;
+pub use ets_core as core;
+pub use ets_dns as dns;
+pub use ets_ecosystem as ecosystem;
+pub use ets_honeypot as honeypot;
+pub use ets_mail as mail;
+pub use ets_smtp as smtp;
+
+/// The paper's citation string.
+pub const PAPER: &str =
+    "Janos Szurdi and Nicolas Christin. Email Typosquatting. IMC 2017. doi:10.1145/3131365.3131399";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_work() {
+        let d: crate::core::DomainName = "gmail.com".parse().unwrap();
+        let typos = crate::core::typogen::generate_dl1(&d);
+        assert!(!typos.is_empty());
+        assert!(crate::PAPER.contains("IMC 2017"));
+    }
+}

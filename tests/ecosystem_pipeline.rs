@@ -1,0 +1,156 @@
+//! Cross-crate Section-5 pipeline: the synthetic world drives the real
+//! resolver, scanner, WHOIS clusterer, and concentration analyses.
+
+use ets_dns::Fqdn;
+use ets_ecosystem::mxconc::MxConcentration;
+use ets_ecosystem::nameserver::NsAnalysis;
+use ets_ecosystem::population::{PopulationConfig, World};
+use ets_ecosystem::scan::{scan_world, SmtpSupport};
+use ets_ecosystem::whois_cluster::{self, WhoisRow};
+use std::collections::HashSet;
+
+fn world() -> World {
+    World::build(PopulationConfig {
+        n_targets: 100,
+        ..PopulationConfig::tiny(0x5eed)
+    })
+}
+
+#[test]
+fn census_has_table4_shape() {
+    let w = world();
+    let census = scan_world(&w);
+    assert_eq!(census.total(), w.ctypos.len());
+    let email_share = census.supports_email_share();
+    assert!(
+        email_share > 0.2 && email_share < 0.65,
+        "email-capable share {email_share}"
+    );
+    let no_info = census.percent_total(SmtpSupport::NoInfo);
+    assert!(no_info > 20.0 && no_info < 50.0, "no-info {no_info}%");
+    // STARTTLS-ok is the largest capable category, as in the paper.
+    assert!(
+        census.percent_total(SmtpSupport::StarttlsOk)
+            >= census.percent_total(SmtpSupport::EmailNoStarttls)
+    );
+}
+
+#[test]
+fn whois_clustering_recovers_bulk_owners() {
+    let w = world();
+    let rows: Vec<WhoisRow> = w
+        .ctypos
+        .iter()
+        .map(|c| {
+            let fq = Fqdn::from_domain(&c.candidate.domain);
+            let reg = w.registry.registration(&fq).expect("registered");
+            WhoisRow {
+                domain: fq,
+                whois: reg.public_whois(),
+                private: reg.is_private(),
+            }
+        })
+        .collect();
+    let clusters = whois_cluster::cluster_registrants(&rows);
+    assert!(!clusters.is_empty());
+    // The clusterer must find at least one genuinely large portfolio...
+    assert!(clusters[0].len() >= 10, "largest {}", clusters[0].len());
+    // ...and the recovered top cluster must be ground-truth same-owner.
+    let owners: HashSet<Option<usize>> = clusters[0]
+        .domains
+        .iter()
+        .map(|d| {
+            let name: ets_core::DomainName = d.to_string().parse().unwrap();
+            w.owner_of(&name).map(|r| r.id)
+        })
+        .collect();
+    assert_eq!(owners.len(), 1, "top cluster mixes owners: {owners:?}");
+    // Private registrations never appear in any cluster.
+    let private: HashSet<&Fqdn> = rows.iter().filter(|r| r.private).map(|r| &r.domain).collect();
+    for c in &clusters {
+        for d in &c.domains {
+            assert!(!private.contains(d), "{d} is privacy-proxied");
+        }
+    }
+}
+
+#[test]
+fn mx_concentration_vs_ground_truth_providers() {
+    let w = world();
+    let resolver = w.resolver();
+    let domains: Vec<Fqdn> = w
+        .ctypos
+        .iter()
+        .map(|c| Fqdn::from_domain(&c.candidate.domain))
+        .collect();
+    let conc = MxConcentration::measure(&resolver, domains.iter());
+    assert!(conc.total_with_mail > 100);
+    // The top measured providers must be Table-6 names from the ground
+    // truth provider list.
+    let provider_names: HashSet<String> = w.mx_providers.iter().map(|p| p.to_string()).collect();
+    let top3: Vec<String> = conc
+        .providers
+        .iter()
+        .take(3)
+        .map(|(d, _)| d.to_string())
+        .collect();
+    let hits = top3.iter().filter(|d| provider_names.contains(*d)).count();
+    assert!(hits >= 2, "top-3 measured {top3:?} not in ground truth");
+    // Concentration: the curve must bend hard at the head.
+    assert!(conc.top_share(11) > 0.3, "top-11 {}", conc.top_share(11));
+}
+
+#[test]
+fn cesspool_nameservers_stand_out_against_background() {
+    let w = world();
+    let ctypos: HashSet<Fqdn> = w
+        .ctypos
+        .iter()
+        .map(|c| Fqdn::from_domain(&c.candidate.domain))
+        .collect();
+    let ns = NsAnalysis::run_with_background(
+        &w.registry.zone_file(),
+        &ctypos,
+        &w.ns_customer_base,
+        10,
+    );
+    // Average in the low percent range, as for all of .com.
+    assert!(
+        ns.average_ratio > 0.005 && ns.average_ratio < 0.25,
+        "avg {}",
+        ns.average_ratio
+    );
+    // The suspicious tail exists and is dominated by the cesspools.
+    let sus = ns.suspicious(5.0);
+    assert!(!sus.is_empty());
+    assert!(
+        sus[0].nameserver.to_string().contains("cheap-dns"),
+        "top suspicious {}",
+        sus[0].nameserver
+    );
+    assert!(sus[0].typo_ratio() > 0.3, "ratio {}", sus[0].typo_ratio());
+}
+
+#[test]
+fn dns_wire_round_trip_through_world_resolver() {
+    use ets_dns::record::RecordType;
+    use ets_dns::wire::{decode, encode, DnsMessage, Rcode};
+    let w = world();
+    let resolver = w.resolver();
+    // Take a mail-capable ctypo and resolve it at the wire level.
+    let target = w
+        .ctypos
+        .iter()
+        .find(|c| c.has_zone)
+        .map(|c| Fqdn::from_domain(&c.candidate.domain))
+        .expect("a zone-backed ctypo exists");
+    let query = DnsMessage::query(99, target.clone(), RecordType::Mx);
+    let wire_query = encode(&query);
+    let parsed_query = decode(&wire_query).expect("query round-trips");
+    let response = resolver.serve(&parsed_query);
+    let wire_response = encode(&response);
+    let parsed_response = decode(&wire_response).expect("response round-trips");
+    assert_eq!(parsed_response, response);
+    assert_eq!(parsed_response.id, 99);
+    assert!(parsed_response.rcode == Rcode::NoError || parsed_response.answers.is_empty());
+}

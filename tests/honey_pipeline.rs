@@ -1,0 +1,134 @@
+//! Cross-crate Section-7 pipeline: world → probe campaign (through the
+//! real SMTP state machines) → honey-token campaign → monitoring.
+
+use ets_honeypot::behavior::BehaviorModel;
+use ets_honeypot::campaign::{HoneyCampaign, ProbeCampaign};
+use ets_honeypot::design::{self, HoneyDesign};
+use ets_ecosystem::population::{PopulationConfig, SmtpProfile, World};
+use ets_smtp::fault::DeliveryOutcome;
+
+fn world() -> World {
+    World::build(PopulationConfig::tiny(0x40e7))
+}
+
+#[test]
+fn probe_campaign_covers_table5() {
+    let w = world();
+    let probe = ProbeCampaign::new(&w, BehaviorModel::default()).run();
+    assert_eq!(probe.total(), w.ctypos.len());
+    // Every Table-5 row label present.
+    let rows = probe.table5_rows();
+    assert_eq!(rows.len(), 5);
+    assert_eq!(rows[0].0, "No error");
+    assert_eq!(rows[3].0, "Network Error");
+    // Acceptance matches ground truth: every accepted domain's profile is
+    // an accepting one.
+    for d in probe.accepted.iter().take(100) {
+        let smtp = w.smtp_profile(d).expect("known ctypo");
+        assert!(
+            matches!(smtp, SmtpProfile::StarttlsOk | SmtpProfile::PlainOnly),
+            "{d} accepted with profile {smtp:?}"
+        );
+    }
+}
+
+#[test]
+fn probe_outcomes_deterministic_and_profile_faithful() {
+    let w = world();
+    let campaign = ProbeCampaign::new(&w, BehaviorModel::default());
+    let a = campaign.run();
+    let b = campaign.run();
+    assert_eq!(a.outcomes, b.outcomes);
+    // Bounce-profile hosts bounce; timeout hosts time out — through the
+    // real client/server exchange, not a table lookup.
+    let d: ets_core::DomainName = "probe-target.com".parse().unwrap();
+    assert_eq!(
+        campaign.probe_one(&d, SmtpProfile::BounceAll),
+        DeliveryOutcome::Bounce
+    );
+    assert_eq!(
+        campaign.probe_one(&d, SmtpProfile::SilentTimeout),
+        DeliveryOutcome::Timeout
+    );
+}
+
+#[test]
+fn honey_emails_deliver_through_real_smtp() {
+    // A honey email must survive an actual SMTP transaction with a
+    // catch-all server: wire format, dot-stuffing, DOCX attachment.
+    use ets_smtp::client::Email;
+    use ets_smtp::pipe;
+    use ets_smtp::session::ServerPolicy;
+    let domain: ets_core::DomainName = "outfook.com".parse().unwrap();
+    let honey = design::build(HoneyDesign::PaymentDocx, &domain, 42);
+    let rcpt = honey.message.to_addr().expect("honey email has To");
+    let email = Email::new(
+        Some("sender@plausible-sender.example".parse().unwrap()),
+        vec![rcpt],
+        honey.message.to_wire(),
+    );
+    let policy = ServerPolicy::catch_all("mx.outfook.com", &["outfook.com".to_owned()]);
+    let result = pipe::deliver(email, "mail.plausible-sender.example", true, policy).unwrap();
+    assert_eq!(result.delivery_outcome(), DeliveryOutcome::NoError);
+    let received = ets_mail::Message::parse(&result.received[0].data).unwrap();
+    assert_eq!(received.attachments.len(), 1);
+    assert_eq!(received.attachments[0].extension().as_deref(), Some("docx"));
+    // The beacon URL survives transport intact.
+    let text = String::from_utf8_lossy(&received.attachments[0].data);
+    assert!(text.contains("cdn-metrics.example/doc/42.png"));
+}
+
+#[test]
+fn full_campaign_signal_is_sparse_slow_and_human() {
+    let w = world();
+    let behavior = BehaviorModel {
+        curious_share: 0.05, // raised so the tiny world yields a signal
+        ..BehaviorModel::default()
+    };
+    let probe = ProbeCampaign::new(&w, behavior.clone()).run();
+    assert!(!probe.accepted.is_empty());
+    let campaign = HoneyCampaign::new(&w, behavior);
+    let report = campaign.run(&probe.accepted);
+    let s = report.monitor.summary();
+    // Sparse: most honey emails are never touched.
+    assert!(s.opens * 3 < report.sent, "opens {} of {}", s.opens, report.sent);
+    // When opened, the pace is human (hours, not milliseconds).
+    if s.domains_read > 0 {
+        assert!(
+            s.median_open_delay_hours >= 0.5,
+            "median delay {}",
+            s.median_open_delay_hours
+        );
+    }
+    // Token accesses are rarer than opens.
+    assert!(s.token_accesses <= s.opens);
+}
+
+#[test]
+fn registrant_granularity_not_domain() {
+    // All domains of one registrant behave identically: if any domain of
+    // an owner reads, its sibling domains (same behaviour draw) are the
+    // only other candidates to read.
+    let w = world();
+    let behavior = BehaviorModel {
+        curious_share: 0.08,
+        ..BehaviorModel::default()
+    };
+    let probe = ProbeCampaign::new(&w, behavior.clone()).run();
+    let campaign = HoneyCampaign::new(&w, behavior.clone());
+    let report = campaign.run(&probe.accepted);
+    use std::collections::HashSet;
+    let reading_owners: HashSet<Option<usize>> = report
+        .monitor
+        .events()
+        .iter()
+        .map(|e| w.owner_of(&e.domain).map(|r| r.id))
+        .collect();
+    for id in reading_owners.iter().flatten() {
+        let key = format!("cluster:{id}");
+        assert!(
+            behavior.behavior_for(&key).open_prob > 0.0,
+            "owner {id} read but is dormant"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! The Figure-1 collection path over real TCP sockets: DNS-style catch-all
+//! policy, SMTP server, client delivery, then the full processing pipeline
+//! (extraction → scrubbing → encryption).
+
+use ets_collector::{crypto, extract, scrub};
+use ets_mail::MessageBuilder;
+use ets_smtp::client::{ClientOutcome, Email};
+use ets_smtp::net_client::send_email;
+use ets_smtp::server::SmtpServer;
+use ets_smtp::session::ServerPolicy;
+use std::time::Duration;
+
+fn catch_all_server() -> SmtpServer {
+    let policy = ServerPolicy::catch_all("mx.gmial.com", &["gmial.com".to_owned()]);
+    SmtpServer::bind("127.0.0.1:0", policy).expect("bind loopback")
+}
+
+#[test]
+fn typo_email_collected_scrubbed_and_encrypted() {
+    let server = catch_all_server();
+    let msg = MessageBuilder::new()
+        .from("john@business.example")
+        .unwrap()
+        .to("alice@gmial.com")
+        .unwrap()
+        .subject("travel docs")
+        .date("Mon, 6 Jun 2016 09:00:00 +0000")
+        .message_id("<t1@business.example>")
+        .body("Amex 371385129301004 Exp 06/03\ncall me at (412) 555-1234")
+        .build();
+    let outcome = send_email(
+        &server.addr().to_string(),
+        Email::new(
+            Some("john@business.example".parse().unwrap()),
+            vec!["alice@gmial.com".parse().unwrap()],
+            msg.to_wire(),
+        ),
+        "mail-out.business.example",
+        true,
+        Duration::from_secs(5),
+    )
+    .expect("delivery succeeds");
+    assert_eq!(outcome, ClientOutcome::Accepted);
+
+    let received = server.shutdown();
+    assert_eq!(received.len(), 1);
+    assert!(received[0].tls, "opportunistic STARTTLS must engage");
+    let parsed = ets_mail::Message::parse(&received[0].data).unwrap();
+
+    // Pipeline: scrub, verify the card is gone and flagged.
+    let scrubbed = scrub::scrub(&parsed.body);
+    assert!(scrubbed.has(scrub::SensitiveKind::CreditCard));
+    assert!(scrubbed.has(scrub::SensitiveKind::Phone));
+    assert!(!scrubbed.text.contains("371385129301004"));
+    assert!(scrubbed.text.contains("americanexpress"));
+
+    // Encrypt at rest and recover with the offline key.
+    let key: crypto::Key = [7u8; 32];
+    let sealed = crypto::seal(&key, 99, scrubbed.text.as_bytes());
+    assert_ne!(sealed.ciphertext, scrubbed.text.as_bytes());
+    assert_eq!(crypto::open(&key, &sealed).unwrap(), scrubbed.text.as_bytes());
+}
+
+#[test]
+fn attachment_text_is_extracted_and_scrubbed_over_tcp() {
+    let server = catch_all_server();
+    let msg = MessageBuilder::new()
+        .from("hr@company.example")
+        .unwrap()
+        .to("candidate@gmial.com")
+        .unwrap()
+        .subject("offer details")
+        .date("x")
+        .message_id("<t2@company.example>")
+        .body("details attached")
+        .attach(
+            "offer.pdf",
+            "application/pdf",
+            extract::build::pdf("offer.pdf", "SSN 078-05-1120 salary details").data,
+        )
+        .build();
+    let outcome = send_email(
+        &server.addr().to_string(),
+        Email::new(
+            Some("hr@company.example".parse().unwrap()),
+            vec!["candidate@gmial.com".parse().unwrap()],
+            msg.to_wire(),
+        ),
+        "mail.company.example",
+        false,
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    assert_eq!(outcome, ClientOutcome::Accepted);
+    let received = server.shutdown();
+    let parsed = ets_mail::Message::parse(&received[0].data).unwrap();
+    assert_eq!(parsed.attachments.len(), 1);
+    let full = extract::full_text(&parsed);
+    let scrubbed = scrub::scrub(&full);
+    assert!(scrubbed.has(scrub::SensitiveKind::Ssn), "SSN inside the PDF must be found");
+}
+
+#[test]
+fn foreign_recipient_rejected_over_tcp() {
+    let server = catch_all_server();
+    let outcome = send_email(
+        &server.addr().to_string(),
+        Email::new(
+            None,
+            vec!["victim@gmail.com".parse().unwrap()], // real gmail, not ours
+            "Subject: x\r\n\r\nrelay attempt".to_owned(),
+        ),
+        "relay-abuser.example",
+        false,
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    assert!(
+        matches!(outcome, ClientOutcome::Rejected { code: 550, .. }),
+        "{outcome:?}"
+    );
+    assert!(server.shutdown().is_empty(), "nothing must be accepted");
+}

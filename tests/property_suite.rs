@@ -1,0 +1,165 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! inputs, spanning the core metrics, the mail codec, and the SMTP
+//! session machines.
+
+use proptest::prelude::*;
+
+/// Arbitrary lower-case domain labels of plausible length.
+fn label() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,20}".prop_filter("no hyphen edges", |s| !s.is_empty())
+}
+
+proptest! {
+    /// DL distance is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn dl_is_a_metric(a in label(), b in label(), c in label()) {
+        use ets_core::distance::damerau_levenshtein as dl;
+        prop_assert_eq!(dl(&a, &a), 0);
+        prop_assert_eq!(dl(&a, &b), dl(&b, &a));
+        prop_assert!(dl(&a, &c) <= dl(&a, &b) + dl(&b, &c),
+            "triangle violated: {} {} {}", a, b, c);
+    }
+
+    /// Every generated DL-1 candidate really is at DL distance one, and
+    /// the FF-1 subset agrees with the fat-finger metric.
+    #[test]
+    fn typogen_agrees_with_metrics(sld in "[a-z]{2,12}") {
+        let target: ets_core::DomainName = format!("{sld}.com").parse().unwrap();
+        for cand in ets_core::typogen::generate_dl1(&target) {
+            prop_assert_eq!(
+                ets_core::distance::damerau_levenshtein(target.sld(), cand.domain.sld()),
+                1
+            );
+            prop_assert_eq!(
+                cand.fat_finger,
+                ets_core::distance::is_ff1(target.sld(), cand.domain.sld())
+            );
+            // Visual distance must be positive for any real change.
+            prop_assert!(cand.visual > 0.0);
+        }
+    }
+
+    /// The typing model stays within probability bounds for arbitrary
+    /// parameterizations in a sane range.
+    #[test]
+    fn typing_model_bounds(
+        per_key in 0.001f64..0.2,
+        boost in 1.0f64..10.0,
+        base_corr in 0.0f64..0.99,
+        steep in 0.1f64..20.0,
+        sld in "[a-z]{3,10}",
+    ) {
+        let model = ets_core::typing::TypingModel {
+            per_keystroke_error: per_key,
+            kind_weights: [0.1, 0.3, 0.4, 0.2],
+            fat_finger_boost: boost,
+            base_correction: base_corr,
+            visual_steepness: steep,
+        };
+        let target: ets_core::DomainName = format!("{sld}.com").parse().unwrap();
+        for cand in ets_core::typogen::generate_dl1(&target).into_iter().take(40) {
+            let pt = model.mistype_probability(&cand);
+            let pc = model.correction_probability(&cand);
+            prop_assert!((0.0..=1.0).contains(&pt), "Pt {}", pt);
+            prop_assert!((0.0..=1.0).contains(&pc), "Pc {}", pc);
+            prop_assert!(model.expected_emails(1e6, &cand) >= 0.0);
+        }
+    }
+
+    /// Messages round-trip through wire format and then through a full
+    /// in-memory SMTP delivery.
+    #[test]
+    fn message_survives_smtp_transport(
+        subject in "[a-zA-Z0-9 ]{0,40}",
+        body in "[ -~]{0,400}",
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let msg = ets_mail::MessageBuilder::new()
+            .raw_from("sender@origin.example")
+            .raw_to("user@typo-domain.example")
+            .subject(&subject)
+            .body(&body)
+            .attach("f.bin", "application/octet-stream", data.clone())
+            .build();
+        let email = ets_smtp::client::Email::new(
+            Some("sender@origin.example".parse().unwrap()),
+            vec!["user@typo-domain.example".parse().unwrap()],
+            msg.to_wire(),
+        );
+        let policy = ets_smtp::session::ServerPolicy::catch_all("mx.example.com", &[]);
+        let result = ets_smtp::pipe::deliver(email, "client.example", false, policy).unwrap();
+        prop_assert_eq!(&result.client, &ets_smtp::client::ClientOutcome::Accepted);
+        let received = ets_mail::Message::parse(&result.received[0].data).unwrap();
+        prop_assert_eq!(received.subject(), subject.trim());
+        prop_assert_eq!(&received.attachments[0].data, &data);
+    }
+
+    /// The server session never panics on arbitrary command lines.
+    #[test]
+    fn server_session_total_on_garbage(lines in proptest::collection::vec("[ -~]{0,80}", 0..20)) {
+        let policy = ets_smtp::session::ServerPolicy::catch_all("mx.x.com", &[]);
+        let mut session = ets_smtp::session::ServerSession::new(policy);
+        let _greeting = session.greeting();
+        let mut in_data = false;
+        for line in &lines {
+            if in_data {
+                // on_data consumes the payload and returns to command mode
+                let action = session.on_data(line);
+                prop_assert!(action.reply.code >= 200);
+                in_data = false;
+                continue;
+            }
+            let action = session.on_line(line);
+            prop_assert!((200..600).contains(&action.reply.code));
+            if action.enter_data {
+                in_data = true;
+            }
+            if action.close {
+                break;
+            }
+        }
+    }
+
+    /// Scrubbed output never leaks a digit other than '0'.
+    #[test]
+    fn scrub_zeroes_everything(text in "[ -~]{0,300}") {
+        let result = ets_collector::scrub::scrub(&text);
+        // Digits may only survive as zeros.
+        prop_assert!(
+            result.text.chars().filter(char::is_ascii_digit).all(|c| c == '0'),
+            "digits survive: {}",
+            result.text
+        );
+    }
+
+    /// ChaCha20 sealing round-trips and never emits plaintext verbatim
+    /// for non-trivial inputs.
+    #[test]
+    fn sealing_round_trips(data in proptest::collection::vec(any::<u8>(), 1..512), id: u64) {
+        let key: ets_collector::crypto::Key = [0x5A; 32];
+        let sealed = ets_collector::crypto::seal(&key, id, &data);
+        prop_assert_eq!(ets_collector::crypto::open(&key, &sealed).unwrap(), data.clone());
+        if data.len() >= 16 {
+            prop_assert_ne!(sealed.ciphertext, data);
+        }
+    }
+
+    /// Fault plans are total and deterministic over arbitrary keys.
+    #[test]
+    fn fault_plan_total(key in "[a-z0-9.-]{1,40}", seed: u64) {
+        let plan = ets_smtp::fault::FaultPlan::table5_public(seed);
+        let a = plan.outcome_for(&key);
+        let b = plan.outcome_for(&key);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn scrub_preserves_nonsensitive_text() {
+    // Deterministic anchor for the property above: ordinary prose is
+    // untouched.
+    let text = "hello there, the meeting is on thursday";
+    let r = ets_collector::scrub::scrub(text);
+    assert_eq!(r.text, text);
+    assert!(r.findings.is_empty());
+}
