@@ -1,0 +1,84 @@
+//! The data-parallel pipeline stages at fast scale, swept over worker
+//! counts: population build, traffic synthesis, the funnel passes, and
+//! WHOIS clustering. Because every stage is deterministic for any thread
+//! count, the sweep measures pure scheduling overhead/speedup — compare
+//! the `t1` and `tN` rows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ets_bench::bench_collection;
+use ets_collector::funnel::Funnel;
+use ets_dns::Fqdn;
+use ets_ecosystem::population::{PopulationConfig, World};
+use ets_ecosystem::whois_cluster::{self, WhoisRow};
+
+/// Worker counts to sweep: sequential baseline, a mid point, one per core.
+fn thread_sweep() -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut sweep = vec![1];
+    if cores >= 4 {
+        sweep.push(cores / 2);
+    }
+    if cores > 1 {
+        sweep.push(cores);
+    }
+    sweep
+}
+
+fn bench_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/world-build");
+    group.sample_size(10);
+    for threads in thread_sweep() {
+        group.bench_function(BenchmarkId::from_parameter(format!("t{threads}")), |b| {
+            ets_parallel::set_threads(threads);
+            b.iter(|| black_box(World::build(PopulationConfig::tiny(0xBE7C))));
+        });
+    }
+    ets_parallel::set_threads(0);
+    group.finish();
+}
+
+fn bench_funnel_parallel(c: &mut Criterion) {
+    let (infra, emails) = bench_collection(0xBE7C);
+    let funnel = Funnel::new(&infra);
+    let mut group = c.benchmark_group("pipeline/funnel");
+    group.sample_size(10);
+    for threads in thread_sweep() {
+        group.bench_function(BenchmarkId::from_parameter(format!("t{threads}")), |b| {
+            ets_parallel::set_threads(threads);
+            b.iter(|| black_box(funnel.classify_all(black_box(&emails))));
+        });
+    }
+    ets_parallel::set_threads(0);
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    ets_parallel::set_threads(0);
+    let world = World::build(PopulationConfig::tiny(0xBE7C));
+    let rows: Vec<WhoisRow> = world
+        .ctypos
+        .iter()
+        .map(|ct| {
+            let fq = Fqdn::from_domain(&ct.candidate.domain);
+            let reg = world.registry.registration(&fq).expect("registered");
+            WhoisRow {
+                domain: fq,
+                whois: reg.public_whois(),
+                private: reg.is_private(),
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("pipeline/whois-cluster");
+    group.sample_size(10);
+    for threads in thread_sweep() {
+        group.bench_function(BenchmarkId::from_parameter(format!("t{threads}")), |b| {
+            ets_parallel::set_threads(threads);
+            b.iter(|| black_box(whois_cluster::cluster_registrants(black_box(&rows))));
+        });
+    }
+    ets_parallel::set_threads(0);
+    group.finish();
+}
+
+criterion_group!(benches, bench_population, bench_funnel_parallel, bench_clustering);
+criterion_main!(benches);

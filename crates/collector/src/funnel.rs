@@ -25,6 +25,7 @@
 
 use crate::infra::{CollectedEmail, CollectionInfra};
 use crate::spamscore::SpamScorer;
+use ets_parallel::{par_fold, par_map};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -213,55 +214,71 @@ impl<'a> Funnel<'a> {
 
     /// Classifies a whole collection. Layers 3 and 5 are corpus-level, so
     /// the funnel runs in passes over the full slice.
+    ///
+    /// Every pass is data-parallel with sequential semantics preserved
+    /// exactly: layers 1, 2 and 4 are pure per-email predicates; each
+    /// layer-3 fixpoint iteration is a pure function of the verdict state
+    /// at its start (the spam sender/bag tables build by parallel fold —
+    /// set union is order-insensitive — then survivors re-flag in a
+    /// parallel map); layer 5's frequency tables build by parallel fold
+    /// of per-chunk count maps merged by addition. Output is identical
+    /// for any thread count.
     pub fn classify_all(&self, emails: &[CollectedEmail]) -> Vec<FunnelVerdict> {
         let n = emails.len();
-        let mut verdicts: Vec<Option<FunnelVerdict>> = vec![None; n];
 
         // Pass 1: layers 1 and 2 per email.
-        for (i, e) in emails.iter().enumerate() {
+        let mut verdicts: Vec<Option<FunnelVerdict>> = par_map(emails, |_, e| {
             if self.layer1_spam(e) {
-                verdicts[i] = Some(FunnelVerdict::SpamHeader);
+                Some(FunnelVerdict::SpamHeader)
             } else if self.layer2_spam(e) {
-                verdicts[i] = Some(FunnelVerdict::SpamScore);
+                Some(FunnelVerdict::SpamScore)
+            } else {
+                None
             }
-        }
+        });
 
         // Pass 2: layer 3 — collect spam senders and spam bags, then
         // propagate until fixpoint (a newly flagged email contributes its
         // sender/bag too; one extra sweep suffices in practice, but loop
         // to be exact).
-        let senders: Vec<Option<String>> = emails
-            .iter()
-            .map(|e| e.mail_from.as_ref().map(|a| a.to_string()))
-            .collect();
-        let bags: Vec<Option<u64>> = emails
-            .iter()
-            .map(|e| bag_of_words(&e.message.body, self.config.bow_min_words))
-            .collect();
+        let senders: Vec<Option<String>> =
+            par_map(emails, |_, e| e.mail_from.as_ref().map(|a| a.to_string()));
+        let bags: Vec<Option<u64>> = par_map(emails, |_, e| {
+            bag_of_words(&e.message.body, self.config.bow_min_words)
+        });
         loop {
-            let mut spam_senders: HashSet<&str> = HashSet::new();
-            let mut spam_bags: HashSet<u64> = HashSet::new();
-            for i in 0..n {
-                if matches!(verdicts[i], Some(v) if v.is_spam()) {
-                    if let Some(s) = senders[i].as_deref() {
-                        spam_senders.insert(s);
+            let (spam_senders, spam_bags) = par_fold(
+                &verdicts,
+                || (HashSet::<&str>::new(), HashSet::<u64>::new()),
+                |acc, i, v| {
+                    if matches!(v, Some(v) if v.is_spam()) {
+                        if let Some(s) = senders[i].as_deref() {
+                            acc.0.insert(s);
+                        }
+                        if let Some(b) = bags[i] {
+                            acc.1.insert(b);
+                        }
                     }
-                    if let Some(b) = bags[i] {
-                        spam_bags.insert(b);
-                    }
-                }
-            }
-            let mut changed = false;
-            for i in 0..n {
-                if verdicts[i].is_some() {
-                    continue;
+                },
+                |acc, part| {
+                    acc.0.extend(part.0);
+                    acc.1.extend(part.1);
+                },
+            );
+            let newly_spam: Vec<bool> = par_map(&verdicts, |i, v| {
+                if v.is_some() {
+                    return false;
                 }
                 let sender_hit = senders[i]
                     .as_deref()
                     .map(|s| spam_senders.contains(s))
                     .unwrap_or(false);
                 let bag_hit = bags[i].map(|b| spam_bags.contains(&b)).unwrap_or(false);
-                if sender_hit || bag_hit {
+                sender_hit || bag_hit
+            });
+            let mut changed = false;
+            for (i, &hit) in newly_spam.iter().enumerate() {
+                if hit {
                     verdicts[i] = Some(FunnelVerdict::SpamCollaborative);
                     changed = true;
                 }
@@ -272,33 +289,50 @@ impl<'a> Funnel<'a> {
         }
 
         // Pass 3: layer 4 on survivors.
-        for (i, e) in emails.iter().enumerate() {
-            if verdicts[i].is_none() && self.layer4_reflection(e) {
+        let reflections: Vec<bool> = par_map(emails, |i, e| {
+            verdicts[i].is_none() && self.layer4_reflection(e)
+        });
+        for (i, &r) in reflections.iter().enumerate() {
+            if r {
                 verdicts[i] = Some(FunnelVerdict::Reflection);
             }
         }
 
         // Pass 4: layer 5 — frequency statistics over the whole corpus.
-        let mut rcpt_freq: HashMap<&str, usize> = HashMap::new();
-        let mut sender_freq: HashMap<&str, usize> = HashMap::new();
-        let mut body_freq: HashMap<u64, usize> = HashMap::new();
-        let mut rcpt_keys: Vec<String> = Vec::with_capacity(n);
-        for e in emails {
-            rcpt_keys.push(e.rcpt_to.to_string());
-        }
-        let mut body_hashes: Vec<u64> = Vec::with_capacity(n);
-        for (i, e) in emails.iter().enumerate() {
-            *rcpt_freq.entry(rcpt_keys[i].as_str()).or_insert(0) += 1;
-            if let Some(s) = senders[i].as_deref() {
-                *sender_freq.entry(s).or_insert(0) += 1;
-            }
-            let bh = fnv(e.message.body.trim().as_bytes());
-            body_hashes.push(bh);
-            *body_freq.entry(bh).or_insert(0) += 1;
-        }
-        for (i, e) in emails.iter().enumerate() {
+        let rcpt_keys: Vec<String> = par_map(emails, |_, e| e.rcpt_to.to_string());
+        let body_hashes: Vec<u64> =
+            par_map(emails, |_, e| fnv(e.message.body.trim().as_bytes()));
+        let (rcpt_freq, sender_freq, body_freq) = par_fold(
+            emails,
+            || {
+                (
+                    HashMap::<&str, usize>::new(),
+                    HashMap::<&str, usize>::new(),
+                    HashMap::<u64, usize>::new(),
+                )
+            },
+            |acc, i, _e| {
+                *acc.0.entry(rcpt_keys[i].as_str()).or_insert(0) += 1;
+                if let Some(s) = senders[i].as_deref() {
+                    *acc.1.entry(s).or_insert(0) += 1;
+                }
+                *acc.2.entry(body_hashes[i]).or_insert(0) += 1;
+            },
+            |acc, part| {
+                for (k, v) in part.0 {
+                    *acc.0.entry(k).or_insert(0) += v;
+                }
+                for (k, v) in part.1 {
+                    *acc.1.entry(k).or_insert(0) += v;
+                }
+                for (k, v) in part.2 {
+                    *acc.2.entry(k).or_insert(0) += v;
+                }
+            },
+        );
+        let finals: Vec<Option<FunnelVerdict>> = par_map(emails, |i, e| {
             if verdicts[i].is_some() {
-                continue;
+                return None;
             }
             let is_receiver_candidate = self.rcpt_is_ours(e);
             if is_receiver_candidate {
@@ -308,24 +342,30 @@ impl<'a> Funnel<'a> {
                         .map(|s| sender_freq[s] >= self.config.sender_freq)
                         .unwrap_or(false)
                     || body_freq[&body_hashes[i]] >= self.config.content_freq;
-                verdicts[i] = Some(if too_frequent {
+                Some(if too_frequent {
                     FunnelVerdict::FrequencyFiltered
                 } else {
                     FunnelVerdict::ReceiverTypo
-                });
+                })
             } else {
                 // Relay submission: an SMTP-typo candidate. A single user
                 // legitimately repeats, so the receiver thresholds do not
                 // disqualify it (§4.3: Layer 5 exempts SMTP typos); but
                 // machine-frequency bodies are still filtered.
                 let automated = body_freq[&body_hashes[i]] >= self.config.content_freq * 4;
-                verdicts[i] = Some(if automated {
+                Some(if automated {
                     FunnelVerdict::FrequencyFiltered
                 } else {
                     FunnelVerdict::SmtpTypo
-                });
+                })
+            }
+        });
+        for (i, f) in finals.into_iter().enumerate() {
+            if let Some(v) = f {
+                verdicts[i] = Some(v);
             }
         }
+        debug_assert_eq!(verdicts.len(), n);
         verdicts.into_iter().map(|v| v.expect("all classified")).collect()
     }
 }

@@ -30,6 +30,7 @@ use crate::time::{SimDate, STUDY_DAYS};
 use ets_core::taxonomy::CollectionPurpose;
 use ets_core::typing::TypingModel;
 use ets_mail::{EmailAddress, MessageBuilder};
+use ets_parallel::{derive_rng, domain as stream, par_map_index};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -154,23 +155,38 @@ impl<'a> TrafficGenerator<'a> {
     }
 
     /// Generates the whole study period.
+    ///
+    /// Each simulated day draws from its own RNG stream derived from
+    /// `(seed, TRAFFIC_DAY, day)` and days run data-parallel; per-day
+    /// batches are concatenated in calendar order, so the output is
+    /// byte-identical for any thread count. The one-off setup tables
+    /// (spam campaigns, SMTP-typo users) come from their own
+    /// `TRAFFIC_SETUP` streams so day streams never shift when the
+    /// setup's draw count changes.
     pub fn generate(&self) -> Vec<GenEmail> {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut out: Vec<GenEmail> = Vec::new();
         let weights = self.receiver_weights();
-        let campaigns = self.make_campaigns(&mut rng);
-        let smtp_users = self.make_smtp_users(&mut rng);
-        for day in 0..STUDY_DAYS {
-            let date = SimDate(day);
+        let mut campaign_rng = derive_rng(self.config.seed, stream::TRAFFIC_SETUP, 0);
+        let campaigns = self.make_campaigns(&mut campaign_rng);
+        let mut users_rng = derive_rng(self.config.seed, stream::TRAFFIC_SETUP, 1);
+        let smtp_users = self.make_smtp_users(&mut users_rng);
+        let per_day: Vec<Vec<GenEmail>> = par_map_index(STUDY_DAYS as usize, |day| {
+            let date = SimDate(day as u32);
             if self.infra.in_outage(date) {
-                continue;
+                return Vec::new();
             }
+            let mut rng = derive_rng(self.config.seed, stream::TRAFFIC_DAY, day as u64);
+            let mut out = Vec::new();
             self.spam_for_day(date, &campaigns, &mut rng, &mut out);
             self.receiver_for_day(date, &weights, &mut rng, &mut out);
             self.reflection_for_day(date, &mut rng, &mut out);
             self.smtp_for_day(date, &smtp_users, &mut rng, &mut out);
             self.machine_smtp_for_day(date, &mut rng, &mut out);
             self.mystery_for_day(date, &mut rng, &mut out);
+            out
+        });
+        let mut out = Vec::with_capacity(per_day.iter().map(Vec::len).sum());
+        for mut batch in per_day {
+            out.append(&mut batch);
         }
         out
     }

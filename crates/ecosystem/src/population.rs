@@ -26,6 +26,7 @@ use ets_dns::resolver::Resolver;
 use ets_dns::whois::WhoisRecord;
 use ets_dns::zone::Zone;
 use ets_dns::Fqdn;
+use ets_parallel::{derive_rng, domain as stream, par_map, par_map_index};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -210,8 +211,16 @@ pub struct World {
 
 impl World {
     /// Builds the world deterministically from a config.
+    ///
+    /// Every sampled unit — a registrant, a filler site, a background
+    /// customer, a target's gtypo band, an NS customer base — draws from
+    /// its own RNG stream derived from `(config.seed, stream, unit id)`,
+    /// so the expensive phases run data-parallel and the result is
+    /// byte-identical for any thread count. Registry commits stay
+    /// sequential in canonical (target-rank, generation) order because
+    /// first-registration-wins must resolve cross-target name collisions
+    /// the same way every run.
     pub fn build(config: PopulationConfig) -> World {
-        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let popularity = alexa::synthetic_top(config.n_targets);
         let targets: Vec<DomainName> = popularity.iter().map(|e| e.domain.clone()).collect();
         let registry = Registry::new();
@@ -235,8 +244,8 @@ impl World {
             .collect();
 
         // --- registrants with Zipf-sized portfolios -------------------
-        let mut registrants: Vec<Registrant> = Vec::with_capacity(config.n_registrants);
-        for id in 0..config.n_registrants {
+        let registrants: Vec<Registrant> = par_map_index(config.n_registrants, |id| {
+            let mut rng = derive_rng(config.seed, stream::POPULATION_REGISTRANT, id as u64);
             let archetype = match id {
                 0..=2 => RegistrantArchetype::DomainSeller,
                 3..=13 => RegistrantArchetype::MailTyposquatter,
@@ -263,7 +272,7 @@ impl World {
                 _ => None,
             };
             let reads_mail = if rng.gen_bool(0.002) { 0.5 } else { 0.0 };
-            registrants.push(Registrant {
+            Registrant {
                 id,
                 archetype,
                 whois: synth_whois(id, &mut rng),
@@ -271,11 +280,13 @@ impl World {
                 ns_provider,
                 mx_provider,
                 reads_mail,
-            });
-        }
+            }
+        });
 
         // --- register benign filler sites (the targets themselves) ----
-        for (rank, t) in targets.iter().enumerate() {
+        let fillers: Vec<(Registration, Zone)> = par_map(&targets, |rank, t| {
+            let mut rng =
+                derive_rng(config.seed, stream::POPULATION_BACKGROUND, rank as u64);
             let fq = Fqdn::from_domain(t);
             let zone = Zone::hosted_mail(
                 &fq,
@@ -289,7 +300,7 @@ impl World {
                 300,
                 ip_for(rank as u64, 2),
             ));
-            registry.register(
+            (
                 Registration {
                     domain: fq,
                     registrar: "registrar-legit".to_owned(),
@@ -298,34 +309,49 @@ impl World {
                     nameservers: vec![ns_providers[rank % config.n_ns_providers.max(1)].clone()],
                     created_day: 0,
                 },
-                Some(full_zone),
-            );
+                full_zone,
+            )
+        });
+        for (reg, zone) in fillers {
+            registry.register(reg, Some(zone));
         }
 
         // --- benign background per name-server provider ----------------
         // §5.2's ratios only make sense against each provider's ordinary
         // customer base: clean providers host many unrelated businesses,
         // cesspools host few.
-        for (pi, ns) in ns_providers.iter().enumerate() {
-            let benign_customers = if pi < config.n_cesspool_ns { 4 } else { 30 };
-            for j in 0..benign_customers {
-                let name: Fqdn = format!("biz-{pi}-{j}.com").parse().expect("valid");
-                registry.register(
-                    Registration {
-                        domain: name.clone(),
-                        registrar: "registrar-legit".to_owned(),
-                        whois: synth_whois(4_000_000 + pi * 1000 + j, &mut rng),
-                        privacy_proxy: None,
-                        nameservers: vec![ns.clone()],
-                        created_day: 0,
-                    },
-                    Some(Zone::parked(&name, ip_for((pi * 1000 + j) as u64, 9), 300)),
-                );
-            }
+        let bg_units: Vec<(usize, usize)> = ns_providers
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, _)| {
+                let benign_customers = if pi < config.n_cesspool_ns { 4 } else { 30 };
+                (0..benign_customers).map(move |j| (pi, j))
+            })
+            .collect();
+        let background: Vec<(Registration, Zone)> = par_map(&bg_units, |_, &(pi, j)| {
+            // Background units share the filler stream domain; offset far
+            // past any filler rank so unit ids never collide.
+            let unit = (1u64 << 32) | (pi as u64 * 1000 + j as u64);
+            let mut rng = derive_rng(config.seed, stream::POPULATION_BACKGROUND, unit);
+            let ns = &ns_providers[pi];
+            let name: Fqdn = format!("biz-{pi}-{j}.com").parse().expect("valid");
+            (
+                Registration {
+                    domain: name.clone(),
+                    registrar: "registrar-legit".to_owned(),
+                    whois: synth_whois(4_000_000 + pi * 1000 + j, &mut rng),
+                    privacy_proxy: None,
+                    nameservers: vec![ns.clone()],
+                    created_day: 0,
+                },
+                Zone::parked(&name, ip_for((pi * 1000 + j) as u64, 9), 300),
+            )
+        });
+        for (reg, zone) in background {
+            registry.register(reg, Some(zone));
         }
 
         // --- the registration process over gtypos ----------------------
-        let mut ctypos: Vec<CtypoInfo> = Vec::new();
         // Portfolio assignment: Zipf over registrants (registrant 0 has
         // the biggest appetite).
         let appetite: Vec<f64> = (0..config.n_registrants)
@@ -333,15 +359,19 @@ impl World {
             .collect();
         let appetite_total: f64 = appetite.iter().sum();
 
-        for (rank0, target) in targets.iter().enumerate() {
+        // Parallel compute: each target draws its gtypo band from its own
+        // stream and prepares registrations without touching the registry.
+        let pending: Vec<Vec<PendingCtypo>> = par_map(&targets, |rank0, target| {
+            let mut rng = derive_rng(config.seed, stream::POPULATION_TARGET, rank0 as u64);
             let rank = rank0 + 1;
             // Skip filler sites for typo generation beyond a band: gtypos
             // of rank > n_targets still exist but almost none registered;
             // generating them all would be wasted work, so sample.
             let p_target = config.base_registration_rate / (rank as f64).powf(config.rank_decay);
             if p_target < 0.01 {
-                continue;
+                return Vec::new();
             }
+            let mut out = Vec::new();
             for cand in typogen::generate_dl1(target) {
                 // Low visual distance and fat-finger adjacency make a typo
                 // attractive; deletions/transpositions too (Figure 9).
@@ -379,8 +409,7 @@ impl World {
                     }
                     (DomainClass::Typosquatting, owner)
                 };
-                let info = register_ctypo(
-                    &registry,
+                if let Some(p) = prepare_ctypo(
                     &registrants,
                     &ns_providers,
                     &mx_providers,
@@ -388,9 +417,19 @@ impl World {
                     class,
                     owner,
                     &mut rng,
-                );
-                if let Some(i) = info {
-                    ctypos.push(i);
+                ) {
+                    out.push(p);
+                }
+            }
+            out
+        });
+        // Sequential commit in target-rank order: first registration wins,
+        // exactly as the sequential loop resolved collisions.
+        let mut ctypos: Vec<CtypoInfo> = Vec::new();
+        for batch in pending {
+            for p in batch {
+                if registry.register(p.registration, p.zone) {
+                    ctypos.push(p.info);
                 }
             }
         }
@@ -399,6 +438,7 @@ impl World {
             .iter()
             .enumerate()
             .map(|(pi, ns)| {
+                let mut rng = derive_rng(config.seed, stream::POPULATION_NS_BASE, pi as u64);
                 // Clean providers' customer base scales with world size so
                 // the §5.2 average ratio stays in the low single digits at
                 // any simulation scale.
@@ -451,9 +491,17 @@ impl World {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn register_ctypo(
-    registry: &Registry,
+/// A ctypo registration prepared off-registry during the parallel compute
+/// phase; committed (or dropped on name collision) sequentially.
+struct PendingCtypo {
+    registration: Registration,
+    zone: Option<Zone>,
+    info: CtypoInfo,
+}
+
+/// Draws everything a ctypo registration needs from the caller's RNG
+/// stream without touching the registry, so targets can run in parallel.
+fn prepare_ctypo(
     registrants: &[Registrant],
     ns_providers: &[Fqdn],
     mx_providers: &[Fqdn],
@@ -461,7 +509,7 @@ fn register_ctypo(
     class: DomainClass,
     owner: usize,
     rng: &mut ChaCha8Rng,
-) -> Option<CtypoInfo> {
+) -> Option<PendingCtypo> {
     let fq = Fqdn::from_domain(&cand.domain);
     let (whois, private, ns, mx, smtp): (WhoisRecord, bool, Fqdn, Option<Fqdn>, SmtpProfile) =
         match class {
@@ -528,8 +576,8 @@ fn register_ctypo(
     };
 
     let private_svc = private.then(|| "privacy-guard.example".to_owned());
-    let ok = registry.register(
-        Registration {
+    Some(PendingCtypo {
+        registration: Registration {
             domain: fq,
             registrar: format!("registrar-{}", owner_hash(&cand.domain) % 10),
             whois,
@@ -538,17 +586,14 @@ fn register_ctypo(
             created_day: rng.gen_range(0..3650),
         },
         zone,
-    );
-    if !ok {
-        return None; // already registered as a filler/benign site
-    }
-    Some(CtypoInfo {
-        candidate: cand,
-        owner,
-        class,
-        private,
-        smtp,
-        has_zone,
+        info: CtypoInfo {
+            candidate: cand,
+            owner,
+            class,
+            private,
+            smtp,
+            has_zone,
+        },
     })
 }
 

@@ -12,6 +12,8 @@
 
 use ets_dns::whois::WhoisRecord;
 use ets_dns::Fqdn;
+use ets_parallel::par_map;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// The paper's threshold: four of six fields.
@@ -97,6 +99,20 @@ impl UnionFind {
 
 /// Clusters rows by the 4-of-6 rule, excluding proxies and sparse records.
 /// Returns clusters sorted by size, largest first.
+///
+/// Bucket comparisons are *exact*: within each bucket, records with an
+/// identical normalized signature collapse to one representative (they
+/// necessarily match — eligibility guarantees ≥ 4 populated fields) and
+/// the distinct representatives are compared all-pairs. Any matching pair
+/// shares at least one field value, hence some bucket, so the global
+/// clustering equals full pairwise comparison. This replaces an earlier
+/// anchor-plus-adjacent-windows pass that missed unions (two members that
+/// match each other but not the bucket anchor and are not adjacent).
+///
+/// Pair evaluation runs data-parallel per bucket; it reads only the input
+/// rows, so the matching-pair set — and the final partition — is
+/// identical for any thread count. Buckets are walked in sorted key order
+/// because `HashMap` iteration order is unspecified.
 pub fn cluster_registrants(rows: &[WhoisRow]) -> Vec<Cluster> {
     // Eligible rows only.
     let eligible: Vec<(usize, &WhoisRow)> = rows
@@ -118,34 +134,43 @@ pub fn cluster_registrants(rows: &[WhoisRow]) -> Vec<Cluster> {
             }
         }
     }
-    for members in buckets.values() {
-        if members.len() < 2 {
-            continue;
-        }
-        let anchor = members[0];
-        for &other in &members[1..] {
-            if uf.find(anchor) == uf.find(other) {
-                continue;
-            }
-            let a = &eligible[anchor].1.whois;
-            let b = &eligible[other].1.whois;
-            if a.same_entity(b, MATCH_THRESHOLD) {
-                uf.union(anchor, other);
-            }
-        }
-    }
-    // Note: bucket comparison against the anchor only is an approximation
-    // of all-pairs; records equal on a field but differing from the anchor
-    // could be missed, so do a second pass comparing consecutive members.
-    for members in buckets.values() {
-        for w in members.windows(2) {
-            if uf.find(w[0]) != uf.find(w[1]) {
-                let a = &eligible[w[0]].1.whois;
-                let b = &eligible[w[1]].1.whois;
-                if a.same_entity(b, MATCH_THRESHOLD) {
-                    uf.union(w[0], w[1]);
+    let mut bucket_list: Vec<((u8, String), Vec<usize>)> = buckets
+        .into_iter()
+        .filter(|(_, members)| members.len() >= 2)
+        .collect();
+    bucket_list.sort_unstable_by(|(ka, _), (kb, _)| ka.cmp(kb));
+
+    let matched: Vec<Vec<(usize, usize)>> = par_map(&bucket_list, |_, (_, members)| {
+        let mut sig_first: HashMap<Vec<Option<String>>, usize> = HashMap::new();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let mut reps: Vec<usize> = Vec::new();
+        for &m in members {
+            let sig: Vec<Option<String>> = fields(&eligible[m].1.whois)
+                .into_iter()
+                .map(|f| f.map(|v| normalize(v)))
+                .collect();
+            match sig_first.entry(sig) {
+                Entry::Occupied(e) => pairs.push((*e.get(), m)),
+                Entry::Vacant(e) => {
+                    e.insert(m);
+                    reps.push(m);
                 }
             }
+        }
+        for i in 0..reps.len() {
+            for j in (i + 1)..reps.len() {
+                let a = &eligible[reps[i]].1.whois;
+                let b = &eligible[reps[j]].1.whois;
+                if a.same_entity(b, MATCH_THRESHOLD) {
+                    pairs.push((reps[i], reps[j]));
+                }
+            }
+        }
+        pairs
+    });
+    for pairs in matched {
+        for (a, b) in pairs {
+            uf.union(a, b);
         }
     }
 
@@ -332,6 +357,41 @@ mod tests {
         let clusters = cluster_registrants(&rows);
         assert_eq!(clusters.len(), 1);
         assert_eq!(clusters[0].len(), 3);
+    }
+
+    #[test]
+    fn nonadjacent_bucket_members_cluster() {
+        // Regression: b.com and d.com match each other on 4 fields, but in
+        // every shared-field bucket they are separated by spoiler rows that
+        // match neither, so the old anchor+adjacent-windows passes never
+        // compared them. Exact within-bucket comparison must merge them.
+        let rec = |name: &str, org: &str, email: Option<&str>, phone: Option<&str>,
+                   fax: Option<&str>, addr: Option<&str>| WhoisRecord {
+            registrant_name: Some(name.to_owned()),
+            organization: Some(org.to_owned()),
+            email: email.map(str::to_owned),
+            phone: phone.map(str::to_owned),
+            fax: fax.map(str::to_owned),
+            mail_address: addr.map(str::to_owned),
+        };
+        let b = rec("B", "OB", Some("x@x"), Some("p"), Some("f"), Some("a"));
+        let d = rec("D", "OD", Some("x@x"), Some("p"), Some("f"), Some("a"));
+        assert_eq!(b.matching_fields(&d), 4);
+        let rows = vec![
+            row("se-a.com", rec("sea", "osea", Some("x@x"), Some("psea"), None, None), false),
+            row("sp-a.com", rec("spa", "ospa", Some("espa"), Some("p"), None, None), false),
+            row("sf-a.com", rec("sfa", "osfa", Some("esfa"), None, Some("f"), None), false),
+            row("sa-a.com", rec("saa", "osaa", Some("esaa"), None, None, Some("a")), false),
+            row("b.com", b, false),
+            row("se-b.com", rec("seb", "oseb", Some("x@x"), Some("pseb"), None, None), false),
+            row("sp-b.com", rec("spb", "ospb", Some("espb"), Some("p"), None, None), false),
+            row("sf-b.com", rec("sfb", "osfb", Some("esfb"), None, Some("f"), None), false),
+            row("sa-b.com", rec("sab", "osab", Some("esab"), None, None, Some("a")), false),
+            row("d.com", d, false),
+        ];
+        let clusters = cluster_registrants(&rows);
+        assert_eq!(clusters.len(), 9, "{clusters:?}");
+        assert_eq!(clusters[0].domains, vec![n("b.com"), n("d.com")]);
     }
 
     #[test]

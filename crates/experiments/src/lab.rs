@@ -6,7 +6,9 @@ use ets_collector::infra::{CollectedEmail, CollectionInfra};
 use ets_collector::traffic::{TrafficConfig, TrafficGenerator};
 use ets_ecosystem::population::{PopulationConfig, World};
 use parking_lot::Mutex;
+use serde_json::json;
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// The lab bench: seeds, scale, output directory, cached substrates.
 pub struct Lab {
@@ -19,6 +21,8 @@ pub struct Lab {
     world: OnceLock<World>,
     collection: OnceLock<Collection>,
     log: Mutex<()>,
+    /// Wall-clock seconds per expensive pipeline stage, in run order.
+    timings: Mutex<Vec<(String, f64)>>,
 }
 
 /// A completed collection run: infrastructure, generated mail, verdicts.
@@ -43,7 +47,19 @@ impl Lab {
             world: OnceLock::new(),
             collection: OnceLock::new(),
             log: Mutex::new(()),
+            timings: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Runs a pipeline stage, recording its wall-clock time for the
+    /// `bench_pipeline.json` report.
+    fn time_stage<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let secs = start.elapsed().as_secs_f64();
+        eprintln!("[lab] stage {name}: {secs:.2}s");
+        self.timings.lock().push((name.to_owned(), secs));
+        out
     }
 
     /// The ecosystem world (§5/§6/§7 substrate), built once.
@@ -65,7 +81,7 @@ impl Lab {
                 "[lab] building world ({} targets)...",
                 config.n_targets
             );
-            World::build(config)
+            self.time_stage("world_build", || World::build(config))
         })
     }
 
@@ -84,13 +100,16 @@ impl Lab {
                 7.5,
                 1.0 / spam_scale
             );
-            let collected: Vec<CollectedEmail> = TrafficGenerator::new(&infra, config)
-                .generate()
-                .into_iter()
-                .map(|e| e.collected)
-                .collect();
+            let collected: Vec<CollectedEmail> = self.time_stage("traffic_generate", || {
+                TrafficGenerator::new(&infra, config)
+                    .generate()
+                    .into_iter()
+                    .map(|e| e.collected)
+                    .collect()
+            });
             eprintln!("[lab] running the funnel over {} emails...", collected.len());
-            let verdicts = Funnel::new(&infra).classify_all(&collected);
+            let verdicts =
+                self.time_stage("funnel_classify", || Funnel::new(&infra).classify_all(&collected));
             Collection {
                 infra,
                 collected,
@@ -108,5 +127,29 @@ impl Lab {
             Ok(()) => eprintln!("[lab] wrote {path}"),
             Err(e) => eprintln!("[lab] cannot write {path}: {e}"),
         }
+    }
+
+    /// Writes the per-stage wall-clock report (`bench_pipeline.json`).
+    /// Stage *timings* vary with `--threads`; every other result file is
+    /// byte-identical across thread counts.
+    pub fn write_bench_pipeline(&self) {
+        let timings = self.timings.lock();
+        if timings.is_empty() {
+            return;
+        }
+        let stages: Vec<serde_json::Value> = timings
+            .iter()
+            .map(|(name, secs)| json!({ "stage": name.as_str(), "seconds": *secs }))
+            .collect();
+        let total: f64 = timings.iter().map(|(_, s)| *s).sum();
+        drop(timings);
+        let value = json!({
+            "threads": ets_parallel::threads(),
+            "seed": self.seed,
+            "fast": self.fast,
+            "total_seconds": total,
+            "stages": stages,
+        });
+        self.write_json("bench_pipeline", &value);
     }
 }

@@ -56,6 +56,12 @@ fn main() -> ExitCode {
                 Some(d) => out_dir = d.clone(),
                 None => return usage("--out needs a directory"),
             },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                // Worker count for the parallel pipeline stages; results
+                // are byte-identical for any value (0 = one per core).
+                Some(n) => ets_parallel::set_threads(n),
+                None => return usage("--threads needs an integer"),
+            },
             "--fast" => fast = true,
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_owned());
@@ -95,11 +101,13 @@ fn main() -> ExitCode {
                 println!("\n=== {name} ===");
                 f(&ctx);
             }
+            ctx.write_bench_pipeline();
             ExitCode::SUCCESS
         }
         name => match known.iter().find(|(n, _)| *n == name) {
             Some((_, f)) => {
                 f(&ctx);
+                ctx.write_bench_pipeline();
                 ExitCode::SUCCESS
             }
             None => usage(&format!("unknown experiment {name:?}")),
@@ -110,7 +118,7 @@ fn main() -> ExitCode {
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|table5|table6|fig3..fig9|volumes|regression|honey|all> [--seed N] [--out DIR] [--fast]"
+        "usage: repro <table1|table2|table3|table4|table5|table6|fig3..fig9|volumes|regression|honey|all> [--seed N] [--out DIR] [--fast] [--threads N]"
     );
     ExitCode::FAILURE
 }

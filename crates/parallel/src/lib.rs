@@ -1,0 +1,311 @@
+//! Deterministic data-parallel execution layer.
+//!
+//! The measurement pipeline is embarrassingly parallel at every stage —
+//! per-target typo generation, per-day traffic synthesis, per-email
+//! funnel passes, per-bucket WHOIS comparisons — but naive parallelism
+//! destroys reproducibility: a shared RNG consumed in scheduler order
+//! makes output depend on thread interleaving.
+//!
+//! This crate provides the two pieces that make parallel runs
+//! **byte-identical to sequential runs**:
+//!
+//! 1. *Ordered* parallel combinators ([`par_map`], [`par_map_chunked`],
+//!    [`par_fold`]) built on `std::thread::scope`. Work is split into
+//!    contiguous chunks pulled from an atomic cursor (dynamic load
+//!    balance), but results are reassembled in input order and fold
+//!    states are merged in chunk order, so the output is a pure function
+//!    of the input regardless of thread count or scheduling.
+//! 2. Per-unit RNG streams ([`derive_rng`]): every parallel unit (a
+//!    target, a day, an email, a bucket) gets its own `ChaCha8Rng` seeded
+//!    from `(base_seed, domain, unit)`. No draw ever crosses a unit
+//!    boundary, so decomposing a loop cannot change what any unit draws.
+//!
+//! The worker count is a process-wide setting ([`set_threads`]), wired to
+//! the `repro` driver's `--threads` flag. `threads() == 1` executes
+//! inline with zero thread overhead — `--threads 1` and `--threads N`
+//! produce identical bytes, which `tests/determinism.rs` asserts.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Stream-domain tags, one per independent RNG consumer. Units in
+/// different domains never share a stream even when their ids collide.
+pub mod domain {
+    /// Per-target candidate/registration sampling in `World::build`.
+    pub const POPULATION_TARGET: u64 = 0x01;
+    /// Registrant archetype synthesis in `World::build`.
+    pub const POPULATION_REGISTRANT: u64 = 0x02;
+    /// Filler-site and benign-background registration.
+    pub const POPULATION_BACKGROUND: u64 = 0x03;
+    /// Per-provider NS customer-base sizing.
+    pub const POPULATION_NS_BASE: u64 = 0x04;
+    /// Per-day traffic synthesis in `TrafficGenerator::generate`.
+    pub const TRAFFIC_DAY: u64 = 0x10;
+    /// One-off traffic setup (campaign and SMTP-user tables).
+    pub const TRAFFIC_SETUP: u64 = 0x11;
+    /// Honeypot behaviour sampling.
+    pub const HONEYPOT: u64 = 0x20;
+}
+
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count for all subsequent parallel calls.
+/// `0` (the default) means one worker per available core.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Derives an independent `ChaCha8Rng` stream for one parallel unit.
+///
+/// The 256-bit seed is expanded from `(base_seed, domain, unit)` with a
+/// splitmix64 chain, so streams for distinct units are statistically
+/// independent and a unit's stream depends only on its identity — never
+/// on how many units ran before it or on which thread.
+pub fn derive_rng(base_seed: u64, domain: u64, unit: u64) -> ChaCha8Rng {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let h = mix(mix(mix(base_seed) ^ domain) ^ unit);
+    let mut seed = [0u8; 32];
+    for (i, chunk) in seed.chunks_mut(8).enumerate() {
+        chunk.copy_from_slice(&mix(h ^ (i as u64 + 1)).to_le_bytes());
+    }
+    ChaCha8Rng::from_seed(seed)
+}
+
+/// Upper bound on chunks per worker: small enough to keep bookkeeping
+/// cheap, large enough to balance skewed workloads.
+const CHUNKS_PER_WORKER: usize = 8;
+
+fn chunk_size(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers * CHUNKS_PER_WORKER).max(1)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// `f` receives the item's index alongside the item so callers can derive
+/// per-unit RNG streams. The result is identical for any thread count.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads();
+    if workers <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = chunk_size(items.len(), workers);
+    let n_chunks = items.len().div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n_chunks) {
+            scope.spawn(|| loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let start = c * chunk;
+                let end = (start + chunk).min(items.len());
+                let out: Vec<R> = items[start..end]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, t)| f(start + k, t))
+                    .collect();
+                done.lock().unwrap().push((c, out));
+            });
+        }
+    });
+    let mut parts = done.into_inner().unwrap();
+    parts.sort_unstable_by_key(|(c, _)| *c);
+    let mut result = Vec::with_capacity(items.len());
+    for (_, mut part) in parts {
+        result.append(&mut part);
+    }
+    result
+}
+
+/// Like [`par_map`], but `f` produces a `Vec` per item and the vectors
+/// are concatenated in input order — the parallel analogue of
+/// `flat_map` + `collect`.
+pub fn par_flat_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Vec<R> + Sync,
+{
+    let nested = par_map(items, f);
+    let mut out = Vec::with_capacity(nested.iter().map(Vec::len).sum());
+    for mut part in nested {
+        out.append(&mut part);
+    }
+    out
+}
+
+/// Folds `items` in parallel: each chunk folds into a fresh accumulator
+/// (`init`), and accumulators merge **in chunk order**, so any
+/// order-sensitive merge still sees a canonical sequence.
+pub fn par_fold<T, A, I, F, M>(items: &[T], init: I, fold: F, merge: M) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize, &T) + Sync,
+    M: Fn(&mut A, A),
+{
+    let workers = threads();
+    if workers <= 1 || items.len() < 2 {
+        let mut acc = init();
+        for (i, t) in items.iter().enumerate() {
+            fold(&mut acc, i, t);
+        }
+        return acc;
+    }
+    let chunk = chunk_size(items.len(), workers);
+    let n_chunks = items.len().div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, A)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n_chunks) {
+            scope.spawn(|| loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let start = c * chunk;
+                let end = (start + chunk).min(items.len());
+                let mut acc = init();
+                for (k, t) in items[start..end].iter().enumerate() {
+                    fold(&mut acc, start + k, t);
+                }
+                done.lock().unwrap().push((c, acc));
+            });
+        }
+    });
+    let mut parts = done.into_inner().unwrap();
+    parts.sort_unstable_by_key(|(c, _)| *c);
+    let mut parts = parts.into_iter().map(|(_, a)| a);
+    let mut acc = parts.next().expect("n_chunks >= 1");
+    for part in parts {
+        merge(&mut acc, part);
+    }
+    acc
+}
+
+/// Runs `f` once per index in `0..n` in parallel, collecting results in
+/// index order. Convenience wrapper over [`par_map`] for loops that are
+/// indexed rather than slice-driven (e.g. simulated days).
+pub fn par_map_index<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(&indices, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// `set_threads` is process-global; tests that touch it must not
+    /// interleave.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn par_map_preserves_order() {
+        let _guard = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..10_000).collect();
+        for threads in [1, 2, 7] {
+            set_threads(threads);
+            let out = par_map(&items, |i, &x| x * 2 + i as u64);
+            assert_eq!(out.len(), items.len());
+            assert!(out.iter().enumerate().all(|(i, &v)| v == 3 * i as u64));
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_fold_matches_sequential() {
+        let _guard = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..5_000).map(|i| i % 97).collect();
+        let run = |threads| {
+            set_threads(threads);
+            par_fold(
+                &items,
+                Vec::new,
+                |acc: &mut Vec<u64>, i, &x| acc.push(x + i as u64),
+                |acc, part| acc.extend(part),
+            )
+        };
+        let seq = run(1);
+        let par = run(6);
+        set_threads(0);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_flat_map_concatenates_in_order() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(4);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_flat_map(&items, |_, &x| vec![x, x]);
+        set_threads(0);
+        assert_eq!(out.len(), 2000);
+        assert!(out.chunks(2).enumerate().all(|(i, c)| c == [i, i]));
+    }
+
+    #[test]
+    fn derived_streams_are_stable_and_distinct() {
+        let draw = |base, dom, unit| {
+            let mut rng = derive_rng(base, dom, unit);
+            (0..8).map(|_| rng.gen::<u64>()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(1, 2, 3), draw(1, 2, 3));
+        assert_ne!(draw(1, 2, 3), draw(1, 2, 4));
+        assert_ne!(draw(1, 2, 3), draw(1, 3, 3));
+        assert_ne!(draw(1, 2, 3), draw(2, 2, 3));
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+        let folded = par_fold(
+            &empty,
+            || 0u32,
+            |acc, _, &x| *acc += x,
+            |acc, part| *acc += part,
+        );
+        set_threads(0);
+        assert_eq!(folded, 0);
+    }
+
+    #[test]
+    fn par_map_index_runs_every_index() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(3);
+        let out = par_map_index(257, |i| i * i);
+        set_threads(0);
+        assert_eq!(out.len(), 257);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+    }
+}

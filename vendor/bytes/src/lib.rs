@@ -1,0 +1,266 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`BytesMut`] is a `Vec<u8>` with a consumed-prefix offset, which is all
+//! the workspace's DNS wire encoder and SMTP line codec need; `split_to`
+//! copies instead of sharing, trading the real crate's zero-copy machinery
+//! for zero dependencies. Multi-byte `put_*` writes are big-endian
+//! (network order), like upstream.
+
+use std::ops::{Deref, DerefMut};
+
+/// Immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Empty buffer.
+    pub const fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copies the contents into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+
+    /// Copies from a slice.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(v.to_vec())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Bytes(v.as_bytes().to_vec())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+/// Growable byte buffer with an O(1) consumed-prefix (`advance`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub const fn new() -> Self {
+        BytesMut {
+            buf: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    /// Unconsumed byte length.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Splits off and returns the first `n` unconsumed bytes.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = self.buf[self.start..self.start + n].to_vec();
+        self.start += n;
+        self.compact();
+        BytesMut {
+            buf: head,
+            start: 0,
+        }
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+        }
+        Bytes(self.buf)
+    }
+
+    /// Reclaims the consumed prefix when it dominates the buffer.
+    fn compact(&mut self) {
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Discards the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+        self.compact();
+    }
+}
+
+/// Write-side append operations (big-endian for multi-byte integers).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, data: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_is_big_endian() {
+        let mut b = BytesMut::new();
+        b.put_u16(0x1234);
+        b.put_u32(0xDEADBEEF);
+        assert_eq!(&b[..], &[0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn split_and_advance() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello\r\nworld");
+        let line = b.split_to(5);
+        assert_eq!(&line[..], b"hello");
+        b.advance(2);
+        assert_eq!(&b[..], b"world");
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn freeze_round_trip() {
+        let mut b = BytesMut::with_capacity(8);
+        b.extend_from_slice(b"abcd");
+        b.advance(1);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], b"bcd");
+        assert_eq!(frozen.to_vec(), b"bcd".to_vec());
+    }
+
+    #[test]
+    fn index_mut_patching() {
+        let mut b = BytesMut::new();
+        b.put_u16(0);
+        b.put_slice(b"xy");
+        let patch = (2u16).to_be_bytes();
+        b[0..2].copy_from_slice(&patch);
+        assert_eq!(&b[..], &[0, 2, b'x', b'y']);
+    }
+}

@@ -1,0 +1,338 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in a hermetic environment with no registry
+//! access, so the external crates it depends on are replaced by minimal,
+//! dependency-free implementations under `vendor/` via `[patch.crates-io]`.
+//! Each stand-in implements exactly the API subset the workspace uses,
+//! with the same semantics (and, where it matters for reproducibility,
+//! the same bit-level behaviour) as the real crate.
+//!
+//! Subset provided here: [`RngCore`], [`SeedableRng`] (including the
+//! splitmix64-based `seed_from_u64`), the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`, `fill`), the [`distributions::Standard`]
+//! distribution for primitives, and [`seq::SliceRandom`].
+
+/// Core random-number source: 32/64-bit words and byte fills.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte-array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with splitmix64
+    /// exactly like upstream `rand_core` so seeds are portable.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // splitmix64 (same constants as rand_core 0.6).
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z = z ^ (z >> 31);
+            let bytes = (z as u32).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    //! The `Standard` distribution over primitive types.
+
+    use super::RngCore;
+
+    /// Maps raw generator output to a value of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution: full integer range, `[0, 1)` floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_uint {
+        ($($t:ty => $via:ident),* $(,)?) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$via() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_uint!(
+        u8 => next_u32, u16 => next_u32, u32 => next_u32,
+        u64 => next_u64, usize => next_u64, u128 => next_u64,
+        i8 => next_u32, i16 => next_u32, i32 => next_u32,
+        i64 => next_u64, isize => next_u64,
+    );
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits, uniform on [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+}
+
+mod uniform {
+    //! Range sampling used by `Rng::gen_range`.
+    //!
+    //! Mirrors real rand's structure: a blanket `SampleRange<T>` impl over
+    //! `T: SampleUniform` so type inference can pin `T` to the range's
+    //! item type (per-type impls would leave integer literals ambiguous).
+
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Uniform draw from `[lo, hi)` or `[lo, hi]` when `inclusive`.
+        fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+            -> Self;
+    }
+
+    /// A range argument accepted by [`super::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_range(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "gen_range: empty range");
+            T::sample_range(rng, lo, hi, true)
+        }
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_range<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                    lo.wrapping_add(sample_below(rng, span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Unbiased integer in `[0, span)` via widening-multiply rejection
+    /// (Lemire); `span == 0` means the full 2^64 range.
+    fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u64 {
+        if span == 0 || span > u64::MAX as u128 {
+            return rng.next_u64();
+        }
+        let span = span as u64;
+        let zone = span.wrapping_neg() % span; // # of biased low leftovers
+        loop {
+            let v = rng.next_u64();
+            let m = (v as u128) * (span as u128);
+            if (m as u64) >= zone {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_range<R: RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi: Self,
+            _inclusive: bool,
+        ) -> Self {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + (hi - lo) * unit
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_range<R: RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi: Self,
+            _inclusive: bool,
+        ) -> Self {
+            let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+            lo + (hi - lo) * unit
+        }
+    }
+}
+
+pub use uniform::{SampleRange, SampleUniform};
+
+/// User-facing extension methods, blanket-implemented for any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! Slice sampling helpers.
+
+    use super::{Rng, RngCore};
+
+    /// Random selection and shuffling on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..i + 1));
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Commonly used traits, mirroring `rand::prelude`.
+    pub use super::distributions::Distribution;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    struct Counter(u64);
+    impl super::RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&b[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(0.5..2.5f64);
+            assert!((0.5..2.5).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

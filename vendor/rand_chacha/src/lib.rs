@@ -1,0 +1,184 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Implements a genuine ChaCha stream cipher core (Bernstein's design:
+//! 16-word state, quarter-round column/diagonal double rounds, feed-forward
+//! addition) driving the `rand` stand-in's `RngCore`/`SeedableRng` traits.
+//! The keystream is high-quality and fully determined by the 256-bit seed,
+//! which is all the workspace requires; it is not bit-compatible with
+//! upstream `rand_chacha`'s SIMD block layout.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with a const number of double rounds (`R = 4` → ChaCha8).
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const R: usize> {
+    /// Key words 4..12 of the initial state.
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12, 13).
+    counter: u64,
+    /// 64-bit stream id (state words 14, 15).
+    stream: u64,
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word index in `block`; 16 = exhausted.
+    index: usize,
+}
+
+/// ChaCha8: 8 rounds (4 double rounds). The workspace's standard PRNG.
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha12: 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha20: 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const R: usize> ChaChaRng<R> {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let input = state;
+        for _ in 0..R {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    /// Selects an independent keystream (state words 14/15).
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.index = 16;
+    }
+
+    /// The current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+}
+
+impl<const R: usize> RngCore for ChaChaRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+impl<const R: usize> SeedableRng for ChaChaRng<R> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            *word = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            stream: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        let va: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = ChaCha8Rng::seed_from_u64(100);
+        let vc: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn chacha20_keystream_matches_rfc7539() {
+        // RFC 7539 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 00 00 00 09 00 00 00 4a 00 00 00 00.
+        // Our stream layout is (counter: u64 LE, stream: u64 LE) in words
+        // 12..16, so replicate the vector's words directly.
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut rng = ChaCha20Rng::from_seed(seed);
+        // words 12,13 = counter; vector has word12=1, word13=0x09000000.
+        rng.counter = 1 | (0x0900_0000u64 << 32);
+        // words 14,15 = stream; vector has word14=0x4a000000, word15=0.
+        rng.stream = 0x4a00_0000;
+        rng.index = 16;
+        let first = rng.next_u32();
+        assert_eq!(first, 0xe4e7_f110, "RFC 7539 block word 0");
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        b.set_stream(7);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn unit_floats_via_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

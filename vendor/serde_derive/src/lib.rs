@@ -1,0 +1,513 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored serde's Value-based `Serialize`/`Deserialize`
+//! traits without `syn`/`quote`: the item is parsed directly from
+//! `proc_macro::TokenTree`s and the impl is generated as a source string,
+//! then re-parsed into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives): named structs,
+//! tuple structs, unit structs, and enums with unit / tuple / struct
+//! variants — all without generics. Supported attributes:
+//! `#[serde(skip)]` on named fields and
+//! `#[serde(try_from = "...", into = "...")]` on containers.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    /// The `try_from`/`into` proxy type, when the attribute is present.
+    proxy: Option<String>,
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c).parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let proxy = parse_outer_attrs(&tokens, &mut i).proxy;
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored derive");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: expected struct or enum, got `{other}`"),
+    };
+
+    Container { name, proxy, shape }
+}
+
+struct Attrs {
+    skip: bool,
+    proxy: Option<String>,
+}
+
+/// Consumes leading `#[...]` attributes, extracting the serde ones.
+fn parse_outer_attrs(tokens: &[TokenTree], i: &mut usize) -> Attrs {
+    let mut attrs = Attrs {
+        skip: false,
+        proxy: None,
+    };
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = tokens.get(*i + 1) else {
+            break;
+        };
+        parse_serde_attr(g.stream(), &mut attrs);
+        *i += 2;
+    }
+    attrs
+}
+
+/// Inspects one attribute body (`serde(...)`, `doc = ...`, ...).
+fn parse_serde_attr(body: TokenStream, attrs: &mut Attrs) {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        if let TokenTree::Ident(id) = &args[j] {
+            match id.to_string().as_str() {
+                "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+                "try_from" | "into" => {
+                    // `try_from = "String"` — record the proxy type.
+                    if let (
+                        Some(TokenTree::Punct(eq)),
+                        Some(TokenTree::Literal(lit)),
+                    ) = (args.get(j + 1), args.get(j + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let raw = lit.to_string();
+                            attrs.proxy = Some(raw.trim_matches('"').to_owned());
+                            j += 2;
+                        }
+                    }
+                }
+                other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+            }
+        }
+        j += 1;
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Parses `name: Type, ...` fields of a braced struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = parse_outer_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+        });
+    }
+    fields
+}
+
+/// Advances past a type, stopping at a top-level comma (consumed).
+/// Commas inside `<...>` are part of the type; groups are single tokens.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Number of comma-separated fields in a tuple-struct/variant body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Each field may start with attributes and a visibility.
+        let _ = parse_outer_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = parse_outer_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let payload = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Payload::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Payload::Struct(
+                    parse_named_fields(g.stream())
+                        .into_iter()
+                        .map(|f| f.name)
+                        .collect(),
+                )
+            }
+            _ => Payload::Unit,
+        };
+        // Skip any explicit discriminant and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, payload });
+    }
+    variants
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = if let Some(proxy) = &c.proxy {
+        format!(
+            "let proxy: {proxy} = <Self as ::std::clone::Clone>::clone(self).into();\n\
+             ::serde::Serialize::to_value(&proxy)"
+        )
+    } else {
+        match &c.shape {
+            Shape::NamedStruct(fields) => {
+                let mut s = String::from("let mut m = ::serde::Map::new();\n");
+                for f in fields.iter().filter(|f| !f.skip) {
+                    s.push_str(&format!(
+                        "m.insert(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0}));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Object(m)");
+                s
+            }
+            Shape::TupleStruct(1) => {
+                "::serde::Serialize::to_value(&self.0)".to_owned()
+            }
+            Shape::TupleStruct(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!(
+                    "::serde::Value::Array(::std::vec![{}])",
+                    elems.join(", ")
+                )
+            }
+            Shape::UnitStruct => "::serde::Value::Null".to_owned(),
+            Shape::Enum(variants) => {
+                let mut s = String::from("match self {\n");
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.payload {
+                        Payload::Unit => s.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vn}\")),\n"
+                        )),
+                        Payload::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_owned()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    elems.join(", ")
+                                )
+                            };
+                            s.push_str(&format!(
+                                "{name}::{vn}({binds_pat}) => {{\n\
+                                 let mut m = ::serde::Map::new();\n\
+                                 m.insert(::std::string::String::from(\"{vn}\"), {inner});\n\
+                                 ::serde::Value::Object(m)\n}}\n",
+                                binds_pat = binds.join(", ")
+                            ));
+                        }
+                        Payload::Struct(field_names) => {
+                            let pat = field_names.join(", ");
+                            let mut inner =
+                                String::from("let mut inner = ::serde::Map::new();\n");
+                            for fname in field_names {
+                                inner.push_str(&format!(
+                                    "inner.insert(::std::string::String::from(\"{fname}\"), \
+                                     ::serde::Serialize::to_value({fname}));\n"
+                                ));
+                            }
+                            s.push_str(&format!(
+                                "{name}::{vn} {{ {pat} }} => {{\n{inner}\
+                                 let mut m = ::serde::Map::new();\n\
+                                 m.insert(::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(inner));\n\
+                                 ::serde::Value::Object(m)\n}}\n"
+                            ));
+                        }
+                    }
+                }
+                s.push('}');
+                s
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = if let Some(proxy) = &c.proxy {
+        format!(
+            "let proxy: {proxy} = ::serde::Deserialize::from_value(v)?;\n\
+             <Self as ::std::convert::TryFrom<{proxy}>>::try_from(proxy)\
+             .map_err(|e| ::serde::DeError::new(::std::format!(\"{name}: {{e}}\")))"
+        )
+    } else {
+        match &c.shape {
+            Shape::NamedStruct(fields) => {
+                let mut init = String::new();
+                for f in fields {
+                    if f.skip {
+                        init.push_str(&format!(
+                            "{}: ::std::default::Default::default(),\n",
+                            f.name
+                        ));
+                    } else {
+                        init.push_str(&format!(
+                            "{0}: ::serde::__private::de_field(m, \"{0}\")?,\n",
+                            f.name
+                        ));
+                    }
+                }
+                format!(
+                    "let m = v.as_object().ok_or_else(|| \
+                     ::serde::DeError::new(\"{name}: expected object\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{init}}})"
+                )
+            }
+            Shape::TupleStruct(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+            ),
+            Shape::TupleStruct(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&arr[{k}])?"))
+                    .collect();
+                format!(
+                    "let arr = v.as_array().ok_or_else(|| \
+                     ::serde::DeError::new(\"{name}: expected array\"))?;\n\
+                     if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::new(\"{name}: wrong tuple arity\")); }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+            Shape::UnitStruct => {
+                format!("::std::result::Result::Ok({name})")
+            }
+            Shape::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut payload_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.payload {
+                        Payload::Unit => unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        )),
+                        Payload::Tuple(1) => payload_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                        )),
+                        Payload::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&arr[{k}])?")
+                                })
+                                .collect();
+                            payload_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let arr = inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::new(\"{name}::{vn}: expected array\"))?;\n\
+                                 if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::new(\"{name}::{vn}: wrong arity\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                                elems.join(", ")
+                            ));
+                        }
+                        Payload::Struct(field_names) => {
+                            let mut init = String::new();
+                            for fname in field_names {
+                                init.push_str(&format!(
+                                    "{fname}: ::serde::__private::de_field(im, \"{fname}\")?,\n"
+                                ));
+                            }
+                            payload_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let im = inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::new(\"{name}::{vn}: expected object\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{\n{init}}})\n}}\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "if let ::serde::Value::String(s) = v {{\n\
+                     return match s.as_str() {{\n{unit_arms}\
+                     _ => ::std::result::Result::Err(::serde::DeError::new(\
+                     \"{name}: unknown variant\")),\n}};\n}}\n\
+                     if let ::serde::Value::Object(m) = v {{\n\
+                     if m.len() == 1 {{\n\
+                     let (k, inner) = m.iter().next().unwrap();\n\
+                     let _ = inner;\n\
+                     return match k.as_str() {{\n{payload_arms}\
+                     _ => ::std::result::Result::Err(::serde::DeError::new(\
+                     \"{name}: unknown variant\")),\n}};\n}}\n}}\n\
+                     ::std::result::Result::Err(::serde::DeError::new(\
+                     \"{name}: expected variant string or single-key object\"))"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
