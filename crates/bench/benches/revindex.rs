@@ -1,0 +1,82 @@
+//! Reverse DL-1 index benchmarks: build cost over a target list, and
+//! query cost against the linear "DL to every target" scan it replaces —
+//! the §5.1 workload in reverse ("which targets is this zone-file domain
+//! a typo of?").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ets_core::{distance, typogen, DomainName, ReverseDl1Index};
+
+fn targets(n: usize) -> Vec<DomainName> {
+    ets_core::alexa::synthetic_top(n)
+        .iter()
+        .map(|e| e.domain.clone())
+        .collect()
+}
+
+/// Query mix: every DL-1 variant of a slice of targets (hits) plus the
+/// targets themselves (mostly misses).
+fn queries(targets: &[DomainName]) -> Vec<DomainName> {
+    let mut out: Vec<DomainName> = Vec::new();
+    for t in targets.iter().take(10) {
+        for c in typogen::generate_dl1(t) {
+            out.push(c.domain);
+        }
+    }
+    out.extend(targets.iter().cloned());
+    out
+}
+
+fn bench_build(c: &mut Criterion) {
+    let ts = targets(200);
+    c.bench_function("revindex_build/top-200", |b| {
+        b.iter(|| black_box(ReverseDl1Index::build(black_box(&ts))))
+    });
+}
+
+fn bench_matches_vs_scan(c: &mut Criterion) {
+    let ts = targets(200);
+    let index = ReverseDl1Index::build(&ts);
+    let qs = queries(&ts);
+    c.bench_function("revindex_matches/top-200", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &qs {
+                hits += index.matches(black_box(q)).len();
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("linear_scan_matches/top-200", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &qs {
+                hits += ts
+                    .iter()
+                    .filter(|t| {
+                        t.tld() == q.tld()
+                            && distance::damerau_levenshtein(t.sld(), q.sld()) == 1
+                    })
+                    .count();
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_is_typo(c: &mut Criterion) {
+    let ts = targets(200);
+    let index = ReverseDl1Index::build(&ts);
+    let qs = queries(&ts);
+    c.bench_function("revindex_is_typo/top-200", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &qs {
+                hits += usize::from(index.is_typo(black_box(q)));
+            }
+            black_box(hits)
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_matches_vs_scan, bench_is_typo);
+criterion_main!(benches);

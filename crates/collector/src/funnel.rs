@@ -95,6 +95,22 @@ pub struct Funnel<'a> {
     infra: &'a CollectionInfra,
     config: FunnelConfig,
     scorer: SpamScorer,
+    /// Study-domain names for O(1) "at one of ours?" checks. Every study
+    /// domain is a two-label registrable, so membership of a host's last
+    /// two labels is exactly the suffix scan it replaces (the label
+    /// boundary is the dot we split at).
+    study_set: HashSet<String>,
+}
+
+/// The last two labels of `host`, or `host` itself when it has fewer.
+fn registrable_suffix(host: &str) -> &str {
+    match host.rfind('.') {
+        Some(last) => match host[..last].rfind('.') {
+            Some(prev) => &host[prev + 1..],
+            None => host,
+        },
+        None => host,
+    }
 }
 
 impl<'a> Funnel<'a> {
@@ -108,20 +124,23 @@ impl<'a> Funnel<'a> {
         let scorer = SpamScorer {
             threshold: config.spam_threshold,
         };
+        let study_set = infra
+            .domains
+            .iter()
+            .map(|d| d.domain().as_str().to_owned())
+            .collect();
         Funnel {
             infra,
             config,
             scorer,
+            study_set,
         }
     }
 
     /// Whether the recipient is at (a subdomain of) a study domain.
     fn rcpt_is_ours(&self, email: &CollectedEmail) -> bool {
-        let rd = email.rcpt_to.domain();
-        self.infra.domains.iter().any(|d| {
-            let ours = d.domain().as_str();
-            rd == ours || (rd.ends_with(ours) && rd.as_bytes()[rd.len() - ours.len() - 1] == b'.')
-        })
+        self.study_set
+            .contains(registrable_suffix(email.rcpt_to.domain()))
     }
 
     /// Layer 1: header sanity. Returns `true` when spam.
@@ -134,12 +153,7 @@ impl<'a> Funnel<'a> {
         // The sender must not be one of our domains: we never send email,
         // and spammers love posing as the recipient's domain.
         if let Some(from) = email.mail_from.as_ref() {
-            let fd = from.domain();
-            let ours = self.infra.domains.iter().any(|d| {
-                let o = d.domain().as_str();
-                fd == o || (fd.ends_with(o) && fd.as_bytes()[fd.len() - o.len() - 1] == b'.')
-            });
-            if ours {
+            if self.study_set.contains(registrable_suffix(from.domain())) {
                 return true;
             }
         }

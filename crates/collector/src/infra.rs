@@ -145,6 +145,10 @@ pub struct CollectionInfra {
     pub outages: Vec<(u32, u32)>,
     /// The registry holding the study registrations.
     pub registry: Registry,
+    /// domain → index into `domains`, so the per-email
+    /// [`CollectionInfra::study_domain`] lookup is a hash probe instead of
+    /// a scan over all 76 records.
+    domain_index: HashMap<DomainName, usize>,
 }
 
 impl CollectionInfra {
@@ -204,12 +208,18 @@ impl CollectionInfra {
                 STUDY_DAYS - outage_days - jitter,
             );
         }
+        let domain_index = domains
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.domain().clone(), i))
+            .collect();
         CollectionInfra {
             domains,
             vps_map,
             collection_days,
             outages,
             registry,
+            domain_index,
         }
     }
 
@@ -222,7 +232,7 @@ impl CollectionInfra {
 
     /// The study domain record for a domain name.
     pub fn study_domain(&self, domain: &DomainName) -> Option<&StudyDomain> {
-        self.domains.iter().find(|d| d.domain() == domain)
+        self.domain_index.get(domain).map(|&i| &self.domains[i])
     }
 
     /// Receiver-typo domains (the 31).
@@ -262,11 +272,10 @@ impl CollectionInfra {
 fn study_domain(typo: &str, target: &str, purpose: CollectionPurpose) -> StudyDomain {
     let typo_d: DomainName = typo.parse().expect("static study domain");
     let target_d: DomainName = target.parse().expect("static target");
-    // Try to find the typo among generated DL-1 candidates of the
-    // registrable target (gives exact kind/position/visual metadata).
-    let candidate = typogen::generate_dl1(&target_d.registrable())
-        .into_iter()
-        .find(|c| c.domain == typo_d)
+    // Classify the typo against the registrable target directly (gives the
+    // exact kind/position/visual metadata that searching the generated
+    // DL-1 candidate set would, without generating it).
+    let candidate = typogen::classify_dl1(&target_d.registrable(), &typo_d)
         .or_else(|| {
             // Doppelganger (smtp.verizon.net → smtpverizon.net) or deeper
             // mistake: synthesize metadata from the flattened subdomain.

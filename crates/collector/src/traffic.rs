@@ -169,6 +169,15 @@ impl<'a> TrafficGenerator<'a> {
         let campaigns = self.make_campaigns(&mut campaign_rng);
         let mut users_rng = derive_rng(self.config.seed, stream::TRAFFIC_SETUP, 1);
         let smtp_users = self.make_smtp_users(&mut users_rng);
+        // Domain lists are fixed for the whole study period; collect them
+        // once here instead of once per simulated day (draws no RNG, so
+        // day streams are unaffected).
+        let smtp_domains: Vec<&ets_core::taxonomy::StudyDomain> =
+            self.infra.smtp_domains().collect();
+        let rcv_domains: Vec<&ets_core::taxonomy::StudyDomain> =
+            self.infra.receiver_domains().collect();
+        let smtp_names: Vec<ets_core::DomainName> =
+            smtp_domains.iter().map(|d| d.domain().clone()).collect();
         let per_day: Vec<Vec<GenEmail>> = par_map_index(STUDY_DAYS as usize, |day| {
             let date = SimDate(day as u32);
             if self.infra.in_outage(date) {
@@ -176,12 +185,12 @@ impl<'a> TrafficGenerator<'a> {
             }
             let mut rng = derive_rng(self.config.seed, stream::TRAFFIC_DAY, day as u64);
             let mut out = Vec::new();
-            self.spam_for_day(date, &campaigns, &mut rng, &mut out);
+            self.spam_for_day(date, &campaigns, &smtp_domains, &rcv_domains, &mut rng, &mut out);
             self.receiver_for_day(date, &weights, &mut rng, &mut out);
             self.reflection_for_day(date, &mut rng, &mut out);
             self.smtp_for_day(date, &smtp_users, &mut rng, &mut out);
-            self.machine_smtp_for_day(date, &mut rng, &mut out);
-            self.mystery_for_day(date, &mut rng, &mut out);
+            self.machine_smtp_for_day(date, &smtp_names, &mut rng, &mut out);
+            self.mystery_for_day(date, &smtp_names, &mut rng, &mut out);
             out
         });
         let mut out = Vec::with_capacity(per_day.iter().map(Vec::len).sum());
@@ -246,15 +255,13 @@ impl<'a> TrafficGenerator<'a> {
         &self,
         date: SimDate,
         campaigns: &[SpamCampaign],
+        smtp_domains: &[&ets_core::taxonomy::StudyDomain],
+        rcv_domains: &[&ets_core::taxonomy::StudyDomain],
         rng: &mut ChaCha8Rng,
         out: &mut Vec<GenEmail>,
     ) {
         let daily_total = self.config.paper_total_per_year / 365.0 * self.config.spam_scale;
         let smtp_share = self.config.smtp_candidate_share;
-        let smtp_domains: Vec<&ets_core::taxonomy::StudyDomain> =
-            self.infra.smtp_domains().collect();
-        let rcv_domains: Vec<&ets_core::taxonomy::StudyDomain> =
-            self.infra.receiver_domains().collect();
         let n = self.poisson(rng, daily_total);
         for _ in 0..n {
             let to_smtp = rng.gen_bool(smtp_share);
@@ -537,12 +544,13 @@ impl<'a> TrafficGenerator<'a> {
     /// hostname and keep relaying machine mail through it. The paper
     /// found 5,147/yr detected as automated plus 5,555/yr frequency
     /// filtered among SMTP-typo candidates — these are that population.
-    fn machine_smtp_for_day(&self, date: SimDate, rng: &mut ChaCha8Rng, out: &mut Vec<GenEmail>) {
-        let domains: Vec<ets_core::DomainName> = self
-            .infra
-            .smtp_domains()
-            .map(|d| d.domain().clone())
-            .collect();
+    fn machine_smtp_for_day(
+        &self,
+        date: SimDate,
+        domains: &[ets_core::DomainName],
+        rng: &mut ChaCha8Rng,
+        out: &mut Vec<GenEmail>,
+    ) {
         // ~8 persistent devices, each a few messages/day: ≈10.5k/yr total.
         for agent in 0..8u32 {
             let lambda = 1.9 * self.config.typo_scale;
@@ -582,13 +590,14 @@ impl<'a> TrafficGenerator<'a> {
 
     // --- the mystery receiver typos on SMTP domains ------------------------
 
-    fn mystery_for_day(&self, date: SimDate, rng: &mut ChaCha8Rng, out: &mut Vec<GenEmail>) {
+    fn mystery_for_day(
+        &self,
+        date: SimDate,
+        domains: &[ets_core::DomainName],
+        rng: &mut ChaCha8Rng,
+        out: &mut Vec<GenEmail>,
+    ) {
         let lambda = self.config.mystery_receiver_per_year / 365.0 * self.config.typo_scale;
-        let domains: Vec<ets_core::DomainName> = self
-            .infra
-            .smtp_domains()
-            .map(|d| d.domain().clone())
-            .collect();
         for _ in 0..self.poisson(rng, lambda) {
             let domain = domains[rng.gen_range(0..domains.len())].clone();
             let mut e = self.one_receiver_typo(&domain, date, rng, TrueKind::Receiver);

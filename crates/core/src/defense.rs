@@ -14,11 +14,12 @@
 //!   budgeted plan maximizing expected intercepted emails per dollar.
 
 use crate::alexa::PopularityList;
+use crate::keyboard;
+use crate::revindex::ReverseDl1Index;
 use crate::typing::TypingModel;
 use crate::typogen::{self, TypoCandidate};
 use crate::DomainName;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// One correction suggestion.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,17 +32,30 @@ pub struct Correction {
     pub candidate: TypoCandidate,
 }
 
+/// Whether mistyping `typed` for `intended` is a plausible fat-finger
+/// slip — a direct read of the precomputed [`keyboard::ADJACENCY`] table
+/// shared with the typo engine and the fat-finger distance. Input-field
+/// integrations use this to decide how eagerly to surface a "did you
+/// mean" hint: adjacent-key substitutions are overwhelmingly accidents,
+/// while distant-key differences more often mean deliberate input.
+pub fn fat_finger_slip(intended: char, typed: char) -> bool {
+    intended.is_ascii() && typed.is_ascii() && keyboard::ADJACENCY[intended as usize][typed as usize]
+}
+
 /// Suggests intended domains for possibly-mistyped input.
 ///
-/// Construction precomputes the DL-1 neighborhood of every known target
-/// (the same enumeration the §5 scan performs), so each lookup is a hash
-/// probe — cheap enough to run on every keystroke of an address field.
+/// Construction builds a reverse DL-1 index over the known targets
+/// (deletion-neighborhood keying — see
+/// [`crate::revindex::ReverseDl1Index`]), so each lookup is a handful of
+/// hash probes over the input's own neighborhood — cheap enough to run on
+/// every keystroke of an address field, and far cheaper to build than the
+/// old forward map that materialized every target's full DL-1 fan-out.
 #[derive(Debug)]
 pub struct TypoCorrector {
     targets: PopularityList,
     model: TypingModel,
-    /// typo domain → candidates explaining it (one per plausible target).
-    index: HashMap<DomainName, Vec<TypoCandidate>>,
+    /// Reverse DL-1 index over the target list, in popularity order.
+    index: ReverseDl1Index,
     /// Emails-per-visitor factor converting popularity into volume.
     volume_factor: f64,
 }
@@ -49,12 +63,9 @@ pub struct TypoCorrector {
 impl TypoCorrector {
     /// Builds a corrector over a popularity list of known-good domains.
     pub fn new(targets: PopularityList, model: TypingModel) -> Self {
-        let mut index: HashMap<DomainName, Vec<TypoCandidate>> = HashMap::new();
-        for entry in targets.iter() {
-            for cand in typogen::generate_dl1(&entry.domain) {
-                index.entry(cand.domain.clone()).or_default().push(cand);
-            }
-        }
+        let domains: Vec<DomainName> =
+            targets.iter().map(|entry| entry.domain.clone()).collect();
+        let index = ReverseDl1Index::build(&domains);
         TypoCorrector {
             targets,
             model,
@@ -88,21 +99,27 @@ impl TypoCorrector {
         if self.is_known(input) {
             return Vec::new();
         }
+        if !input.is_registrable() {
+            // The old forward map was keyed by generated (two-label)
+            // candidate domains, so subdomain input never matched.
+            return Vec::new();
+        }
         let mut scored: Vec<Correction> = Vec::new();
-        for cand in self.index.get(input).map(Vec::as_slice).unwrap_or(&[]) {
-            if cand.target.tld() != input.tld() {
-                continue; // corrections keep the TLD the user typed
-            }
+        // `explain` yields one candidate per matching target, in
+        // popularity order — the same records, in the same order, that
+        // the old forward map stored under this input. Corrections keep
+        // the TLD the user typed (classification never crosses TLDs).
+        for cand in self.index.explain(input) {
             let Some(entry) = self.targets.get(&cand.target) else {
                 continue;
             };
             let volume = entry.monthly_visitors * self.volume_factor * 12.0;
-            let weight = volume * self.model.mistype_probability(cand);
+            let weight = volume * self.model.mistype_probability(&cand);
             if weight > 0.0 {
                 scored.push(Correction {
                     target: cand.target.clone(),
                     confidence: weight,
-                    candidate: cand.clone(),
+                    candidate: cand,
                 });
             }
         }
@@ -210,6 +227,29 @@ mod tests {
             assert!(!s.is_empty(), "{typed} got no suggestions");
             assert_eq!(s[0].target.as_str(), expected, "{typed}");
         }
+    }
+
+    #[test]
+    fn fat_finger_slip_agrees_with_generated_candidates() {
+        // The defense-side adjacency helper reads the same const table the
+        // typo engine used to set each candidate's fat_finger flag.
+        let target: DomainName = "gmail.com".parse().unwrap();
+        for cand in typogen::generate_dl1(&target) {
+            if cand.kind == crate::typogen::MistakeKind::Substitution {
+                let intended = target.sld().as_bytes()[cand.position] as char;
+                let typed = cand.domain.sld().as_bytes()[cand.position] as char;
+                assert_eq!(fat_finger_slip(intended, typed), cand.fat_finger);
+            }
+        }
+        assert!(fat_finger_slip('g', 'h'));
+        assert!(!fat_finger_slip('g', 'p'));
+    }
+
+    #[test]
+    fn subdomain_input_gets_no_suggestions() {
+        let c = corrector();
+        let sub: DomainName = "smtp.gmial.com".parse().unwrap();
+        assert!(c.suggest(&sub, 3).is_empty());
     }
 
     #[test]

@@ -118,6 +118,21 @@ impl DomainName {
         Ok(DomainName { name, sld_end })
     }
 
+    /// Builds a `DomainName` from parts already known to be valid — the
+    /// id-backed fast path used by [`crate::intern::DomainInterner`] and
+    /// the typo engine to materialize names without re-running the full
+    /// [`DomainName::parse`] validation. `name` must be a lowercase,
+    /// already-validated domain string and `sld_end` the byte offset of
+    /// the dot before the final label.
+    pub(crate) fn from_validated_parts(name: String, sld_end: usize) -> DomainName {
+        debug_assert_eq!(
+            DomainName::parse(&name).as_ref().map(|d| d.sld_end),
+            Ok(sld_end),
+            "from_validated_parts called with unvalidated input {name:?}"
+        );
+        DomainName { name, sld_end }
+    }
+
     /// The full name in presentation format, without a trailing dot.
     pub fn as_str(&self) -> &str {
         &self.name

@@ -1,0 +1,222 @@
+//! Interned domain table: `u32` symbols over a contiguous byte arena.
+//!
+//! The measurement pipeline touches the same domain names millions of
+//! times — every candidate lookup, ownership query, and funnel pass
+//! re-hashes a heap-allocated `String`. [`DomainInterner`] stores each
+//! distinct name once in a single arena and hands out a copyable
+//! [`DomainId`]; lookups are a hash probe over arena slices (no per-query
+//! allocation), and materializing a [`DomainName`] back out skips the
+//! full parser via the crate-internal validated-parts fast path.
+//!
+//! Ids are assigned densely in first-intern order, so an interner doubles
+//! as a stable index: `id.index()` addresses parallel side tables (the
+//! ecosystem's ctypo records, the reverse DL-1 index's target lists).
+
+use crate::domain::DomainName;
+use std::collections::HashMap;
+
+/// Symbol for an interned domain name. Copyable, 4 bytes, ordered by
+/// first-intern order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(u32);
+
+impl DomainId {
+    /// The dense index of this id (0-based, first-intern order) for
+    /// addressing side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// FNV-1a over a byte slice — the workspace's standard cheap stable hash
+/// (same constants as the collector's funnel). Deterministic across runs
+/// and platforms.
+pub(crate) fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = seed;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// FNV-1a offset basis: the seed for a fresh hash.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// An append-only table of distinct domain names backed by one `String`
+/// arena.
+#[derive(Debug, Default, Clone)]
+pub struct DomainInterner {
+    /// All names concatenated; name `i` spans `ends[i-1]..ends[i]`.
+    arena: String,
+    /// End offset of each name in `arena`.
+    ends: Vec<u32>,
+    /// Per-name offset of the sld/tld separator dot, relative to the
+    /// name's start (mirrors `DomainName`'s `sld_end`).
+    sld_ends: Vec<u32>,
+    /// FNV(name) → candidate ids; collisions resolved by byte comparison.
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl DomainInterner {
+    /// An empty interner.
+    pub fn new() -> DomainInterner {
+        DomainInterner::default()
+    }
+
+    /// An empty interner with room for roughly `names` domains of
+    /// `mean_len` bytes each.
+    pub fn with_capacity(names: usize, mean_len: usize) -> DomainInterner {
+        DomainInterner {
+            arena: String::with_capacity(names * mean_len),
+            ends: Vec::with_capacity(names),
+            sld_ends: Vec::with_capacity(names),
+            buckets: HashMap::with_capacity(names),
+        }
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    fn span(&self, index: usize) -> (usize, usize) {
+        let start = if index == 0 { 0 } else { self.ends[index - 1] as usize };
+        (start, self.ends[index] as usize)
+    }
+
+    /// Interns `domain`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, domain: &DomainName) -> DomainId {
+        let name = domain.as_str();
+        let hash = fnv1a(FNV_OFFSET, name.as_bytes());
+        if let Some(ids) = self.buckets.get(&hash) {
+            for &id in ids {
+                let (start, end) = self.span(id as usize);
+                if &self.arena[start..end] == name {
+                    return DomainId(id);
+                }
+            }
+        }
+        let id = self.ends.len() as u32;
+        let start = self.arena.len();
+        self.arena.push_str(name);
+        self.ends.push(self.arena.len() as u32);
+        let sld_end = name.rfind('.').expect("valid domain has a dot");
+        self.sld_ends.push((start + sld_end) as u32);
+        self.buckets.entry(hash).or_default().push(id);
+        DomainId(id)
+    }
+
+    /// Looks up an already-interned name without allocating.
+    pub fn lookup(&self, name: &str) -> Option<DomainId> {
+        let hash = fnv1a(FNV_OFFSET, name.as_bytes());
+        for &id in self.buckets.get(&hash)? {
+            let (start, end) = self.span(id as usize);
+            if &self.arena[start..end] == name {
+                return Some(DomainId(id));
+            }
+        }
+        None
+    }
+
+    /// The full name of `id` as a borrowed arena slice.
+    pub fn name(&self, id: DomainId) -> &str {
+        let (start, end) = self.span(id.index());
+        &self.arena[start..end]
+    }
+
+    /// The second-level label of `id` (what typo generation mutates).
+    pub fn sld(&self, id: DomainId) -> &str {
+        let (start, _) = self.span(id.index());
+        let head = &self.arena[start..self.sld_ends[id.index()] as usize];
+        match head.rfind('.') {
+            Some(i) => &head[i + 1..],
+            None => head,
+        }
+    }
+
+    /// The public suffix of `id`.
+    pub fn tld(&self, id: DomainId) -> &str {
+        let (_, end) = self.span(id.index());
+        &self.arena[self.sld_ends[id.index()] as usize + 1..end]
+    }
+
+    /// Materializes `id` as an owned [`DomainName`] via the validated
+    /// fast path — no re-parse, one allocation.
+    pub fn domain(&self, id: DomainId) -> DomainName {
+        let (start, _) = self.span(id.index());
+        let name = self.name(id).to_owned();
+        let sld_end = self.sld_ends[id.index()] as usize - start;
+        DomainName::from_validated_parts(name, sld_end)
+    }
+
+    /// Ids in first-intern order.
+    pub fn ids(&self) -> impl Iterator<Item = DomainId> {
+        (0..self.ends.len() as u32).map(DomainId)
+    }
+
+    /// The id at dense `index` (0-based, first-intern order), if any.
+    pub fn id_at(&self, index: usize) -> Option<DomainId> {
+        (index < self.ends.len()).then(|| DomainId(index as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().expect("valid")
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut table = DomainInterner::new();
+        let a = table.intern(&d("gmail.com"));
+        let b = table.intern(&d("outlook.com"));
+        let a2 = table.intern(&d("gmail.com"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn accessors_match_domain_name() {
+        let mut table = DomainInterner::new();
+        for name in ["gmail.com", "smtp.verizon.net", "a-b.org"] {
+            let dom = d(name);
+            let id = table.intern(&dom);
+            assert_eq!(table.name(id), dom.as_str());
+            assert_eq!(table.sld(id), dom.sld());
+            assert_eq!(table.tld(id), dom.tld());
+            assert_eq!(table.domain(id), dom);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_only_interned() {
+        let mut table = DomainInterner::new();
+        let id = table.intern(&d("hotmail.com"));
+        assert_eq!(table.lookup("hotmail.com"), Some(id));
+        assert_eq!(table.lookup("hotmai1.com"), None);
+    }
+
+    #[test]
+    fn ids_iterate_in_intern_order() {
+        let mut table = DomainInterner::new();
+        let names = ["x.com", "y.com", "z.com"];
+        for name in names {
+            table.intern(&d(name));
+        }
+        let round_trip: Vec<String> =
+            table.ids().map(|id| table.name(id).to_owned()).collect();
+        assert_eq!(round_trip, names);
+    }
+}

@@ -5,6 +5,13 @@
 //! the same adjacency to weight substitution and addition mistakes. Domain
 //! names may contain `[a-z0-9-]`, so the model covers the digit row, the
 //! letter rows, and the hyphen key.
+//!
+//! Adjacency is answered from a 128×128 lookup table ([`ADJACENCY`])
+//! built at compile time from the row geometry, so the hot paths (the
+//! typo engine, the distance kernels, `defense.rs`) pay a single indexed
+//! load per query instead of scanning the rows. The table is checked for
+//! symmetry inside its const builder (a stagger bug fails the build) and
+//! again by a `debug_assert!` on the byte-level accessor.
 
 /// Row/column coordinates of a key on a QWERTY layout.
 ///
@@ -20,6 +27,89 @@ pub struct KeyPos {
 }
 
 const ROWS: [&str; 4] = ["1234567890-", "qwertyuiop", "asdfghjkl", "zxcvbnm"];
+
+/// Byte view of [`ROWS`] for the `const` table builder.
+const ROW_BYTES: [&[u8]; 4] = [b"1234567890-", b"qwertyuiop", b"asdfghjkl", b"zxcvbnm"];
+
+/// The domain-label alphabet as bytes, in the generator's stable order:
+/// `a..z`, `0..9`, `-`. Byte-level twin of [`alphabet`].
+pub const ALPHABET: [u8; 37] = *b"abcdefghijklmnopqrstuvwxyz0123456789-";
+
+/// `const` scan of the row geometry (compile-time only; runtime queries go
+/// through [`ADJACENCY`]).
+const fn key_pos_scan(c: u8) -> Option<(u8, u8)> {
+    let c = c.to_ascii_lowercase();
+    let mut r = 0;
+    while r < ROW_BYTES.len() {
+        let row = ROW_BYTES[r];
+        let mut col = 0;
+        while col < row.len() {
+            if row[col] == c {
+                return Some((r as u8, col as u8));
+            }
+            col += 1;
+        }
+        r += 1;
+    }
+    None
+}
+
+/// `const` twin of [`adjacent`], used to fill [`ADJACENCY`].
+const fn adjacent_scan(a: u8, b: u8) -> bool {
+    let (pa, pb) = match (key_pos_scan(a), key_pos_scan(b)) {
+        (Some(pa), Some(pb)) => (pa, pb),
+        _ => return false,
+    };
+    if pa.0 == pb.0 {
+        return pa.1.abs_diff(pb.1) == 1;
+    }
+    if pa.0.abs_diff(pb.0) != 1 {
+        return false;
+    }
+    // Order so `upper` is the higher row (smaller index).
+    let (upper, lower) = if pa.0 < pb.0 { (pa, pb) } else { (pb, pa) };
+    // Lower-row key at column c sits between upper-row columns c and c+1.
+    lower.1 == upper.1 || lower.1 + 1 == upper.1
+}
+
+const fn build_adjacency() -> [[bool; 128]; 128] {
+    let mut table = [[false; 128]; 128];
+    let mut a = 0;
+    while a < 128 {
+        let mut b = 0;
+        while b < 128 {
+            table[a][b] = adjacent_scan(a as u8, b as u8);
+            b += 1;
+        }
+        a += 1;
+    }
+    // Compile-time check: physical adjacency must be symmetric. A stagger
+    // bug in `adjacent_scan` would fail the build here rather than skew
+    // the typo model silently.
+    let mut a = 0;
+    while a < 128 {
+        let mut b = 0;
+        while b < 128 {
+            assert!(
+                table[a][b] == table[b][a],
+                "keyboard adjacency must be symmetric"
+            );
+            b += 1;
+        }
+        a += 1;
+    }
+    table
+}
+
+/// Precomputed QWERTY adjacency for every pair of ASCII bytes (uppercase
+/// letters fold to lowercase; non-keyboard bytes are never adjacent).
+///
+/// Shared by the typo engine, the fat-finger distance, and the defense
+/// toolkit — index as `ADJACENCY[a as usize][b as usize]`. A `static`
+/// rather than a `const` so the 16 KiB table is built (and its symmetry
+/// assertion evaluated) exactly once, here, instead of at every use site.
+#[allow(long_running_const_eval)] // 16k-cell table; finite by construction
+pub static ADJACENCY: [[bool; 128]; 128] = build_adjacency();
 
 /// Returns the position of `c` on the QWERTY layout, or `None` for
 /// characters that do not appear in domain names.
@@ -52,19 +142,22 @@ pub fn key_pos(c: char) -> Option<KeyPos> {
 /// assert!(adjacent('o', '0'));   // digit row neighbors letters
 /// ```
 pub fn adjacent(a: char, b: char) -> bool {
-    let (Some(pa), Some(pb)) = (key_pos(a), key_pos(b)) else {
-        return false;
-    };
-    if pa.row == pb.row {
-        return pa.col.abs_diff(pb.col) == 1;
+    if a.is_ascii() && b.is_ascii() {
+        adjacent_bytes(a as u8, b as u8)
+    } else {
+        false
     }
-    if pa.row.abs_diff(pb.row) != 1 {
-        return false;
-    }
-    // Order so `upper` is the higher row (smaller index).
-    let (upper, lower) = if pa.row < pb.row { (pa, pb) } else { (pb, pa) };
-    // Lower-row key at column c sits between upper-row columns c and c+1.
-    lower.col == upper.col || lower.col + 1 == upper.col
+}
+
+/// Byte-level adjacency lookup — the zero-branch fast path used by the
+/// typo engine and distance kernels (`ADJACENCY` indexed load).
+#[inline]
+pub fn adjacent_bytes(a: u8, b: u8) -> bool {
+    debug_assert!(
+        a >= 128 || b >= 128 || ADJACENCY[a as usize][b as usize] == ADJACENCY[b as usize][a as usize],
+        "keyboard adjacency must be symmetric"
+    );
+    a < 128 && b < 128 && ADJACENCY[a as usize][b as usize]
 }
 
 /// All keys adjacent to `c`, in layout order.
@@ -96,6 +189,41 @@ pub fn alphabet() -> impl Iterator<Item = char> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Reference implementation: the pre-table row scan.
+    fn adjacent_legacy(a: char, b: char) -> bool {
+        let (Some(pa), Some(pb)) = (key_pos(a), key_pos(b)) else {
+            return false;
+        };
+        if pa.row == pb.row {
+            return pa.col.abs_diff(pb.col) == 1;
+        }
+        if pa.row.abs_diff(pb.row) != 1 {
+            return false;
+        }
+        let (upper, lower) = if pa.row < pb.row { (pa, pb) } else { (pb, pa) };
+        lower.col == upper.col || lower.col + 1 == upper.col
+    }
+
+    #[test]
+    fn table_matches_row_scan_for_all_ascii() {
+        for a in 0u8..128 {
+            for b in 0u8..128 {
+                assert_eq!(
+                    ADJACENCY[a as usize][b as usize],
+                    adjacent_legacy(a as char, b as char),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alphabet_const_matches_iterator() {
+        let chars: Vec<char> = alphabet().collect();
+        let bytes: Vec<char> = ALPHABET.iter().map(|&b| b as char).collect();
+        assert_eq!(chars, bytes);
+    }
 
     #[test]
     fn positions_cover_alphabet() {

@@ -12,10 +12,17 @@
 //! ## Layout
 //!
 //! * [`domain`] — validated domain names ([`DomainName`]).
+//! * [`intern`] — interned domain table: `u32` symbols over a contiguous
+//!   byte arena.
 //! * [`keyboard`] — the QWERTY adjacency model used by the fat-finger
-//!   distance and the typing-error model.
-//! * [`distance`] — Damerau-Levenshtein, fat-finger and visual distances.
-//! * [`typogen`] — DL-1 typo candidate generation ("gtypos").
+//!   distance and the typing-error model (`const` 128×128 table).
+//! * [`distance`] — Damerau-Levenshtein, fat-finger and visual distances
+//!   (byte-level kernels over `const` lookup tables).
+//! * [`typogen`] — DL-1 typo candidate generation ("gtypos"): the
+//!   zero-allocation [`typogen::TypoTable`] engine plus DL-1
+//!   classification.
+//! * [`revindex`] — reverse DL-1 index answering "which targets is this
+//!   domain a typo of?" in O(len) (deletion-neighborhood keying).
 //! * [`taxonomy`] — gtypo / ctypo / typosquatting classification and the
 //!   misdirected-email taxonomy (receiver / reflection / SMTP typos).
 //! * [`typing`] — the probabilistic model `E_ij = E_i · Pt_ij · (1 − Pc_ij)`.
@@ -34,12 +41,16 @@ pub mod alexa;
 pub mod defense;
 pub mod distance;
 pub mod domain;
+pub mod intern;
 pub mod keyboard;
 pub mod regress;
+pub mod revindex;
 pub mod stats;
 pub mod taxonomy;
 pub mod typing;
 pub mod typogen;
 
 pub use domain::DomainName;
-pub use typogen::{MistakeKind, TypoCandidate};
+pub use intern::{DomainId, DomainInterner};
+pub use revindex::ReverseDl1Index;
+pub use typogen::{MistakeKind, TypoCandidate, TypoTable};

@@ -7,10 +7,20 @@
 //! distance one, and its visual distance from the target.
 //!
 //! The gtypo set of the Alexa top-10,000 contains millions of candidates
-//! (§4.2.1); generation is allocation-conscious and deduplicated.
+//! (§4.2.1). The engine is byte-level and allocation-free per candidate:
+//! variants are built in one reusable scratch buffer, deduplication is
+//! analytic (a variant is emitted only at the canonical run-start
+//! position of its operation, which provably reproduces the legacy
+//! `HashSet<String>` first-wins order), fat-finger membership is decided
+//! per operation from the `const` keyboard table instead of running a
+//! DP per candidate, and results land in a struct-of-arrays
+//! [`TypoTable`]. [`generate_dl1`] remains as a thin wrapper that
+//! materializes the table into the classic `Vec<TypoCandidate>`;
+//! [`generate_dl1_legacy`] keeps the original string-based generator for
+//! equivalence tests and benchmarks.
 
 use crate::distance;
-use crate::domain::DomainName;
+use crate::domain::{DomainName, MAX_LABEL_LEN, MAX_NAME_LEN};
 use crate::keyboard;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -77,6 +87,225 @@ impl TypoCandidate {
     }
 }
 
+/// Struct-of-arrays result of the byte-level DL-1 engine: one target, all
+/// its typo variants' labels in a single string arena plus parallel
+/// per-candidate columns. Iterating the columns costs no allocation;
+/// [`TypoTable::candidate`] materializes a classic [`TypoCandidate`] on
+/// demand.
+#[derive(Debug, Clone)]
+pub struct TypoTable {
+    target: DomainName,
+    /// Variant SLDs concatenated; variant `i` spans `ends[i-1]..ends[i]`.
+    slds: String,
+    ends: Vec<u32>,
+    kinds: Vec<MistakeKind>,
+    positions: Vec<u32>,
+    fat_finger: Vec<bool>,
+    visual: Vec<f64>,
+}
+
+impl TypoTable {
+    /// Generates all distinct DL-1 variants of `target`'s second-level
+    /// label. Candidate order, attribution, and scores are identical to
+    /// [`generate_dl1_legacy`]: deletions, then transpositions, then
+    /// substitutions, then additions, each position-ascending with the
+    /// alphabet in `a..z 0..9 -` order, keeping only the canonical
+    /// (smallest-position) representative of each distinct string.
+    pub fn generate(target: &DomainName) -> TypoTable {
+        let sld = target.sld().to_owned(); // detach from `target` borrow
+        let s = sld.as_bytes();
+        let n = s.len();
+        let tld_len = target.tld().len();
+        let cap = dl1_upper_bound(n, keyboard::ALPHABET.len());
+        let mut table = TypoTable {
+            target: target.clone(),
+            slds: String::with_capacity(cap * (n + 1)),
+            ends: Vec::with_capacity(cap),
+            kinds: Vec::with_capacity(cap),
+            positions: Vec::with_capacity(cap),
+            fat_finger: Vec::with_capacity(cap),
+            visual: Vec::with_capacity(cap),
+        };
+        let mut scratch = distance::VisualScratch::default();
+        let mut buf: Vec<u8> = Vec::with_capacity(n + 1);
+
+        // Deletions. Deleting any character of a run yields the same
+        // string, so only the run start is emitted (the first-wins
+        // winner); a single-character label would leave an empty label.
+        if n >= 2 {
+            for i in 0..n {
+                if i > 0 && s[i] == s[i - 1] {
+                    continue;
+                }
+                let first = if i == 0 { s[1] } else { s[0] };
+                let last = if i == n - 1 { s[n - 2] } else { s[n - 1] };
+                if first == b'-' || last == b'-' {
+                    continue;
+                }
+                buf.clear();
+                buf.extend_from_slice(&s[..i]);
+                buf.extend_from_slice(&s[i + 1..]);
+                table.push(s, &buf, MistakeKind::Deletion, i, true, &mut scratch);
+            }
+        }
+        // Transpositions of distinct neighbors. Distinct transpositions
+        // never collide with each other or any other kind (they differ
+        // from the label in exactly two positions).
+        for i in 0..n.saturating_sub(1) {
+            if s[i] == s[i + 1] {
+                continue;
+            }
+            if (i == 0 && s[1] == b'-') || (i + 2 == n && s[i] == b'-') {
+                continue;
+            }
+            buf.clear();
+            buf.extend_from_slice(s);
+            buf.swap(i, i + 1);
+            table.push(s, &buf, MistakeKind::Transposition, i, true, &mut scratch);
+        }
+        // Substitutions: all (position, char ≠ current) pairs are
+        // distinct strings; fat-finger iff the keys are adjacent.
+        for i in 0..n {
+            for &c in &keyboard::ALPHABET {
+                if c == s[i] {
+                    continue;
+                }
+                if c == b'-' && (i == 0 || i == n - 1) {
+                    continue;
+                }
+                buf.clear();
+                buf.extend_from_slice(s);
+                buf[i] = c;
+                let ff = keyboard::adjacent_bytes(s[i], c);
+                table.push(s, &buf, MistakeKind::Substitution, i, ff, &mut scratch);
+            }
+        }
+        // Additions (insert before position i, 0..=n). Inserting `c`
+        // anywhere along a run of `c` yields the same string; the run
+        // start is canonical. The legacy parser rejected variants whose
+        // label or full name exceeded the RFC limits, so gate on those.
+        if n + 1 <= MAX_LABEL_LEN && (n + 1) + 1 + tld_len <= MAX_NAME_LEN {
+            for i in 0..=n {
+                for &c in &keyboard::ALPHABET {
+                    if i > 0 && s[i - 1] == c {
+                        continue;
+                    }
+                    if c == b'-' && (i == 0 || i == n) {
+                        continue;
+                    }
+                    // Fat-finger: the stray key equals or neighbors an
+                    // intended character beside the insertion point.
+                    let near = |x: u8| c == x || keyboard::adjacent_bytes(c, x);
+                    let ff = (i > 0 && near(s[i - 1])) || (i < n && near(s[i]));
+                    buf.clear();
+                    buf.extend_from_slice(&s[..i]);
+                    buf.push(c);
+                    buf.extend_from_slice(&s[i..]);
+                    table.push(s, &buf, MistakeKind::Addition, i, ff, &mut scratch);
+                }
+            }
+        }
+        table
+    }
+
+    fn push(
+        &mut self,
+        target_sld: &[u8],
+        variant: &[u8],
+        kind: MistakeKind,
+        position: usize,
+        fat_finger: bool,
+        scratch: &mut distance::VisualScratch,
+    ) {
+        let visual = distance::visual_bytes(target_sld, variant, scratch);
+        self.slds
+            .push_str(std::str::from_utf8(variant).expect("domain labels are ASCII"));
+        self.ends.push(self.slds.len() as u32);
+        self.kinds.push(kind);
+        self.positions.push(position as u32);
+        self.fat_finger.push(fat_finger);
+        self.visual.push(visual);
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether the table holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// The target the table was generated from.
+    pub fn target(&self) -> &DomainName {
+        &self.target
+    }
+
+    /// The variant second-level label of candidate `i` (borrowed from the
+    /// arena, no allocation).
+    pub fn sld(&self, i: usize) -> &str {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.slds[start..self.ends[i] as usize]
+    }
+
+    /// Mistake kind of candidate `i`.
+    pub fn kind(&self, i: usize) -> MistakeKind {
+        self.kinds[i]
+    }
+
+    /// Mistake position of candidate `i` within the label.
+    pub fn position(&self, i: usize) -> usize {
+        self.positions[i] as usize
+    }
+
+    /// Whether candidate `i` is also at fat-finger distance one.
+    pub fn fat_finger(&self, i: usize) -> bool {
+        self.fat_finger[i]
+    }
+
+    /// Unnormalized visual distance of candidate `i` from the target.
+    pub fn visual(&self, i: usize) -> f64 {
+        self.visual[i]
+    }
+
+    /// Visual distance of candidate `i` normalized by target SLD length
+    /// (the Section-6 regression feature).
+    pub fn visual_normalized(&self, i: usize) -> f64 {
+        self.visual[i] / self.target.sld().len() as f64
+    }
+
+    /// Materializes candidate `i` as an owned [`TypoCandidate`]
+    /// (one name allocation, no re-parse).
+    pub fn candidate(&self, i: usize) -> TypoCandidate {
+        let sld = self.sld(i);
+        let tld = self.target.tld();
+        let mut name = String::with_capacity(sld.len() + 1 + tld.len());
+        name.push_str(sld);
+        name.push('.');
+        name.push_str(tld);
+        let sld_end = sld.len();
+        TypoCandidate {
+            domain: DomainName::from_validated_parts(name, sld_end),
+            target: self.target.clone(),
+            kind: self.kinds[i],
+            position: self.positions[i] as usize,
+            fat_finger: self.fat_finger[i],
+            visual: self.visual[i],
+        }
+    }
+
+    /// Materializes every candidate in order.
+    pub fn into_candidates(self) -> Vec<TypoCandidate> {
+        (0..self.len()).map(|i| self.candidate(i)).collect()
+    }
+
+    /// Iterates materialized candidates in order.
+    pub fn iter(&self) -> impl Iterator<Item = TypoCandidate> + '_ {
+        (0..self.len()).map(|i| self.candidate(i))
+    }
+}
+
 /// Generates all distinct DL-1 typo candidates of `target`'s second-level
 /// label, keeping the TLD fixed.
 ///
@@ -87,6 +316,10 @@ impl TypoCandidate {
 /// position wins (deletions and transpositions are the most frequent
 /// mistakes per Figure 9, so ties attribute to the likelier cause).
 ///
+/// This is a thin wrapper over the byte-level [`TypoTable`] engine; the
+/// output is byte-identical to the original string-based generator
+/// (retained as [`generate_dl1_legacy`]).
+///
 /// ```
 /// use ets_core::typogen::generate_dl1;
 /// let typos = generate_dl1(&"gmail.com".parse().unwrap());
@@ -94,6 +327,14 @@ impl TypoCandidate {
 /// assert!(typos.iter().all(|t| t.domain.as_str() != "gmail.com"));
 /// ```
 pub fn generate_dl1(target: &DomainName) -> Vec<TypoCandidate> {
+    TypoTable::generate(target).into_candidates()
+}
+
+/// The original string-based DL-1 generator: per-candidate `String`
+/// allocation, `HashSet` first-wins dedup, per-candidate fat-finger DP.
+/// Kept as the reference implementation for the equivalence property
+/// tests and the `legacy` sides of the `ets-bench` microbenchmarks.
+pub fn generate_dl1_legacy(target: &DomainName) -> Vec<TypoCandidate> {
     let sld: Vec<char> = target.sld().chars().collect();
     let n = sld.len();
     let mut seen: HashSet<String> = HashSet::new();
@@ -104,14 +345,16 @@ pub fn generate_dl1(target: &DomainName) -> Vec<TypoCandidate> {
         if variant.starts_with('-') || variant.ends_with('-') || variant.is_empty() {
             return;
         }
-        if !seen.insert(variant.clone()) {
+        if seen.contains(&variant) {
             return;
         }
         let Ok(domain) = target.with_sld(&variant) else {
+            seen.insert(variant);
             return;
         };
-        let fat_finger = distance::is_ff1(target.sld(), &variant);
-        let visual = distance::visual(target.sld(), &variant);
+        let fat_finger = distance::fat_finger_legacy(target.sld(), &variant) == Some(1);
+        let visual = distance::visual_legacy(target.sld(), &variant);
+        seen.insert(variant);
         out.push(TypoCandidate {
             domain,
             target: target.clone(),
@@ -162,13 +405,108 @@ pub fn generate_dl1(target: &DomainName) -> Vec<TypoCandidate> {
     out
 }
 
+/// Classifies `typo` as a DL-1 variant of `target`, returning the same
+/// [`TypoCandidate`] (kind, canonical position, fat-finger flag, visual
+/// score) that [`generate_dl1`] would have produced for it, or `None`
+/// when `typo` is not at DL distance exactly one from `target` with the
+/// same TLD.
+///
+/// This is the verification half of the reverse DL-1 index
+/// ([`crate::revindex::ReverseDl1Index`]): instead of regenerating a
+/// target's full candidate set and searching it, a single O(len)
+/// comparison recovers the candidate record.
+///
+/// ```
+/// use ets_core::typogen::{classify_dl1, MistakeKind};
+/// let target = "gmail.com".parse().unwrap();
+/// let typo = "gmial.com".parse().unwrap();
+/// let cand = classify_dl1(&target, &typo).unwrap();
+/// assert_eq!(cand.kind, MistakeKind::Transposition);
+/// assert_eq!(cand.position, 2);
+/// assert!(classify_dl1(&target, &"gmx.com".parse().unwrap()).is_none());
+/// ```
+pub fn classify_dl1(target: &DomainName, typo: &DomainName) -> Option<TypoCandidate> {
+    if target.tld() != typo.tld() {
+        return None;
+    }
+    let s = target.sld().as_bytes();
+    let t = typo.sld().as_bytes();
+    let (kind, position) = classify_slds(s, t)?;
+    let fat_finger = match kind {
+        MistakeKind::Deletion | MistakeKind::Transposition => true,
+        MistakeKind::Substitution => keyboard::adjacent_bytes(s[position], t[position]),
+        MistakeKind::Addition => {
+            let c = t[position];
+            let near = |x: u8| c == x || keyboard::adjacent_bytes(c, x);
+            (position > 0 && near(s[position - 1])) || (position < s.len() && near(s[position]))
+        }
+    };
+    let mut scratch = distance::VisualScratch::default();
+    let visual = distance::visual_bytes(s, t, &mut scratch);
+    Some(TypoCandidate {
+        domain: typo.clone(),
+        target: target.clone(),
+        kind,
+        position,
+        fat_finger,
+        visual,
+    })
+}
+
+/// Byte-level DL-1 classification of `t` against `s`: the mistake kind
+/// and the *canonical* position (the run-start the generator attributes
+/// duplicates to), or `None` if the labels are not at DL distance one.
+fn classify_slds(s: &[u8], t: &[u8]) -> Option<(MistakeKind, usize)> {
+    let n = s.len();
+    let m = t.len();
+    if m == n {
+        let i = (0..n).find(|&i| s[i] != t[i])?;
+        let j = (0..n).rfind(|&j| s[j] != t[j]).expect("some diff exists");
+        if i == j {
+            return Some((MistakeKind::Substitution, i));
+        }
+        if j == i + 1 && s[i] == t[j] && s[j] == t[i] {
+            return Some((MistakeKind::Transposition, i));
+        }
+        None
+    } else if m + 1 == n {
+        // t is s with s[i] deleted, where i is the first difference.
+        let i = (0..m).find(|&i| s[i] != t[i]).unwrap_or(m);
+        if s[i + 1..] != t[i..] {
+            return None;
+        }
+        // Canonicalize to the run start of the deleted character.
+        let mut p = i;
+        while p > 0 && s[p - 1] == s[i] {
+            p -= 1;
+        }
+        Some((MistakeKind::Deletion, p))
+    } else if m == n + 1 {
+        // t is s with t[i] inserted, where i is the first difference.
+        let i = (0..n).find(|&i| s[i] != t[i]).unwrap_or(n);
+        if t[i + 1..] != s[i..] {
+            return None;
+        }
+        // Canonicalize to the run start of the inserted character.
+        let c = t[i];
+        let mut p = i;
+        while p > 0 && t[p - 1] == c {
+            p -= 1;
+        }
+        Some((MistakeKind::Addition, p))
+    } else {
+        None
+    }
+}
+
 /// Generates only the fat-finger-distance-one subset (the registration
 /// strategy of §4.2.1: "most of the typo domains we generated have a
 /// fat-finger distance of one").
 pub fn generate_ff1(target: &DomainName) -> Vec<TypoCandidate> {
-    generate_dl1(target)
-        .into_iter()
-        .filter(|t| t.fat_finger)
+    let table = TypoTable::generate(target);
+    (0..table.len())
+        .filter(|&i| table.fat_finger(i))
+        .map(|i| table.candidate(i))
         .collect()
 }
 
@@ -266,9 +604,36 @@ mod tests {
         let typos = generate_dl1(&t);
         let mut set = HashSet::new();
         for c in &typos {
-            assert!(set.insert(c.domain.clone()), "duplicate {}", c.domain);
+            assert!(set.insert(c.domain.as_str()), "duplicate {}", c.domain);
             assert_ne!(c.domain, t);
         }
+    }
+
+    #[test]
+    fn engine_matches_legacy_generator() {
+        for name in ["gmail.com", "outlook.com", "aa.org", "x.org", "a-b.net", "zzzaaa.com"] {
+            let t = d(name);
+            assert_eq!(generate_dl1(&t), generate_dl1_legacy(&t), "{name}");
+        }
+    }
+
+    #[test]
+    fn classify_recovers_generated_candidates() {
+        for name in ["gmail.com", "aa.org", "a-b.net"] {
+            let t = d(name);
+            for cand in generate_dl1(&t) {
+                let back = classify_dl1(&t, &cand.domain).expect("DL-1 by construction");
+                assert_eq!(back, cand, "{name} -> {}", cand.domain);
+            }
+        }
+    }
+
+    #[test]
+    fn classify_rejects_non_dl1() {
+        let t = d("gmail.com");
+        assert!(classify_dl1(&t, &d("gmail.com")).is_none()); // equal
+        assert!(classify_dl1(&t, &d("gmx.com")).is_none()); // DL 3
+        assert!(classify_dl1(&t, &d("gmial.net")).is_none()); // tld differs
     }
 
     #[test]
@@ -341,6 +706,27 @@ mod tests {
     }
 
     #[test]
+    fn table_columns_match_candidates() {
+        let t = d("outlook.com");
+        let table = TypoTable::generate(&t);
+        let cands = generate_dl1(&t);
+        assert_eq!(table.len(), cands.len());
+        for (i, c) in cands.iter().enumerate() {
+            assert_eq!(table.sld(i), c.domain.sld());
+            assert_eq!(table.kind(i), c.kind);
+            assert_eq!(table.position(i), c.position);
+            assert_eq!(table.fat_finger(i), c.fat_finger);
+            assert_eq!(table.visual(i).to_bits(), c.visual.to_bits());
+            assert_eq!(
+                table.visual_normalized(i).to_bits(),
+                c.visual_normalized().to_bits()
+            );
+            assert_eq!(table.candidate(i), *c);
+        }
+        assert_eq!(table.iter().collect::<Vec<_>>(), cands);
+    }
+
+    #[test]
     fn multi_target_dedup_prefers_visually_closer() {
         // "gmsil.com" is DL-1 of gmail; also check a candidate reachable from
         // two targets is kept once.
@@ -348,7 +734,7 @@ mod tests {
         let typos = generate_for_targets(&targets);
         let mut counts = std::collections::HashMap::new();
         for t in &typos {
-            *counts.entry(t.domain.clone()).or_insert(0usize) += 1;
+            *counts.entry(t.domain.as_str()).or_insert(0usize) += 1;
         }
         assert!(counts.values().all(|&v| v == 1));
         // neither target appears as a candidate of the other

@@ -20,7 +20,7 @@
 use ets_core::alexa::{self, PopularityList};
 use ets_core::taxonomy::DomainClass;
 use ets_core::typogen::{self, TypoCandidate};
-use ets_core::DomainName;
+use ets_core::{DomainInterner, DomainName, ReverseDl1Index};
 use ets_dns::registry::{Registration, Registry};
 use ets_dns::resolver::Resolver;
 use ets_dns::whois::WhoisRecord;
@@ -207,6 +207,14 @@ pub struct World {
     pub ns_customer_base: Vec<(Fqdn, usize)>,
     /// Config used to build this world.
     pub config: PopulationConfig,
+    /// Interned ctypo names, id-aligned with `ctypos` (interned in the
+    /// final sorted order), so ownership and SMTP-profile queries are a
+    /// hash probe over arena slices instead of a linear scan.
+    ctypo_index: DomainInterner,
+    /// Reverse DL-1 index over the targets: answers "which targets is
+    /// this domain a typo of?" in O(len) without regenerating any
+    /// candidate set.
+    typo_index: ReverseDl1Index,
 }
 
 impl World {
@@ -372,14 +380,18 @@ impl World {
                 return Vec::new();
             }
             let mut out = Vec::new();
-            for cand in typogen::generate_dl1(target) {
+            // Column access into the typo table; candidate domain names are
+            // only materialized for the few variants that pass the
+            // registration roll.
+            let table = typogen::TypoTable::generate(target);
+            for ci in 0..table.len() {
                 // Low visual distance and fat-finger adjacency make a typo
                 // attractive; deletions/transpositions too (Figure 9).
                 let attractiveness = {
-                    let v = cand.visual_normalized();
+                    let v = table.visual_normalized(ci);
                     let base = (1.0 - v).clamp(0.05, 1.0);
-                    let ff = if cand.fat_finger { 1.5 } else { 1.0 };
-                    let kind = match cand.kind {
+                    let ff = if table.fat_finger(ci) { 1.5 } else { 1.0 };
+                    let kind = match table.kind(ci) {
                         ets_core::MistakeKind::Deletion => 1.4,
                         ets_core::MistakeKind::Transposition => 1.3,
                         ets_core::MistakeKind::Substitution => 1.0,
@@ -413,7 +425,7 @@ impl World {
                     &registrants,
                     &ns_providers,
                     &mx_providers,
-                    cand,
+                    table.candidate(ci),
                     class,
                     owner,
                     &mut rng,
@@ -434,6 +446,14 @@ impl World {
             }
         }
         ctypos.sort_by(|a, b| a.candidate.domain.cmp(&b.candidate.domain));
+        // Registry first-registration-wins guarantees ctypo names are
+        // unique, so interning in sorted order makes `id.index()` the
+        // position in `ctypos`.
+        let mut ctypo_index = DomainInterner::with_capacity(ctypos.len(), 16);
+        for c in &ctypos {
+            ctypo_index.intern(&c.candidate.domain);
+        }
+        let typo_index = ReverseDl1Index::build(&targets);
         let ns_customer_base: Vec<(Fqdn, usize)> = ns_providers
             .iter()
             .enumerate()
@@ -461,6 +481,8 @@ impl World {
             mx_providers,
             ns_customer_base,
             config,
+            ctypo_index,
+            typo_index,
         }
     }
 
@@ -478,16 +500,25 @@ impl World {
 
     /// The SMTP behaviour profile of a domain, if it is a known ctypo.
     pub fn smtp_profile(&self, domain: &DomainName) -> Option<SmtpProfile> {
-        self.ctypos
-            .iter()
-            .find(|c| &c.candidate.domain == domain)
-            .map(|c| c.smtp)
+        let id = self.ctypo_index.lookup(domain.as_str())?;
+        Some(self.ctypos[id.index()].smtp)
     }
 
     /// The registrant who owns a ctypo (ground truth), if any.
     pub fn owner_of(&self, domain: &DomainName) -> Option<&Registrant> {
-        let info = self.ctypos.iter().find(|c| &c.candidate.domain == domain)?;
-        self.registrants.get(info.owner)
+        let id = self.ctypo_index.lookup(domain.as_str())?;
+        self.registrants.get(self.ctypos[id.index()].owner)
+    }
+
+    /// Indices into [`World::targets`] of every target `domain` is a DL-1
+    /// typo of, ascending — answered by the reverse index in O(len).
+    pub fn typo_targets_of(&self, domain: &DomainName) -> Vec<usize> {
+        self.typo_index.matches(domain)
+    }
+
+    /// The reverse DL-1 index over this world's targets.
+    pub fn typo_index(&self) -> &ReverseDl1Index {
+        &self.typo_index
     }
 }
 

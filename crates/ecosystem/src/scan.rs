@@ -6,7 +6,7 @@
 //! behaves. Table 4's six rows fall out of this decision tree.
 
 use crate::population::{SmtpProfile, World};
-use ets_dns::resolver::MailTarget;
+use ets_dns::resolver::{MailTarget, Resolver};
 use ets_dns::Fqdn;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -110,11 +110,26 @@ impl SupportCensus {
 }
 
 /// Classifies one ctypo into its Table-4 category.
+///
+/// Convenience wrapper that builds a throwaway resolver; bulk callers
+/// should build one [`World::resolver`] and use
+/// [`classify_with_resolver`], since constructing a resolver clones the
+/// registry.
 pub fn classify_domain(world: &World, domain: &Fqdn, smtp: SmtpProfile, has_zone: bool) -> SmtpSupport {
+    classify_with_resolver(&world.resolver(), domain, smtp, has_zone)
+}
+
+/// Classifies one ctypo into its Table-4 category using an existing
+/// resolver.
+pub fn classify_with_resolver(
+    resolver: &Resolver,
+    domain: &Fqdn,
+    smtp: SmtpProfile,
+    has_zone: bool,
+) -> SmtpSupport {
     if !has_zone {
         return SmtpSupport::NoInfo;
     }
-    let resolver = world.resolver();
     match resolver.resolve_mail(domain) {
         MailTarget::NxDomain | MailTarget::Unreachable => SmtpSupport::NoMxOrA,
         MailTarget::Mx(_) | MailTarget::ImplicitA(_) => match smtp {
@@ -131,9 +146,10 @@ pub fn classify_domain(world: &World, domain: &Fqdn, smtp: SmtpProfile, has_zone
 /// Runs the census over every ctypo in the world.
 pub fn scan_world(world: &World) -> SupportCensus {
     let mut counts = [0usize; 6];
+    let resolver = world.resolver();
     for c in &world.ctypos {
         let fq = Fqdn::from_domain(&c.candidate.domain);
-        let cat = classify_domain(world, &fq, c.smtp, c.has_zone);
+        let cat = classify_with_resolver(&resolver, &fq, c.smtp, c.has_zone);
         let i = SmtpSupport::ALL.iter().position(|x| *x == cat).unwrap();
         counts[i] += 1;
     }

@@ -23,6 +23,10 @@ pub struct Lab {
     log: Mutex<()>,
     /// Wall-clock seconds per expensive pipeline stage, in run order.
     timings: Mutex<Vec<(String, f64)>>,
+    /// Deterministic workload counts (candidate/email totals), in record
+    /// order — the baseline report pairs them with the stage timings so a
+    /// timing regression can be told apart from a workload change.
+    counts: Mutex<Vec<(String, u64)>>,
 }
 
 /// A completed collection run: infrastructure, generated mail, verdicts.
@@ -48,7 +52,13 @@ impl Lab {
             collection: OnceLock::new(),
             log: Mutex::new(()),
             timings: Mutex::new(Vec::new()),
+            counts: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Records a deterministic workload count for `bench_baseline.json`.
+    fn record_count(&self, name: &str, value: u64) {
+        self.counts.lock().push((name.to_owned(), value));
     }
 
     /// Runs a pipeline stage, recording its wall-clock time for the
@@ -81,7 +91,10 @@ impl Lab {
                 "[lab] building world ({} targets)...",
                 config.n_targets
             );
-            self.time_stage("world_build", || World::build(config))
+            let world = self.time_stage("world_build", || World::build(config));
+            self.record_count("world_targets", world.targets.len() as u64);
+            self.record_count("world_ctypos", world.ctypos.len() as u64);
+            world
         })
     }
 
@@ -108,8 +121,13 @@ impl Lab {
                     .collect()
             });
             eprintln!("[lab] running the funnel over {} emails...", collected.len());
+            self.record_count("traffic_emails", collected.len() as u64);
             let verdicts =
                 self.time_stage("funnel_classify", || Funnel::new(&infra).classify_all(&collected));
+            self.record_count(
+                "funnel_true_typos",
+                verdicts.iter().filter(|v| v.is_true_typo()).count() as u64,
+            );
             Collection {
                 infra,
                 collected,
@@ -151,5 +169,36 @@ impl Lab {
             "stages": stages,
         });
         self.write_json("bench_pipeline", &value);
+    }
+
+    /// Writes the full performance baseline (`bench_baseline.json`):
+    /// pipeline stage timings, deterministic workload counts, and the
+    /// legacy-vs-optimized kernel microbenchmarks. Timings vary run to
+    /// run; the counts are byte-identical for a given seed/scale.
+    pub fn write_bench_baseline(&self) {
+        let micro = crate::microbench::run();
+        let timings = self.timings.lock();
+        let stages: Vec<serde_json::Value> = timings
+            .iter()
+            .map(|(name, secs)| json!({ "stage": name.as_str(), "seconds": *secs }))
+            .collect();
+        let total: f64 = timings.iter().map(|(_, s)| *s).sum();
+        drop(timings);
+        let counts = self.counts.lock();
+        let counts_json: serde_json::Map = counts
+            .iter()
+            .map(|(name, v)| (name.clone(), json!(*v)))
+            .collect();
+        drop(counts);
+        let value = json!({
+            "threads": ets_parallel::threads(),
+            "seed": self.seed,
+            "fast": self.fast,
+            "total_seconds": total,
+            "stages": stages,
+            "counts": counts_json,
+            "microbench": micro,
+        });
+        self.write_json("bench_baseline", &value);
     }
 }

@@ -28,6 +28,7 @@
 //! under `--out` (default `results/`).
 
 mod lab;
+mod microbench;
 mod report;
 mod section4;
 mod section5;
@@ -102,6 +103,7 @@ fn main() -> ExitCode {
                 f(&ctx);
             }
             ctx.write_bench_pipeline();
+            ctx.write_bench_baseline();
             ExitCode::SUCCESS
         }
         name => match known.iter().find(|(n, _)| *n == name) {

@@ -1,0 +1,159 @@
+//! Legacy-vs-optimized microbenchmarks over the hot kernels.
+//!
+//! `repro all` records these in `bench_baseline.json` alongside the
+//! pipeline stage timings, so the speedup of the byte-level typo engine,
+//! the two-row distance kernels, and the reverse DL-1 index is measured
+//! on every run — and each comparison asserts the two implementations
+//! agree on a workload checksum, so a silent divergence fails loudly
+//! instead of skewing results.
+
+use ets_core::alexa;
+use ets_core::distance;
+use ets_core::typogen::{self, TypoTable};
+use ets_core::{DomainName, ReverseDl1Index};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One legacy-vs-optimized comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct Microbench {
+    /// Kernel under test.
+    pub name: &'static str,
+    /// Wall-clock seconds for the pre-optimization implementation.
+    pub legacy_seconds: f64,
+    /// Wall-clock seconds for the optimized implementation.
+    pub new_seconds: f64,
+    /// `legacy_seconds / new_seconds`.
+    pub speedup: f64,
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+fn record(name: &'static str, legacy_seconds: f64, new_seconds: f64) -> Microbench {
+    let speedup = legacy_seconds / new_seconds.max(1e-12);
+    eprintln!("[microbench] {name}: legacy {legacy_seconds:.3}s, new {new_seconds:.3}s ({speedup:.1}x)");
+    Microbench {
+        name,
+        legacy_seconds,
+        new_seconds,
+        speedup,
+    }
+}
+
+/// Runs every comparison over a fixed workload derived from the synthetic
+/// popularity list.
+pub fn run() -> Vec<Microbench> {
+    let targets: Vec<DomainName> = alexa::synthetic_top(150)
+        .iter()
+        .map(|e| e.domain.clone())
+        .collect();
+    // Distance workload: every (target sld, variant sld) pair from the
+    // first targets' typo tables, plus the target slds against each other.
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for t in targets.iter().take(40) {
+        let table = TypoTable::generate(t);
+        for i in 0..table.len() {
+            pairs.push((t.sld().to_owned(), table.sld(i).to_owned()));
+        }
+    }
+    for a in targets.iter().take(30) {
+        for b in targets.iter().take(30) {
+            pairs.push((a.sld().to_owned(), b.sld().to_owned()));
+        }
+    }
+    // Reverse-index workload: every DL-1 variant of a slice of targets
+    // (all hits) plus every target itself (mostly misses).
+    let mut queries: Vec<DomainName> = Vec::new();
+    for t in targets.iter().take(25) {
+        for c in typogen::generate_dl1(t) {
+            queries.push(c.domain);
+        }
+    }
+    queries.extend(targets.iter().cloned());
+
+    let mut out = Vec::new();
+
+    // --- typo generation ------------------------------------------------
+    let (legacy_s, legacy_n) = time(|| {
+        let mut n = 0usize;
+        for t in &targets {
+            n += typogen::generate_dl1_legacy(t).len();
+        }
+        n
+    });
+    let (new_s, new_n) = time(|| {
+        let mut n = 0usize;
+        for t in &targets {
+            n += TypoTable::generate(t).len();
+        }
+        n
+    });
+    assert_eq!(legacy_n, new_n, "typo engines disagree on candidate count");
+    out.push(record("typogen_dl1", legacy_s, new_s));
+
+    // --- DL distance ----------------------------------------------------
+    let (legacy_s, legacy_sum) = time(|| {
+        pairs
+            .iter()
+            .map(|(a, b)| distance::damerau_levenshtein_legacy(a, b))
+            .sum::<usize>()
+    });
+    let (new_s, new_sum) = time(|| {
+        pairs
+            .iter()
+            .map(|(a, b)| distance::damerau_levenshtein(a, b))
+            .sum::<usize>()
+    });
+    assert_eq!(legacy_sum, new_sum, "DL kernels disagree");
+    out.push(record("distance_dl", legacy_s, new_s));
+
+    // --- visual distance ------------------------------------------------
+    let (legacy_s, legacy_sum) = time(|| {
+        pairs
+            .iter()
+            .map(|(a, b)| distance::visual_legacy(a, b))
+            .sum::<f64>()
+    });
+    let (new_s, new_sum) = time(|| {
+        pairs
+            .iter()
+            .map(|(a, b)| distance::visual(a, b))
+            .sum::<f64>()
+    });
+    assert_eq!(
+        legacy_sum.to_bits(),
+        new_sum.to_bits(),
+        "visual kernels disagree"
+    );
+    out.push(record("distance_visual", legacy_s, new_s));
+
+    // --- reverse DL-1 index vs linear scan ------------------------------
+    let index = ReverseDl1Index::build(&targets);
+    let (legacy_s, legacy_hits) = time(|| {
+        let mut hits = 0usize;
+        for q in &queries {
+            hits += targets
+                .iter()
+                .filter(|t| {
+                    t.tld() == q.tld() && distance::damerau_levenshtein(t.sld(), q.sld()) == 1
+                })
+                .count();
+        }
+        hits
+    });
+    let (new_s, new_hits) = time(|| {
+        let mut hits = 0usize;
+        for q in &queries {
+            hits += index.matches(q).len();
+        }
+        hits
+    });
+    assert_eq!(legacy_hits, new_hits, "reverse index disagrees with scan");
+    out.push(record("revindex_matches", legacy_s, new_s));
+
+    out
+}
