@@ -69,9 +69,10 @@ fn bench_freq_thresholds(c: &mut Criterion) {
     let (infra, emails) = bench_collection(0xF4E0);
     let mut group = c.benchmark_group("ablation/freq-thresholds");
     group.sample_size(10);
-    for (name, rcpt, sender, content) in
-        [("paper-20-10-10", 20, 10, 10), ("loose-100-50-50", 100, 50, 50)]
-    {
+    for (name, rcpt, sender, content) in [
+        ("paper-20-10-10", 20, 10, 10),
+        ("loose-100-50-50", 100, 50, 50),
+    ] {
         let funnel = Funnel::with_config(
             &infra,
             FunnelConfig {
@@ -132,7 +133,8 @@ fn bench_dns_compression(c: &mut Criterion) {
             } else {
                 format!("host{i}.zone{i}-very-different.com")
             };
-            resp.answers.push(ResourceRecord::mx(&owner, 300, 1, "mx.exampel.com"));
+            resp.answers
+                .push(ResourceRecord::mx(&owner, 300, 1, "mx.exampel.com"));
         }
         resp
     };

@@ -12,10 +12,17 @@ use std::net::Ipv4Addr;
 fn sample_response() -> DnsMessage {
     let q = DnsMessage::query(7, "smtp.exampel.com".parse().unwrap(), RecordType::Mx);
     let mut resp = DnsMessage::response_to(&q, Rcode::NoError);
-    resp.answers
-        .push(ResourceRecord::mx("smtp.exampel.com", 300, 1, "exampel.com"));
-    resp.answers
-        .push(ResourceRecord::a("exampel.com", 300, Ipv4Addr::new(1, 1, 1, 1)));
+    resp.answers.push(ResourceRecord::mx(
+        "smtp.exampel.com",
+        300,
+        1,
+        "exampel.com",
+    ));
+    resp.answers.push(ResourceRecord::a(
+        "exampel.com",
+        300,
+        Ipv4Addr::new(1, 1, 1, 1),
+    ));
     resp.authority
         .push(ResourceRecord::ns("exampel.com", 300, "ns1.exampel.com"));
     resp
@@ -23,12 +30,16 @@ fn sample_response() -> DnsMessage {
 
 fn bench_dns_encode(c: &mut Criterion) {
     let resp = sample_response();
-    c.bench_function("dns/encode", |b| b.iter(|| black_box(encode(black_box(&resp)))));
+    c.bench_function("dns/encode", |b| {
+        b.iter(|| black_box(encode(black_box(&resp))))
+    });
 }
 
 fn bench_dns_decode(c: &mut Criterion) {
     let wire = encode(&sample_response());
-    c.bench_function("dns/decode", |b| b.iter(|| black_box(decode(black_box(&wire)).unwrap())));
+    c.bench_function("dns/decode", |b| {
+        b.iter(|| black_box(decode(black_box(&wire)).unwrap()))
+    });
 }
 
 fn bench_smtp_framing(c: &mut Criterion) {

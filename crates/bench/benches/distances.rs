@@ -50,7 +50,10 @@ fn bench_legacy_kernels(c: &mut Criterion) {
     c.bench_function("damerau_levenshtein_legacy/6-pairs", |b| {
         b.iter(|| {
             for (x, y) in DISTANCE_PAIRS {
-                black_box(distance::damerau_levenshtein_legacy(black_box(x), black_box(y)));
+                black_box(distance::damerau_levenshtein_legacy(
+                    black_box(x),
+                    black_box(y),
+                ));
             }
         })
     });

@@ -80,5 +80,10 @@ fn bench_clustering(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_population, bench_funnel_parallel, bench_clustering);
+criterion_group!(
+    benches,
+    bench_population,
+    bench_funnel_parallel,
+    bench_clustering
+);
 criterion_main!(benches);

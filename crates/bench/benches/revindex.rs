@@ -53,8 +53,7 @@ fn bench_matches_vs_scan(c: &mut Criterion) {
                 hits += ts
                     .iter()
                     .filter(|t| {
-                        t.tld() == q.tld()
-                            && distance::damerau_levenshtein(t.sld(), q.sld()) == 1
+                        t.tld() == q.tld() && distance::damerau_levenshtein(t.sld(), q.sld()) == 1
                     })
                     .count();
             }

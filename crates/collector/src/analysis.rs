@@ -132,7 +132,11 @@ impl<'a> StudyAnalysis<'a> {
             let per_year = self.project(&e.domain, 1.0);
             // Scale spam-side mass back to paper volume; survivors and
             // Layer-4/5 typo-adjacent classes are full-scale.
-            let weight = if v.is_spam() { per_year * boost } else { per_year };
+            let weight = if v.is_spam() {
+                per_year * boost
+            } else {
+                per_year
+            };
             total += weight;
             let is_ours = self.rcpt_is_ours(e);
             if is_ours {
@@ -328,6 +332,8 @@ impl<'a> StudyAnalysis<'a> {
         let mut week = 0usize;
         let mut max_days = 0i64;
         let mut le4 = 0usize;
+        // ets-lint: allow(unordered-iteration): integer counters and max are
+        // order-free aggregations.
         for days in per_user.values() {
             let span = days.iter().max().unwrap() - days.iter().min().unwrap();
             if days.len() == 1 {
@@ -373,11 +379,7 @@ mod tests {
         let config = TrafficConfig::test_scale(seed);
         let spam_scale = config.spam_scale;
         let gen = TrafficGenerator::new(&infra, config);
-        let emails: Vec<CollectedEmail> = gen
-            .generate()
-            .into_iter()
-            .map(|e| e.collected)
-            .collect();
+        let emails: Vec<CollectedEmail> = gen.generate().into_iter().map(|e| e.collected).collect();
         let funnel = Funnel::new(&infra);
         let verdicts = funnel.classify_all(&emails);
         Fixture {
@@ -426,9 +428,12 @@ mod tests {
         // Spam arrives essentially every day; scaled back to paper volume
         // (×1/spam_scale) it dwarfs the true-typo counts.
         let spam_days = series.iter().filter(|d| d.spam > 0).count();
-        assert!(spam_days * 10 > series.len() * 6, "{spam_days}/{}", series.len());
-        let spam_total: f64 =
-            series.iter().map(|d| d.spam as f64 / f.spam_scale).sum();
+        assert!(
+            spam_days * 10 > series.len() * 6,
+            "{spam_days}/{}",
+            series.len()
+        );
+        let spam_total: f64 = series.iter().map(|d| d.spam as f64 / f.spam_scale).sum();
         let typo_total_f: f64 = series.iter().map(|d| d.true_typos as f64).sum();
         assert!(spam_total > typo_total_f * 100.0);
         // True typos occur at a near-constant low rate.
@@ -482,7 +487,12 @@ mod tests {
         assert!(rows.len() >= 5, "{rows:?}");
         // pdf leads, docx close behind (Figure 7's dominant types).
         assert_eq!(rows[0].0, "pdf", "{rows:?}");
-        let get = |e: &str| rows.iter().find(|(x, _)| x == e).map(|(_, c)| *c).unwrap_or(0);
+        let get = |e: &str| {
+            rows.iter()
+                .find(|(x, _)| x == e)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
         assert!(get("docx") > get("xls"), "{rows:?}");
         // No archives among true typos: Layer 2 removed them.
         assert_eq!(get("zip"), 0);

@@ -76,8 +76,18 @@ const FIRST_NAMES: &[&str] = &[
     "laura", "paul", "diane", "greg", "ellen",
 ];
 const LAST_NAMES: &[&str] = &[
-    "lavorato", "delainey", "milnthorp", "tycholiz", "smith", "jones", "kim", "garcia", "chen",
-    "patel", "novak", "weber",
+    "lavorato",
+    "delainey",
+    "milnthorp",
+    "tycholiz",
+    "smith",
+    "jones",
+    "kim",
+    "garcia",
+    "chen",
+    "patel",
+    "novak",
+    "weber",
 ];
 const HAM_TOPICS: &[&str] = &[
     "Q3 planning meeting",
@@ -168,7 +178,10 @@ pub fn enron_like(n: usize, sensitive_rate: f64, seed: u64) -> Vec<LabeledEmail>
         }
         let sender_tag = rng.gen_range(0..100_000u32);
         let mut builder = MessageBuilder::new()
-            .from(&format!("{from_name}.{from_last}{sender_tag}@mail{}.example", sender_tag % 977))
+            .from(&format!(
+                "{from_name}.{from_last}{sender_tag}@mail{}.example",
+                sender_tag % 977
+            ))
             .expect("valid")
             .to(&format!("{to_name}@enron-like.example"))
             .expect("valid")
@@ -209,7 +222,11 @@ fn planted_identifier(rng: &mut ChaCha8Rng) -> (String, SensitiveKind) {
             SensitiveKind::Ssn,
         ),
         2 => (
-            format!("company EIN {:02}-{:07}", rng.gen_range(10..99), rng.gen_range(1..9999999)),
+            format!(
+                "company EIN {:02}-{:07}",
+                rng.gen_range(10..99),
+                rng.gen_range(1..9999999)
+            ),
             SensitiveKind::Ein,
         ),
         3 => (
@@ -217,11 +234,19 @@ fn planted_identifier(rng: &mut ChaCha8Rng) -> (String, SensitiveKind) {
             SensitiveKind::Password,
         ),
         4 => (
-            format!("vin 1HGCM{}A{:06}", rng.gen_range(10000..99999), rng.gen_range(0..999999)),
+            format!(
+                "vin 1HGCM{}A{:06}",
+                rng.gen_range(10000..99999),
+                rng.gen_range(0..999999)
+            ),
             SensitiveKind::Vin,
         ),
         5 => (
-            format!("username: {}{}", FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())], rng.gen_range(10..99)),
+            format!(
+                "username: {}{}",
+                FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+                rng.gen_range(10..99)
+            ),
             SensitiveKind::Username,
         ),
         6 => (
@@ -297,7 +322,11 @@ pub fn spam_dataset(dataset: SpamDataset, n: usize, seed: u64) -> Vec<LabeledEma
                 BLATANT_SPAM_BODIES[rng.gen_range(0..BLATANT_SPAM_BODIES.len())]
             };
             let mut b = MessageBuilder::new()
-                .raw_from(&format!("bulk{}@{}.example", rng.gen_range(0..50), random_token(&mut rng, 6)))
+                .raw_from(&format!(
+                    "bulk{}@{}.example",
+                    rng.gen_range(0..50),
+                    random_token(&mut rng, 6)
+                ))
                 .subject(if subtle {
                     "regarding your request"
                 } else {
@@ -305,7 +334,11 @@ pub fn spam_dataset(dataset: SpamDataset, n: usize, seed: u64) -> Vec<LabeledEma
                 })
                 .body(body);
             if !subtle && rng.gen_bool(0.3) {
-                b = b.attach("offer.zip", "application/zip", build::archive("offer.zip", b"x").data);
+                b = b.attach(
+                    "offer.zip",
+                    "application/zip",
+                    build::archive("offer.zip", b"x").data,
+                );
             }
             if subtle {
                 b = b

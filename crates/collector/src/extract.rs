@@ -181,7 +181,8 @@ mod tests {
 
     #[test]
     fn binary_garbage_unsupported() {
-        let a = ets_mail::Attachment::new("x.bin", "application/octet-stream", vec![0xFF, 0xFE, 0x00]);
+        let a =
+            ets_mail::Attachment::new("x.bin", "application/octet-stream", vec![0xFF, 0xFE, 0x00]);
         assert_eq!(extract(&a), Extraction::Unsupported);
     }
 

@@ -192,15 +192,11 @@ impl<'a> Funnel<'a> {
             }
         }
         // Any two of From / Reply-To / Return-Path disagreeing.
-        let addrs: Vec<String> = [
-            m.from_addr(),
-            m.reply_to_addr(),
-            m.return_path_addr(),
-        ]
-        .into_iter()
-        .flatten()
-        .map(|a| a.to_string())
-        .collect();
+        let addrs: Vec<String> = [m.from_addr(), m.reply_to_addr(), m.return_path_addr()]
+            .into_iter()
+            .flatten()
+            .map(|a| a.to_string())
+            .collect();
         if addrs.len() >= 2 && addrs.iter().any(|a| a != &addrs[0]) {
             return true;
         }
@@ -314,8 +310,7 @@ impl<'a> Funnel<'a> {
 
         // Pass 4: layer 5 — frequency statistics over the whole corpus.
         let rcpt_keys: Vec<String> = par_map(emails, |_, e| e.rcpt_to.to_string());
-        let body_hashes: Vec<u64> =
-            par_map(emails, |_, e| fnv(e.message.body.trim().as_bytes()));
+        let body_hashes: Vec<u64> = par_map(emails, |_, e| fnv(e.message.body.trim().as_bytes()));
         let (rcpt_freq, sender_freq, body_freq) = par_fold(
             emails,
             || {
@@ -380,7 +375,10 @@ impl<'a> Funnel<'a> {
             }
         }
         debug_assert_eq!(verdicts.len(), n);
-        verdicts.into_iter().map(|v| v.expect("all classified")).collect()
+        verdicts
+            .into_iter()
+            .map(|v| v.expect("all classified"))
+            .collect()
     }
 }
 
@@ -531,10 +529,7 @@ mod tests {
             message: msg,
             smtp_submission: false,
         };
-        assert_eq!(
-            funnel.classify_all(&[email])[0],
-            FunnelVerdict::SpamHeader
-        );
+        assert_eq!(funnel.classify_all(&[email])[0], FunnelVerdict::SpamHeader);
     }
 
     #[test]

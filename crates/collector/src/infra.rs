@@ -54,9 +54,21 @@ pub const PROVIDER_TYPOS: [(&str, &str); 27] = [
 /// domains; 27 + 4 = the 31 of §4.4.2).
 pub const SPECIAL_TYPOS: [(&str, &str, CollectionPurpose); 4] = [
     ("yopail.com", "yopmail.com", CollectionPurpose::Disposable),
-    ("10minutemil.com", "10minutemail.com", CollectionPurpose::Disposable),
-    ("mailchomp.com", "mailchimp.com", CollectionPurpose::BulkSender),
-    ("sendgrit.com", "sendgrid.com", CollectionPurpose::BulkSender),
+    (
+        "10minutemil.com",
+        "10minutemail.com",
+        CollectionPurpose::Disposable,
+    ),
+    (
+        "mailchomp.com",
+        "mailchimp.com",
+        CollectionPurpose::BulkSender,
+    ),
+    (
+        "sendgrit.com",
+        "sendgrid.com",
+        CollectionPurpose::BulkSender,
+    ),
 ];
 
 /// SMTP-typo domains: typos of ISP SMTP host names (AT&T, Comcast, Cox,
@@ -203,10 +215,7 @@ impl CollectionInfra {
             vps_map.insert(d.domain().clone(), ip);
             // Minor per-domain jitter in collection coverage.
             let jitter = (i as u32 * 7) % 5;
-            collection_days.insert(
-                d.domain().clone(),
-                STUDY_DAYS - outage_days - jitter,
-            );
+            collection_days.insert(d.domain().clone(), STUDY_DAYS - outage_days - jitter);
         }
         let domain_index = domains
             .iter()
@@ -258,11 +267,16 @@ impl CollectionInfra {
     }
 
     /// Identifies the study domain owning a VPS address.
+    ///
+    /// `min` instead of `find`: the map is injective by construction, but
+    /// `find` over a hash map would tie-break by hash order if it ever
+    /// stopped being so.
     pub fn domain_for_ip(&self, ip: Ipv4Addr) -> Option<&DomainName> {
         self.vps_map
             .iter()
-            .find(|(_, &v)| v == ip)
+            .filter(|(_, &v)| v == ip)
             .map(|(d, _)| d)
+            .min()
     }
 }
 
@@ -324,16 +338,16 @@ mod tests {
         let infra = CollectionInfra::build();
         let resolver = ets_dns::Resolver::new(infra.registry.clone());
         let fq: Fqdn = "random.subdomain.gmaiql.com".parse().unwrap();
-        let addr = resolver.mail_address(&fq).expect("wildcard MX must resolve");
+        let addr = resolver
+            .mail_address(&fq)
+            .expect("wildcard MX must resolve");
         assert_eq!(addr, infra.vps_map[&"gmaiql.com".parse().unwrap()]);
     }
 
     #[test]
     fn provider_typos_have_real_metadata() {
         let infra = CollectionInfra::build();
-        let outlo0k = infra
-            .study_domain(&"outlo0k.com".parse().unwrap())
-            .unwrap();
+        let outlo0k = infra.study_domain(&"outlo0k.com".parse().unwrap()).unwrap();
         assert_eq!(outlo0k.candidate.kind, ets_core::MistakeKind::Substitution);
         assert!(outlo0k.candidate.fat_finger);
         assert!(outlo0k.candidate.visual < 0.2);
@@ -349,7 +363,9 @@ mod tests {
             .unwrap();
         assert_eq!(d.candidate.target.as_str(), "smtp.verizon.net");
         assert_eq!(d.purpose, CollectionPurpose::SmtpServer);
-        let fin = infra.study_domain(&"smtpchase.com".parse().unwrap()).unwrap();
+        let fin = infra
+            .study_domain(&"smtpchase.com".parse().unwrap())
+            .unwrap();
         assert_eq!(fin.purpose, CollectionPurpose::Financial);
     }
 

@@ -41,6 +41,6 @@ pub mod time;
 pub mod traffic;
 
 pub use funnel::{Funnel, FunnelVerdict};
-pub use infra::{CollectionInfra, CollectedEmail};
+pub use infra::{CollectedEmail, CollectionInfra};
 pub use time::SimDate;
 pub use traffic::{TrafficConfig, TrafficGenerator};

@@ -108,8 +108,16 @@ impl Pipeline {
                 sensitive_kinds: sensitive,
                 attachment_hashes: hashes,
             },
-            header: crypto::seal(&self.key, part_id(record_id, 0), header_scrubbed.text.as_bytes()),
-            body: crypto::seal(&self.key, part_id(record_id, 1), body_scrubbed.text.as_bytes()),
+            header: crypto::seal(
+                &self.key,
+                part_id(record_id, 0),
+                header_scrubbed.text.as_bytes(),
+            ),
+            body: crypto::seal(
+                &self.key,
+                part_id(record_id, 1),
+                body_scrubbed.text.as_bytes(),
+            ),
             attachments: attachment_parts,
         }
     }
@@ -162,12 +170,18 @@ mod tests {
     fn metadata_is_clear_and_content_sealed() {
         let mut p = pipeline();
         let stored = p.process(&sample());
-        assert_eq!(stored.meta.sender_domain.as_deref(), Some("business.example"));
+        assert_eq!(
+            stored.meta.sender_domain.as_deref(),
+            Some("business.example")
+        );
         assert_eq!(stored.meta.recipient_domain.as_deref(), Some("gmial.com"));
         assert_eq!(stored.meta.attachment_exts, vec!["pdf", "jpg"]);
         assert_eq!(stored.meta.subject_len, "travel receipts".len());
         // Sensitive kinds from body AND attachment text.
-        assert!(stored.meta.sensitive_kinds.contains(&SensitiveKind::CreditCard));
+        assert!(stored
+            .meta
+            .sensitive_kinds
+            .contains(&SensitiveKind::CreditCard));
         assert!(stored.meta.sensitive_kinds.contains(&SensitiveKind::Ssn));
         // Ciphertext does not contain the card number.
         let as_text = String::from_utf8_lossy(&stored.body.ciphertext);

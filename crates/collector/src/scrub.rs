@@ -469,7 +469,13 @@ fn find_context_tokens(text: &str, out: &mut Vec<Finding>) {
             SensitiveKind::Password,
         ),
         (
-            &["username:", "user name:", "login:", "user id:", "username is"],
+            &[
+                "username:",
+                "user name:",
+                "login:",
+                "user id:",
+                "username is",
+            ],
             SensitiveKind::Username,
         ),
     ];
@@ -567,9 +573,11 @@ fn find_id_numbers(text: &str, out: &mut Vec<Finding>) {
                 .or_else(|| lower.get(i.saturating_sub(17)..i))
                 .or_else(|| lower.get(i.saturating_sub(18)..i))
                 .unwrap_or("");
-            let cue = ["account", "member", "case", "id", "no.", "no:", "number", "#", "ref"]
-                .iter()
-                .any(|k| prefix.contains(k));
+            let cue = [
+                "account", "member", "case", "id", "no.", "no:", "number", "#", "ref",
+            ]
+            .iter()
+            .any(|k| prefix.contains(k));
             if cue {
                 out.push(Finding {
                     kind: SensitiveKind::IdNumber,
@@ -606,7 +614,9 @@ mod tests {
         let input = "Amex 371385129301004 Exp 06/03\nBook us 3 rooms and make sure that we can have 2 beds in one of the rooms.";
         let r = scrub(input);
         assert!(r.has(SensitiveKind::CreditCard));
-        assert!(r.text.contains("*_|R|_*americanexpress*000000000000000*_|R|_*"));
+        assert!(r
+            .text
+            .contains("*_|R|_*americanexpress*000000000000000*_|R|_*"));
         assert!(r.has(SensitiveKind::Date), "Exp 06/03 is a ##/## date");
         // every digit zeroed
         assert!(r.text.contains("Book us 0 rooms"));
@@ -669,7 +679,10 @@ mod tests {
         let r = scrub("call (412) 555-1234 before 12/25/2016 or 2016-12-25");
         assert!(r.has(SensitiveKind::Phone));
         assert_eq!(
-            r.findings.iter().filter(|f| f.kind == SensitiveKind::Date).count(),
+            r.findings
+                .iter()
+                .filter(|f| f.kind == SensitiveKind::Date)
+                .count(),
             2
         );
     }
@@ -733,7 +746,11 @@ mod tests {
     #[test]
     fn all_digits_zeroed_after_scrub() {
         let r = scrub("meeting at 3pm with 12 people, card 4111111111111111");
-        assert!(r.text.chars().filter(|c| c.is_ascii_digit()).all(|c| c == '0'));
+        assert!(r
+            .text
+            .chars()
+            .filter(|c| c.is_ascii_digit())
+            .all(|c| c == '0'));
     }
 
     #[test]

@@ -136,7 +136,10 @@ impl SpamScorer {
 
         // Subject rules.
         if !subject.is_empty() {
-            let letters: Vec<char> = subject.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+            let letters: Vec<char> = subject
+                .chars()
+                .filter(|c| c.is_ascii_alphabetic())
+                .collect();
             if letters.len() >= 8 && letters.iter().all(|c| c.is_ascii_uppercase()) {
                 fire("SUBJ_ALL_CAPS", 1.4);
             }
@@ -257,7 +260,9 @@ mod tests {
             .subject("your order update")
             .date("x")
             .message_id("<m@deals.example>")
-            .body("Hello, your package details have changed. See attached note for the new schedule.")
+            .body(
+                "Hello, your package details have changed. See attached note for the new schedule.",
+            )
             .build();
         assert!(!SpamScorer::new().is_spam(&subtle));
     }

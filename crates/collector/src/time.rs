@@ -133,7 +133,13 @@ mod tests {
         assert_eq!(SimDate(26).civil(), (2016, 6, 30));
         assert_eq!(SimDate(27).civil(), (2016, 7, 1));
         // 2016 is a leap year but we start after February; check new year.
-        assert_eq!(SimDate::from_civil(2016, 12, 31).unwrap().plus_days(1).civil(), (2017, 1, 1));
+        assert_eq!(
+            SimDate::from_civil(2016, 12, 31)
+                .unwrap()
+                .plus_days(1)
+                .civil(),
+            (2017, 1, 1)
+        );
     }
 
     #[test]

@@ -185,7 +185,14 @@ impl<'a> TrafficGenerator<'a> {
             }
             let mut rng = derive_rng(self.config.seed, stream::TRAFFIC_DAY, day as u64);
             let mut out = Vec::new();
-            self.spam_for_day(date, &campaigns, &smtp_domains, &rcv_domains, &mut rng, &mut out);
+            self.spam_for_day(
+                date,
+                &campaigns,
+                &smtp_domains,
+                &rcv_domains,
+                &mut rng,
+                &mut out,
+            );
             self.receiver_for_day(date, &weights, &mut rng, &mut out);
             self.reflection_for_day(date, &mut rng, &mut out);
             self.smtp_for_day(date, &smtp_users, &mut rng, &mut out);
@@ -308,7 +315,10 @@ impl<'a> TrafficGenerator<'a> {
         // domain.
         let local = format!(
             "{}{}",
-            pick(rng, &["alice", "bob", "carol", "dan", "erin", "frank", "grace", "heidi"]),
+            pick(
+                rng,
+                &["alice", "bob", "carol", "dan", "erin", "frank", "grace", "heidi"]
+            ),
             rng.gen_range(0..1000)
         );
         let to = EmailAddress::new(&local, domain.as_str()).expect("valid recipient");
@@ -356,7 +366,16 @@ impl<'a> TrafficGenerator<'a> {
         }
         let stem = pick(
             rng,
-            &["resume", "visa-application", "scan", "invoice", "medical-record", "itinerary", "contract", "registration"],
+            &[
+                "resume",
+                "visa-application",
+                "scan",
+                "invoice",
+                "medical-record",
+                "itinerary",
+                "contract",
+                "registration",
+            ],
         );
         let text = match stem {
             "resume" => "curriculum vitae, references available".to_owned(),
@@ -408,7 +427,14 @@ impl<'a> TrafficGenerator<'a> {
     ) -> GenEmail {
         let service = pick(
             rng,
-            &["jobboard", "webshop", "newsletter", "socialnet", "travelsite", "bank-alerts"],
+            &[
+                "jobboard",
+                "webshop",
+                "newsletter",
+                "socialnet",
+                "travelsite",
+                "bank-alerts",
+            ],
         );
         let local = format!("user{}", rng.gen_range(0..500));
         let to = EmailAddress::new(&local, domain.as_str()).expect("valid");
@@ -456,8 +482,8 @@ impl<'a> TrafficGenerator<'a> {
     // --- SMTP typos --------------------------------------------------------
 
     fn make_smtp_users(&self, rng: &mut ChaCha8Rng) -> Vec<SmtpUser> {
-        let expected = self.config.smtp_users_per_year * STUDY_DAYS as f64 / 365.0
-            * self.config.typo_scale;
+        let expected =
+            self.config.smtp_users_per_year * STUDY_DAYS as f64 / 365.0 * self.config.typo_scale;
         let n = poisson(rng, expected);
         let domains: Vec<ets_core::DomainName> = self
             .infra
@@ -556,11 +582,9 @@ impl<'a> TrafficGenerator<'a> {
             let lambda = 1.9 * self.config.typo_scale;
             for _ in 0..self.poisson(rng, lambda) {
                 let domain = domains[(agent as usize * 7) % domains.len()].clone();
-                let sender = EmailAddress::new(
-                    &format!("nagios{agent}"),
-                    &format!("device{agent}.example"),
-                )
-                .expect("valid");
+                let sender =
+                    EmailAddress::new(&format!("nagios{agent}"), &format!("device{agent}.example"))
+                        .expect("valid");
                 let to = EmailAddress::new("ops", "monitoring.example").expect("valid");
                 let msg = MessageBuilder::new()
                     .raw_from(&sender.to_string())
@@ -699,8 +723,16 @@ impl SpamCampaign {
         let mut b = MessageBuilder::new()
             .raw_from(&from)
             .raw_to(&to.to_string())
-            .subject(if subtle { "quick update" } else { &self.subject })
-            .body(if subtle { &self.subtle_body } else { &self.body });
+            .subject(if subtle {
+                "quick update"
+            } else {
+                &self.subject
+            })
+            .body(if subtle {
+                &self.subtle_body
+            } else {
+                &self.body
+            });
         if self.attach_archive && !subtle {
             b = b.attach(
                 "offer.zip",
@@ -847,8 +879,15 @@ mod tests {
             .collect();
         assert!(!smtp.is_empty());
         // An order of magnitude fewer than receiver typos (§4.4.2).
-        let receiver = emails.iter().filter(|e| e.truth == TrueKind::Receiver).count();
-        assert!(smtp.len() * 4 < receiver, "smtp {} vs receiver {receiver}", smtp.len());
+        let receiver = emails
+            .iter()
+            .filter(|e| e.truth == TrueKind::Receiver)
+            .count();
+        assert!(
+            smtp.len() * 4 < receiver,
+            "smtp {} vs receiver {receiver}",
+            smtp.len()
+        );
         // They land on SMTP-typo domains, flagged as submissions.
         for e in &smtp {
             assert!(e.collected.smtp_submission);
@@ -858,7 +897,9 @@ mod tests {
                 CollectionPurpose::SmtpServer | CollectionPurpose::Financial
             ));
             // Outgoing mail: recipient is NOT one of our domains.
-            assert!(infra.study_domain(&e.collected.rcpt_to.domain().parse().unwrap()).is_none());
+            assert!(infra
+                .study_domain(&e.collected.rcpt_to.domain().parse().unwrap())
+                .is_none());
         }
     }
 
@@ -936,7 +977,9 @@ mod tests {
         let mut body_counts: std::collections::HashMap<&str, usize> = Default::default();
         for e in &emails {
             if e.truth == TrueKind::Spam {
-                *body_counts.entry(e.collected.message.body.as_str()).or_insert(0) += 1;
+                *body_counts
+                    .entry(e.collected.message.body.as_str())
+                    .or_insert(0) += 1;
             }
         }
         let max = body_counts.values().max().copied().unwrap_or(0);

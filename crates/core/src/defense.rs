@@ -39,7 +39,9 @@ pub struct Correction {
 /// mean" hint: adjacent-key substitutions are overwhelmingly accidents,
 /// while distant-key differences more often mean deliberate input.
 pub fn fat_finger_slip(intended: char, typed: char) -> bool {
-    intended.is_ascii() && typed.is_ascii() && keyboard::ADJACENCY[intended as usize][typed as usize]
+    intended.is_ascii()
+        && typed.is_ascii()
+        && keyboard::ADJACENCY[intended as usize][typed as usize]
 }
 
 /// Suggests intended domains for possibly-mistyped input.
@@ -63,8 +65,7 @@ pub struct TypoCorrector {
 impl TypoCorrector {
     /// Builds a corrector over a popularity list of known-good domains.
     pub fn new(targets: PopularityList, model: TypingModel) -> Self {
-        let domains: Vec<DomainName> =
-            targets.iter().map(|entry| entry.domain.clone()).collect();
+        let domains: Vec<DomainName> = targets.iter().map(|entry| entry.domain.clone()).collect();
         let index = ReverseDl1Index::build(&domains);
         TypoCorrector {
             targets,

@@ -539,7 +539,11 @@ pub(crate) fn visual_bytes(a: &[u8], b: &[u8], s: &mut VisualScratch) -> f64 {
             };
             let sub = s.prev[j - 1] + sub_cost;
             let mut best = del.min(ins).min(sub);
-            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] && a[i - 1] != a[i - 2]
+            if i > 1
+                && j > 1
+                && a[i - 1] == b[j - 2]
+                && a[i - 2] == b[j - 1]
+                && a[i - 1] != a[i - 2]
             {
                 best = best.min(s.prev2[j - 2] + 0.3);
             }
@@ -582,7 +586,11 @@ fn visual_cost(a: &[char], b: &[char]) -> f64 {
             };
             let sub = d[(i - 1) * w + j - 1] + sub_cost;
             let mut best = del.min(ins).min(sub);
-            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] && a[i - 1] != a[i - 2]
+            if i > 1
+                && j > 1
+                && a[i - 1] == b[j - 2]
+                && a[i - 2] == b[j - 1]
+                && a[i - 1] != a[i - 2]
             {
                 best = best.min(d[(i - 2) * w + j - 2] + 0.3);
             }

@@ -277,7 +277,10 @@ mod tests {
 
     #[test]
     fn rejects_single_label() {
-        assert_eq!(DomainName::parse("localhost"), Err(DomainParseError::MissingTld));
+        assert_eq!(
+            DomainName::parse("localhost"),
+            Err(DomainParseError::MissingTld)
+        );
     }
 
     #[test]
@@ -288,7 +291,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_label() {
-        assert_eq!(DomainName::parse("a..com"), Err(DomainParseError::EmptyLabel));
+        assert_eq!(
+            DomainName::parse("a..com"),
+            Err(DomainParseError::EmptyLabel)
+        );
         assert_eq!(DomainName::parse(".com"), Err(DomainParseError::EmptyLabel));
     }
 
@@ -349,12 +355,18 @@ mod tests {
 
     #[test]
     fn with_sld_replaces_second_level() {
-        assert_eq!(d("gmail.com").with_sld("gmial").unwrap().as_str(), "gmial.com");
+        assert_eq!(
+            d("gmail.com").with_sld("gmial").unwrap().as_str(),
+            "gmial.com"
+        );
     }
 
     #[test]
     fn doppelganger_flattens_one_dot() {
-        assert_eq!(d("ca.ibm.com").doppelganger().unwrap().as_str(), "caibm.com");
+        assert_eq!(
+            d("ca.ibm.com").doppelganger().unwrap().as_str(),
+            "caibm.com"
+        );
         assert_eq!(
             d("smtp.gmail.com").doppelganger().unwrap().as_str(),
             "smtpgmail.com"

@@ -86,7 +86,11 @@ impl DomainInterner {
     }
 
     fn span(&self, index: usize) -> (usize, usize) {
-        let start = if index == 0 { 0 } else { self.ends[index - 1] as usize };
+        let start = if index == 0 {
+            0
+        } else {
+            self.ends[index - 1] as usize
+        };
         (start, self.ends[index] as usize)
     }
 
@@ -162,7 +166,7 @@ impl DomainInterner {
 
     /// The id at dense `index` (0-based, first-intern order), if any.
     pub fn id_at(&self, index: usize) -> Option<DomainId> {
-        (index < self.ends.len()).then(|| DomainId(index as u32))
+        (index < self.ends.len()).then_some(DomainId(index as u32))
     }
 }
 
@@ -215,8 +219,7 @@ mod tests {
         for name in names {
             table.intern(&d(name));
         }
-        let round_trip: Vec<String> =
-            table.ids().map(|id| table.name(id).to_owned()).collect();
+        let round_trip: Vec<String> = table.ids().map(|id| table.name(id).to_owned()).collect();
         assert_eq!(round_trip, names);
     }
 }

@@ -154,7 +154,9 @@ pub fn adjacent(a: char, b: char) -> bool {
 #[inline]
 pub fn adjacent_bytes(a: u8, b: u8) -> bool {
     debug_assert!(
-        a >= 128 || b >= 128 || ADJACENCY[a as usize][b as usize] == ADJACENCY[b as usize][a as usize],
+        a >= 128
+            || b >= 128
+            || ADJACENCY[a as usize][b as usize] == ADJACENCY[b as usize][a as usize],
         "keyboard adjacency must be symmetric"
     );
     a < 128 && b < 128 && ADJACENCY[a as usize][b as usize]

@@ -215,8 +215,8 @@ pub fn cost_per_email(domains: usize, yearly_emails: f64, price_per_domain: f64)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::typogen::generate_dl1;
     use crate::typing::TypingModel;
+    use crate::typogen::generate_dl1;
     use crate::DomainName;
 
     /// Builds a synthetic training set from the typing model: the

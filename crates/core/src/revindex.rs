@@ -161,10 +161,16 @@ mod tests {
     }
 
     fn targets() -> Vec<DomainName> {
-        ["gmail.com", "outlook.com", "hotmail.com", "gmal.com", "x.org"]
-            .iter()
-            .map(|s| d(s))
-            .collect()
+        [
+            "gmail.com",
+            "outlook.com",
+            "hotmail.com",
+            "gmal.com",
+            "x.org",
+        ]
+        .iter()
+        .map(|s| d(s))
+        .collect()
     }
 
     #[test]
@@ -199,7 +205,14 @@ mod tests {
     fn matches_brute_force_scan() {
         let ts = targets();
         let index = ReverseDl1Index::build(&ts);
-        let queries = ["gmil.com", "gmal.com", "outlo0k.com", "hotmial.com", "y.org", "gmaal.com"];
+        let queries = [
+            "gmil.com",
+            "gmal.com",
+            "outlo0k.com",
+            "hotmial.com",
+            "y.org",
+            "gmaal.com",
+        ];
         for q in queries {
             let q = d(q);
             let brute: Vec<usize> = ts

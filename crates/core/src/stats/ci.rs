@@ -222,7 +222,10 @@ mod tests {
         ];
         for (df, expect) in cases {
             let got = t_critical(0.95, df);
-            assert!((got - expect).abs() < 5e-3, "df={df}: got {got}, want {expect}");
+            assert!(
+                (got - expect).abs() < 5e-3,
+                "df={df}: got {got}, want {expect}"
+            );
         }
         // 99% level
         assert!((t_critical(0.99, 10) - 3.169).abs() < 5e-3);

@@ -262,7 +262,11 @@ mod tests {
         let fit = ols.fit().unwrap();
         assert!(fit.r_squared > 0.5 && fit.r_squared < 1.0);
         let cv = ols.loocv_r_squared().unwrap();
-        assert!(cv < fit.r_squared, "LOOCV {cv} should be below train {r}", r = fit.r_squared);
+        assert!(
+            cv < fit.r_squared,
+            "LOOCV {cv} should be below train {r}",
+            r = fit.r_squared
+        );
     }
 
     #[test]

@@ -125,9 +125,7 @@ impl StudyDomain {
             CollectionPurpose::Provider | CollectionPurpose::Disposable => {
                 &[EmailTypoKind::Receiver, EmailTypoKind::Reflection]
             }
-            CollectionPurpose::SmtpServer | CollectionPurpose::Financial => {
-                &[EmailTypoKind::Smtp]
-            }
+            CollectionPurpose::SmtpServer | CollectionPurpose::Financial => &[EmailTypoKind::Smtp],
             CollectionPurpose::BulkSender => &[EmailTypoKind::Reflection],
         }
     }
@@ -152,7 +150,10 @@ mod tests {
         };
         assert_eq!(classify(&f(false, false, false)), DomainClass::Unregistered);
         assert_eq!(classify(&f(true, true, false)), DomainClass::Defensive);
-        assert_eq!(classify(&f(true, false, true)), DomainClass::BenignCollision);
+        assert_eq!(
+            classify(&f(true, false, true)),
+            DomainClass::BenignCollision
+        );
         assert_eq!(classify(&f(true, false, false)), DomainClass::Typosquatting);
     }
 

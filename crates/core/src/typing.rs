@@ -122,9 +122,7 @@ impl TypingModel {
     /// `E_ij = E_i · Pt_ij · (1 − Pc_ij)`: expected yearly emails reaching
     /// the candidate, given the target receives `target_volume` per year.
     pub fn expected_emails(&self, target_volume: f64, cand: &TypoCandidate) -> f64 {
-        target_volume
-            * self.mistype_probability(cand)
-            * (1.0 - self.correction_probability(cand))
+        target_volume * self.mistype_probability(cand) * (1.0 - self.correction_probability(cand))
     }
 }
 
@@ -195,8 +193,14 @@ mod tests {
     fn visible_mistakes_get_corrected() {
         let m = TypingModel::default();
         let cands = candidates("outlook.com");
-        let invisible = cands.iter().find(|c| c.domain.as_str() == "outlo0k.com").unwrap();
-        let glaring = cands.iter().find(|c| c.domain.as_str() == "outmook.com").unwrap();
+        let invisible = cands
+            .iter()
+            .find(|c| c.domain.as_str() == "outlo0k.com")
+            .unwrap();
+        let glaring = cands
+            .iter()
+            .find(|c| c.domain.as_str() == "outmook.com")
+            .unwrap();
         assert!(m.correction_probability(invisible) < m.correction_probability(glaring));
     }
 
@@ -226,8 +230,15 @@ mod tests {
                 .unwrap()
         });
         // The best substitution must be the invisible fat-finger o→0 swap.
-        assert_eq!(subs[0].domain.as_str(), "outlo0k.com", "got {:?}",
-            subs.iter().take(5).map(|c| c.domain.as_str()).collect::<Vec<_>>());
+        assert_eq!(
+            subs[0].domain.as_str(),
+            "outlo0k.com",
+            "got {:?}",
+            subs.iter()
+                .take(5)
+                .map(|c| c.domain.as_str())
+                .collect::<Vec<_>>()
+        );
         assert!(subs[0].fat_finger);
         // and visible non-adjacent swaps rank far below
         let pos_of = |name: &str| subs.iter().position(|c| c.domain.as_str() == name).unwrap();

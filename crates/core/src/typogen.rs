@@ -184,7 +184,7 @@ impl TypoTable {
         // anywhere along a run of `c` yields the same string; the run
         // start is canonical. The legacy parser rejected variants whose
         // label or full name exceeded the RFC limits, so gate on those.
-        if n + 1 <= MAX_LABEL_LEN && (n + 1) + 1 + tld_len <= MAX_NAME_LEN {
+        if n < MAX_LABEL_LEN && (n + 1) + 1 + tld_len <= MAX_NAME_LEN {
             for i in 0..=n {
                 for &c in &keyboard::ALPHABET {
                     if i > 0 && s[i - 1] == c {
@@ -379,7 +379,12 @@ pub fn generate_dl1_legacy(target: &DomainName) -> Vec<TypoCandidate> {
         }
         let mut v: Vec<char> = sld.clone();
         v.swap(i, i + 1);
-        push(v.into_iter().collect(), MistakeKind::Transposition, i, &mut out);
+        push(
+            v.into_iter().collect(),
+            MistakeKind::Transposition,
+            i,
+            &mut out,
+        );
     }
     // Substitutions.
     for i in 0..n {
@@ -389,7 +394,12 @@ pub fn generate_dl1_legacy(target: &DomainName) -> Vec<TypoCandidate> {
             }
             let mut v: Vec<char> = sld.clone();
             v[i] = c;
-            push(v.into_iter().collect(), MistakeKind::Substitution, i, &mut out);
+            push(
+                v.into_iter().collect(),
+                MistakeKind::Substitution,
+                i,
+                &mut out,
+            );
         }
     }
     // Additions (insert before position i, 0..=n).
@@ -611,7 +621,14 @@ mod tests {
 
     #[test]
     fn engine_matches_legacy_generator() {
-        for name in ["gmail.com", "outlook.com", "aa.org", "x.org", "a-b.net", "zzzaaa.com"] {
+        for name in [
+            "gmail.com",
+            "outlook.com",
+            "aa.org",
+            "x.org",
+            "a-b.net",
+            "zzzaaa.com",
+        ] {
             let t = d(name);
             assert_eq!(generate_dl1(&t), generate_dl1_legacy(&t), "{name}");
         }
@@ -640,12 +657,24 @@ mod tests {
     fn contains_paper_examples() {
         let typos = generate_dl1(&d("gmail.com"));
         let names: HashSet<&str> = typos.iter().map(|t| t.domain.as_str()).collect();
-        for expect in ["gmial.com", "gmaiql.com", "gmai-l.com", "gmil.com", "gnail.com"] {
+        for expect in [
+            "gmial.com",
+            "gmaiql.com",
+            "gmai-l.com",
+            "gmil.com",
+            "gnail.com",
+        ] {
             assert!(names.contains(expect), "missing {expect}");
         }
         let typos = generate_dl1(&d("outlook.com"));
         let names: HashSet<&str> = typos.iter().map(|t| t.domain.as_str()).collect();
-        for expect in ["outlo0k.com", "ohtlook.com", "outmook.com", "o7tlook.com", "outloook.com"] {
+        for expect in [
+            "outlo0k.com",
+            "ohtlook.com",
+            "outmook.com",
+            "o7tlook.com",
+            "outloook.com",
+        ] {
             assert!(names.contains(expect), "missing {expect}");
         }
     }
@@ -738,7 +767,9 @@ mod tests {
         }
         assert!(counts.values().all(|&v| v == 1));
         // neither target appears as a candidate of the other
-        assert!(typos.iter().all(|t| t.domain != targets[0] && t.domain != targets[1]));
+        assert!(typos
+            .iter()
+            .all(|t| t.domain != targets[0] && t.domain != targets[1]));
     }
 
     #[test]
@@ -753,7 +784,10 @@ mod tests {
     fn visual_normalization() {
         let t = d("outlook.com");
         let typos = generate_dl1(&t);
-        let c = typos.iter().find(|c| c.domain.as_str() == "outlo0k.com").unwrap();
+        let c = typos
+            .iter()
+            .find(|c| c.domain.as_str() == "outlo0k.com")
+            .unwrap();
         assert!((c.visual_normalized() - c.visual / 7.0).abs() < 1e-12);
     }
 }

@@ -219,7 +219,10 @@ mod tests {
     #[test]
     fn rejects_bad_labels() {
         assert_eq!(Fqdn::parse("a..b"), Err(FqdnError::EmptyLabel));
-        assert!(matches!(Fqdn::parse("é.com"), Err(FqdnError::BadCharacter(_))));
+        assert!(matches!(
+            Fqdn::parse("é.com"),
+            Err(FqdnError::BadCharacter(_))
+        ));
         let long = "a".repeat(64);
         assert!(matches!(
             Fqdn::parse(&format!("{long}.com")),
@@ -244,7 +247,10 @@ mod tests {
         let wc = n("*.exampel.com");
         assert!(wc.matches(&n("mail.exampel.com")));
         assert!(wc.matches(&n("a.b.exampel.com")));
-        assert!(!wc.matches(&n("exampel.com")), "wildcard must not match the zone apex");
+        assert!(
+            !wc.matches(&n("exampel.com")),
+            "wildcard must not match the zone apex"
+        );
         assert!(!wc.matches(&n("other.com")));
         // exact owner matches only itself
         let exact = n("exampel.com");

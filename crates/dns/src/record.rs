@@ -161,10 +161,17 @@ impl ResourceRecord {
             RecordData::A(ip) => format!("NA {ip}"),
             RecordData::Ns(h) => format!("NA {h}."),
             RecordData::Cname(h) => format!("NA {h}."),
-            RecordData::Soa { mname, rname, serial } => {
+            RecordData::Soa {
+                mname,
+                rname,
+                serial,
+            } => {
                 format!("NA {mname}. {rname}. {serial}")
             }
-            RecordData::Mx { preference, exchange } => format!("{preference} {exchange}."),
+            RecordData::Mx {
+                preference,
+                exchange,
+            } => format!("{preference} {exchange}."),
             RecordData::Txt(t) => format!("NA \"{t}\""),
         };
         format!(
@@ -221,7 +228,10 @@ mod tests {
             ResourceRecord::a("*.exampel.com", 300, Ipv4Addr::new(1, 1, 1, 1)),
             ResourceRecord::a("exampel.com", 300, Ipv4Addr::new(1, 1, 1, 1)),
         ];
-        assert_eq!(rows[0].presentation(), "*.exampel.com. 300 MX 1 exampel.com.");
+        assert_eq!(
+            rows[0].presentation(),
+            "*.exampel.com. 300 MX 1 exampel.com."
+        );
         assert_eq!(rows[2].presentation(), "*.exampel.com. 300 A NA 1.1.1.1");
     }
 }

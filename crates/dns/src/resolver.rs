@@ -98,7 +98,10 @@ impl Resolver {
         let mut mxs: Vec<MxTarget> = records
             .into_iter()
             .filter_map(|d| match d {
-                RecordData::Mx { preference, exchange } => Some(MxTarget {
+                RecordData::Mx {
+                    preference,
+                    exchange,
+                } => Some(MxTarget {
                     preference,
                     address: self.resolve_a(&exchange),
                     exchange,
@@ -146,7 +149,9 @@ impl Resolver {
                         .unwrap_or_else(|| first.exchange.clone()),
                 )
             }
-            MailTarget::ImplicitA(_) => Some(domain.registrable().unwrap_or_else(|| domain.clone())),
+            MailTarget::ImplicitA(_) => {
+                Some(domain.registrable().unwrap_or_else(|| domain.clone()))
+            }
             _ => None,
         }
     }
@@ -198,17 +203,30 @@ mod tests {
         // catch-all typo domain
         registry.register(
             reg("gmial.com"),
-            Some(Zone::catch_all(&n("gmial.com"), Ipv4Addr::new(10, 0, 0, 1), 300)),
+            Some(Zone::catch_all(
+                &n("gmial.com"),
+                Ipv4Addr::new(10, 0, 0, 1),
+                300,
+            )),
         );
         // parked: A only
         registry.register(
             reg("parked.com"),
-            Some(Zone::parked(&n("parked.com"), Ipv4Addr::new(10, 0, 0, 2), 300)),
+            Some(Zone::parked(
+                &n("parked.com"),
+                Ipv4Addr::new(10, 0, 0, 2),
+                300,
+            )),
         );
         // hosted mail via external MX; the MX host itself registered with an A
         registry.register(
             reg("hosted.com"),
-            Some(Zone::hosted_mail(&n("hosted.com"), &n("mx1.b-io.co"), None, 300)),
+            Some(Zone::hosted_mail(
+                &n("hosted.com"),
+                &n("mx1.b-io.co"),
+                None,
+                300,
+            )),
         );
         registry.register(reg("b-io.co"), {
             let mut z = Zone::new(n("b-io.co"));
@@ -255,7 +273,10 @@ mod tests {
             r.resolve_mail(&n("parked.com")),
             MailTarget::ImplicitA(Ipv4Addr::new(10, 0, 0, 2))
         );
-        assert_eq!(r.mail_address(&n("parked.com")), Some(Ipv4Addr::new(10, 0, 0, 2)));
+        assert_eq!(
+            r.mail_address(&n("parked.com")),
+            Some(Ipv4Addr::new(10, 0, 0, 2))
+        );
     }
 
     #[test]
@@ -303,8 +324,18 @@ mod tests {
     fn mx_sorting_by_preference() {
         let registry = Registry::new();
         let mut z = Zone::new(n("multi.com"));
-        z.add(crate::record::ResourceRecord::mx("multi.com", 300, 20, "backup.multi.com"));
-        z.add(crate::record::ResourceRecord::mx("multi.com", 300, 10, "primary.multi.com"));
+        z.add(crate::record::ResourceRecord::mx(
+            "multi.com",
+            300,
+            20,
+            "backup.multi.com",
+        ));
+        z.add(crate::record::ResourceRecord::mx(
+            "multi.com",
+            300,
+            10,
+            "primary.multi.com",
+        ));
         z.add(crate::record::ResourceRecord::a(
             "primary.multi.com",
             300,
@@ -327,7 +358,10 @@ mod tests {
                 assert_eq!(mxs[0].exchange, n("primary.multi.com"));
                 assert_eq!(mxs[1].exchange, n("backup.multi.com"));
                 assert_eq!(mxs[1].address, None);
-                assert_eq!(r.mail_address(&n("multi.com")), Some(Ipv4Addr::new(1, 1, 1, 1)));
+                assert_eq!(
+                    r.mail_address(&n("multi.com")),
+                    Some(Ipv4Addr::new(1, 1, 1, 1))
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

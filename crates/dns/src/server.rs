@@ -29,9 +29,7 @@ impl DnsServer {
         let local = socket.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = shutdown.clone();
-        let thread = std::thread::spawn(move ||
-
- serve_loop(socket, resolver, flag));
+        let thread = std::thread::spawn(move || serve_loop(socket, resolver, flag));
         Ok(DnsServer {
             addr: local,
             shutdown,
@@ -87,7 +85,8 @@ fn serve_loop(socket: UdpSocket, resolver: Resolver, shutdown: Arc<AtomicBool>) 
                 } else {
                     0
                 };
-                let mut resp = DnsMessage::query(id, crate::name::Fqdn::root(), crate::record::RecordType::A);
+                let mut resp =
+                    DnsMessage::query(id, crate::name::Fqdn::root(), crate::record::RecordType::A);
                 resp.questions.clear();
                 resp.is_response = true;
                 resp.rcode = Rcode::FormErr;
@@ -198,11 +197,7 @@ mod tests {
     fn many_queries_sequentially() {
         let server = DnsServer::bind("127.0.0.1:0", Resolver::new(registry())).unwrap();
         for i in 0..20u16 {
-            let q = DnsMessage::query(
-                i,
-                "gmial.com".parse::<Fqdn>().unwrap(),
-                RecordType::A,
-            );
+            let q = DnsMessage::query(i, "gmial.com".parse::<Fqdn>().unwrap(), RecordType::A);
             let resp = query_udp(server.addr(), &q, Duration::from_secs(2)).unwrap();
             assert_eq!(resp.id, i);
             assert_eq!(resp.answers.len(), 1);

@@ -27,14 +27,7 @@ pub struct WhoisRecord {
 
 impl WhoisRecord {
     /// A fully-populated record.
-    pub fn full(
-        name: &str,
-        org: &str,
-        email: &str,
-        phone: &str,
-        fax: &str,
-        address: &str,
-    ) -> Self {
+    pub fn full(name: &str, org: &str, email: &str, phone: &str, fax: &str, address: &str) -> Self {
         WhoisRecord {
             registrant_name: Some(name.to_owned()),
             organization: Some(org.to_owned()),

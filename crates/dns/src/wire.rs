@@ -209,7 +209,11 @@ fn encode_rr(buf: &mut BytesMut, rr: &ResourceRecord, compress: &mut HashMap<Str
     match &rr.data {
         RecordData::A(ip) => buf.put_slice(&ip.octets()),
         RecordData::Ns(h) | RecordData::Cname(h) => encode_name(buf, h, compress),
-        RecordData::Soa { mname, rname, serial } => {
+        RecordData::Soa {
+            mname,
+            rname,
+            serial,
+        } => {
             encode_name(buf, mname, compress);
             encode_name(buf, rname, compress);
             buf.put_u32(*serial);
@@ -219,7 +223,10 @@ fn encode_rr(buf: &mut BytesMut, rr: &ResourceRecord, compress: &mut HashMap<Str
             buf.put_u32(86_400);
             buf.put_u32(300);
         }
-        RecordData::Mx { preference, exchange } => {
+        RecordData::Mx {
+            preference,
+            exchange,
+        } => {
             buf.put_u16(*preference);
             encode_name(buf, exchange, compress);
         }
@@ -275,7 +282,8 @@ pub fn decode(data: &[u8]) -> Result<DnsMessage, WireError> {
     let an = read_u16(data, &mut pos)?;
     let ns = read_u16(data, &mut pos)?;
     let _ar = read_u16(data, &mut pos)?;
-    let rcode = Rcode::from_code((flags & 0xF) as u8).ok_or(WireError::BadRcode((flags & 0xF) as u8))?;
+    let rcode =
+        Rcode::from_code((flags & 0xF) as u8).ok_or(WireError::BadRcode((flags & 0xF) as u8))?;
     let mut msg = DnsMessage {
         id,
         is_response: flags & 0x8000 != 0,
@@ -338,7 +346,12 @@ fn decode_rr(data: &[u8], mut pos: usize) -> Result<(ResourceRecord, usize), Wir
             if rdlen != 4 {
                 return Err(WireError::BadRdLength);
             }
-            RecordData::A(Ipv4Addr::new(data[pos], data[pos + 1], data[pos + 2], data[pos + 3]))
+            RecordData::A(Ipv4Addr::new(
+                data[pos],
+                data[pos + 1],
+                data[pos + 2],
+                data[pos + 3],
+            ))
         }
         RecordType::Ns => {
             let (h, p) = decode_name(data, pos)?;
@@ -361,7 +374,11 @@ fn decode_rr(data: &[u8], mut pos: usize) -> Result<(ResourceRecord, usize), Wir
                 return Err(WireError::BadRdLength);
             }
             let serial = u32::from_be_bytes(data[p2..p2 + 4].try_into().unwrap());
-            RecordData::Soa { mname, rname, serial }
+            RecordData::Soa {
+                mname,
+                rname,
+                serial,
+            }
         }
         RecordType::Mx => {
             if rdlen < 3 {
@@ -372,7 +389,10 @@ fn decode_rr(data: &[u8], mut pos: usize) -> Result<(ResourceRecord, usize), Wir
             if p != rd_end {
                 return Err(WireError::BadRdLength);
             }
-            RecordData::Mx { preference, exchange }
+            RecordData::Mx {
+                preference,
+                exchange,
+            }
         }
         RecordType::Txt => {
             let mut text = String::new();
@@ -430,8 +450,7 @@ fn decode_name(data: &[u8], start: usize) -> Result<(Fqdn, usize), WireError> {
                 if pos + 2 > data.len() {
                     return Err(WireError::Truncated);
                 }
-                let target =
-                    (u16::from_be_bytes([data[pos] & 0x3F, data[pos + 1]])) as usize;
+                let target = (u16::from_be_bytes([data[pos] & 0x3F, data[pos + 1]])) as usize;
                 if target >= pos {
                     return Err(WireError::ForwardPointer);
                 }
@@ -565,7 +584,7 @@ mod tests {
         let mut raw = vec![0u8; 12];
         raw[4] = 0;
         raw[5] = 1; // one question
-        // name at offset 12: pointer to offset 12 (forward/self)
+                    // name at offset 12: pointer to offset 12 (forward/self)
         raw.extend_from_slice(&[0xC0, 12]);
         raw.extend_from_slice(&[0, 1, 0, 1]);
         assert_eq!(decode(&raw).unwrap_err(), WireError::ForwardPointer);
@@ -581,16 +600,16 @@ mod tests {
         raw[2] = 0x80; // response bit
         raw[5] = 1; // qdcount
         raw[7] = 2; // ancount
-        // question: "ab.cd" at offset 12
+                    // question: "ab.cd" at offset 12
         raw.extend_from_slice(&[2, b'a', b'b', 2, b'c', b'd', 0]);
         raw.extend_from_slice(&[0, 1, 0, 1]); // A IN
-        // answer 1: owner = pointer to offset 12
+                                              // answer 1: owner = pointer to offset 12
         let p1 = raw.len();
         raw.extend_from_slice(&[0xC0, 12]);
         raw.extend_from_slice(&[0, 1, 0, 1]); // A IN
         raw.extend_from_slice(&[0, 0, 1, 44]); // ttl 300
         raw.extend_from_slice(&[0, 4, 10, 0, 0, 1]); // rdlen 4, 10.0.0.1
-        // answer 2: owner = pointer to answer 1's pointer (two hops)
+                                                     // answer 2: owner = pointer to answer 1's pointer (two hops)
         raw.extend_from_slice(&[0xC0, p1 as u8]);
         raw.extend_from_slice(&[0, 1, 0, 1]); // A IN
         raw.extend_from_slice(&[0, 0, 1, 44]); // ttl 300

@@ -93,7 +93,12 @@ impl Zone {
 
     /// Builds a zone whose MX points at an external mail hosting provider
     /// (the concentrated mail servers of Figure 8 / Table 6).
-    pub fn hosted_mail(origin: &Fqdn, mx_host: &Fqdn, web_addr: Option<Ipv4Addr>, ttl: u32) -> Zone {
+    pub fn hosted_mail(
+        origin: &Fqdn,
+        mx_host: &Fqdn,
+        web_addr: Option<Ipv4Addr>,
+        ttl: u32,
+    ) -> Zone {
         let mut z = Zone::new(origin.clone());
         let apex = origin.to_string();
         z.add(ResourceRecord::mx(&apex, ttl, 10, &mx_host.to_string()));
@@ -145,7 +150,11 @@ mod tests {
         let z = Zone::catch_all(&n("exampel.com"), Ipv4Addr::new(1, 1, 1, 1), 300);
         // Any subdomain, any depth: the study collects typos sent to any
         // subdomain of its registered domains.
-        for sub in ["smtp.exampel.com", "mail.smtp.exampel.com", "xyz.exampel.com"] {
+        for sub in [
+            "smtp.exampel.com",
+            "mail.smtp.exampel.com",
+            "xyz.exampel.com",
+        ] {
             let mx = z.lookup(&n(sub), RecordType::Mx);
             assert_eq!(mx.len(), 1, "{sub}");
             assert!(mx[0].name.is_wildcard());
@@ -159,7 +168,11 @@ mod tests {
         // RFC 4592: a record of any type at the exact name blocks wildcard
         // synthesis for all types.
         let mut z = Zone::catch_all(&n("exampel.com"), Ipv4Addr::new(1, 1, 1, 1), 300);
-        z.add(ResourceRecord::a("www.exampel.com", 300, Ipv4Addr::new(2, 2, 2, 2)));
+        z.add(ResourceRecord::a(
+            "www.exampel.com",
+            300,
+            Ipv4Addr::new(2, 2, 2, 2),
+        ));
         let mx = z.lookup(&n("www.exampel.com"), RecordType::Mx);
         assert!(mx.is_empty(), "exact A node must shadow the wildcard MX");
         let a = z.lookup(&n("www.exampel.com"), RecordType::A);

@@ -80,9 +80,9 @@ impl NsAnalysis {
                 .unwrap()
                 .then_with(|| a.nameserver.cmp(&b.nameserver))
         });
-        let (c, t) = stats
-            .iter()
-            .fold((0usize, 0usize), |(c, t), s| (c + s.ctypo_count, t + s.total_count));
+        let (c, t) = stats.iter().fold((0usize, 0usize), |(c, t), s| {
+            (c + s.ctypo_count, t + s.total_count)
+        });
         NsAnalysis {
             stats,
             average_ratio: if t == 0 { 0.0 } else { c as f64 / t as f64 },
@@ -117,10 +117,9 @@ impl NsAnalysis {
                 .unwrap()
                 .then_with(|| x.nameserver.cmp(&y.nameserver))
         });
-        let (c, t) = a
-            .stats
-            .iter()
-            .fold((0usize, 0usize), |(c, t), s| (c + s.ctypo_count, t + s.total_count));
+        let (c, t) = a.stats.iter().fold((0usize, 0usize), |(c, t), s| {
+            (c + s.ctypo_count, t + s.total_count)
+        });
         a.average_ratio = if t == 0 { 0.0 } else { c as f64 / t as f64 };
         a
     }
@@ -155,8 +154,9 @@ mod tests {
             (n("site3.com"), n("ns1.clean.example")),
             (n("typo3.com"), n("ns1.clean.example")),
         ];
-        let ctypos: HashSet<Fqdn> =
-            [n("typo1.com"), n("typo2.com"), n("typo3.com")].into_iter().collect();
+        let ctypos: HashSet<Fqdn> = [n("typo1.com"), n("typo2.com"), n("typo3.com")]
+            .into_iter()
+            .collect();
         let a = NsAnalysis::run(&rows, &ctypos, 1);
         assert_eq!(a.stats[0].nameserver, n("ns1.dirty.example"));
         assert!((a.stats[0].typo_ratio() - 2.0 / 3.0).abs() < 1e-12);
@@ -220,15 +220,24 @@ mod tests {
             (n("typo2.com"), n("ns1.dirty.example")),
             (n("typo3.com"), n("ns1.clean.example")),
         ];
-        let ctypos: HashSet<Fqdn> =
-            [n("typo1.com"), n("typo2.com"), n("typo3.com")].into_iter().collect();
+        let ctypos: HashSet<Fqdn> = [n("typo1.com"), n("typo2.com"), n("typo3.com")]
+            .into_iter()
+            .collect();
         let background = vec![
             (n("ns1.clean.example"), 997usize),
             (n("ns1.dirty.example"), 2usize),
         ];
         let a = NsAnalysis::run_with_background(&rows, &ctypos, &background, 1);
-        let dirty = a.stats.iter().find(|s| s.nameserver == n("ns1.dirty.example")).unwrap();
-        let clean = a.stats.iter().find(|s| s.nameserver == n("ns1.clean.example")).unwrap();
+        let dirty = a
+            .stats
+            .iter()
+            .find(|s| s.nameserver == n("ns1.dirty.example"))
+            .unwrap();
+        let clean = a
+            .stats
+            .iter()
+            .find(|s| s.nameserver == n("ns1.clean.example"))
+            .unwrap();
         assert!((dirty.typo_ratio() - 0.5).abs() < 1e-12);
         assert!(clean.typo_ratio() < 0.01);
         assert!(a.average_ratio < 0.05, "avg {}", a.average_ratio);

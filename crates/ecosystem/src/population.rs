@@ -246,9 +246,10 @@ impl World {
         let mx_providers: Vec<Fqdn> = MX_PROVIDERS
             .iter()
             .map(|(d, _, _)| d.parse::<Fqdn>().expect("static"))
-            .chain((0..MID_TIER_MX).map(|i| {
-                format!("mailhost-{i}.example").parse().expect("generated")
-            }))
+            .chain(
+                (0..MID_TIER_MX)
+                    .map(|i| format!("mailhost-{i}.example").parse().expect("generated")),
+            )
             .collect();
 
         // --- registrants with Zipf-sized portfolios -------------------
@@ -293,8 +294,7 @@ impl World {
 
         // --- register benign filler sites (the targets themselves) ----
         let fillers: Vec<(Registration, Zone)> = par_map(&targets, |rank, t| {
-            let mut rng =
-                derive_rng(config.seed, stream::POPULATION_BACKGROUND, rank as u64);
+            let mut rng = derive_rng(config.seed, stream::POPULATION_BACKGROUND, rank as u64);
             let fq = Fqdn::from_domain(t);
             let zone = Zone::hosted_mail(
                 &fq,
@@ -548,7 +548,10 @@ fn prepare_ctypo(
                 // Defensive registrations point at the owner, park the web
                 // host, and rarely run mail.
                 (
-                    synth_whois(2_000_000 + (owner_hash(&cand.target) % 100_000) as usize, rng),
+                    synth_whois(
+                        2_000_000 + (owner_hash(&cand.target) % 100_000) as usize,
+                        rng,
+                    ),
                     false,
                     ns_providers[ns_providers.len() - 1].clone(),
                     None,
@@ -556,7 +559,10 @@ fn prepare_ctypo(
                 )
             }
             DomainClass::BenignCollision => (
-                synth_whois(3_000_000 + (owner_hash(&cand.domain) % 100_000) as usize, rng),
+                synth_whois(
+                    3_000_000 + (owner_hash(&cand.domain) % 100_000) as usize,
+                    rng,
+                ),
                 rng.gen_bool(0.2),
                 ns_providers[rng.gen_range(0..ns_providers.len())].clone(),
                 rng.gen_bool(0.3).then(|| mx_providers[8].clone()),
@@ -569,7 +575,10 @@ fn prepare_ctypo(
             DomainClass::Typosquatting => {
                 let r = &registrants[owner];
                 let mx = r.mx_provider.map(|i| mx_providers[i].clone());
-                let top_tier = r.mx_provider.map(|i| i < MX_PROVIDERS.len()).unwrap_or(false);
+                let top_tier = r
+                    .mx_provider
+                    .map(|i| i < MX_PROVIDERS.len())
+                    .unwrap_or(false);
                 let smtp = sample_smtp_profile(r.archetype, mx.is_some(), top_tier, rng);
                 (
                     r.whois.clone(),
@@ -602,7 +611,11 @@ fn prepare_ctypo(
                 Some(ip_for(owner_hash(&cand.domain), 4)),
                 300,
             )),
-            (None, _) => Some(Zone::catch_all(&fq, ip_for(owner_hash(&cand.domain), 5), 300)),
+            (None, _) => Some(Zone::catch_all(
+                &fq,
+                ip_for(owner_hash(&cand.domain), 5),
+                300,
+            )),
         }
     };
 
@@ -748,12 +761,7 @@ fn owner_hash(d: impl std::fmt::Display) -> u64 {
 
 fn ip_for(seed: u64, salt: u64) -> Ipv4Addr {
     let h = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(salt);
-    Ipv4Addr::new(
-        10,
-        (h >> 16) as u8,
-        (h >> 8) as u8,
-        (h as u8).max(1),
-    )
+    Ipv4Addr::new(10, (h >> 16) as u8, (h >> 8) as u8, (h as u8).max(1))
 }
 
 #[cfg(test)]
@@ -781,8 +789,16 @@ mod tests {
     fn different_seeds_differ() {
         let a = World::build(PopulationConfig::tiny(7));
         let b = World::build(PopulationConfig::tiny(8));
-        let a_names: Vec<_> = a.ctypos.iter().map(|c| c.candidate.domain.as_str().to_owned()).collect();
-        let b_names: Vec<_> = b.ctypos.iter().map(|c| c.candidate.domain.as_str().to_owned()).collect();
+        let a_names: Vec<_> = a
+            .ctypos
+            .iter()
+            .map(|c| c.candidate.domain.as_str().to_owned())
+            .collect();
+        let b_names: Vec<_> = b
+            .ctypos
+            .iter()
+            .map(|c| c.candidate.domain.as_str().to_owned())
+            .collect();
         assert_ne!(a_names, b_names);
     }
 
@@ -807,12 +823,8 @@ mod tests {
     #[test]
     fn popular_targets_attract_more_ctypos() {
         let w = tiny_world();
-        let count_for = |t: &DomainName| {
-            w.ctypos
-                .iter()
-                .filter(|c| &c.candidate.target == t)
-                .count()
-        };
+        let count_for =
+            |t: &DomainName| w.ctypos.iter().filter(|c| &c.candidate.target == t).count();
         let top = count_for(&w.targets[0]);
         let bottom = count_for(&w.targets[w.targets.len() - 1]);
         assert!(
@@ -876,8 +888,7 @@ mod tests {
             .take(20)
             .collect();
         assert!(!hosted.is_empty());
-        let provider_names: Vec<String> =
-            w.mx_providers.iter().map(|p| p.to_string()).collect();
+        let provider_names: Vec<String> = w.mx_providers.iter().map(|p| p.to_string()).collect();
         let mut saw_provider = false;
         for c in hosted {
             if let Some(mx) = resolver.mx_domain(&Fqdn::from_domain(&c.candidate.domain)) {
@@ -886,7 +897,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_provider, "no hosted ctypo resolved to a Table-6 provider");
+        assert!(
+            saw_provider,
+            "no hosted ctypo resolved to a Table-6 provider"
+        );
     }
 
     #[test]

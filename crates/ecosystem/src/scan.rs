@@ -103,7 +103,12 @@ impl SupportCensus {
                 } else {
                     format!("{pa:.1}")
                 };
-                (cat.to_string(), self.counts[i], self.percent_total(*cat), pa_s)
+                (
+                    cat.to_string(),
+                    self.counts[i],
+                    self.percent_total(*cat),
+                    pa_s,
+                )
             })
             .collect()
     }
@@ -115,7 +120,12 @@ impl SupportCensus {
 /// should build one [`World::resolver`] and use
 /// [`classify_with_resolver`], since constructing a resolver clones the
 /// registry.
-pub fn classify_domain(world: &World, domain: &Fqdn, smtp: SmtpProfile, has_zone: bool) -> SmtpSupport {
+pub fn classify_domain(
+    world: &World,
+    domain: &Fqdn,
+    smtp: SmtpProfile,
+    has_zone: bool,
+) -> SmtpSupport {
     classify_with_resolver(&world.resolver(), domain, smtp, has_zone)
 }
 
@@ -133,9 +143,9 @@ pub fn classify_with_resolver(
     match resolver.resolve_mail(domain) {
         MailTarget::NxDomain | MailTarget::Unreachable => SmtpSupport::NoMxOrA,
         MailTarget::Mx(_) | MailTarget::ImplicitA(_) => match smtp {
-            SmtpProfile::NoListener
-            | SmtpProfile::SilentTimeout
-            | SmtpProfile::ConnectionReset => SmtpSupport::NoEmailSupport,
+            SmtpProfile::NoListener | SmtpProfile::SilentTimeout | SmtpProfile::ConnectionReset => {
+                SmtpSupport::NoEmailSupport
+            }
             SmtpProfile::PlainOnly | SmtpProfile::BounceAll => SmtpSupport::EmailNoStarttls,
             SmtpProfile::StarttlsBroken => SmtpSupport::StarttlsWithErrors,
             SmtpProfile::StarttlsOk => SmtpSupport::StarttlsOk,
@@ -191,7 +201,10 @@ mod tests {
         });
         let census = scan_world(&w);
         let email_share = census.supports_email_share();
-        assert!(email_share > 0.15 && email_share < 0.7, "email share {email_share}");
+        assert!(
+            email_share > 0.15 && email_share < 0.7,
+            "email share {email_share}"
+        );
         let no_info = census.percent_total(SmtpSupport::NoInfo);
         assert!(no_info > 20.0 && no_info < 50.0, "no-info {no_info}%");
         // STARTTLS-ok beats plain-only among capable domains.

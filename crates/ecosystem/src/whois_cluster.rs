@@ -186,7 +186,11 @@ pub fn cluster_registrants(rows: &[WhoisRow]) -> Vec<Cluster> {
             Cluster { domains }
         })
         .collect();
-    clusters.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.domains.cmp(&b.domains)));
+    clusters.sort_by(|a, b| {
+        b.len()
+            .cmp(&a.len())
+            .then_with(|| a.domains.cmp(&b.domains))
+    });
     clusters
 }
 
@@ -284,10 +288,7 @@ mod tests {
         let mut w2 = identity(5);
         w2.registrant_name = Some("Different Name".to_owned());
         w2.fax = None; // 4 fields still match
-        let rows = vec![
-            row("a.com", identity(5), false),
-            row("b.com", w2, false),
-        ];
+        let rows = vec![row("a.com", identity(5), false), row("b.com", w2, false)];
         let clusters = cluster_registrants(&rows);
         assert_eq!(clusters.len(), 1);
         assert_eq!(clusters[0].len(), 2);
@@ -365,8 +366,12 @@ mod tests {
         // every shared-field bucket they are separated by spoiler rows that
         // match neither, so the old anchor+adjacent-windows passes never
         // compared them. Exact within-bucket comparison must merge them.
-        let rec = |name: &str, org: &str, email: Option<&str>, phone: Option<&str>,
-                   fax: Option<&str>, addr: Option<&str>| WhoisRecord {
+        let rec = |name: &str,
+                   org: &str,
+                   email: Option<&str>,
+                   phone: Option<&str>,
+                   fax: Option<&str>,
+                   addr: Option<&str>| WhoisRecord {
             registrant_name: Some(name.to_owned()),
             organization: Some(org.to_owned()),
             email: email.map(str::to_owned),
@@ -378,15 +383,47 @@ mod tests {
         let d = rec("D", "OD", Some("x@x"), Some("p"), Some("f"), Some("a"));
         assert_eq!(b.matching_fields(&d), 4);
         let rows = vec![
-            row("se-a.com", rec("sea", "osea", Some("x@x"), Some("psea"), None, None), false),
-            row("sp-a.com", rec("spa", "ospa", Some("espa"), Some("p"), None, None), false),
-            row("sf-a.com", rec("sfa", "osfa", Some("esfa"), None, Some("f"), None), false),
-            row("sa-a.com", rec("saa", "osaa", Some("esaa"), None, None, Some("a")), false),
+            row(
+                "se-a.com",
+                rec("sea", "osea", Some("x@x"), Some("psea"), None, None),
+                false,
+            ),
+            row(
+                "sp-a.com",
+                rec("spa", "ospa", Some("espa"), Some("p"), None, None),
+                false,
+            ),
+            row(
+                "sf-a.com",
+                rec("sfa", "osfa", Some("esfa"), None, Some("f"), None),
+                false,
+            ),
+            row(
+                "sa-a.com",
+                rec("saa", "osaa", Some("esaa"), None, None, Some("a")),
+                false,
+            ),
             row("b.com", b, false),
-            row("se-b.com", rec("seb", "oseb", Some("x@x"), Some("pseb"), None, None), false),
-            row("sp-b.com", rec("spb", "ospb", Some("espb"), Some("p"), None, None), false),
-            row("sf-b.com", rec("sfb", "osfb", Some("esfb"), None, Some("f"), None), false),
-            row("sa-b.com", rec("sab", "osab", Some("esab"), None, None, Some("a")), false),
+            row(
+                "se-b.com",
+                rec("seb", "oseb", Some("x@x"), Some("pseb"), None, None),
+                false,
+            ),
+            row(
+                "sp-b.com",
+                rec("spb", "ospb", Some("espb"), Some("p"), None, None),
+                false,
+            ),
+            row(
+                "sf-b.com",
+                rec("sfb", "osfb", Some("esfb"), None, Some("f"), None),
+                false,
+            ),
+            row(
+                "sa-b.com",
+                rec("sab", "osab", Some("esab"), None, None, Some("a")),
+                false,
+            ),
             row("d.com", d, false),
         ];
         let clusters = cluster_registrants(&rows);
@@ -397,8 +434,12 @@ mod tests {
     #[test]
     fn cumulative_curve() {
         let clusters = vec![
-            Cluster { domains: vec![n("a.com"), n("b.com"), n("c.com")] },
-            Cluster { domains: vec![n("d.com")] },
+            Cluster {
+                domains: vec![n("a.com"), n("b.com"), n("c.com")],
+            },
+            Cluster {
+                domains: vec![n("d.com")],
+            },
         ];
         let curve = cumulative_ownership(&clusters);
         assert_eq!(curve, vec![0.75, 1.0]);

@@ -87,10 +87,7 @@ impl Lab {
                     ..PopulationConfig::default()
                 }
             };
-            eprintln!(
-                "[lab] building world ({} targets)...",
-                config.n_targets
-            );
+            eprintln!("[lab] building world ({} targets)...", config.n_targets);
             let world = self.time_stage("world_build", || World::build(config));
             self.record_count("world_targets", world.targets.len() as u64);
             self.record_count("world_ctypos", world.ctypos.len() as u64);
@@ -104,7 +101,11 @@ impl Lab {
             let infra = CollectionInfra::build();
             let config = TrafficConfig {
                 seed: self.seed,
-                spam_scale: if self.fast { 1.0 / 20_000.0 } else { 1.0 / 1_000.0 },
+                spam_scale: if self.fast {
+                    1.0 / 20_000.0
+                } else {
+                    1.0 / 1_000.0
+                },
                 ..TrafficConfig::default()
             };
             let spam_scale = config.spam_scale;
@@ -120,10 +121,14 @@ impl Lab {
                     .map(|e| e.collected)
                     .collect()
             });
-            eprintln!("[lab] running the funnel over {} emails...", collected.len());
+            eprintln!(
+                "[lab] running the funnel over {} emails...",
+                collected.len()
+            );
             self.record_count("traffic_emails", collected.len() as u64);
-            let verdicts =
-                self.time_stage("funnel_classify", || Funnel::new(&infra).classify_all(&collected));
+            let verdicts = self.time_stage("funnel_classify", || {
+                Funnel::new(&infra).classify_all(&collected)
+            });
             self.record_count(
                 "funnel_true_typos",
                 verdicts.iter().filter(|v| v.is_true_typo()).count() as u64,
@@ -141,7 +146,10 @@ impl Lab {
     pub fn write_json(&self, name: &str, value: &serde_json::Value) {
         let _guard = self.log.lock();
         let path = format!("{}/{name}.json", self.out_dir);
-        match std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializable")) {
+        match std::fs::write(
+            &path,
+            serde_json::to_string_pretty(value).expect("serializable"),
+        ) {
             Ok(()) => eprintln!("[lab] wrote {path}"),
             Err(e) => eprintln!("[lab] cannot write {path}: {e}"),
         }

@@ -27,6 +27,8 @@
 //! Each experiment prints the paper-shaped rows and writes a JSON record
 //! under `--out` (default `results/`).
 
+#![forbid(unsafe_code)]
+
 mod lab;
 mod microbench;
 mod report;

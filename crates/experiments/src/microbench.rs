@@ -35,7 +35,9 @@ fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
 
 fn record(name: &'static str, legacy_seconds: f64, new_seconds: f64) -> Microbench {
     let speedup = legacy_seconds / new_seconds.max(1e-12);
-    eprintln!("[microbench] {name}: legacy {legacy_seconds:.3}s, new {new_seconds:.3}s ({speedup:.1}x)");
+    eprintln!(
+        "[microbench] {name}: legacy {legacy_seconds:.3}s, new {new_seconds:.3}s ({speedup:.1}x)"
+    );
     Microbench {
         name,
         legacy_seconds,

@@ -59,7 +59,10 @@ pub fn table2(lab: &Lab) {
         }));
     }
     print_table(&["Sensitive info", "F1-score", "Prec.", "Sens."], &rows);
-    lab.write_json("table2", &json!({ "rows": out, "corpus_size": corpus.len() }));
+    lab.write_json(
+        "table2",
+        &json!({ "rows": out, "corpus_size": corpus.len() }),
+    );
 }
 
 fn fmt(v: Option<f64>) -> String {
@@ -81,11 +84,7 @@ pub fn table3(lab: &Lab) {
             confusion.record(scorer.is_spam(&email.message), email.spam);
         }
         let s = confusion.scores();
-        rows.push(vec![
-            ds.name().to_owned(),
-            fmt(s.precision),
-            fmt(s.recall),
-        ]);
+        rows.push(vec![ds.name().to_owned(), fmt(s.precision), fmt(s.recall)]);
         out.push(json!({
             "dataset": ds.name(),
             "precision": s.precision,
@@ -115,7 +114,11 @@ fn daily_figure(lab: &Lab, smtp_side: bool, name: &str) {
     let typo: Vec<usize> = series.iter().map(|d| d.true_typos).collect();
     println!(
         "daily {} emails, {} collection days (spam at 1/{:.0} scale)",
-        if smtp_side { "SMTP-typo" } else { "receiver-typo" },
+        if smtp_side {
+            "SMTP-typo"
+        } else {
+            "receiver-typo"
+        },
         series.len(),
         1.0 / c.spam_scale
     );
@@ -204,7 +207,11 @@ pub fn volumes(lab: &Lab) {
     let analysis = StudyAnalysis::new(&c.infra, &c.collected, &c.verdicts, c.spam_scale);
     let v = analysis.volumes();
     let rows = vec![
-        vec!["total emails/yr".to_owned(), thousands(v.total), "118,894,960".to_owned()],
+        vec![
+            "total emails/yr".to_owned(),
+            thousands(v.total),
+            "118,894,960".to_owned(),
+        ],
         vec![
             "receiver/reflection candidates/yr".to_owned(),
             thousands(v.receiver_candidates),
@@ -227,7 +234,11 @@ pub fn volumes(lab: &Lab) {
         ],
         vec![
             "SMTP typos/yr (range)".to_owned(),
-            format!("{} – {}", thousands(v.smtp_range.0), thousands(v.smtp_range.1)),
+            format!(
+                "{} – {}",
+                thousands(v.smtp_range.0),
+                thousands(v.smtp_range.1)
+            ),
             "415 – 5,970".to_owned(),
         ],
         vec![

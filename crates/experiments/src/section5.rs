@@ -71,9 +71,7 @@ pub fn fig8(lab: &Lab) {
         format!("{:.1}%", conc.top_share(one_pct) * 100.0),
     ]);
     print_table(&["Mail servers", "Share of ctypos"], &rows);
-    println!(
-        "paper: top 11 serve >1/3; 51 serve the majority; <1% serve >74%"
-    );
+    println!("paper: top 11 serve >1/3; 51 serve the majority; <1% serve >74%");
 
     // --- registrant concentration --------------------------------------
     let whois_rows: Vec<WhoisRow> = world
@@ -110,12 +108,7 @@ pub fn fig8(lab: &Lab) {
     // --- suspicious name servers ---------------------------------------
     let zone_file = world.registry.zone_file();
     let ctypo_set: HashSet<Fqdn> = domains.iter().cloned().collect();
-    let ns = NsAnalysis::run_with_background(
-        &zone_file,
-        &ctypo_set,
-        &world.ns_customer_base,
-        10,
-    );
+    let ns = NsAnalysis::run_with_background(&zone_file, &ctypo_set, &world.ns_customer_base, 10);
     println!(
         "\naverage NS typo ratio: {:.1}% (paper: ≈4%)",
         ns.average_ratio * 100.0

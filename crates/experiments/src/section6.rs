@@ -92,8 +92,7 @@ fn mistake_popularity(lab: &Lab) -> MistakeTypePopularity {
     }
     // Normalize to "relative popularity": mean 1 across all ctypos, the
     // way Figure 9 plots Alexa traffic relative to sibling typos.
-    let mean: f64 =
-        samples.iter().map(|(_, v)| v).sum::<f64>() / samples.len().max(1) as f64;
+    let mean: f64 = samples.iter().map(|(_, v)| v).sum::<f64>() / samples.len().max(1) as f64;
     for (_, v) in &mut samples {
         *v /= mean.max(1e-300);
     }
@@ -124,10 +123,7 @@ pub fn regression(lab: &Lab) {
         else {
             continue;
         };
-        if !matches!(
-            d.purpose,
-            ets_core::taxonomy::CollectionPurpose::Provider
-        ) {
+        if !matches!(d.purpose, ets_core::taxonomy::CollectionPurpose::Provider) {
             continue;
         }
         let y = yearly.get(d.domain()).copied().unwrap_or(0.0);

@@ -51,11 +51,7 @@ pub fn table6(lab: &Lab) {
     let world = lab.world();
     let report = run_probe(lab);
     let resolver = world.resolver();
-    let accepted: Vec<Fqdn> = report
-        .accepted
-        .iter()
-        .map(Fqdn::from_domain)
-        .collect();
+    let accepted: Vec<Fqdn> = report.accepted.iter().map(Fqdn::from_domain).collect();
     let conc = MxConcentration::measure(&resolver, accepted.iter());
     let rows: Vec<Vec<String>> = conc
         .table6_rows(10)
@@ -74,7 +70,11 @@ pub fn table6(lab: &Lab) {
                 count.to_string(),
                 format!("{pct:.1}"),
                 format!("{cdf:.1}"),
-                if private { "Yes".to_owned() } else { "No".to_owned() },
+                if private {
+                    "Yes".to_owned()
+                } else {
+                    "No".to_owned()
+                },
             ]
         })
         .collect();
@@ -113,10 +113,7 @@ pub fn honey(lab: &Lab) {
     // Main run: every accepting domain, all four designs.
     let main = campaign.run(&probe.accepted);
     let ms = main.monitor.summary();
-    println!(
-        "main run: {} emails to {} domains",
-        main.sent, main.domains
-    );
+    println!("main run: {} emails to {} domains", main.sent, main.domains);
     println!(
         "  emails opened: {} (on {} domains; paper: 15 emails)",
         ms.opens, ms.domains_read

@@ -95,11 +95,7 @@ impl BehaviorModel {
     /// Samples what a recipient does with one delivered honey email.
     /// `key` should be unique per email. Returns open delay (hours) and
     /// whether the honey resource gets accessed, plus reopen events.
-    pub fn sample_actions(
-        &self,
-        behavior: ReaderBehavior,
-        key: u64,
-    ) -> Vec<ReaderAction> {
+    pub fn sample_actions(&self, behavior: ReaderBehavior, key: u64) -> Vec<ReaderAction> {
         let mut rng = ChaCha8Rng::seed_from_u64(key ^ self.seed.rotate_left(17));
         let mut out = Vec::new();
         if !rng.gen_bool(behavior.open_prob.clamp(0.0, 1.0)) {

@@ -206,7 +206,9 @@ impl<'a> HoneyCampaign<'a> {
                 // the send itself succeeds; what matters is what happens
                 // after.
                 sent += 1;
-                let actions = self.behavior.sample_actions(b, token ^ fnv(domain.as_str()));
+                let actions = self
+                    .behavior
+                    .sample_actions(b, token ^ fnv(domain.as_str()));
                 for a in actions {
                     let kind = match (a.kind, design) {
                         (ActionKind::Open, HoneyDesign::PaymentDocx) => AccessKind::DocxBeacon,

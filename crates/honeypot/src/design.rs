@@ -66,11 +66,15 @@ pub fn build(design: HoneyDesign, to_domain: &DomainName, token: u64) -> HoneyEm
     let pixel = format!("<img src=\"{pixel_url}\" width=1 height=1>");
     let rcpt_local = pick_local(token);
     let to = format!("{rcpt_local}@{to_domain}");
-    let (subject, body, honey_resource, attach): (String, String, Option<String>, Option<(String, String)>) =
-        match design {
-            HoneyDesign::WebmailCredentials => {
-                let account = format!("taxreturns.helper+{token}@bigwebmail.example");
-                (
+    let (subject, body, honey_resource, attach): (
+        String,
+        String,
+        Option<String>,
+        Option<(String, String)>,
+    ) = match design {
+        HoneyDesign::WebmailCredentials => {
+            let account = format!("taxreturns.helper+{token}@bigwebmail.example");
+            (
                     "your new mailbox".to_owned(),
                     format!(
                         "Hey,\n\nI set up the shared mailbox we talked about.\nLogin: {account}\npassword: Spring2017!{}\n\nDelete this after you log in.\n{pixel}",
@@ -79,10 +83,10 @@ pub fn build(design: HoneyDesign, to_domain: &DomainName, token: u64) -> HoneyEm
                     Some(account),
                     None,
                 )
-            }
-            HoneyDesign::ShellCredentials => {
-                let account = format!("deploy{}@build-box.example", token % 1000);
-                (
+        }
+        HoneyDesign::ShellCredentials => {
+            let account = format!("deploy{}@build-box.example", token % 1000);
+            (
                     "ssh access".to_owned(),
                     format!(
                         "As requested:\nhost: build-box.example\nusername: deploy{}\npassword: hunter{}!\n\nPing me if the key does not work.\n{pixel}",
@@ -92,10 +96,10 @@ pub fn build(design: HoneyDesign, to_domain: &DomainName, token: u64) -> HoneyEm
                     Some(account),
                     None,
                 )
-            }
-            HoneyDesign::SharedTaxDocument => {
-                let url = format!("https://docshare.example/d/tax-{token}");
-                (
+        }
+        HoneyDesign::SharedTaxDocument => {
+            let url = format!("https://docshare.example/d/tax-{token}");
+            (
                     "2016 tax forms".to_owned(),
                     format!(
                         "Hi,\n\nthe accountant uploaded the 2016 tax documents here:\n{url}\n\nPlease check the W-2 figures before Friday.\n{pixel}"
@@ -103,24 +107,28 @@ pub fn build(design: HoneyDesign, to_domain: &DomainName, token: u64) -> HoneyEm
                     Some(url),
                     None,
                 )
-            }
-            HoneyDesign::PaymentDocx => {
-                let beacon = format!("http://cdn-metrics.example/doc/{token}.png");
-                (
-                    "updated payment details".to_owned(),
-                    format!(
-                        "Hello,\n\nthe updated payment information is attached.\n\nRegards\n{pixel}"
-                    ),
-                    Some(beacon.clone()),
-                    Some((
-                        "payment-details.docx".to_owned(),
-                        format!("REMOTE:{beacon}\nBeneficiary: Acme Supplies\nIBAN: XX00 0000 {token}"),
-                    )),
-                )
-            }
-        };
+        }
+        HoneyDesign::PaymentDocx => {
+            let beacon = format!("http://cdn-metrics.example/doc/{token}.png");
+            (
+                "updated payment details".to_owned(),
+                format!(
+                    "Hello,\n\nthe updated payment information is attached.\n\nRegards\n{pixel}"
+                ),
+                Some(beacon.clone()),
+                Some((
+                    "payment-details.docx".to_owned(),
+                    format!("REMOTE:{beacon}\nBeneficiary: Acme Supplies\nIBAN: XX00 0000 {token}"),
+                )),
+            )
+        }
+    };
     let mut builder = MessageBuilder::new()
-        .raw_from(&format!("{} <{}@plausible-sender.example>", sender_name(token), sender_name(token)))
+        .raw_from(&format!(
+            "{} <{}@plausible-sender.example>",
+            sender_name(token),
+            sender_name(token)
+        ))
         .raw_to(&to)
         .subject(&subject)
         .date("Thu, 15 Jun 2017 10:00:00 +0000")
@@ -142,7 +150,14 @@ pub fn build(design: HoneyDesign, to_domain: &DomainName, token: u64) -> HoneyEm
 
 fn pick_local(token: u64) -> &'static str {
     const LOCALS: [&str; 8] = [
-        "john.smith", "accounting", "m.jones", "sarah.g", "office", "k.chen", "dpatel", "maria",
+        "john.smith",
+        "accounting",
+        "m.jones",
+        "sarah.g",
+        "office",
+        "k.chen",
+        "dpatel",
+        "maria",
     ];
     LOCALS[(token % LOCALS.len() as u64) as usize]
 }
@@ -166,7 +181,12 @@ mod tests {
             let h = build(design, &d("outfook.com"), i as u64 + 1);
             assert_eq!(h.design, design);
             assert!(h.message.body.contains("cdn-metrics.example/px/"));
-            assert!(h.message.to_addr().unwrap().domain().ends_with("outfook.com"));
+            assert!(h
+                .message
+                .to_addr()
+                .unwrap()
+                .domain()
+                .ends_with("outfook.com"));
         }
     }
 
@@ -190,7 +210,10 @@ mod tests {
     fn docx_design_attaches_beaconing_document() {
         let h = build(HoneyDesign::PaymentDocx, &d("x.com"), 9);
         assert_eq!(h.message.attachments.len(), 1);
-        assert_eq!(h.message.attachments[0].extension().as_deref(), Some("docx"));
+        assert_eq!(
+            h.message.attachments[0].extension().as_deref(),
+            Some("docx")
+        );
         let text = String::from_utf8_lossy(&h.message.attachments[0].data);
         assert!(text.contains("REMOTE:http://cdn-metrics.example/doc/9.png"));
     }
@@ -198,7 +221,11 @@ mod tests {
     #[test]
     fn tax_document_links_monitored_service() {
         let h = build(HoneyDesign::SharedTaxDocument, &d("x.com"), 11);
-        assert!(h.honey_resource.as_deref().unwrap().contains("docshare.example"));
+        assert!(h
+            .honey_resource
+            .as_deref()
+            .unwrap()
+            .contains("docshare.example"));
         assert!(h.message.body.contains("docshare.example/d/tax-11"));
     }
 

@@ -82,7 +82,9 @@ impl Monitor {
     /// Events within the logging window (the paper logged shell access
     /// only to July 1, other resources to September 14).
     pub fn events_before(&self, hours: f64) -> impl Iterator<Item = &AccessEvent> {
-        self.events.iter().filter(move |e| e.hours_after_send <= hours)
+        self.events
+            .iter()
+            .filter(move |e| e.hours_after_send <= hours)
     }
 
     /// Aggregates the §7.2 summary.

@@ -1,0 +1,140 @@
+//! The `panic-in-library` ratchet budget.
+//!
+//! `crates/lint/panic_budget.json` records, per crate, how many
+//! warn-tier panic sites the tree is *allowed* to contain. A crate over
+//! budget is a deny-tier failure; a crate under budget asks for the
+//! file to be ratcheted down (`ets-lint --update-budget` rewrites it).
+//! The self-lint test asserts the file matches the tree exactly, so the
+//! budget can only move together with the code — debt is paid off, never
+//! silently re-accrued.
+
+use std::collections::BTreeMap;
+
+/// Parses the budget file: a flat JSON object `{"crate": count, ...}`.
+/// Hand-rolled (the crate is dependency-free); tolerates arbitrary
+/// whitespace, rejects anything that isn't a flat string→integer map.
+pub fn parse(src: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut map = BTreeMap::new();
+    let mut chars = src.chars().peekable();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    };
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("budget file must start with '{'".into());
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {
+                chars.next();
+                let mut key = String::new();
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        break;
+                    }
+                    key.push(c);
+                }
+                skip_ws(&mut chars);
+                if chars.next() != Some(':') {
+                    return Err(format!("expected ':' after key {key:?}"));
+                }
+                skip_ws(&mut chars);
+                let mut num = String::new();
+                while let Some(&c) = chars.peek().filter(|c| c.is_ascii_digit()) {
+                    num.push(c);
+                    chars.next();
+                }
+                let n: usize = num
+                    .parse()
+                    .map_err(|_| format!("bad count for {key:?}: {num:?}"))?;
+                map.insert(key, n);
+                skip_ws(&mut chars);
+                if chars.peek() == Some(&',') {
+                    chars.next();
+                }
+            }
+            other => return Err(format!("unexpected {other:?} in budget file")),
+        }
+    }
+    Ok(map)
+}
+
+/// Renders a budget map back to the canonical file format.
+pub fn render(map: &BTreeMap<String, usize>) -> String {
+    if map.is_empty() {
+        return "{}\n".to_string();
+    }
+    let mut s = String::from("{\n");
+    for (i, (k, v)) in map.iter().enumerate() {
+        s.push_str(&format!(
+            "  {}: {}{}\n",
+            crate::json_str(k),
+            v,
+            if i + 1 < map.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Compares actual warn counts against the budget. Returns
+/// `(violations, ratchet_hints)`: crates over budget (deny) and crates
+/// under budget (the file should be ratcheted down).
+pub fn check(
+    budget: &BTreeMap<String, usize>,
+    actual: &BTreeMap<String, usize>,
+) -> (Vec<String>, Vec<String>) {
+    let mut over = Vec::new();
+    let mut under = Vec::new();
+    let mut crates: Vec<&String> = budget.keys().chain(actual.keys()).collect();
+    crates.sort();
+    crates.dedup();
+    for name in crates {
+        let allowed = budget.get(name).copied().unwrap_or(0);
+        let have = actual.get(name).copied().unwrap_or(0);
+        if have > allowed {
+            over.push(format!(
+                "crate `{name}` has {have} panic-in-library sites, budget allows {allowed}"
+            ));
+        } else if have < allowed {
+            under.push(format!(
+                "crate `{name}` is under budget ({have} < {allowed}): ratchet panic_budget.json down"
+            ));
+        }
+    }
+    (over, under)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let src = "{\n  \"ets-core\": 12,\n  \"ets-mail\": 3\n}\n";
+        let map = parse(src).unwrap();
+        assert_eq!(map.get("ets-core"), Some(&12));
+        assert_eq!(render(&map), src);
+        assert_eq!(parse("{}").unwrap().len(), 0);
+        assert!(parse("[1]").is_err());
+    }
+
+    #[test]
+    fn check_over_and_under() {
+        let budget = parse(r#"{"a": 2, "b": 5}"#).unwrap();
+        let mut actual = BTreeMap::new();
+        actual.insert("a".to_string(), 4);
+        actual.insert("b".to_string(), 1);
+        actual.insert("c".to_string(), 1);
+        let (over, under) = check(&budget, &actual);
+        assert_eq!(over.len(), 2); // a over, c unbudgeted
+        assert_eq!(under.len(), 1); // b under
+    }
+}

@@ -1,0 +1,585 @@
+//! A hand-written Rust lexer producing a flat token stream with
+//! line/column positions.
+//!
+//! This is not a full-fidelity Rust lexer — it is exactly faithful
+//! enough for token-pattern analysis: identifiers, literals (including
+//! raw/byte strings and nested block comments), multi-character
+//! operators under maximal munch, and delimiters. Comments are not
+//! emitted as tokens; line comments are collected separately so the
+//! rule engine can read `ets-lint: allow(...)` pragmas.
+
+/// Token kind. Delimiters are distinguished so rules can do cheap
+/// depth tracking and brace matching on the flat stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `r#type`, ...).
+    Ident,
+    /// Numeric literal; `text` keeps the raw spelling for float sniffing.
+    Number,
+    /// String literal of any flavour (`".."`, `r#".."#`, `b".."`).
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Operator / punctuation, maximal munch (`::`, `+=`, `..=`, `.`).
+    Punct,
+    /// `(` `[` `{`
+    Open(Delim),
+    /// `)` `]` `}`
+    Close(Delim),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    Paren,
+    Bracket,
+    Brace,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in chars).
+    pub col: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A line comment captured during lexing (for pragma extraction).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            // Multi-byte UTF-8 continuation bytes don't advance the column.
+            if b & 0xC0 != 0x80 {
+                self.col += 1;
+            }
+        }
+        Some(b)
+    }
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a flat token stream. Unterminated constructs are
+/// tolerated (the rest of the file becomes one literal) — a lint pass
+/// must never panic on weird-but-compiling input.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+
+    while let Some(b) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Line comment (also `///` and `//!` doc comments).
+        if cur.starts_with("//") {
+            let start = cur.pos;
+            while let Some(c) = cur.peek(0) {
+                if c == b'\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            comments.push(Comment {
+                text: src[start..cur.pos].to_string(),
+                line,
+            });
+            continue;
+        }
+        // Block comment, possibly nested.
+        if cur.starts_with("/*") {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                if cur.starts_with("/*") {
+                    cur.bump();
+                    cur.bump();
+                    depth += 1;
+                } else if cur.starts_with("*/") {
+                    cur.bump();
+                    cur.bump();
+                    depth -= 1;
+                } else if cur.bump().is_none() {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Raw / byte string prefixes and raw identifiers.
+        if b == b'r' || b == b'b' {
+            if let Some(tok) = try_lex_prefixed(&mut cur, src, line, col) {
+                tokens.push(tok);
+                continue;
+            }
+        }
+        // Identifier / keyword.
+        if is_ident_start(b) {
+            let start = cur.pos;
+            while cur.peek(0).is_some_and(is_ident_cont) {
+                cur.bump();
+            }
+            tokens.push(Token {
+                kind: TokKind::Ident,
+                text: src[start..cur.pos].to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Number.
+        if b.is_ascii_digit() {
+            tokens.push(lex_number(&mut cur, src, line, col));
+            continue;
+        }
+        // Plain string.
+        if b == b'"' {
+            let start = cur.pos;
+            cur.bump();
+            lex_string_body(&mut cur);
+            tokens.push(Token {
+                kind: TokKind::Str,
+                text: src[start..cur.pos].to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Char literal or lifetime.
+        if b == b'\'' {
+            tokens.push(lex_quote(&mut cur, src, line, col));
+            continue;
+        }
+        // Delimiters.
+        let delim = match b {
+            b'(' => Some((TokKind::Open(Delim::Paren), "(")),
+            b')' => Some((TokKind::Close(Delim::Paren), ")")),
+            b'[' => Some((TokKind::Open(Delim::Bracket), "[")),
+            b']' => Some((TokKind::Close(Delim::Bracket), "]")),
+            b'{' => Some((TokKind::Open(Delim::Brace), "{")),
+            b'}' => Some((TokKind::Close(Delim::Brace), "}")),
+            _ => None,
+        };
+        if let Some((kind, text)) = delim {
+            cur.bump();
+            tokens.push(Token {
+                kind,
+                text: text.to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Multi-char operators, longest first.
+        if let Some(op) = OPERATORS.iter().find(|op| cur.starts_with(op)) {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            tokens.push(Token {
+                kind: TokKind::Punct,
+                text: (*op).to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Single-char punctuation (fallback; also swallows stray bytes).
+        cur.bump();
+        tokens.push(Token {
+            kind: TokKind::Punct,
+            text: src[cur.pos - 1..cur.pos].to_string(),
+            line,
+            col,
+        });
+    }
+
+    Lexed { tokens, comments }
+}
+
+/// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`, and raw
+/// identifiers `r#ident`. Returns `None` when the `r`/`b` is an ordinary
+/// identifier start (caller falls through to ident lexing).
+fn try_lex_prefixed(cur: &mut Cursor, src: &str, line: u32, col: u32) -> Option<Token> {
+    let start = cur.pos;
+    let b0 = cur.peek(0)?;
+    // Determine prefix length: r, b, br, rb.
+    let mut p = 1usize;
+    if (b0 == b'b' && cur.peek(1) == Some(b'r')) || (b0 == b'r' && cur.peek(1) == Some(b'b')) {
+        p = 2;
+    }
+    let after = cur.peek(p);
+    match after {
+        // Byte char: b'x'
+        Some(b'\'') if b0 == b'b' && p == 1 => {
+            cur.bump();
+            Some(lex_quote(cur, src, line, col))
+        }
+        // Plain (byte) string: b"..." — only valid when prefix has no r.
+        Some(b'"') if p == 1 && b0 == b'b' => {
+            cur.bump();
+            cur.bump();
+            lex_string_body(cur);
+            Some(Token {
+                kind: TokKind::Str,
+                text: src[start..cur.pos].to_string(),
+                line,
+                col,
+            })
+        }
+        // Raw string (any number of #s) or raw identifier.
+        Some(b'"') | Some(b'#') if b0 == b'r' || p == 2 => {
+            // Count hashes after the prefix.
+            let mut hashes = 0usize;
+            while cur.peek(p + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            match cur.peek(p + hashes) {
+                Some(b'"') => {
+                    for _ in 0..p + hashes + 1 {
+                        cur.bump();
+                    }
+                    // Scan to closing quote followed by `hashes` hashes.
+                    loop {
+                        match cur.bump() {
+                            None => break,
+                            Some(b'"') => {
+                                let mut ok = true;
+                                for k in 0..hashes {
+                                    if cur.peek(k) != Some(b'#') {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                                if ok {
+                                    for _ in 0..hashes {
+                                        cur.bump();
+                                    }
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    Some(Token {
+                        kind: TokKind::Str,
+                        text: src[start..cur.pos].to_string(),
+                        line,
+                        col,
+                    })
+                }
+                // `r#ident` — raw identifier (exactly one hash, ident next).
+                Some(c) if b0 == b'r' && p == 1 && hashes == 1 && is_ident_start(c) => {
+                    cur.bump();
+                    cur.bump();
+                    while cur.peek(0).is_some_and(is_ident_cont) {
+                        cur.bump();
+                    }
+                    Some(Token {
+                        kind: TokKind::Ident,
+                        text: src[start..cur.pos].to_string(),
+                        line,
+                        col,
+                    })
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Consumes a string body after the opening quote, honouring escapes.
+fn lex_string_body(cur: &mut Cursor) {
+    loop {
+        match cur.bump() {
+            None | Some(b'"') => break,
+            Some(b'\\') => {
+                cur.bump();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Lexes from a `'`: a lifetime (`'a`) or a char literal (`'a'`, `'\''`).
+fn lex_quote(cur: &mut Cursor, src: &str, line: u32, col: u32) -> Token {
+    let start = cur.pos;
+    cur.bump(); // opening '
+    if let Some(c) = cur.peek(0) {
+        if c == b'\\' {
+            // Escaped char literal.
+            cur.bump();
+            cur.bump();
+            // Unicode escapes: \u{...}
+            if cur.peek(0) == Some(b'{') {
+                while let Some(d) = cur.bump() {
+                    if d == b'}' {
+                        break;
+                    }
+                }
+            }
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+            }
+            return Token {
+                kind: TokKind::Char,
+                text: src[start..cur.pos].to_string(),
+                line,
+                col,
+            };
+        }
+        if is_ident_start(c) {
+            // Could be 'a' (char) or 'a / 'static (lifetime): lifetime iff
+            // the char after the ident run is not a closing quote.
+            let mut k = 0usize;
+            while cur.peek(k).is_some_and(is_ident_cont) {
+                k += 1;
+            }
+            if cur.peek(k) == Some(b'\'') && k == 1 {
+                cur.bump();
+                cur.bump();
+                return Token {
+                    kind: TokKind::Char,
+                    text: src[start..cur.pos].to_string(),
+                    line,
+                    col,
+                };
+            }
+            for _ in 0..k {
+                cur.bump();
+            }
+            return Token {
+                kind: TokKind::Lifetime,
+                text: src[start..cur.pos].to_string(),
+                line,
+                col,
+            };
+        }
+        // Something like '✓' (multi-byte char literal) or stray quote.
+        cur.bump();
+        while cur.peek(0).is_some_and(|b| b & 0xC0 == 0x80) {
+            cur.bump();
+        }
+        if cur.peek(0) == Some(b'\'') {
+            cur.bump();
+            return Token {
+                kind: TokKind::Char,
+                text: src[start..cur.pos].to_string(),
+                line,
+                col,
+            };
+        }
+    }
+    Token {
+        kind: TokKind::Punct,
+        text: src[start..cur.pos].to_string(),
+        line,
+        col,
+    }
+}
+
+/// Lexes a numeric literal. Suffixes (`usize`, `f64`) are part of the
+/// token; `1..n` does not swallow the range operator; `1e-3` keeps its
+/// exponent.
+fn lex_number(cur: &mut Cursor, src: &str, line: u32, col: u32) -> Token {
+    let start = cur.pos;
+    // Integer / prefix part (also consumes hex digits and suffix chars).
+    while let Some(c) = cur.peek(0).filter(|&c| is_ident_cont(c)) {
+        cur.bump();
+        // `2e+3` / `2E-3`: sign directly after an exponent marker.
+        if (c == b'e' || c == b'E')
+            && !src[start..cur.pos].starts_with("0x")
+            && matches!(cur.peek(0), Some(b'+') | Some(b'-'))
+            && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+        {
+            cur.bump();
+        }
+    }
+    // Fractional part: a dot followed by a digit (never `..`).
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        while let Some(c) = cur.peek(0).filter(|&c| is_ident_cont(c)) {
+            cur.bump();
+            if (c == b'e' || c == b'E')
+                && matches!(cur.peek(0), Some(b'+') | Some(b'-'))
+                && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                cur.bump();
+            }
+        }
+    } else if cur.peek(0) == Some(b'.') && cur.peek(1) != Some(b'.') {
+        // Trailing-dot float (`1.`) — but not a method call (`1.max(2)`).
+        if !cur.peek(1).is_some_and(is_ident_start) {
+            cur.bump();
+        }
+    }
+    Token {
+        kind: TokKind::Number,
+        text: src[start..cur.pos].to_string(),
+        line,
+        col,
+    }
+}
+
+/// True if a `Number` token spells a floating-point literal.
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b") {
+        return false;
+    }
+    if text.contains('.') || text.ends_with("f32") || text.ends_with("f64") {
+        return true;
+    }
+    // Exponent form (`1e5`, `2E-3`) — but not an integer suffix (`2usize`).
+    if let Some(pos) = text.find(['e', 'E']) {
+        let mantissa = &text[..pos];
+        let exp = text[pos + 1..].trim_start_matches(['+', '-']);
+        return !mantissa.is_empty()
+            && !exp.is_empty()
+            && mantissa.bytes().all(|c| c.is_ascii_digit() || c == b'_')
+            && exp.bytes().all(|c| c.is_ascii_digit() || c == b'_');
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let toks = kinds("let mut x: HashMap<u32, f64> = HashMap::new();");
+        assert!(toks.contains(&(TokKind::Ident, "HashMap".into())));
+        assert!(toks.contains(&(TokKind::Punct, "::".into())));
+        assert!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokKind::Open(Delim::Paren))
+                .count()
+                == 1
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let lexed = lex("// thread_rng in a comment\nlet s = \"thread_rng\"; /* SystemTime */");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("thread_rng")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("SystemTime")));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("thread_rng"));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"let x = r#"quote " inside"#; let r#type = 1;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("inside")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e-3; let y = 2usize; }");
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+        assert!(toks.contains(&(TokKind::Number, "1.5e-3".into())));
+        assert!(toks.contains(&(TokKind::Number, "2usize".into())));
+        assert!(is_float_literal("1.5e-3"));
+        assert!(!is_float_literal("2usize"));
+        assert!(!is_float_literal("0x1f"));
+    }
+
+    #[test]
+    fn compound_ops_munch() {
+        let toks = kinds("a += 1; b..=c; x <<= 2;");
+        assert!(toks.contains(&(TokKind::Punct, "+=".into())));
+        assert!(toks.contains(&(TokKind::Punct, "..=".into())));
+        assert!(toks.contains(&(TokKind::Punct, "<<=".into())));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

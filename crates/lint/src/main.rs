@@ -1,0 +1,132 @@
+//! `ets-lint` CLI.
+//!
+//! ```text
+//! ets-lint [--workspace | FILE...] [--deny] [--format human|json]
+//!          [--budget PATH] [--update-budget]
+//!
+//!   --workspace       lint every member crate's src/ tree (default)
+//!   --deny            exit 1 on deny-tier findings or a busted budget
+//!   --format json     machine-readable findings + summary
+//!   --budget PATH     panic budget file (default crates/lint/panic_budget.json)
+//!   --update-budget   rewrite the budget file to match the tree
+//! ```
+
+#![forbid(unsafe_code)]
+
+use ets_lint::workspace::{find_workspace_root, lint_workspace};
+use ets_lint::{budget, to_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    deny: bool,
+    json: bool,
+    budget_path: Option<PathBuf>,
+    update_budget: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        json: false,
+        budget_path: None,
+        update_budget: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => {}
+            "--deny" => args.deny = true,
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("human") => args.json = false,
+                other => return Err(format!("--format expects human|json, got {other:?}")),
+            },
+            "--budget" => {
+                args.budget_path = Some(PathBuf::from(it.next().ok_or("--budget expects a path")?));
+            }
+            "--update-budget" => args.update_budget = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: ets-lint [--workspace] [--deny] [--format human|json] \
+                            [--budget PATH] [--update-budget]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cwd = std::env::current_dir().expect("cwd");
+    let Some(root) = find_workspace_root(&cwd) else {
+        eprintln!(
+            "ets-lint: no [workspace] Cargo.toml above {}",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ets-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Budget bookkeeping.
+    let budget_path = args
+        .budget_path
+        .unwrap_or_else(|| root.join("crates/lint/panic_budget.json"));
+    if args.update_budget {
+        if let Err(e) = std::fs::write(&budget_path, budget::render(&report.warn_counts)) {
+            eprintln!("ets-lint: writing {}: {e}", budget_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("ets-lint: wrote {}", budget_path.display());
+    }
+    let budget_map = match std::fs::read_to_string(&budget_path) {
+        Ok(text) => match budget::parse(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("ets-lint: {}: {e}", budget_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Default::default(),
+    };
+    let (over, under) = budget::check(&budget_map, &report.warn_counts);
+
+    if args.json {
+        print!("{}", to_json(&report.diagnostics));
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        let deny = report.deny_count();
+        let warn = report.diagnostics.len() - deny;
+        println!("ets-lint: {deny} deny, {warn} warn finding(s)");
+        for msg in &over {
+            println!("ets-lint: BUDGET {msg}");
+        }
+        for msg in &under {
+            println!("ets-lint: note: {msg}");
+        }
+    }
+
+    if args.deny && (report.deny_count() > 0 || !over.is_empty()) {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

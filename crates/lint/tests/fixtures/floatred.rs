@@ -1,0 +1,39 @@
+//! Fixture: `float-reduction-order`.
+//! (Not compiled — consumed by crates/lint/tests/fixtures.rs.)
+
+use ets_parallel::{par_fold, par_map};
+
+pub fn bad_fold_accumulates_floats(xs: &[f64]) -> f64 {
+    par_fold(
+        xs,
+        || 0.0f64,
+        |acc, _i, &x| *acc += x * 1.5, //~ float-reduction-order
+        |acc, part| *acc += part, //~ float-reduction-order
+    )
+}
+
+pub fn bad_sum_inside_fanout(rows: &[Vec<f64>]) -> Vec<f64> {
+    par_map(rows, |_i, row| row.iter().sum::<f64>()) //~ float-reduction-order
+}
+
+pub fn good_integer_fold(xs: &[u64]) -> u64 {
+    par_fold(xs, || 0u64, |acc, _i, &x| *acc += x, |acc, part| *acc += part)
+}
+
+pub fn good_sequential_commit(xs: &[f64]) -> f64 {
+    // The sanctioned shape: parallel-compute per-item values, then a
+    // sequential reduction outside the fan-out.
+    let per_item = par_map(xs, |_i, &x| x * 1.5);
+    per_item.iter().sum::<f64>()
+}
+
+pub fn good_pragma(xs: &[f64]) -> f64 {
+    par_fold(
+        xs,
+        || 0.0f64,
+        // ets-lint: allow(float-reduction-order): justified suppression fixture
+        |acc, _i, &x| *acc += x,
+        // ets-lint: allow(float-reduction-order): justified suppression fixture
+        |acc, part| *acc += part,
+    )
+}

@@ -1,0 +1,35 @@
+//! Fixture: `nondeterministic-source`.
+//! (Not compiled — consumed by crates/lint/tests/fixtures.rs.)
+
+use std::time::{Instant, SystemTime}; //~ nondeterministic-source
+
+pub fn bad_wall_clock() -> u64 {
+    let t0 = Instant::now(); //~ nondeterministic-source
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn bad_entropy() -> u64 {
+    let mut rng = rand::thread_rng(); //~ nondeterministic-source
+    rng.gen()
+}
+
+pub fn bad_hasher_state() {
+    let _state = std::collections::hash_map::RandomState::new(); //~ nondeterministic-source
+}
+
+pub fn good_seeded(seed: u64) -> u64 {
+    // Deterministic: derived stream, no wall clock, no OS entropy.
+    let mut rng = ets_parallel::derive_rng(seed, 0x99, 7);
+    rng.gen()
+}
+
+pub fn good_instant_type_only(t: Instant) -> Instant {
+    // Mentioning the type is fine; only `Instant::now` reads the clock.
+    t
+}
+
+pub fn good_pragma() -> u64 {
+    // ets-lint: allow(nondeterministic-source): logging only, not analytical
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,53 @@
+//! Fixture: `panic-in-library` (warn tier).
+//! (Not compiled — consumed by crates/lint/tests/fixtures.rs.)
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() //~ panic-in-library
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present") //~ panic-in-library
+}
+
+pub fn bad_panic(flag: bool) {
+    if flag {
+        panic!("boom"); //~ panic-in-library
+    }
+}
+
+pub fn bad_unreachable(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!(), //~ panic-in-library
+    }
+}
+
+pub fn good_unwrap_or(v: Option<u32>) -> u32 {
+    // `unwrap_or` and friends don't panic; the rule must not match them.
+    v.unwrap_or(0).max(v.unwrap_or_default())
+}
+
+// Build-time assertion: a legitimate panic site (fails compilation, not
+// a measurement run).
+const _: () = assert!(u32::BITS == 32, "const assert may panic");
+
+const TABLE_CHECK: () = {
+    let ok = 1 + 1 == 2;
+    if !ok {
+        panic!("symmetry violated");
+    }
+};
+
+pub fn good_pragma(v: Option<u32>) -> u32 {
+    // ets-lint: allow(panic-in-library): invariant documented at call site
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwrap_is_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root *without* `#![forbid(unsafe_code)]` — must
+//! trip `crate-hygiene` (reported at 1:1, so no `//~` marker).
+//! (Not compiled — consumed by crates/lint/tests/fixtures.rs.)
+
+pub mod something;
+
+pub fn entry() {}

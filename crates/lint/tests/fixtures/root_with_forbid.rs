@@ -1,0 +1,7 @@
+//! Fixture: a crate root that carries the attribute — `crate-hygiene`
+//! must stay quiet.
+//! (Not compiled — consumed by crates/lint/tests/fixtures.rs.)
+
+#![forbid(unsafe_code)]
+
+pub fn entry() {}

@@ -1,0 +1,89 @@
+//! Fixture: `unordered-iteration`. Lines with a `//~` marker must be
+//! flagged; everything else must not.
+//! (Not compiled — consumed by crates/lint/tests/fixtures.rs.)
+//!
+//! Bad cases are spaced more than SORT_WINDOW lines away from any
+//! ordering identifier so the good cases can't accidentally exempt them.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn bad_for_loop(map: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, v) in map { //~ unordered-iteration
+        out.push(k + v);
+    }
+    out
+}
+
+pub fn bad_keys(set: &HashSet<String>) -> String {
+    let mut joined = String::new();
+    for s in set.iter() { //~ unordered-iteration
+        joined.push_str(s);
+    }
+    joined
+}
+
+pub fn bad_drain() -> Vec<(String, u64)> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    counts.insert("a".to_string(), 1);
+    counts.drain().collect() //~ unordered-iteration
+}
+
+pub fn bad_float_sum(weights: &HashMap<String, f64>) -> f64 {
+    weights.values().sum() //~ unordered-iteration
+}
+
+pub fn good_order_free_sum(counts: &HashMap<String, u64>) -> u64 {
+    counts.values().copied().sum::<u64>()
+}
+
+pub fn good_order_free_terminals(set: &HashSet<u32>) -> (usize, bool, Option<u32>) {
+    let n = set.iter().count();
+    let any_even = set.iter().any(|v| v % 2 == 0);
+    let max = set.iter().copied().max();
+    (n, any_even, max)
+}
+
+pub fn good_pragma(map: &HashMap<u32, u32>) -> u64 {
+    let mut acc = 0u64;
+    // ets-lint: allow(unordered-iteration): wrapping-add is commutative
+    for (&k, &v) in map.iter() {
+        acc = acc.wrapping_add((k ^ v) as u64);
+    }
+    acc
+}
+
+pub fn good_collect_then_sort(counts: &HashMap<String, u64>) -> Vec<(String, u64)> {
+    let mut rows: Vec<(String, u64)> = counts.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    rows
+}
+
+pub fn good_btree_recollect(counts: HashMap<String, u64>) -> Vec<(String, u64)> {
+    counts
+        .into_iter()
+        .collect::<std::collections::BTreeMap<_, _>>()
+        .into_iter()
+        .collect()
+}
+
+pub fn bad_qualified_param(m: &std::collections::HashMap<String, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (_, v) in m.iter() { //~ unordered-iteration
+        out.push(*v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let map: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in map.iter() {
+            let _ = (k, v);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Self-lint: the real workspace must be deny-clean, and the panic
+//! budget must match the tree exactly (the ratchet moves only together
+//! with the code).
+
+use ets_lint::workspace::{find_workspace_root, lint_workspace};
+use ets_lint::{budget, Tier};
+use std::path::Path;
+
+#[test]
+fn workspace_is_deny_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let report = lint_workspace(&root).expect("lint the workspace");
+    let denies: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.tier == Tier::Deny)
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        denies.is_empty(),
+        "deny-tier findings in the workspace:\n{}",
+        denies.join("\n")
+    );
+}
+
+#[test]
+fn panic_budget_matches_tree_exactly() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let report = lint_workspace(&root).expect("lint the workspace");
+    let text = std::fs::read_to_string(root.join("crates/lint/panic_budget.json"))
+        .expect("panic_budget.json");
+    let budget_map = budget::parse(&text).expect("parse budget");
+    assert_eq!(
+        budget_map, report.warn_counts,
+        "panic_budget.json is stale; run `cargo run -p ets-lint -- --workspace --update-budget`"
+    );
+}
+
+#[test]
+fn deny_gate_exits_zero_on_this_tree() {
+    // The exact command CI runs.
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_ets-lint"))
+        .args(["--workspace", "--deny"])
+        .current_dir(&root)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("run ets-lint");
+    assert!(status.success(), "ets-lint --workspace --deny failed");
+}

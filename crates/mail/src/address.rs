@@ -59,9 +59,9 @@ impl EmailAddress {
             return Err(AddressParseError::MultipleAt);
         }
         if local.is_empty()
-            || !local.chars().all(|c| {
-                c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+' | '=')
-            })
+            || !local
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+' | '='))
         {
             return Err(AddressParseError::BadLocal(local.to_owned()));
         }
@@ -120,7 +120,9 @@ impl EmailAddress {
             "abuse",
         ];
         let l = self.local.to_ascii_lowercase();
-        SYSTEM.iter().any(|s| l == *s || l.starts_with(&format!("{s}+")))
+        SYSTEM
+            .iter()
+            .any(|s| l == *s || l.starts_with(&format!("{s}+")))
     }
 }
 
@@ -137,10 +139,7 @@ fn valid_domain(domain: &str) -> bool {
         if label.starts_with('-') || label.ends_with('-') {
             return false;
         }
-        if !label
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '-')
-        {
+        if !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
             return false;
         }
         labels += 1;

@@ -18,10 +18,7 @@ impl HeaderName {
     /// outside RFC 5322 `ftext` (printable ASCII except `:`).
     pub fn new(name: &str) -> Self {
         assert!(
-            !name.is_empty()
-                && name
-                    .bytes()
-                    .all(|b| (33..=126).contains(&b) && b != b':'),
+            !name.is_empty() && name.bytes().all(|b| (33..=126).contains(&b) && b != b':'),
             "invalid header name {name:?}"
         );
         HeaderName(name.to_owned())
@@ -30,11 +27,7 @@ impl HeaderName {
     /// Creates a header name, returning `None` instead of panicking on an
     /// invalid one — the form the parser uses on untrusted input.
     pub fn try_new(name: &str) -> Option<Self> {
-        if !name.is_empty()
-            && name
-                .bytes()
-                .all(|b| (33..=126).contains(&b) && b != b':')
-        {
+        if !name.is_empty() && name.bytes().all(|b| (33..=126).contains(&b) && b != b':') {
             Some(HeaderName(name.to_owned()))
         } else {
             None
@@ -128,7 +121,8 @@ impl HeaderMap {
 
     /// Appends a field (keeps existing fields with the same name).
     pub fn append(&mut self, name: impl Into<HeaderName>, value: impl Into<String>) {
-        self.fields.push((name.into(), sanitize_value(value.into())));
+        self.fields
+            .push((name.into(), sanitize_value(value.into())));
     }
 
     /// Replaces every field of `name` with a single value.

@@ -171,20 +171,25 @@ mod tests {
     #[test]
     fn first_parseable_mailbox_wins() {
         let mut m = Message::new();
-        m.headers.append("To", "not-an-address, bob@x.com, carol@y.com");
+        m.headers
+            .append("To", "not-an-address, bob@x.com, carol@y.com");
         assert_eq!(m.to_addr().unwrap().local(), "bob");
     }
 
     #[test]
     fn attachment_extension() {
         assert_eq!(
-            Attachment::new("CV.DocX", "x/y", vec![]).extension().as_deref(),
+            Attachment::new("CV.DocX", "x/y", vec![])
+                .extension()
+                .as_deref(),
             Some("docx")
         );
         assert_eq!(Attachment::new("noext", "x/y", vec![]).extension(), None);
         assert_eq!(Attachment::new(".hidden", "x/y", vec![]).extension(), None);
         assert_eq!(
-            Attachment::new("a.tar.gz", "x/y", vec![]).extension().as_deref(),
+            Attachment::new("a.tar.gz", "x/y", vec![])
+                .extension()
+                .as_deref(),
             Some("gz")
         );
     }

@@ -225,8 +225,11 @@ mod tests {
             "application/pdf",
             vec![0u8, 1, 2, 255, 254],
         ));
-        m.attachments
-            .push(Attachment::new("cv.docx", "application/vnd.docx", b"PK fake".to_vec()));
+        m.attachments.push(Attachment::new(
+            "cv.docx",
+            "application/vnd.docx",
+            b"PK fake".to_vec(),
+        ));
         m
     }
 

@@ -9,7 +9,7 @@
 //! This crate provides the two pieces that make parallel runs
 //! **byte-identical to sequential runs**:
 //!
-//! 1. *Ordered* parallel combinators ([`par_map`], [`par_map_chunked`],
+//! 1. *Ordered* parallel combinators ([`par_map`], [`par_flat_map`],
 //!    [`par_fold`]) built on `std::thread::scope`. Work is split into
 //!    contiguous chunks pulled from an atomic cursor (dynamic load
 //!    balance), but results are reassembled in input order and fold
@@ -24,6 +24,8 @@
 //! the `repro` driver's `--threads` flag. `threads() == 1` executes
 //! inline with zero thread overhead — `--threads 1` and `--threads N`
 //! produce identical bytes, which `tests/determinism.rs` asserts.
+
+#![forbid(unsafe_code)]
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -126,11 +128,16 @@ where
                     .enumerate()
                     .map(|(k, t)| f(start + k, t))
                     .collect();
-                done.lock().unwrap().push((c, out));
+                // Poison only means another worker panicked mid-push; the
+                // panic propagates through the scope join regardless, so
+                // recovering the guard here never masks a failure.
+                done.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push((c, out));
             });
         }
     });
-    let mut parts = done.into_inner().unwrap();
+    let mut parts = done.into_inner().unwrap_or_else(|p| p.into_inner());
     parts.sort_unstable_by_key(|(c, _)| *c);
     let mut result = Vec::with_capacity(items.len());
     for (_, mut part) in parts {
@@ -192,14 +199,18 @@ where
                 for (k, t) in items[start..end].iter().enumerate() {
                     fold(&mut acc, start + k, t);
                 }
-                done.lock().unwrap().push((c, acc));
+                done.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push((c, acc));
             });
         }
     });
-    let mut parts = done.into_inner().unwrap();
+    let mut parts = done.into_inner().unwrap_or_else(|p| p.into_inner());
     parts.sort_unstable_by_key(|(c, _)| *c);
     let mut parts = parts.into_iter().map(|(_, a)| a);
-    let mut acc = parts.next().expect("n_chunks >= 1");
+    let Some(mut acc) = parts.next() else {
+        return init();
+    };
     for part in parts {
         merge(&mut acc, part);
     }

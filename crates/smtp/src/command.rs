@@ -150,7 +150,10 @@ mod tests {
             Command::MailFrom(Some(a)) => assert_eq!(a.to_string(), "alice@gmail.com"),
             other => panic!("{other:?}"),
         }
-        assert_eq!(Command::parse("MAIL FROM:<>").unwrap(), Command::MailFrom(None));
+        assert_eq!(
+            Command::parse("MAIL FROM:<>").unwrap(),
+            Command::MailFrom(None)
+        );
         match Command::parse("rcpt to:<bob@gmial.com>").unwrap() {
             Command::RcptTo(a) => assert_eq!(a.domain(), "gmial.com"),
             other => panic!("{other:?}"),

@@ -62,10 +62,11 @@ impl ServerPolicy {
         }
         let d = addr.domain();
         self.local_domains.iter().any(|ld| {
-            d == ld || (self.catch_all && d.ends_with(ld.as_str()) && {
-                let prefix_len = d.len() - ld.len();
-                prefix_len > 0 && d.as_bytes()[prefix_len - 1] == b'.'
-            })
+            d == ld
+                || (self.catch_all && d.ends_with(ld.as_str()) && {
+                    let prefix_len = d.len() - ld.len();
+                    prefix_len > 0 && d.as_bytes()[prefix_len - 1] == b'.'
+                })
         })
     }
 }
@@ -279,7 +280,6 @@ impl ServerSession {
     }
 
     fn reset_transaction(&mut self) {
-
         self.mail_from = None;
         self.rcpt_to.clear();
         if matches!(self.state, State::MailGiven | State::RcptGiven) {

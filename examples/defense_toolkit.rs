@@ -21,7 +21,12 @@ fn main() {
     // --- typo correction (the input-field defense) -----------------------
     let corrector = TypoCorrector::new(alexa::synthetic_top(100), TypingModel::default());
     println!("typo correction for address fields:");
-    for typed in ["alice@gmial.com", "bob@outlo0k.com", "carol@hotmial.com", "dan@gmail.com"] {
+    for typed in [
+        "alice@gmial.com",
+        "bob@outlo0k.com",
+        "carol@hotmial.com",
+        "dan@gmail.com",
+    ] {
         let suggestions = corrector.suggest_for_address(typed, 2);
         match suggestions.first() {
             Some(s) => println!(
@@ -46,7 +51,8 @@ fn main() {
         .collect();
     println!(
         "\ndefensive plan for {target} (${} budget, {} names already taken by others):",
-        170, taken.len()
+        170,
+        taken.len()
     );
     let plan = plan_registrations(&target, 4e9, &TypingModel::default(), &taken, 170.0, 8.5);
     for p in plan.iter().take(10) {

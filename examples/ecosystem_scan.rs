@@ -65,7 +65,10 @@ fn main() {
         .map(|c| Fqdn::from_domain(&c.candidate.domain))
         .collect();
     let conc = MxConcentration::measure(&resolver, domains.iter());
-    println!("\nmail-server concentration over {} mail-capable ctypos:", conc.total_with_mail);
+    println!(
+        "\nmail-server concentration over {} mail-capable ctypos:",
+        conc.total_with_mail
+    );
     for (mx, count) in conc.providers.iter().take(8) {
         println!("  {mx:<22} {count:>6}");
     }

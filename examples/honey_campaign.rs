@@ -58,7 +58,10 @@ fn main() {
     for e in main_run.monitor.events().iter().take(8) {
         println!(
             "  {:>12?} {:<22} +{:>6.1}h  from {}",
-            e.kind, e.domain.to_string(), e.hours_after_send, e.origin
+            e.kind,
+            e.domain.to_string(),
+            e.hours_after_send,
+            e.origin
         );
     }
     println!("\nconclusion (as in the paper): the infrastructure collects in bulk,");

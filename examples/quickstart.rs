@@ -12,7 +12,9 @@ use ets_core::typogen;
 use ets_core::DomainName;
 
 fn main() {
-    let raw = std::env::args().nth(1).unwrap_or_else(|| "gmail.com".to_owned());
+    let raw = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gmail.com".to_owned());
     let target: DomainName = match raw.parse() {
         Ok(d) => d,
         Err(e) => {

@@ -66,10 +66,7 @@ fn main() {
     // Scrub sensitive information before storage.
     let scrubbed = scrub::scrub(&parsed.body);
     println!("\nsanitized body:\n---\n{}\n---", scrubbed.text);
-    println!(
-        "sensitive information removed: {:?}",
-        scrubbed.kinds()
-    );
+    println!("sensitive information removed: {:?}", scrubbed.kinds());
 
     // Encrypt at rest.
     let key: crypto::Key = [0x42; 32];

@@ -40,20 +40,47 @@ fn main() {
     let verdicts = Funnel::new(&infra).classify_all(&emails);
     let count = |v: FunnelVerdict| verdicts.iter().filter(|&&x| x == v).count();
     println!("\nfunnel verdicts (at generated scale):");
-    println!("  layer 1 (headers):        {}", count(FunnelVerdict::SpamHeader));
-    println!("  layer 2 (scorer):         {}", count(FunnelVerdict::SpamScore));
-    println!("  layer 3 (collaborative):  {}", count(FunnelVerdict::SpamCollaborative));
-    println!("  layer 4 (reflections):    {}", count(FunnelVerdict::Reflection));
-    println!("  layer 5 (frequency):      {}", count(FunnelVerdict::FrequencyFiltered));
-    println!("  surviving receiver typos: {}", count(FunnelVerdict::ReceiverTypo));
-    println!("  surviving SMTP typos:     {}", count(FunnelVerdict::SmtpTypo));
+    println!(
+        "  layer 1 (headers):        {}",
+        count(FunnelVerdict::SpamHeader)
+    );
+    println!(
+        "  layer 2 (scorer):         {}",
+        count(FunnelVerdict::SpamScore)
+    );
+    println!(
+        "  layer 3 (collaborative):  {}",
+        count(FunnelVerdict::SpamCollaborative)
+    );
+    println!(
+        "  layer 4 (reflections):    {}",
+        count(FunnelVerdict::Reflection)
+    );
+    println!(
+        "  layer 5 (frequency):      {}",
+        count(FunnelVerdict::FrequencyFiltered)
+    );
+    println!(
+        "  surviving receiver typos: {}",
+        count(FunnelVerdict::ReceiverTypo)
+    );
+    println!(
+        "  surviving SMTP typos:     {}",
+        count(FunnelVerdict::SmtpTypo)
+    );
 
     // 4. Project to yearly volumes (§4.4.1).
     let analysis = StudyAnalysis::new(&infra, &emails, &verdicts, spam_scale);
     let v = analysis.volumes();
     println!("\nyearly projections (spam scaled back to paper volume):");
-    println!("  total:                    {:>12.0}  (paper: 118,894,960)", v.total);
-    println!("  receiver+reflection:      {:>12.0}  (paper: 6,041)", v.receiver_reflection);
+    println!(
+        "  total:                    {:>12.0}  (paper: 118,894,960)",
+        v.total
+    );
+    println!(
+        "  receiver+reflection:      {:>12.0}  (paper: 6,041)",
+        v.receiver_reflection
+    );
     println!(
         "  SMTP typos:               {:>6.0} – {:>6.0}  (paper: 415 – 5,970)",
         v.smtp_range.0, v.smtp_range.1

@@ -10,19 +10,16 @@
 use ets_collector::funnel::Funnel;
 use ets_collector::infra::CollectionInfra;
 use ets_collector::traffic::{TrafficConfig, TrafficGenerator};
+use ets_dns::Fqdn;
 use ets_ecosystem::population::{PopulationConfig, World};
 use ets_ecosystem::whois_cluster::{self, WhoisRow};
-use ets_dns::Fqdn;
 use std::sync::Mutex;
 
 /// `set_threads` is process-global; tests must not interleave.
 static LOCK: Mutex<()> = Mutex::new(());
 
 /// Runs `f` once per worker count and asserts all outputs are equal.
-fn assert_thread_invariant<T: PartialEq + std::fmt::Debug>(
-    label: &str,
-    mut f: impl FnMut() -> T,
-) {
+fn assert_thread_invariant<T: PartialEq + std::fmt::Debug>(label: &str, mut f: impl FnMut() -> T) {
     ets_parallel::set_threads(1);
     let sequential = f();
     for threads in [2, 3, 8] {

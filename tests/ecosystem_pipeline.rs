@@ -66,7 +66,11 @@ fn whois_clustering_recovers_bulk_owners() {
         .collect();
     assert_eq!(owners.len(), 1, "top cluster mixes owners: {owners:?}");
     // Private registrations never appear in any cluster.
-    let private: HashSet<&Fqdn> = rows.iter().filter(|r| r.private).map(|r| &r.domain).collect();
+    let private: HashSet<&Fqdn> = rows
+        .iter()
+        .filter(|r| r.private)
+        .map(|r| &r.domain)
+        .collect();
     for c in &clusters {
         for d in &c.domains {
             assert!(!private.contains(d), "{d} is privacy-proxied");
@@ -108,12 +112,8 @@ fn cesspool_nameservers_stand_out_against_background() {
         .iter()
         .map(|c| Fqdn::from_domain(&c.candidate.domain))
         .collect();
-    let ns = NsAnalysis::run_with_background(
-        &w.registry.zone_file(),
-        &ctypos,
-        &w.ns_customer_base,
-        10,
-    );
+    let ns =
+        NsAnalysis::run_with_background(&w.registry.zone_file(), &ctypos, &w.ns_customer_base, 10);
     // Average in the low percent range, as for all of .com.
     assert!(
         ns.average_ratio > 0.005 && ns.average_ratio < 0.25,

@@ -1,10 +1,10 @@
 //! Cross-crate Section-7 pipeline: world → probe campaign (through the
 //! real SMTP state machines) → honey-token campaign → monitoring.
 
+use ets_ecosystem::population::{PopulationConfig, SmtpProfile, World};
 use ets_honeypot::behavior::BehaviorModel;
 use ets_honeypot::campaign::{HoneyCampaign, ProbeCampaign};
 use ets_honeypot::design::{self, HoneyDesign};
-use ets_ecosystem::population::{PopulationConfig, SmtpProfile, World};
 use ets_smtp::fault::DeliveryOutcome;
 
 fn world() -> World {
@@ -91,7 +91,12 @@ fn full_campaign_signal_is_sparse_slow_and_human() {
     let report = campaign.run(&probe.accepted);
     let s = report.monitor.summary();
     // Sparse: most honey emails are never touched.
-    assert!(s.opens * 3 < report.sent, "opens {} of {}", s.opens, report.sent);
+    assert!(
+        s.opens * 3 < report.sent,
+        "opens {} of {}",
+        s.opens,
+        report.sent
+    );
     // When opened, the pace is human (hours, not milliseconds).
     if s.domains_read > 0 {
         assert!(

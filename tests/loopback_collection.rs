@@ -58,7 +58,10 @@ fn typo_email_collected_scrubbed_and_encrypted() {
     let key: crypto::Key = [7u8; 32];
     let sealed = crypto::seal(&key, 99, scrubbed.text.as_bytes());
     assert_ne!(sealed.ciphertext, scrubbed.text.as_bytes());
-    assert_eq!(crypto::open(&key, &sealed).unwrap(), scrubbed.text.as_bytes());
+    assert_eq!(
+        crypto::open(&key, &sealed).unwrap(),
+        scrubbed.text.as_bytes()
+    );
 }
 
 #[test]
@@ -97,7 +100,10 @@ fn attachment_text_is_extracted_and_scrubbed_over_tcp() {
     assert_eq!(parsed.attachments.len(), 1);
     let full = extract::full_text(&parsed);
     let scrubbed = scrub::scrub(&full);
-    assert!(scrubbed.has(scrub::SensitiveKind::Ssn), "SSN inside the PDF must be found");
+    assert!(
+        scrubbed.has(scrub::SensitiveKind::Ssn),
+        "SSN inside the PDF must be found"
+    );
 }
 
 #[test]

@@ -60,7 +60,12 @@ fn observations(seed: u64) -> Vec<Observation> {
 #[test]
 fn regression_fits_with_meaningful_r2() {
     let obs = observations(0x6e6);
-    assert_eq!(obs.len(), 25, "provider typos of the 5 seed targets: {}", obs.len());
+    assert_eq!(
+        obs.len(),
+        25,
+        "provider typos of the 5 seed targets: {}",
+        obs.len()
+    );
     let model = ProjectionModel::fit(&obs).expect("fits");
     assert!(
         model.r_squared > 0.4,
@@ -78,7 +83,13 @@ fn projection_over_ecosystem_is_paper_magnitude() {
         n_targets: 100,
         ..PopulationConfig::tiny(0x717)
     });
-    let aliases = ["gmail.com", "hotmail.com", "outlook.com", "comcast.net", "verizon.net"];
+    let aliases = [
+        "gmail.com",
+        "hotmail.com",
+        "outlook.com",
+        "comcast.net",
+        "verizon.net",
+    ];
     let population: Vec<(TypoCandidate, usize)> = world
         .ctypos
         .iter()

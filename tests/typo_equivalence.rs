@@ -9,12 +9,15 @@ use proptest::prelude::*;
 
 /// Arbitrary valid SLDs: no hyphen at either edge, length 1–14.
 fn sld() -> impl Strategy<Value = String> {
-    "[a-z0-9-]{1,14}"
-        .prop_filter("no hyphen edges", |s| !s.starts_with('-') && !s.ends_with('-'))
+    "[a-z0-9-]{1,14}".prop_filter("no hyphen edges", |s| {
+        !s.starts_with('-') && !s.ends_with('-')
+    })
 }
 
 fn domain(sld: &str, tld: &str) -> DomainName {
-    format!("{sld}.{tld}").parse().expect("strategy yields valid slds")
+    format!("{sld}.{tld}")
+        .parse()
+        .expect("strategy yields valid slds")
 }
 
 proptest! {
