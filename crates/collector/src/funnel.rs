@@ -88,6 +88,19 @@ impl FunnelVerdict {
     pub fn is_true_typo(self) -> bool {
         matches!(self, FunnelVerdict::ReceiverTypo | FunnelVerdict::SmtpTypo)
     }
+
+    /// Stable snake-case key used for metric names (`funnel.verdict.<key>`).
+    pub fn key(self) -> &'static str {
+        match self {
+            FunnelVerdict::SpamHeader => "spam_header",
+            FunnelVerdict::SpamScore => "spam_score",
+            FunnelVerdict::SpamCollaborative => "spam_collaborative",
+            FunnelVerdict::Reflection => "reflection",
+            FunnelVerdict::FrequencyFiltered => "frequency_filtered",
+            FunnelVerdict::ReceiverTypo => "receiver_typo",
+            FunnelVerdict::SmtpTypo => "smtp_typo",
+        }
+    }
 }
 
 /// The funnel, bound to the study infrastructure.
@@ -235,8 +248,12 @@ impl<'a> Funnel<'a> {
     /// for any thread count.
     pub fn classify_all(&self, emails: &[CollectedEmail]) -> Vec<FunnelVerdict> {
         let n = emails.len();
+        let mut funnel_span = ets_obs::span!("funnel.classify");
+        funnel_span.arg("emails", n as u64);
+        ets_obs::metrics::counter_add("funnel.emails", n as u64);
 
         // Pass 1: layers 1 and 2 per email.
+        let layer12 = ets_obs::span!("funnel.layer12");
         let mut verdicts: Vec<Option<FunnelVerdict>> = par_map(emails, |_, e| {
             if self.layer1_spam(e) {
                 Some(FunnelVerdict::SpamHeader)
@@ -246,17 +263,21 @@ impl<'a> Funnel<'a> {
                 None
             }
         });
+        drop(layer12);
 
         // Pass 2: layer 3 — collect spam senders and spam bags, then
         // propagate until fixpoint (a newly flagged email contributes its
         // sender/bag too; one extra sweep suffices in practice, but loop
         // to be exact).
+        let mut layer3 = ets_obs::span!("funnel.layer3", ets_obs::Level::Debug);
+        let mut layer3_rounds = 0u64;
         let senders: Vec<Option<String>> =
             par_map(emails, |_, e| e.mail_from.as_ref().map(|a| a.to_string()));
         let bags: Vec<Option<u64>> = par_map(emails, |_, e| {
             bag_of_words(&e.message.body, self.config.bow_min_words)
         });
         loop {
+            layer3_rounds += 1;
             let (spam_senders, spam_bags) = par_fold(
                 &verdicts,
                 || (HashSet::<&str>::new(), HashSet::<u64>::new()),
@@ -297,8 +318,12 @@ impl<'a> Funnel<'a> {
                 break;
             }
         }
+        layer3.arg("rounds", layer3_rounds);
+        ets_obs::metrics::counter_add("funnel.layer3.rounds", layer3_rounds);
+        drop(layer3);
 
         // Pass 3: layer 4 on survivors.
+        let layer4 = ets_obs::span!("funnel.layer4", ets_obs::Level::Debug);
         let reflections: Vec<bool> = par_map(emails, |i, e| {
             verdicts[i].is_none() && self.layer4_reflection(e)
         });
@@ -307,8 +332,10 @@ impl<'a> Funnel<'a> {
                 verdicts[i] = Some(FunnelVerdict::Reflection);
             }
         }
+        drop(layer4);
 
         // Pass 4: layer 5 — frequency statistics over the whole corpus.
+        let layer5 = ets_obs::span!("funnel.layer5", ets_obs::Level::Debug);
         let rcpt_keys: Vec<String> = par_map(emails, |_, e| e.rcpt_to.to_string());
         let body_hashes: Vec<u64> = par_map(emails, |_, e| fnv(e.message.body.trim().as_bytes()));
         let (rcpt_freq, sender_freq, body_freq) = par_fold(
@@ -374,11 +401,35 @@ impl<'a> Funnel<'a> {
                 verdicts[i] = Some(v);
             }
         }
+        drop(layer5);
         debug_assert_eq!(verdicts.len(), n);
-        verdicts
+        let verdicts: Vec<FunnelVerdict> = verdicts
             .into_iter()
             .map(|v| v.expect("all classified"))
-            .collect()
+            .collect();
+        // Verdict tallies are pure workload quantities — identical across
+        // thread counts, so they belong in the deterministic registry.
+        let mut tally = [0u64; 7];
+        for v in &verdicts {
+            tally[*v as usize] += 1;
+        }
+        for (v, &count) in [
+            FunnelVerdict::SpamHeader,
+            FunnelVerdict::SpamScore,
+            FunnelVerdict::SpamCollaborative,
+            FunnelVerdict::Reflection,
+            FunnelVerdict::FrequencyFiltered,
+            FunnelVerdict::ReceiverTypo,
+            FunnelVerdict::SmtpTypo,
+        ]
+        .iter()
+        .zip(tally.iter())
+        {
+            if count > 0 {
+                ets_obs::metrics::counter_add(&format!("funnel.verdict.{}", v.key()), count);
+            }
+        }
+        verdicts
     }
 }
 

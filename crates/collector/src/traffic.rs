@@ -164,6 +164,7 @@ impl<'a> TrafficGenerator<'a> {
     /// `TRAFFIC_SETUP` streams so day streams never shift when the
     /// setup's draw count changes.
     pub fn generate(&self) -> Vec<GenEmail> {
+        let mut gen_span = ets_obs::span!("traffic.generate");
         let weights = self.receiver_weights();
         let mut campaign_rng = derive_rng(self.config.seed, stream::TRAFFIC_SETUP, 0);
         let campaigns = self.make_campaigns(&mut campaign_rng);
@@ -200,10 +201,22 @@ impl<'a> TrafficGenerator<'a> {
             self.mystery_for_day(date, &smtp_names, &mut rng, &mut out);
             out
         });
+        // Per-day batch sizes are derived from per-day RNG streams, so the
+        // histogram is identical regardless of how days were scheduled.
+        const DAY_BOUNDS: [u64; 7] = [0, 8, 16, 32, 64, 128, 256];
+        for batch in &per_day {
+            ets_obs::metrics::histogram_record(
+                "traffic.day_batch",
+                &DAY_BOUNDS,
+                batch.len() as u64,
+            );
+        }
         let mut out = Vec::with_capacity(per_day.iter().map(Vec::len).sum());
         for mut batch in per_day {
             out.append(&mut batch);
         }
+        ets_obs::metrics::counter_add("traffic.emails", out.len() as u64);
+        gen_span.arg("emails", out.len() as u64);
         out
     }
 

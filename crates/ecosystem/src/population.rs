@@ -229,8 +229,11 @@ impl World {
     /// first-registration-wins must resolve cross-target name collisions
     /// the same way every run.
     pub fn build(config: PopulationConfig) -> World {
+        let mut build_span = ets_obs::span!("world.build");
+        build_span.arg("n_targets", config.n_targets as u64);
         let popularity = alexa::synthetic_top(config.n_targets);
         let targets: Vec<DomainName> = popularity.iter().map(|e| e.domain.clone()).collect();
+        ets_obs::metrics::counter_add("world.targets", targets.len() as u64);
         let registry = Registry::new();
 
         let ns_providers: Vec<Fqdn> = (0..config.n_ns_providers)
@@ -253,6 +256,7 @@ impl World {
             .collect();
 
         // --- registrants with Zipf-sized portfolios -------------------
+        let registrant_span = ets_obs::span!("world.registrants", ets_obs::Level::Debug);
         let registrants: Vec<Registrant> = par_map_index(config.n_registrants, |id| {
             let mut rng = derive_rng(config.seed, stream::POPULATION_REGISTRANT, id as u64);
             let archetype = match id {
@@ -292,7 +296,10 @@ impl World {
             }
         });
 
+        drop(registrant_span);
+
         // --- register benign filler sites (the targets themselves) ----
+        let filler_span = ets_obs::span!("world.fillers", ets_obs::Level::Debug);
         let fillers: Vec<(Registration, Zone)> = par_map(&targets, |rank, t| {
             let mut rng = derive_rng(config.seed, stream::POPULATION_BACKGROUND, rank as u64);
             let fq = Fqdn::from_domain(t);
@@ -323,6 +330,8 @@ impl World {
         for (reg, zone) in fillers {
             registry.register(reg, Some(zone));
         }
+        drop(filler_span);
+        let background_span = ets_obs::span!("world.background", ets_obs::Level::Debug);
 
         // --- benign background per name-server provider ----------------
         // §5.2's ratios only make sense against each provider's ordinary
@@ -358,6 +367,7 @@ impl World {
         for (reg, zone) in background {
             registry.register(reg, Some(zone));
         }
+        drop(background_span);
 
         // --- the registration process over gtypos ----------------------
         // Portfolio assignment: Zipf over registrants (registrant 0 has
@@ -369,6 +379,7 @@ impl World {
 
         // Parallel compute: each target draws its gtypo band from its own
         // stream and prepares registrations without touching the registry.
+        let pending_span = ets_obs::span!("world.ctypo_pending", ets_obs::Level::Debug);
         let pending: Vec<Vec<PendingCtypo>> = par_map(&targets, |rank0, target| {
             let mut rng = derive_rng(config.seed, stream::POPULATION_TARGET, rank0 as u64);
             let rank = rank0 + 1;
@@ -435,8 +446,12 @@ impl World {
             }
             out
         });
+        let pending_total: u64 = pending.iter().map(|b| b.len() as u64).sum();
+        ets_obs::metrics::counter_add("world.ctypo_pending", pending_total);
+        drop(pending_span);
         // Sequential commit in target-rank order: first registration wins,
         // exactly as the sequential loop resolved collisions.
+        let commit_span = ets_obs::span!("world.commit", ets_obs::Level::Debug);
         let mut ctypos: Vec<CtypoInfo> = Vec::new();
         for batch in pending {
             for p in batch {
@@ -446,6 +461,7 @@ impl World {
             }
         }
         ctypos.sort_by(|a, b| a.candidate.domain.cmp(&b.candidate.domain));
+        ets_obs::metrics::counter_add("world.ctypos", ctypos.len() as u64);
         // Registry first-registration-wins guarantees ctypo names are
         // unique, so interning in sorted order makes `id.index()` the
         // position in `ctypos`.
@@ -453,7 +469,17 @@ impl World {
         for c in &ctypos {
             ctypo_index.intern(&c.candidate.domain);
         }
+        drop(commit_span);
+        let index_span = ets_obs::span!("world.index", ets_obs::Level::Debug);
         let typo_index = ReverseDl1Index::build(&targets);
+        // The DL-1 fan-out distribution: how many targets share each
+        // deletion-neighborhood key. A pure function of the target list,
+        // so it belongs in the deterministic snapshot.
+        const DL1_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+        for size in typo_index.bucket_sizes() {
+            ets_obs::metrics::histogram_record("world.dl1_fanout", &DL1_BOUNDS, size as u64);
+        }
+        drop(index_span);
         let ns_customer_base: Vec<(Fqdn, usize)> = ns_providers
             .iter()
             .enumerate()

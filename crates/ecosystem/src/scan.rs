@@ -38,6 +38,18 @@ impl SmtpSupport {
         SmtpSupport::StarttlsWithErrors,
         SmtpSupport::StarttlsOk,
     ];
+
+    /// Stable snake-case key used for metric names (`scan.<key>`).
+    pub fn key(self) -> &'static str {
+        match self {
+            SmtpSupport::NoMxOrA => "no_mx_or_a",
+            SmtpSupport::NoInfo => "no_info",
+            SmtpSupport::NoEmailSupport => "no_email_support",
+            SmtpSupport::EmailNoStarttls => "email_no_starttls",
+            SmtpSupport::StarttlsWithErrors => "starttls_with_errors",
+            SmtpSupport::StarttlsOk => "starttls_ok",
+        }
+    }
 }
 
 impl fmt::Display for SmtpSupport {
@@ -155,6 +167,8 @@ pub fn classify_with_resolver(
 
 /// Runs the census over every ctypo in the world.
 pub fn scan_world(world: &World) -> SupportCensus {
+    let mut scan_span = ets_obs::span!("scan.census");
+    scan_span.arg("domains", world.ctypos.len() as u64);
     let mut counts = [0usize; 6];
     let resolver = world.resolver();
     for c in &world.ctypos {
@@ -162,6 +176,12 @@ pub fn scan_world(world: &World) -> SupportCensus {
         let cat = classify_with_resolver(&resolver, &fq, c.smtp, c.has_zone);
         let i = SmtpSupport::ALL.iter().position(|x| *x == cat).unwrap();
         counts[i] += 1;
+    }
+    ets_obs::metrics::counter_add("scan.domains", world.ctypos.len() as u64);
+    for (cat, &count) in SmtpSupport::ALL.iter().zip(counts.iter()) {
+        if count > 0 {
+            ets_obs::metrics::counter_add(&format!("scan.{}", cat.key()), count as u64);
+        }
     }
     SupportCensus { counts }
 }

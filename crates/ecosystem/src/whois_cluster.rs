@@ -114,12 +114,16 @@ impl UnionFind {
 /// identical for any thread count. Buckets are walked in sorted key order
 /// because `HashMap` iteration order is unspecified.
 pub fn cluster_registrants(rows: &[WhoisRow]) -> Vec<Cluster> {
+    let mut cluster_span = ets_obs::span!("whois.cluster");
+    cluster_span.arg("rows", rows.len() as u64);
+    ets_obs::metrics::counter_add("whois.rows", rows.len() as u64);
     // Eligible rows only.
     let eligible: Vec<(usize, &WhoisRow)> = rows
         .iter()
         .enumerate()
         .filter(|(_, r)| !r.private && r.whois.populated_fields() >= MATCH_THRESHOLD)
         .collect();
+    ets_obs::metrics::counter_add("whois.eligible", eligible.len() as u64);
     let mut uf = UnionFind::new(eligible.len());
 
     // Bucket by normalized field values; compare within buckets.

@@ -8,9 +8,14 @@ use ets_ecosystem::population::{PopulationConfig, World};
 use parking_lot::Mutex;
 use serde_json::json;
 use std::sync::OnceLock;
-use std::time::Instant;
 
 /// The lab bench: seeds, scale, output directory, cached substrates.
+///
+/// Stage timings and workload counts live in the `ets-obs` registry:
+/// wall-clock stage durations go through [`ets_obs::metrics::time_stage`]
+/// (which also opens a `stage.<name>` span for traces), and deterministic
+/// workload counts are `lab.<name>` counters read back by the bench
+/// reports.
 pub struct Lab {
     /// Base RNG seed.
     pub seed: u64,
@@ -21,12 +26,6 @@ pub struct Lab {
     world: OnceLock<World>,
     collection: OnceLock<Collection>,
     log: Mutex<()>,
-    /// Wall-clock seconds per expensive pipeline stage, in run order.
-    timings: Mutex<Vec<(String, f64)>>,
-    /// Deterministic workload counts (candidate/email totals), in record
-    /// order — the baseline report pairs them with the stage timings so a
-    /// timing regression can be told apart from a workload change.
-    counts: Mutex<Vec<(String, u64)>>,
 }
 
 /// A completed collection run: infrastructure, generated mail, verdicts.
@@ -51,24 +50,23 @@ impl Lab {
             world: OnceLock::new(),
             collection: OnceLock::new(),
             log: Mutex::new(()),
-            timings: Mutex::new(Vec::new()),
-            counts: Mutex::new(Vec::new()),
         }
     }
 
-    /// Records a deterministic workload count for `bench_baseline.json`.
+    /// Records a deterministic workload count for `bench_baseline.json`
+    /// as a `lab.<name>` counter in the obs registry. The baseline report
+    /// pairs the counts with the stage timings so a timing regression can
+    /// be told apart from a workload change.
     fn record_count(&self, name: &str, value: u64) {
-        self.counts.lock().push((name.to_owned(), value));
+        ets_obs::metrics::counter_add(&format!("lab.{name}"), value);
     }
 
-    /// Runs a pipeline stage, recording its wall-clock time for the
-    /// `bench_pipeline.json` report.
+    /// Runs a pipeline stage, recording its wall-clock time on the obs
+    /// stage timeline for the `bench_pipeline.json` report (and a
+    /// `stage.<name>` span when tracing is enabled).
     fn time_stage<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
-        let out = f();
-        let secs = start.elapsed().as_secs_f64();
+        let (out, secs) = ets_obs::metrics::time_stage(name, f);
         eprintln!("[lab] stage {name}: {secs:.2}s");
-        self.timings.lock().push((name.to_owned(), secs));
         out
     }
 
@@ -159,7 +157,7 @@ impl Lab {
     /// Stage *timings* vary with `--threads`; every other result file is
     /// byte-identical across thread counts.
     pub fn write_bench_pipeline(&self) {
-        let timings = self.timings.lock();
+        let timings = ets_obs::metrics::stage_timeline();
         if timings.is_empty() {
             return;
         }
@@ -168,7 +166,6 @@ impl Lab {
             .map(|(name, secs)| json!({ "stage": name.as_str(), "seconds": *secs }))
             .collect();
         let total: f64 = timings.iter().map(|(_, s)| *s).sum();
-        drop(timings);
         let value = json!({
             "threads": ets_parallel::threads(),
             "seed": self.seed,
@@ -185,19 +182,16 @@ impl Lab {
     /// run; the counts are byte-identical for a given seed/scale.
     pub fn write_bench_baseline(&self) {
         let micro = crate::microbench::run();
-        let timings = self.timings.lock();
+        let timings = ets_obs::metrics::stage_timeline();
         let stages: Vec<serde_json::Value> = timings
             .iter()
             .map(|(name, secs)| json!({ "stage": name.as_str(), "seconds": *secs }))
             .collect();
         let total: f64 = timings.iter().map(|(_, s)| *s).sum();
-        drop(timings);
-        let counts = self.counts.lock();
-        let counts_json: serde_json::Map = counts
-            .iter()
-            .map(|(name, v)| (name.clone(), json!(*v)))
+        let counts_json: serde_json::Map = ets_obs::metrics::counters_with_prefix("lab")
+            .into_iter()
+            .map(|(name, v)| (name, json!(v)))
             .collect();
-        drop(counts);
         let value = json!({
             "threads": ets_parallel::threads(),
             "seed": self.seed,

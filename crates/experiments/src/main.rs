@@ -2,7 +2,7 @@
 //! (Szurdi & Christin, IMC 2017) from the simulated substrate.
 //!
 //! ```text
-//! repro <experiment> [--seed N] [--out DIR] [--fast]
+//! repro <experiment> [--seed N] [--out DIR] [--fast] [--threads N] [--trace FILE]
 //!
 //! experiments:
 //!   table1      DNS settings of a typo domain
@@ -23,6 +23,22 @@
 //!   honey       §7 honey-token campaign
 //!   all         everything above
 //! ```
+//!
+//! Flags:
+//!
+//! * `--seed N` — base RNG seed (default 20160604).
+//! * `--out DIR` — output directory for JSON records (default `results/`,
+//!   created if missing).
+//! * `--fast` — reduced-scale mode for quick runs.
+//! * `--threads N` — worker count for the parallel pipeline stages;
+//!   results are byte-identical for any value (0 = one per core).
+//! * `--trace FILE` — write a Chrome-trace span file to `FILE` (open in
+//!   Perfetto / `chrome://tracing`), a JSONL event log next to it, and a
+//!   deterministic metrics snapshot. The `ETS_TRACE` environment variable
+//!   filters spans (`off`, `info`, `debug`, `trace`, or per-module
+//!   directives like `funnel=trace,parallel=off`); it defaults to
+//!   `trace` (everything) when `--trace` is given. Tracing never changes
+//!   the `results/*.json` outputs.
 //!
 //! Each experiment prints the paper-shaped rows and writes a JSON record
 //! under `--out` (default `results/`).
@@ -48,6 +64,7 @@ fn main() -> ExitCode {
     let mut seed: u64 = 2016_0604;
     let mut out_dir = "results".to_owned();
     let mut fast = false;
+    let mut trace_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -65,6 +82,10 @@ fn main() -> ExitCode {
                 Some(n) => ets_parallel::set_threads(n),
                 None => return usage("--threads needs an integer"),
             },
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => return usage("--trace needs a file path"),
+            },
             "--fast" => fast = true,
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_owned());
@@ -78,6 +99,19 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {out_dir}: {e}");
         return ExitCode::FAILURE;
+    }
+    if trace_path.is_some() {
+        // ETS_TRACE filters the recorded spans; absent means everything.
+        // ETS_TRACE=off disables span recording (the metrics snapshot is
+        // still written at export).
+        let filter = match std::env::var("ETS_TRACE") {
+            Ok(spec) => match ets_obs::Filter::parse(&spec) {
+                Ok(f) => f,
+                Err(e) => return usage(&format!("bad ETS_TRACE: {e}")),
+            },
+            Err(_) => ets_obs::Filter::all(),
+        };
+        ets_obs::trace::enable(filter);
     }
     let ctx = lab::Lab::new(seed, fast, out_dir);
     let known: Vec<Experiment> = vec![
@@ -106,23 +140,44 @@ fn main() -> ExitCode {
             }
             ctx.write_bench_pipeline();
             ctx.write_bench_baseline();
-            ExitCode::SUCCESS
         }
         name => match known.iter().find(|(n, _)| *n == name) {
             Some((_, f)) => {
                 f(&ctx);
                 ctx.write_bench_pipeline();
-                ExitCode::SUCCESS
             }
-            None => usage(&format!("unknown experiment {name:?}")),
+            None => return usage(&format!("unknown experiment {name:?}")),
         },
     }
+    if let Some(path) = &trace_path {
+        match ets_obs::trace::export(path) {
+            Ok(paths) => eprintln!(
+                "[trace] wrote {} (Perfetto), {} (JSONL), {} (metrics)",
+                paths.chrome, paths.jsonl, paths.metrics
+            ),
+            Err(e) => {
+                eprintln!("cannot write trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|table5|table6|fig3..fig9|volumes|regression|honey|all> [--seed N] [--out DIR] [--fast] [--threads N]"
+        "usage: repro <table1|table2|table3|table4|table5|table6|fig3..fig9|volumes|regression|honey|all> [--seed N] [--out DIR] [--fast] [--threads N] [--trace FILE]"
+    );
+    eprintln!("  --seed N      base RNG seed (default 20160604)");
+    eprintln!(
+        "  --out DIR     output directory for JSON records (default results/, created if missing)"
+    );
+    eprintln!("  --fast        reduced-scale mode for quick runs");
+    eprintln!("  --threads N   parallel worker count; results are byte-identical for any value (0 = one per core)");
+    eprintln!("  --trace FILE  write Chrome-trace spans to FILE plus a .jsonl event log and .metrics.json snapshot");
+    eprintln!(
+        "                (filter spans with ETS_TRACE, e.g. ETS_TRACE=funnel=trace,parallel=off)"
     );
     ExitCode::FAILURE
 }

@@ -105,6 +105,7 @@ fn mistake_popularity(lab: &Lab) -> MistakeTypePopularity {
 pub fn regression(lab: &Lab) {
     let c = lab.collection();
     let world = lab.world();
+    let mut reg_span = ets_obs::span!("regression.fit");
 
     // --- training set: our domains targeting the 5 seeds ---------------
     let mut yearly: HashMap<&DomainName, f64> = HashMap::new();
@@ -140,6 +141,8 @@ pub fn regression(lab: &Lab) {
         "training on {} study domains targeting the 5 seed providers (paper: 25)",
         observations.len()
     );
+    reg_span.arg("observations", observations.len() as u64);
+    ets_obs::metrics::counter_add("regression.observations", observations.len() as u64);
     let model = ProjectionModel::fit(&observations).expect("regression fits");
     println!(
         "R² = {:.2} (paper: 0.74); leave-one-out R² = {:.2} (paper: 0.63)",
@@ -164,6 +167,7 @@ pub fn regression(lab: &Lab) {
         "ctypos of the five seed targets in the wild: {} (paper: 1,211)",
         population.len()
     );
+    ets_obs::metrics::counter_add("regression.population", population.len() as u64);
 
     // --- projection ------------------------------------------------------
     let projection = model.project_total(&population, 0.95);

@@ -1,0 +1,193 @@
+//! End-to-end observability contract for the `repro` binary:
+//!
+//! * `--trace` emits a Chrome-trace file, a JSONL event log, and a
+//!   deterministic metrics snapshot — all parseable, with a span for
+//!   every pipeline stage and per-worker child spans under the
+//!   `ets-parallel` fan-outs.
+//! * The metrics snapshot is byte-identical at 1/2/8 threads.
+//! * Tracing never perturbs the `results/*.json` outputs, and without
+//!   `--trace` no trace artifact is written.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Stages `repro all` runs through `time_stage` — each must appear as a
+/// `stage.<name>` span in the trace.
+const STAGES: [&str; 3] = ["world_build", "traffic_generate", "funnel_classify"];
+
+/// Top-level pipeline spans every `all --fast` trace must contain.
+const PIPELINE_SPANS: [&str; 6] = [
+    "world.build",
+    "traffic.generate",
+    "funnel.classify",
+    "scan.census",
+    "whois.cluster",
+    "regression.fit",
+];
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ets-trace-smoke-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.get(key).unwrap_or_else(|| panic!("missing field {key}"))
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> &'a str {
+    field(v, key)
+        .as_str()
+        .unwrap_or_else(|| panic!("field {key} not a string"))
+}
+
+/// Runs `repro all --fast` with the given thread count, tracing into
+/// `<dir>/trace/trace.json` when `traced` (also proving `--trace` creates
+/// missing parent directories).
+fn run_all(dir: &Path, threads: u32, traced: bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.arg("all")
+        .arg("--fast")
+        .arg("--out")
+        .arg(dir.join("results"))
+        .arg("--threads")
+        .arg(threads.to_string());
+    if traced {
+        cmd.arg("--trace").arg(dir.join("trace/trace.json"));
+    }
+    let out = cmd.output().expect("repro runs");
+    assert!(
+        out.status.success(),
+        "repro all --fast failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// The non-bench result files (name → bytes): the outputs that must be
+/// byte-identical regardless of tracing and thread count.
+fn result_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir.join("results")).expect("results dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("bench_") {
+            continue; // wall-clock territory
+        }
+        out.insert(name, std::fs::read(entry.path()).expect("readable"));
+    }
+    out
+}
+
+#[test]
+fn trace_artifacts_are_valid_and_deterministic() {
+    // One traced run per thread count, plus an untraced run at 2 threads.
+    let t1 = scratch("t1");
+    let t2 = scratch("t2");
+    let t8 = scratch("t8");
+    let plain = scratch("plain");
+    run_all(&t1, 1, true);
+    run_all(&t2, 2, true);
+    run_all(&t8, 8, true);
+    run_all(&plain, 2, false);
+
+    // --- Chrome trace parses and covers the pipeline -------------------
+    let chrome: Value = serde_json::from_str(
+        &std::fs::read_to_string(t2.join("trace/trace.json")).expect("chrome trace written"),
+    )
+    .expect("chrome trace is valid JSON");
+    let events = field(&chrome, "traceEvents")
+        .as_array()
+        .expect("traceEvents is an array");
+    let spans: Vec<&Value> = events
+        .iter()
+        .filter(|e| str_field(e, "ph") == "X")
+        .collect();
+    let names: Vec<&str> = spans.iter().map(|e| str_field(e, "name")).collect();
+    for stage in STAGES {
+        let span = format!("stage.{stage}");
+        assert!(names.contains(&span.as_str()), "missing {span}");
+    }
+    for span in PIPELINE_SPANS {
+        assert!(names.contains(&span), "missing {span}");
+    }
+
+    // --- per-worker child spans parented to their fan-out ---------------
+    let ids: Vec<u64> = spans
+        .iter()
+        .filter(|e| str_field(e, "name").starts_with("parallel.par_"))
+        .filter_map(|e| field(field(e, "args"), "id").as_u64())
+        .collect();
+    let workers: Vec<&&Value> = spans
+        .iter()
+        .filter(|e| str_field(e, "name") == "parallel.worker")
+        .collect();
+    assert!(!workers.is_empty(), "no worker spans at 2 threads");
+    for w in &workers {
+        let parent = field(field(w, "args"), "parent")
+            .as_u64()
+            .expect("worker parent id");
+        assert!(ids.contains(&parent), "worker not parented to a fan-out");
+        assert!(
+            field(w, "tid").as_u64().expect("tid") > 0,
+            "worker span on the main tid"
+        );
+    }
+
+    // --- JSONL log: every line parses, span lines mirror the trace ------
+    let jsonl = std::fs::read_to_string(t2.join("trace/trace.jsonl")).expect("jsonl written");
+    let mut span_lines = 0usize;
+    for line in jsonl.lines() {
+        let v: Value = serde_json::from_str(line).expect("jsonl line parses");
+        if str_field(&v, "type") == "span" {
+            span_lines += 1;
+        }
+    }
+    assert_eq!(span_lines, spans.len(), "jsonl/chrome span count mismatch");
+
+    // --- deterministic snapshot: byte-identical across thread counts ----
+    let snap = |d: &Path| {
+        std::fs::read_to_string(d.join("trace/trace.metrics.json")).expect("snapshot written")
+    };
+    let s1 = snap(&t1);
+    assert_eq!(s1, snap(&t2), "metrics snapshot differs 1 vs 2 threads");
+    assert_eq!(s1, snap(&t8), "metrics snapshot differs 1 vs 8 threads");
+    let metrics: Value = serde_json::from_str(&s1).expect("snapshot is valid JSON");
+    let counters = field(&metrics, "counters");
+    for counter in ["funnel.emails", "traffic.emails", "world.ctypos"] {
+        assert!(
+            field(counters, counter).as_u64().unwrap_or(0) > 0,
+            "counter {counter} missing or zero"
+        );
+    }
+    assert!(
+        field(
+            field(field(&metrics, "histograms"), "world.dl1_fanout"),
+            "counts"
+        )
+        .as_array()
+        .is_some(),
+        "dl1 fan-out histogram missing"
+    );
+
+    // --- tracing must not perturb results; no --trace, no artifacts -----
+    assert_eq!(
+        result_files(&t2),
+        result_files(&plain),
+        "tracing changed results/*.json"
+    );
+    assert_eq!(
+        result_files(&t1),
+        result_files(&t8),
+        "results differ across thread counts"
+    );
+    assert!(
+        !plain.join("trace").exists(),
+        "untraced run wrote trace artifacts"
+    );
+
+    for d in [t1, t2, t8, plain] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

@@ -22,12 +22,20 @@ pub const ANALYTICAL_CRATES: &[&str] = &[
     "ets-experiments",
     "ets-honeypot",
     "ets-dns",
+    "ets-obs",
 ];
 
-/// Files allowed to read the wall clock: the microbenchmark harness and
-/// the `repro` driver's stage timers, plus everything in `ets-bench`.
-pub const TIMING_ALLOWLIST_FILES: &[&str] = &["microbench.rs", "lab.rs"];
+/// Files allowed to read the wall clock: the microbenchmark harness plus
+/// everything in `ets-bench`. (`lab.rs` used to be here; its stage timers
+/// now go through `ets-obs`, whose clock access is confined to the
+/// path-exact entry below.)
+pub const TIMING_ALLOWLIST_FILES: &[&str] = &["microbench.rs"];
 pub const TIMING_ALLOWLIST_CRATES: &[&str] = &["ets-bench"];
+/// Workspace-relative paths allowed to read the wall clock. Path-exact on
+/// purpose: `crates/obs/src/clock.rs` is the *only* wall-clock source in
+/// the observability subsystem, so a `clock.rs` in any other crate — or
+/// `Instant::now` anywhere else in `ets-obs` — is still denied.
+pub const TIMING_ALLOWLIST_PATHS: &[&str] = &["crates/obs/src/clock.rs"];
 
 /// Walks up from `start` to the directory whose `Cargo.toml` declares
 /// `[workspace]`.
@@ -148,7 +156,8 @@ pub fn file_meta(root: &Path, krate: &Crate, path: &Path) -> FileMeta {
         // Binary entry points may panic on bad usage; library code may not.
         library: krate.has_lib && rel_to_src != "main.rs",
         timing_allowed: TIMING_ALLOWLIST_CRATES.contains(&krate.name.as_str())
-            || TIMING_ALLOWLIST_FILES.contains(&file_name.as_str()),
+            || TIMING_ALLOWLIST_FILES.contains(&file_name.as_str())
+            || TIMING_ALLOWLIST_PATHS.contains(&display_path.as_str()),
         crate_name: krate.name.clone(),
         display_path,
         file_name,

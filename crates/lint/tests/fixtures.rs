@@ -140,6 +140,49 @@ fn crate_hygiene_fixture() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+/// Resolves `timing_allowed` exactly as the workspace walker does, for a
+/// hypothetical file `rel` inside crate `krate` at `crates/<dir>`.
+fn timing_allowed_for(krate: &str, dir: &str, rel: &str) -> bool {
+    let root = std::path::Path::new("/ws");
+    let c = ets_lint::workspace::Crate {
+        name: krate.to_string(),
+        dir: root.join("crates").join(dir),
+        has_lib: true,
+    };
+    let path = c.dir.join(rel);
+    ets_lint::workspace::file_meta(root, &c, &path).timing_allowed
+}
+
+/// The timing allowlist admits exactly `crates/obs/src/clock.rs`: the
+/// same `Instant::now` fixture stays denied everywhere else in `ets-obs`
+/// and in a `clock.rs` that lives in any other crate.
+#[test]
+fn timing_allowlist_is_path_exact_for_obs_clock() {
+    assert!(timing_allowed_for("ets-obs", "obs", "src/clock.rs"));
+    // Elsewhere in ets-obs: denied.
+    assert!(!timing_allowed_for("ets-obs", "obs", "src/span.rs"));
+    assert!(!timing_allowed_for("ets-obs", "obs", "src/metrics.rs"));
+    // A clock.rs in a different crate: denied (file name is not enough).
+    assert!(!timing_allowed_for("ets-core", "core", "src/clock.rs"));
+    // lab.rs lost its old filename-based exemption when the stage timers
+    // moved onto ets-obs.
+    assert!(!timing_allowed_for(
+        "ets-experiments",
+        "experiments",
+        "src/lab.rs"
+    ));
+
+    // And a denied meta really does fire on wall-clock reads.
+    let src = std::fs::read_to_string(fixture_path("nondet.rs")).unwrap();
+    let mut m = meta("nondet.rs", false, true, false);
+    m.timing_allowed = false;
+    let diags = lint_file(&m, &src);
+    assert!(
+        diags.iter().any(|d| d.rule == "nondeterministic-source"),
+        "{diags:?}"
+    );
+}
+
 #[test]
 fn json_output_is_shaped_and_deterministic() {
     let src = std::fs::read_to_string(fixture_path("nondet.rs")).unwrap();

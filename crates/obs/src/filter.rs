@@ -1,0 +1,200 @@
+//! The `ETS_TRACE` env-filter: per-module-prefix trace levels.
+//!
+//! Grammar (comma-separated directives, later directives win on ties of
+//! equal prefix length; the longest matching prefix wins otherwise):
+//!
+//! ```text
+//! ETS_TRACE=off                     # nothing recorded
+//! ETS_TRACE=info                    # stage spans only
+//! ETS_TRACE=trace                   # everything (the --trace default)
+//! ETS_TRACE=parallel=off            # drop per-worker spans, keep the rest
+//! ETS_TRACE=info,funnel=trace       # stages + full funnel detail
+//! ```
+//!
+//! A bare level sets the default; `prefix=level` applies to every span
+//! whose dotted name starts with that prefix (`funnel` matches
+//! `funnel.layer3` but not `funnels`).
+
+use std::str::FromStr;
+
+/// Span verbosity levels, ordered: a span is recorded when its level is
+/// at or below the effective filter level for its name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Never recorded; as a filter level, records nothing.
+    Off,
+    /// Pipeline stages and other once-per-run structure.
+    Info,
+    /// Inner phases (funnel layers, world-build sub-stages).
+    Debug,
+    /// Per-worker fan-out spans and other high-volume detail.
+    Trace,
+}
+
+impl Level {
+    /// Lower-case name, for trace output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Ok(Level::Off),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" | "all" | "on" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown trace level {other:?} (expected off|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+/// A parsed `ETS_TRACE` filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filter {
+    /// Level for spans no directive matches.
+    default: Level,
+    /// `(module prefix, level)` directives, as written.
+    directives: Vec<(String, Level)>,
+}
+
+impl Filter {
+    /// Records everything — the default when `--trace` is given and
+    /// `ETS_TRACE` is unset.
+    pub const fn all() -> Filter {
+        Filter {
+            default: Level::Trace,
+            directives: Vec::new(),
+        }
+    }
+
+    /// Records nothing.
+    pub const fn off() -> Filter {
+        Filter {
+            default: Level::Off,
+            directives: Vec::new(),
+        }
+    }
+
+    /// True when no span can ever be recorded under this filter.
+    pub fn is_off(&self) -> bool {
+        self.default == Level::Off && self.directives.iter().all(|(_, l)| *l == Level::Off)
+    }
+
+    /// Parses a directive string. The default level (when only
+    /// `prefix=level` directives are given) is `trace`.
+    pub fn parse(spec: &str) -> Result<Filter, String> {
+        let mut default = None;
+        let mut directives = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                Some((prefix, level)) => {
+                    let prefix = prefix.trim();
+                    if prefix.is_empty() {
+                        return Err(format!("empty module prefix in directive {part:?}"));
+                    }
+                    directives.push((prefix.to_owned(), level.parse()?));
+                }
+                None => default = Some(part.parse()?),
+            }
+        }
+        Ok(Filter {
+            default: default.unwrap_or(Level::Trace),
+            directives,
+        })
+    }
+
+    /// The effective level for a dotted span name: the longest matching
+    /// prefix directive, or the default.
+    pub fn level_for(&self, name: &str) -> Level {
+        let mut best: Option<(usize, Level)> = None;
+        for (prefix, level) in &self.directives {
+            let matches = name == prefix
+                || (name.len() > prefix.len()
+                    && name.starts_with(prefix.as_str())
+                    && name.as_bytes()[prefix.len()] == b'.');
+            let longer = match best {
+                None => true,
+                Some((len, _)) => prefix.len() >= len,
+            };
+            if matches && longer {
+                best = Some((prefix.len(), *level));
+            }
+        }
+        best.map_or(self.default, |(_, l)| l)
+    }
+
+    /// Whether a span at `level` under `name` should be recorded.
+    pub fn enabled(&self, name: &str, level: Level) -> bool {
+        level != Level::Off && level <= self.level_for(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_level_sets_default() {
+        let f = Filter::parse("info").unwrap();
+        assert!(f.enabled("stage.world_build", Level::Info));
+        assert!(!f.enabled("parallel.worker", Level::Trace));
+    }
+
+    #[test]
+    fn prefix_directive_overrides_default() {
+        let f = Filter::parse("info,funnel=trace").unwrap();
+        assert!(f.enabled("funnel.layer3", Level::Trace));
+        assert!(!f.enabled("parallel.worker", Level::Trace));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let f = Filter::parse("funnel=off,funnel.layer3=debug").unwrap();
+        assert_eq!(f.level_for("funnel.layer3"), Level::Debug);
+        assert_eq!(f.level_for("funnel.layer5"), Level::Off);
+        assert_eq!(f.level_for("funnel.layer3.pass"), Level::Debug);
+    }
+
+    #[test]
+    fn prefix_matches_whole_labels_only() {
+        let f = Filter::parse("funnel=off").unwrap();
+        assert_eq!(f.level_for("funnels.x"), Level::Trace);
+        assert_eq!(f.level_for("funnel"), Level::Off);
+    }
+
+    #[test]
+    fn off_spec_disables_everything() {
+        let f = Filter::parse("off").unwrap();
+        assert!(f.is_off());
+        assert!(!f.enabled("anything", Level::Info));
+    }
+
+    #[test]
+    fn bad_specs_are_errors() {
+        assert!(Filter::parse("verbose").is_err());
+        assert!(Filter::parse("=info").is_err());
+        assert!(Filter::parse("x=loud").is_err());
+    }
+
+    #[test]
+    fn empty_spec_defaults_to_trace_everything() {
+        let f = Filter::parse("").unwrap();
+        assert!(f.enabled("parallel.worker", Level::Trace));
+        assert_eq!(f, Filter::all());
+    }
+}

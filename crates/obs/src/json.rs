@@ -1,0 +1,83 @@
+//! A minimal JSON *writer* — just enough to emit trace artifacts without
+//! pulling a serialization dependency into the observability layer.
+//!
+//! Only writing is provided (the crate never reads JSON back); tests
+//! round-trip the output through the workspace's `serde_json` to prove
+//! it parses.
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` in a JSON-valid form (JSON has no NaN/Infinity; they
+/// degrade to `null`).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{v:?}` keeps a decimal point or exponent, so the value reads
+        // back as a float rather than an integer.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends a `[a, b, c]` array of integers.
+pub fn write_u64_array(out: &mut String, vals: &[u64]) {
+    out.push('[');
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(f: impl FnOnce(&mut String)) -> String {
+        let mut out = String::new();
+        f(&mut out);
+        out
+    }
+
+    #[test]
+    fn strings_escape_and_parse_back() {
+        let raw = "a \"b\"\\\n\tcontrol:\u{1}";
+        let enc = s(|o| write_str(o, raw));
+        let back: serde_json::Value = serde_json::from_str(&enc).unwrap();
+        assert_eq!(back.as_str(), Some(raw));
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        assert_eq!(s(|o| write_f64(o, 2.0)), "2.0");
+        assert_eq!(s(|o| write_f64(o, f64::NAN)), "null");
+        let back: serde_json::Value = serde_json::from_str(&s(|o| write_f64(o, 0.25))).unwrap();
+        assert_eq!(back.as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn arrays_parse_back() {
+        let enc = s(|o| write_u64_array(o, &[1, 2, 30]));
+        let back: serde_json::Value = serde_json::from_str(&enc).unwrap();
+        assert_eq!(back.as_array().unwrap().len(), 3);
+    }
+}

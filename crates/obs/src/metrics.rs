@@ -1,0 +1,308 @@
+//! The global metrics registry: monotonic counters, gauges, fixed-bucket
+//! histograms, and the ordered stage-timing timeline.
+//!
+//! The registry is split along the repository's determinism boundary:
+//!
+//! * **Counters and histograms** hold *workload* quantities (emails
+//!   classified, funnel layer drops, DL-1 fan-out sizes). Increments are
+//!   commutative, so even when they happen inside `ets-parallel` fan-out
+//!   closures the final values are a pure function of `(seed, scale)` —
+//!   [`snapshot_json`] is asserted byte-identical across thread counts.
+//! * **Gauges and stage timings** may hold wall-clock-derived values
+//!   (emails/sec, seconds per stage). They are excluded from the
+//!   deterministic snapshot and only flow into trace and bench
+//!   artifacts.
+//!
+//! Everything is process-global behind one mutex; hot paths record once
+//! per batch, not once per item.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// A fixed-bucket histogram: `counts[i]` is the number of recorded
+/// values `<= bounds[i]`, with one overflow bucket at the end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `len == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        let i = self.bounds.partition_point(|&b| b < value);
+        self.counts[i] += 1;
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    /// `(stage name, wall-clock seconds)` in run order — the
+    /// `bench_pipeline.json` timeline.
+    stages: Vec<(String, f64)>,
+}
+
+static REGISTRY: Mutex<Inner> = Mutex::new(Inner {
+    counters: BTreeMap::new(),
+    gauges: BTreeMap::new(),
+    histograms: BTreeMap::new(),
+    stages: Vec::new(),
+});
+
+/// Poison only means a panicking thread held the guard mid-update; the
+/// panic still propagates to the test/process, so recovering here never
+/// masks a failure.
+fn lock() -> MutexGuard<'static, Inner> {
+    REGISTRY.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Adds `delta` to the named monotonic counter (created at zero).
+pub fn counter_add(name: &str, delta: u64) {
+    let mut r = lock();
+    match r.counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            r.counters.insert(name.to_owned(), delta);
+        }
+    }
+}
+
+/// Current value of a counter (zero when never touched).
+pub fn counter_value(name: &str) -> u64 {
+    lock().counters.get(name).copied().unwrap_or(0)
+}
+
+/// All counters, sorted by name.
+pub fn counters() -> Vec<(String, u64)> {
+    lock()
+        .counters
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Counters with the given dotted prefix, with `prefix.` stripped,
+/// sorted by name.
+pub fn counters_with_prefix(prefix: &str) -> Vec<(String, u64)> {
+    lock()
+        .counters
+        .iter()
+        .filter_map(|(k, v)| {
+            k.strip_prefix(prefix)
+                .and_then(|rest| rest.strip_prefix('.'))
+                .map(|rest| (rest.to_owned(), *v))
+        })
+        .collect()
+}
+
+/// Sets the named gauge (last write wins). Gauges may carry wall-clock
+/// derived values and are excluded from the deterministic snapshot.
+pub fn gauge_set(name: &str, value: f64) {
+    lock().gauges.insert(name.to_owned(), value);
+}
+
+/// Current gauges, sorted by name.
+pub fn gauges() -> Vec<(String, f64)> {
+    lock().gauges.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+/// Records one value into the named fixed-bucket histogram. The bucket
+/// bounds are fixed by the first call; later calls must pass the same
+/// bounds (violations are reported at export time via the
+/// `obs.histogram_bounds_conflict` counter rather than panicking inside
+/// a measurement run).
+pub fn histogram_record(name: &str, bounds: &[u64], value: u64) {
+    let mut r = lock();
+    match r.histograms.get_mut(name) {
+        Some(h) => {
+            if h.bounds != bounds {
+                drop(r);
+                counter_add("obs.histogram_bounds_conflict", 1);
+                return;
+            }
+            h.record(value);
+        }
+        None => {
+            let mut h = Histogram::new(bounds);
+            h.record(value);
+            r.histograms.insert(name.to_owned(), h);
+        }
+    }
+}
+
+/// A copy of the named histogram, if recorded.
+pub fn histogram(name: &str) -> Option<Histogram> {
+    lock().histograms.get(name).cloned()
+}
+
+/// Appends one entry to the stage-timing timeline.
+pub fn stage_record(name: &str, seconds: f64) {
+    lock().stages.push((name.to_owned(), seconds));
+}
+
+/// The stage-timing timeline, in run order.
+pub fn stage_timeline() -> Vec<(String, f64)> {
+    lock().stages.clone()
+}
+
+/// Runs `f` as a named pipeline stage: wraps it in a `stage.<name>` span,
+/// appends its wall-clock duration to the timeline, and returns the
+/// result together with the measured seconds.
+pub fn time_stage<T>(name: &str, f: impl FnOnce() -> T) -> (T, f64) {
+    let _span = crate::span::enter(&format!("stage.{name}"));
+    let sw = crate::clock::Stopwatch::start();
+    let out = f();
+    let secs = sw.elapsed_secs();
+    stage_record(name, secs);
+    (out, secs)
+}
+
+/// The deterministic snapshot: counters and histograms only, sorted by
+/// name, rendered to JSON. Byte-identical across thread counts for a
+/// given `(seed, scale)` workload.
+pub fn snapshot_json() -> String {
+    let r = lock();
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (name, value)) in r.counters.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        json::write_str(&mut out, name);
+        out.push_str(": ");
+        out.push_str(&value.to_string());
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, (name, h)) in r.histograms.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        json::write_str(&mut out, name);
+        out.push_str(": {\"bounds\": ");
+        json::write_u64_array(&mut out, &h.bounds);
+        out.push_str(", \"counts\": ");
+        json::write_u64_array(&mut out, &h.counts);
+        out.push('}');
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Clears every metric and the stage timeline (tests only — production
+/// code records for the life of the process).
+pub fn reset() {
+    let mut r = lock();
+    r.counters.clear();
+    r.gauges.clear();
+    r.histograms.clear();
+    r.stages.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; tests that read whole snapshots
+    /// serialize on the workspace-wide obs test lock.
+    fn locked<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = crate::test_lock();
+        reset();
+        let out = f();
+        reset();
+        out
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        locked(|| {
+            counter_add("t.a", 2);
+            counter_add("t.a", 3);
+            assert_eq!(counter_value("t.a"), 5);
+            assert_eq!(counter_value("t.untouched"), 0);
+        });
+    }
+
+    #[test]
+    fn prefix_query_strips_prefix() {
+        locked(|| {
+            counter_add("lab.world_targets", 10);
+            counter_add("lab.traffic_emails", 20);
+            counter_add("other.x", 1);
+            let got = counters_with_prefix("lab");
+            assert_eq!(
+                got,
+                vec![
+                    ("traffic_emails".to_owned(), 20),
+                    ("world_targets".to_owned(), 10)
+                ]
+            );
+        });
+    }
+
+    #[test]
+    fn histogram_buckets_by_inclusive_upper_bound() {
+        locked(|| {
+            let bounds = [1, 4, 16];
+            for v in [0, 1, 2, 4, 5, 100] {
+                histogram_record("t.h", &bounds, v);
+            }
+            let h = histogram("t.h").unwrap();
+            assert_eq!(h.counts, vec![2, 2, 1, 1]);
+            assert_eq!(h.total(), 6);
+        });
+    }
+
+    #[test]
+    fn histogram_bounds_conflict_is_counted_not_fatal() {
+        locked(|| {
+            histogram_record("t.h2", &[1, 2], 1);
+            histogram_record("t.h2", &[1, 3], 1);
+            assert_eq!(counter_value("obs.histogram_bounds_conflict"), 1);
+            assert_eq!(histogram("t.h2").unwrap().total(), 1);
+        });
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        locked(|| {
+            counter_add("z.last", 1);
+            counter_add("a.first", 2);
+            histogram_record("m.h", &[10], 3);
+            gauge_set("wallclock.rate", 123.4);
+            let a = snapshot_json();
+            let b = snapshot_json();
+            assert_eq!(a, b);
+            let first = a.find("a.first").unwrap();
+            let last = a.find("z.last").unwrap();
+            assert!(first < last);
+            // Gauges are wall-clock territory: never in the snapshot.
+            assert!(!a.contains("wallclock.rate"));
+        });
+    }
+
+    #[test]
+    fn time_stage_appends_to_timeline() {
+        locked(|| {
+            let (out, secs) = time_stage("unit_test_stage", || 41 + 1);
+            assert_eq!(out, 42);
+            assert!(secs >= 0.0);
+            let tl = stage_timeline();
+            assert_eq!(tl.len(), 1);
+            assert_eq!(tl[0].0, "unit_test_stage");
+        });
+    }
+}

@@ -1,0 +1,240 @@
+//! Hierarchical spans with RAII guards.
+//!
+//! A span is opened with [`enter`] (or the [`span!`](crate::span!)
+//! macro) and closed when its guard drops; while open, it is the parent
+//! of any span opened later on the same thread, via a thread-local span
+//! stack. Crossing a thread boundary — the `ets-parallel` fan-outs —
+//! is explicit: the spawning side reads [`current_id`] and each worker
+//! opens its span with [`worker`], naming the parent and its worker
+//! index.
+//!
+//! When tracing is disabled (the default) every entry point returns a
+//! no-op guard after one relaxed atomic load: default runs pay nothing
+//! and produce no artifacts.
+
+use crate::filter::Level;
+use crate::trace::{self, SpanEvent};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Span ids are unique per process; 0 means "no span" (a root parent).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Open-span stack of this thread: the top is the current parent.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Trace "thread id" label: 0 for the main thread, worker index + 1
+    /// inside fan-out workers.
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Opens an `Info`-level span. Prefer the [`span!`](crate::span!) macro.
+pub fn enter(name: &str) -> SpanGuard {
+    enter_at(name, Level::Info)
+}
+
+/// Opens a span at an explicit level.
+pub fn enter_at(name: &str, level: Level) -> SpanGuard {
+    if !trace::should_record(name, level) {
+        return SpanGuard { rec: None };
+    }
+    let parent = current_id();
+    open(name, level, parent, None)
+}
+
+/// Opens a span on a fan-out worker thread: `parent` is the spawning
+/// side's [`current_id`], `index` the worker's slot. The worker's trace
+/// thread id becomes `index + 1` for the life of the thread.
+pub fn worker(name: &str, parent: u64, index: usize) -> SpanGuard {
+    if !trace::should_record(name, Level::Trace) {
+        return SpanGuard { rec: None };
+    }
+    TID.with(|t| t.set(index as u64 + 1));
+    open(name, Level::Trace, parent, Some(index as u64))
+}
+
+fn open(name: &str, level: Level, parent: u64, worker: Option<u64>) -> SpanGuard {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    STACK.with(|s| s.borrow_mut().push(id));
+    let mut args = Vec::new();
+    if let Some(w) = worker {
+        args.push(("worker", w));
+    }
+    SpanGuard {
+        rec: Some(Rec {
+            id,
+            parent,
+            name: name.to_owned(),
+            level,
+            tid: TID.with(Cell::get),
+            start_us: crate::clock::monotonic_micros(),
+            args,
+        }),
+    }
+}
+
+/// The id of the innermost open span on this thread, or 0.
+pub fn current_id() -> u64 {
+    STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+struct Rec {
+    id: u64,
+    parent: u64,
+    name: String,
+    level: Level,
+    tid: u64,
+    start_us: u64,
+    args: Vec<(&'static str, u64)>,
+}
+
+/// RAII guard: records the span when dropped. No-op when tracing was
+/// disabled at entry.
+pub struct SpanGuard {
+    rec: Option<Rec>,
+}
+
+impl SpanGuard {
+    /// This span's id (0 when tracing is disabled) — pass it to
+    /// [`worker`] on spawned threads to parent their spans here.
+    pub fn id(&self) -> u64 {
+        self.rec.as_ref().map_or(0, |r| r.id)
+    }
+
+    /// Attaches a numeric argument, exported into the trace (e.g. items
+    /// processed by a worker). No-op when disabled.
+    pub fn arg(&mut self, key: &'static str, value: u64) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.args.push((key, value));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(rec) = self.rec.take() else {
+            return;
+        };
+        let end_us = crate::clock::monotonic_micros();
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards drop in reverse entry order on a given thread, so
+            // the top is this span; be defensive anyway.
+            if stack.last() == Some(&rec.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&x| x != rec.id);
+            }
+        });
+        trace::push(SpanEvent {
+            id: rec.id,
+            parent: rec.parent,
+            name: rec.name,
+            level: rec.level,
+            tid: rec.tid,
+            start_us: rec.start_us,
+            dur_us: end_us.saturating_sub(rec.start_us),
+            args: rec.args,
+        });
+    }
+}
+
+/// Opens a named span, returning its RAII guard; the optional second
+/// argument is a [`Level`](crate::filter::Level) (default `Info`).
+///
+/// ```
+/// let _guard = ets_obs::span!("funnel.layer2");
+/// let _noisy = ets_obs::span!("funnel.layer2.pass", ets_obs::filter::Level::Debug);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+    ($name:expr, $level:expr) => {
+        $crate::span::enter_at($name, $level)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Filter;
+
+    #[test]
+    fn disabled_spans_are_no_ops() {
+        let _guard = crate::test_lock();
+        trace::disable();
+        let g = enter("test.disabled");
+        assert_eq!(g.id(), 0);
+        assert_eq!(current_id(), 0);
+        drop(g);
+        assert!(trace::drain().is_empty());
+    }
+
+    #[test]
+    fn nesting_follows_the_thread_stack() {
+        let _guard = crate::test_lock();
+        trace::enable(Filter::all());
+        {
+            let outer = enter("test.outer");
+            assert_eq!(current_id(), outer.id());
+            let inner = enter("test.inner");
+            assert_eq!(current_id(), inner.id());
+            drop(inner);
+            assert_eq!(current_id(), outer.id());
+        }
+        let events = trace::drain();
+        trace::disable();
+        assert_eq!(events.len(), 2);
+        let inner = events.iter().find(|e| e.name == "test.inner").unwrap();
+        let outer = events.iter().find(|e| e.name == "test.outer").unwrap();
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(outer.parent, 0);
+        assert!(inner.start_us >= outer.start_us);
+    }
+
+    #[test]
+    fn worker_spans_parent_across_threads() {
+        let _guard = crate::test_lock();
+        trace::enable(Filter::all());
+        {
+            let fan = enter("test.fan");
+            let parent = fan.id();
+            std::thread::scope(|scope| {
+                for w in 0..2 {
+                    scope.spawn(move || {
+                        let mut g = worker("test.worker", parent, w);
+                        g.arg("items", 10 + w as u64);
+                    });
+                }
+            });
+        }
+        let events = trace::drain();
+        trace::disable();
+        let fan = events.iter().find(|e| e.name == "test.fan").unwrap();
+        let workers: Vec<_> = events.iter().filter(|e| e.name == "test.worker").collect();
+        assert_eq!(workers.len(), 2);
+        for w in workers {
+            assert_eq!(w.parent, fan.id);
+            assert!(w.tid > 0);
+            assert!(w.args.iter().any(|(k, _)| *k == "worker"));
+            assert!(w.args.iter().any(|(k, v)| *k == "items" && *v >= 10));
+        }
+    }
+
+    #[test]
+    fn filter_drops_below_threshold_spans() {
+        let _guard = crate::test_lock();
+        trace::enable(Filter::parse("info,test.noisy=off").unwrap());
+        {
+            let _a = enter("test.kept");
+            let _b = enter("test.noisy");
+            let _c = enter_at("test.detail", Level::Debug);
+        }
+        let events = trace::drain();
+        trace::disable();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "test.kept");
+    }
+}

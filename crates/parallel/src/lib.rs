@@ -24,6 +24,16 @@
 //! the `repro` driver's `--threads` flag. `threads() == 1` executes
 //! inline with zero thread overhead — `--threads 1` and `--threads N`
 //! produce identical bytes, which `tests/determinism.rs` asserts.
+//!
+//! Every fan-out is observable through `ets-obs`: the call opens a
+//! `parallel.par_map` / `parallel.par_fold` span (a child of whatever
+//! span the caller had open) and each worker thread opens a
+//! `parallel.worker` child span carrying its worker index and items
+//! processed. Deterministic workload counters
+//! (`parallel.<kind>.{calls,items}`) fire identically on the inline and
+//! parallel paths, so the metrics snapshot never depends on the thread
+//! count; the spans themselves are wall-clock artifacts and only exist
+//! when tracing is enabled (`repro --trace`).
 
 #![forbid(unsafe_code)]
 
@@ -92,6 +102,22 @@ pub fn derive_rng(base_seed: u64, domain: u64, unit: u64) -> ChaCha8Rng {
 /// cheap, large enough to balance skewed workloads.
 const CHUNKS_PER_WORKER: usize = 8;
 
+/// Records the deterministic fan-out metrics and opens the fan-out span.
+///
+/// The counters fire identically on the inline (`threads() == 1`) and
+/// parallel paths — they count *workload*, not scheduling — so the
+/// metrics snapshot stays byte-identical across thread counts. The
+/// per-worker child spans below are scheduling-dependent by nature and
+/// live only in trace artifacts.
+fn fanout_span(kind: &str, items: usize, workers: usize) -> ets_obs::SpanGuard {
+    ets_obs::metrics::counter_add(&format!("parallel.{kind}.calls"), 1);
+    ets_obs::metrics::counter_add(&format!("parallel.{kind}.items"), items as u64);
+    let mut span = ets_obs::span::enter_at(&format!("parallel.{kind}"), ets_obs::Level::Debug);
+    span.arg("items", items as u64);
+    span.arg("workers", workers as u64);
+    span
+}
+
 fn chunk_size(len: usize, workers: usize) -> usize {
     len.div_ceil(workers * CHUNKS_PER_WORKER).max(1)
 }
@@ -107,33 +133,43 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let workers = threads();
+    let fan = fanout_span("par_map", items.len(), workers);
     if workers <= 1 || items.len() < 2 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    let parent = fan.id();
     let chunk = chunk_size(items.len(), workers);
     let n_chunks = items.len().div_ceil(chunk);
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(n_chunks) {
-            scope.spawn(|| loop {
-                let c = cursor.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
+        let (cursor, done, f, items) = (&cursor, &done, &f, items);
+        for w in 0..workers.min(n_chunks) {
+            scope.spawn(move || {
+                let mut span = ets_obs::span::worker("parallel.worker", parent, w);
+                let mut items_done = 0u64;
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let start = c * chunk;
+                    let end = (start + chunk).min(items.len());
+                    let out: Vec<R> = items[start..end]
+                        .iter()
+                        .enumerate()
+                        .map(|(k, t)| f(start + k, t))
+                        .collect();
+                    items_done += (end - start) as u64;
+                    // Poison only means another worker panicked mid-push;
+                    // the panic propagates through the scope join
+                    // regardless, so recovering the guard here never masks
+                    // a failure.
+                    done.lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push((c, out));
                 }
-                let start = c * chunk;
-                let end = (start + chunk).min(items.len());
-                let out: Vec<R> = items[start..end]
-                    .iter()
-                    .enumerate()
-                    .map(|(k, t)| f(start + k, t))
-                    .collect();
-                // Poison only means another worker panicked mid-push; the
-                // panic propagates through the scope join regardless, so
-                // recovering the guard here never masks a failure.
-                done.lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .push((c, out));
+                span.arg("items", items_done);
             });
         }
     });
@@ -175,6 +211,7 @@ where
     M: Fn(&mut A, A),
 {
     let workers = threads();
+    let fan = fanout_span("par_fold", items.len(), workers);
     if workers <= 1 || items.len() < 2 {
         let mut acc = init();
         for (i, t) in items.iter().enumerate() {
@@ -182,26 +219,34 @@ where
         }
         return acc;
     }
+    let parent = fan.id();
     let chunk = chunk_size(items.len(), workers);
     let n_chunks = items.len().div_ceil(chunk);
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, A)>> = Mutex::new(Vec::with_capacity(n_chunks));
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(n_chunks) {
-            scope.spawn(|| loop {
-                let c = cursor.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
+        let (cursor, done, init, fold, items) = (&cursor, &done, &init, &fold, items);
+        for w in 0..workers.min(n_chunks) {
+            scope.spawn(move || {
+                let mut span = ets_obs::span::worker("parallel.worker", parent, w);
+                let mut items_done = 0u64;
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let start = c * chunk;
+                    let end = (start + chunk).min(items.len());
+                    let mut acc = init();
+                    for (k, t) in items[start..end].iter().enumerate() {
+                        fold(&mut acc, start + k, t);
+                    }
+                    items_done += (end - start) as u64;
+                    done.lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push((c, acc));
                 }
-                let start = c * chunk;
-                let end = (start + chunk).min(items.len());
-                let mut acc = init();
-                for (k, t) in items[start..end].iter().enumerate() {
-                    fold(&mut acc, start + k, t);
-                }
-                done.lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .push((c, acc));
+                span.arg("items", items_done);
             });
         }
     });
@@ -308,6 +353,68 @@ mod tests {
         );
         set_threads(0);
         assert_eq!(folded, 0);
+    }
+
+    #[test]
+    fn fanout_emits_parented_worker_spans_when_traced() {
+        let _guard = LOCK.lock().unwrap();
+        ets_obs::trace::disable();
+        ets_obs::metrics::reset();
+        ets_obs::trace::enable(ets_obs::Filter::all());
+        set_threads(4);
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |_, &x| x + 1);
+        set_threads(0);
+        let events = ets_obs::trace::drain();
+        ets_obs::trace::disable();
+        assert_eq!(out.len(), 100);
+        let fan = events
+            .iter()
+            .find(|e| e.name == "parallel.par_map")
+            .expect("fan-out span recorded");
+        let workers: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "parallel.worker")
+            .collect();
+        assert!(!workers.is_empty());
+        assert!(workers.iter().all(|w| w.parent == fan.id && w.tid > 0));
+        // The workers' item counts partition the input exactly.
+        let total: u64 = workers
+            .iter()
+            .flat_map(|w| w.args.iter())
+            .filter(|(k, _)| *k == "items")
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(total, items.len() as u64);
+        assert_eq!(
+            ets_obs::metrics::counter_value("parallel.par_map.items"),
+            items.len() as u64
+        );
+        ets_obs::metrics::reset();
+    }
+
+    #[test]
+    fn fanout_counters_are_thread_count_invariant() {
+        let _guard = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..257).collect();
+        let snapshot_for = |threads: usize| {
+            ets_obs::metrics::reset();
+            set_threads(threads);
+            let _ = par_map(&items, |_, &x| x);
+            let _ = par_fold(
+                &items,
+                || 0u64,
+                |acc, _, &x| *acc += x,
+                |acc, part| *acc += part,
+            );
+            set_threads(0);
+            ets_obs::metrics::snapshot_json()
+        };
+        let one = snapshot_for(1);
+        for threads in [2, 8] {
+            assert_eq!(one, snapshot_for(threads), "threads={threads}");
+        }
+        ets_obs::metrics::reset();
     }
 
     #[test]
