@@ -7,7 +7,15 @@
 //! modeled as a lossy extraction that recovers embedded text only when an
 //! OCR marker is present.
 
+//!
+//! Extraction is zero-copy on the hot path: the simulated containers
+//! store valid UTF-8, so [`Extraction`] borrows straight from the
+//! attachment bytes (a copy is made only when `from_utf8_lossy` actually
+//! has to repair invalid sequences), and [`full_text`] returns the
+//! message body itself unless an attachment contributes text.
+
 use ets_mail::Attachment;
+use std::borrow::Cow;
 
 /// Simulated container magic bytes.
 pub const DOC_MAGIC: &[u8] = b"\xD0\xCF\x11\xE0ETSDOC:";
@@ -20,31 +28,32 @@ pub const IMG_MAGIC: &[u8] = b"\x89IMGETSOCR:";
 /// Archive container (never extracted; dropped in Layer 2).
 pub const ZIP_MAGIC: &[u8] = b"PK\x03\x04ETSZIP";
 
-/// How the text came out.
+/// How the text came out. Borrows from the attachment bytes whenever the
+/// payload is already valid UTF-8.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Extraction {
+pub enum Extraction<'a> {
     /// Full text recovered.
-    Text(String),
+    Text(Cow<'a, str>),
     /// OCR recovered text from an image (lossy in principle).
-    Ocr(String),
+    Ocr(Cow<'a, str>),
     /// Format known, but nothing extractable (e.g. image without text).
     Empty,
     /// Unknown or unsupported container.
     Unsupported,
 }
 
-impl Extraction {
+impl<'a> Extraction<'a> {
     /// The extracted text, if any.
     pub fn text(&self) -> Option<&str> {
         match self {
-            Extraction::Text(t) | Extraction::Ocr(t) => Some(t),
+            Extraction::Text(t) | Extraction::Ocr(t) => Some(t.as_ref()),
             _ => None,
         }
     }
 }
 
 /// Extracts text from one attachment, dispatching on content.
-pub fn extract(attachment: &Attachment) -> Extraction {
+pub fn extract(attachment: &Attachment) -> Extraction<'_> {
     let data = &attachment.data;
     for (magic, ocr) in [
         (DOC_MAGIC, false),
@@ -53,7 +62,9 @@ pub fn extract(attachment: &Attachment) -> Extraction {
         (IMG_MAGIC, true),
     ] {
         if let Some(rest) = data.strip_prefix(magic) {
-            let text = String::from_utf8_lossy(rest).into_owned();
+            // Emptiness is decided on the `Cow` itself; nothing is copied
+            // unless the payload contains invalid UTF-8.
+            let text = String::from_utf8_lossy(rest);
             if text.trim().is_empty() {
                 return Extraction::Empty;
             }
@@ -69,7 +80,7 @@ pub fn extract(attachment: &Attachment) -> Extraction {
     }
     // Plain text: printable UTF-8.
     match std::str::from_utf8(data) {
-        Ok(s) if !s.trim().is_empty() => Extraction::Text(s.to_owned()),
+        Ok(s) if !s.trim().is_empty() => Extraction::Text(Cow::Borrowed(s)),
         Ok(_) => Extraction::Empty,
         Err(_) => Extraction::Unsupported,
     }
@@ -126,16 +137,22 @@ pub mod build {
 }
 
 /// Extracts and concatenates the text of a whole message: body plus every
-/// attachment the extractors understand.
-pub fn full_text(msg: &ets_mail::Message) -> String {
-    let mut out = msg.body.clone();
+/// attachment the extractors understand. Borrows the body unchanged when
+/// no attachment contributes text — the common case in the generated
+/// traffic — so callers that only read pay no allocation.
+pub fn full_text(msg: &ets_mail::Message) -> Cow<'_, str> {
+    let mut out: Option<String> = None;
     for a in &msg.attachments {
         if let Some(t) = extract(a).text() {
-            out.push('\n');
-            out.push_str(t);
+            let buf = out.get_or_insert_with(|| msg.body.clone());
+            buf.push('\n');
+            buf.push_str(t);
         }
     }
-    out
+    match out {
+        Some(s) => Cow::Owned(s),
+        None => Cow::Borrowed(&msg.body),
+    }
 }
 
 #[cfg(test)]

@@ -26,8 +26,10 @@
 use crate::infra::{CollectedEmail, CollectionInfra};
 use crate::spamscore::SpamScorer;
 use ets_parallel::{par_fold, par_map};
+use ets_scan::{PatternSet, TokenStream};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 /// Thresholds of Layer 5 (§4.3: 20 / 10 / 10).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -192,47 +194,7 @@ impl<'a> Funnel<'a> {
 
     /// Layer 4: automated reflection mail. Returns `true` for reflections.
     fn layer4_reflection(&self, email: &CollectedEmail) -> bool {
-        let m = &email.message;
-        if m.headers.contains("List-Unsubscribe") {
-            return true;
-        }
-        for h in ["Sender", "From", "Reply-To"] {
-            if let Some(v) = m.headers.get(h) {
-                let v = v.to_ascii_lowercase();
-                if v.contains("bounce") || v.contains("unsubscribe") {
-                    return true;
-                }
-            }
-        }
-        // Any two of From / Reply-To / Return-Path disagreeing.
-        let addrs: Vec<String> = [m.from_addr(), m.reply_to_addr(), m.return_path_addr()]
-            .into_iter()
-            .flatten()
-            .map(|a| a.to_string())
-            .collect();
-        if addrs.len() >= 2 && addrs.iter().any(|a| a != &addrs[0]) {
-            return true;
-        }
-        // Body phrases.
-        let body = m.body.to_ascii_lowercase();
-        for phrase in [
-            "unsubscribe",
-            "remove yourself",
-            "to stop receiving",
-            "manage your subscription",
-            "you are receiving this because",
-        ] {
-            if body.contains(phrase) {
-                return true;
-            }
-        }
-        // System-user senders.
-        if let Some(from) = m.from_addr().or_else(|| email.mail_from.clone()) {
-            if from.is_system_user() {
-                return true;
-            }
-        }
-        false
+        reflection_mail(email)
     }
 
     /// Classifies a whole collection. Layers 3 and 5 are corpus-level, so
@@ -251,6 +213,10 @@ impl<'a> Funnel<'a> {
         let mut funnel_span = ets_obs::span!("funnel.classify");
         funnel_span.arg("emails", n as u64);
         ets_obs::metrics::counter_add("funnel.emails", n as u64);
+        // Bytes the single-pass scan layers (2 and 4) cover — a pure
+        // workload quantity, so it belongs in the commutative registry.
+        let scan_bytes: u64 = emails.iter().map(|e| e.message.body.len() as u64).sum();
+        ets_obs::metrics::counter_add("funnel.scan.bytes", scan_bytes);
 
         // Pass 1: layers 1 and 2 per email.
         let layer12 = ets_obs::span!("funnel.layer12");
@@ -271,8 +237,10 @@ impl<'a> Funnel<'a> {
         // to be exact).
         let mut layer3 = ets_obs::span!("funnel.layer3", ets_obs::Level::Debug);
         let mut layer3_rounds = 0u64;
-        let senders: Vec<Option<String>> =
-            par_map(emails, |_, e| e.mail_from.as_ref().map(|a| a.to_string()));
+        // Sender identity is the FNV of the canonical `local@domain`
+        // rendering (hashed in place, no per-email string) — the same
+        // keying scheme the body tables below already use.
+        let senders: Vec<Option<u64>> = par_map(emails, |_, e| e.mail_from.as_ref().map(fnv_addr));
         let bags: Vec<Option<u64>> = par_map(emails, |_, e| {
             bag_of_words(&e.message.body, self.config.bow_min_words)
         });
@@ -280,10 +248,10 @@ impl<'a> Funnel<'a> {
             layer3_rounds += 1;
             let (spam_senders, spam_bags) = par_fold(
                 &verdicts,
-                || (HashSet::<&str>::new(), HashSet::<u64>::new()),
+                || (HashSet::<u64>::new(), HashSet::<u64>::new()),
                 |acc, i, v| {
                     if matches!(v, Some(v) if v.is_spam()) {
-                        if let Some(s) = senders[i].as_deref() {
+                        if let Some(s) = senders[i] {
                             acc.0.insert(s);
                         }
                         if let Some(b) = bags[i] {
@@ -301,8 +269,7 @@ impl<'a> Funnel<'a> {
                     return false;
                 }
                 let sender_hit = senders[i]
-                    .as_deref()
-                    .map(|s| spam_senders.contains(s))
+                    .map(|s| spam_senders.contains(&s))
                     .unwrap_or(false);
                 let bag_hit = bags[i].map(|b| spam_bags.contains(&b)).unwrap_or(false);
                 sender_hit || bag_hit
@@ -336,20 +303,20 @@ impl<'a> Funnel<'a> {
 
         // Pass 4: layer 5 — frequency statistics over the whole corpus.
         let layer5 = ets_obs::span!("funnel.layer5", ets_obs::Level::Debug);
-        let rcpt_keys: Vec<String> = par_map(emails, |_, e| e.rcpt_to.to_string());
+        let rcpt_keys: Vec<u64> = par_map(emails, |_, e| fnv_addr(&e.rcpt_to));
         let body_hashes: Vec<u64> = par_map(emails, |_, e| fnv(e.message.body.trim().as_bytes()));
         let (rcpt_freq, sender_freq, body_freq) = par_fold(
             emails,
             || {
                 (
-                    HashMap::<&str, usize>::new(),
-                    HashMap::<&str, usize>::new(),
+                    HashMap::<u64, usize>::new(),
+                    HashMap::<u64, usize>::new(),
                     HashMap::<u64, usize>::new(),
                 )
             },
             |acc, i, _e| {
-                *acc.0.entry(rcpt_keys[i].as_str()).or_insert(0) += 1;
-                if let Some(s) = senders[i].as_deref() {
+                *acc.0.entry(rcpt_keys[i]).or_insert(0) += 1;
+                if let Some(s) = senders[i] {
                     *acc.1.entry(s).or_insert(0) += 1;
                 }
                 *acc.2.entry(body_hashes[i]).or_insert(0) += 1;
@@ -372,10 +339,9 @@ impl<'a> Funnel<'a> {
             }
             let is_receiver_candidate = self.rcpt_is_ours(e);
             if is_receiver_candidate {
-                let too_frequent = rcpt_freq[rcpt_keys[i].as_str()] >= self.config.recipient_freq
+                let too_frequent = rcpt_freq[&rcpt_keys[i]] >= self.config.recipient_freq
                     || senders[i]
-                        .as_deref()
-                        .map(|s| sender_freq[s] >= self.config.sender_freq)
+                        .map(|s| sender_freq[&s] >= self.config.sender_freq)
                         .unwrap_or(false)
                     || body_freq[&body_hashes[i]] >= self.config.content_freq;
                 Some(if too_frequent {
@@ -433,13 +399,118 @@ impl<'a> Funnel<'a> {
     }
 }
 
+/// Layer-4 list-mail body phrases (§4.3).
+const REFLECTION_PHRASES: [&str; 5] = [
+    "unsubscribe",
+    "remove yourself",
+    "to stop receiving",
+    "manage your subscription",
+    "you are receiving this because",
+];
+
+/// Layer-4 sender-header cues.
+const HEADER_CUES: [&str; 2] = ["bounce", "unsubscribe"];
+
+fn reflection_phrase_set() -> &'static PatternSet<()> {
+    static SET: OnceLock<PatternSet<()>> = OnceLock::new();
+    SET.get_or_init(|| {
+        let tagged: Vec<(&str, ())> = REFLECTION_PHRASES.iter().map(|p| (*p, ())).collect();
+        PatternSet::compile(&tagged)
+    })
+}
+
+fn header_cue_set() -> &'static PatternSet<()> {
+    static SET: OnceLock<PatternSet<()>> = OnceLock::new();
+    SET.get_or_init(|| {
+        let tagged: Vec<(&str, ())> = HEADER_CUES.iter().map(|p| (*p, ())).collect();
+        PatternSet::compile(&tagged)
+    })
+}
+
+/// The Layer-4 reflection predicate: unsubscribe headers, bounce
+/// senders, disagreeing From/Reply-To/Return-Path, list-mail body
+/// phrases, system-user senders. Phrase and header-cue checks run on
+/// compiled `ets-scan` sets — one case-folding pass per text, no
+/// lowercased copies.
+pub fn reflection_mail(email: &CollectedEmail) -> bool {
+    let m = &email.message;
+    if m.headers.contains("List-Unsubscribe") {
+        return true;
+    }
+    for h in ["Sender", "From", "Reply-To"] {
+        if let Some(v) = m.headers.get(h) {
+            if header_cue_set().any_match(v) {
+                return true;
+            }
+        }
+    }
+    // Any two of From / Reply-To / Return-Path disagreeing.
+    let addrs: Vec<String> = [m.from_addr(), m.reply_to_addr(), m.return_path_addr()]
+        .into_iter()
+        .flatten()
+        .map(|a| a.to_string())
+        .collect();
+    if addrs.len() >= 2 && addrs.iter().any(|a| a != &addrs[0]) {
+        return true;
+    }
+    // Body phrases.
+    if reflection_phrase_set().any_match(&m.body) {
+        return true;
+    }
+    // System-user senders.
+    if let Some(from) = m.from_addr().or_else(|| email.mail_from.clone()) {
+        if from.is_system_user() {
+            return true;
+        }
+    }
+    false
+}
+
+/// The pre-`ets-scan` Layer-4 predicate (lowercase-then-`contains` per
+/// phrase), retained verbatim for the equivalence suite and the scan
+/// microbenches.
+pub fn reflection_mail_legacy(email: &CollectedEmail) -> bool {
+    let m = &email.message;
+    if m.headers.contains("List-Unsubscribe") {
+        return true;
+    }
+    for h in ["Sender", "From", "Reply-To"] {
+        if let Some(v) = m.headers.get(h) {
+            let v = v.to_ascii_lowercase();
+            if v.contains("bounce") || v.contains("unsubscribe") {
+                return true;
+            }
+        }
+    }
+    // Any two of From / Reply-To / Return-Path disagreeing.
+    let addrs: Vec<String> = [m.from_addr(), m.reply_to_addr(), m.return_path_addr()]
+        .into_iter()
+        .flatten()
+        .map(|a| a.to_string())
+        .collect();
+    if addrs.len() >= 2 && addrs.iter().any(|a| a != &addrs[0]) {
+        return true;
+    }
+    // Body phrases.
+    let body = m.body.to_ascii_lowercase();
+    for phrase in REFLECTION_PHRASES {
+        if body.contains(phrase) {
+            return true;
+        }
+    }
+    // System-user senders.
+    if let Some(from) = m.from_addr().or_else(|| email.mail_from.clone()) {
+        if from.is_system_user() {
+            return true;
+        }
+    }
+    false
+}
+
 /// Order-insensitive bag-of-words fingerprint, `None` when the body has
 /// fewer than `min_words` distinct words.
 pub fn bag_of_words(body: &str, min_words: usize) -> Option<u64> {
-    let mut words: Vec<&str> = body
-        .split(|c: char| !c.is_ascii_alphanumeric())
-        .filter(|w| !w.is_empty())
-        .collect();
+    let mut words: Vec<&str> = TokenStream::alnum(body).map(|t| t.text).collect();
     words.sort_unstable();
     words.dedup();
     if words.len() <= min_words {
@@ -460,6 +531,23 @@ pub fn bag_of_words(body: &str, min_words: usize) -> Option<u64> {
 fn fnv(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// FNV-1a over an address's canonical `local@domain` rendering, hashed
+/// in place — the sender/recipient frequency tables key on this the way
+/// the body table keys on `fnv(body)`, so no per-email `to_string()`.
+fn fnv_addr(a: &ets_mail::EmailAddress) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let bytes = a
+        .local()
+        .bytes()
+        .chain(std::iter::once(b'@'))
+        .chain(a.domain().bytes());
+    for b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x100000001b3);
     }
@@ -634,6 +722,19 @@ mod tests {
         let v = funnel.classify_all(&emails);
         assert_eq!(v[0], FunnelVerdict::SpamScore);
         assert_eq!(v[1], FunnelVerdict::SpamCollaborative);
+    }
+
+    #[test]
+    fn reflection_scan_path_matches_legacy() {
+        let (emails, _) = run(15);
+        for e in &emails {
+            assert_eq!(
+                reflection_mail(&e.collected),
+                reflection_mail_legacy(&e.collected),
+                "layer-4 paths disagree on {:?}",
+                e.collected.message.headers.get("Subject")
+            );
+        }
     }
 
     #[test]

@@ -80,8 +80,8 @@ impl Pipeline {
         for (i, a) in msg.attachments.iter().enumerate() {
             exts.push(a.extension().unwrap_or_default());
             hashes.push(a.content_hash());
-            let text = extract::extract(a).text().unwrap_or("").to_owned();
-            let scrubbed = scrub::scrub(&text);
+            let extraction = extract::extract(a);
+            let scrubbed = scrub::scrub(extraction.text().unwrap_or(""));
             for k in scrubbed.kinds() {
                 if !sensitive.contains(&k) {
                     sensitive.push(k);

@@ -9,8 +9,19 @@
 //! exact format of the paper's Figure 2 example — and, as an added
 //! precaution, every remaining digit in the text is zeroed.
 
+//!
+//! The keyword-cued recognizers (passwords/usernames, zip cues, broad id
+//! numbers) scan through compiled `ets-scan` automata: one case-folding
+//! pass locates every cue, and the expensive per-candidate validators
+//! only run near real hits — no `to_ascii_lowercase` copy of the text or
+//! of each candidate's context window. The pre-automaton recognizers are
+//! retained behind [`scrub_legacy`] for the equivalence suite and the
+//! scan microbenches.
+
+use ets_scan::{contains_fold, PatternSet};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// The identifier types of Table 2 / Figure 6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -179,7 +190,31 @@ pub fn scrub(text: &str) -> ScrubResult {
     find_context_tokens(text, &mut findings);
     find_zips(text, &mut findings);
     find_id_numbers(text, &mut findings);
+    assemble(text, findings)
+}
 
+/// The pre-`ets-scan` scrubber: identical recognizer lineup, but the
+/// keyword-cued recognizers lowercase the text (and each candidate's
+/// context window) and rescan per keyword. Retained as the reference for
+/// the equivalence suite and the `scan_scrub` microbench; output is
+/// byte-identical with [`scrub`].
+pub fn scrub_legacy(text: &str) -> ScrubResult {
+    let mut findings = Vec::new();
+    find_credit_cards(text, &mut findings);
+    find_shape(text, "###-##-####", SensitiveKind::Ssn, &mut findings);
+    find_shape(text, "##-#######", SensitiveKind::Ein, &mut findings);
+    find_phones(text, &mut findings);
+    find_dates(text, &mut findings);
+    find_vins(text, &mut findings);
+    find_emails(text, &mut findings);
+    find_context_tokens_legacy(text, &mut findings);
+    find_zips_legacy(text, &mut findings);
+    find_id_numbers_legacy(text, &mut findings);
+    assemble(text, findings)
+}
+
+/// Overlap resolution and text rebuild, shared by both scrub paths.
+fn assemble(text: &str, findings: Vec<Finding>) -> ScrubResult {
     // Resolve overlaps: earlier recognizers above have higher priority;
     // stable-sort by (start, priority as inserted) and drop overlaps.
     let mut accepted: Vec<Finding> = Vec::new();
@@ -460,50 +495,105 @@ fn find_emails(text: &str, out: &mut Vec<Finding>) {
     }
 }
 
-/// Context-keyword recognizers for passwords and usernames.
+/// Credential context keywords, in legacy scan order (password cues
+/// before username cues — insertion order is overlap-resolution
+/// priority, so the compiled set must replay it exactly).
+const CONTEXT_KEYWORDS: [(&str, SensitiveKind); 10] = [
+    ("password:", SensitiveKind::Password),
+    ("password is", SensitiveKind::Password),
+    ("pass:", SensitiveKind::Password),
+    ("pwd:", SensitiveKind::Password),
+    ("passwd:", SensitiveKind::Password),
+    ("username:", SensitiveKind::Username),
+    ("user name:", SensitiveKind::Username),
+    ("login:", SensitiveKind::Username),
+    ("user id:", SensitiveKind::Username),
+    ("username is", SensitiveKind::Username),
+];
+
+fn context_cue_set() -> &'static PatternSet<SensitiveKind> {
+    static SET: OnceLock<PatternSet<SensitiveKind>> = OnceLock::new();
+    SET.get_or_init(|| PatternSet::compile(&CONTEXT_KEYWORDS))
+}
+
+/// Id-number cue keywords (searched in the window before a digit run).
+const ID_CUES: [&str; 9] = [
+    "account", "member", "case", "id", "no.", "no:", "number", "#", "ref",
+];
+
+fn id_cue_set() -> &'static PatternSet<()> {
+    static SET: OnceLock<PatternSet<()>> = OnceLock::new();
+    SET.get_or_init(|| {
+        let tagged: Vec<(&str, ())> = ID_CUES.iter().map(|c| (*c, ())).collect();
+        PatternSet::compile(&tagged)
+    })
+}
+
+fn zip_cue_set() -> &'static PatternSet<()> {
+    static SET: OnceLock<PatternSet<()>> = OnceLock::new();
+    SET.get_or_init(|| PatternSet::compile(&[("zip", ())]))
+}
+
+/// Context-keyword recognizers for passwords and usernames: one automaton
+/// pass finds every cue; matches replay in (keyword, position) order so
+/// findings are inserted exactly as the legacy per-keyword loop did.
 fn find_context_tokens(text: &str, out: &mut Vec<Finding>) {
+    let set = context_cue_set();
+    let mut cues: Vec<(usize, usize)> = set.find_all(text).map(|m| (m.pattern, m.end)).collect();
+    if cues.is_empty() {
+        return;
+    }
+    cues.sort_unstable();
+    for (pattern, kw_end) in cues {
+        let kind = set.tag(pattern);
+        // The secret is the next non-space token.
+        let rest = &text[kw_end..];
+        let token_start_rel = rest.len() - rest.trim_start().len();
+        let token_start = kw_end + token_start_rel;
+        let token: &str = rest
+            .trim_start()
+            .split(|c: char| c.is_whitespace() || c == ',' || c == ';')
+            .next()
+            .unwrap_or("");
+        let token = token.trim_end_matches(['.', ')', '"', '\'']);
+        if !token.is_empty() && token.len() >= 3 {
+            out.push(Finding {
+                kind,
+                start: token_start,
+                end: token_start + token.len(),
+                brand: None,
+            });
+        }
+    }
+}
+
+/// The pre-`ets-scan` credential recognizer (lowercase text, rescan per
+/// keyword), retained for the equivalence suite.
+fn find_context_tokens_legacy(text: &str, out: &mut Vec<Finding>) {
     let lower = text.to_ascii_lowercase();
-    let specs: [(&[&str], SensitiveKind); 2] = [
-        (
-            &["password:", "password is", "pass:", "pwd:", "passwd:"],
-            SensitiveKind::Password,
-        ),
-        (
-            &[
-                "username:",
-                "user name:",
-                "login:",
-                "user id:",
-                "username is",
-            ],
-            SensitiveKind::Username,
-        ),
-    ];
-    for (keywords, kind) in specs {
-        for kw in keywords {
-            let mut from = 0usize;
-            while let Some(pos) = lower[from..].find(kw) {
-                let kw_end = from + pos + kw.len();
-                // The secret is the next non-space token.
-                let rest = &text[kw_end..];
-                let token_start_rel = rest.len() - rest.trim_start().len();
-                let token_start = kw_end + token_start_rel;
-                let token: &str = rest
-                    .trim_start()
-                    .split(|c: char| c.is_whitespace() || c == ',' || c == ';')
-                    .next()
-                    .unwrap_or("");
-                let token = token.trim_end_matches(['.', ')', '"', '\'']);
-                if !token.is_empty() && token.len() >= 3 {
-                    out.push(Finding {
-                        kind,
-                        start: token_start,
-                        end: token_start + token.len(),
-                        brand: None,
-                    });
-                }
-                from = kw_end;
+    for (kw, kind) in CONTEXT_KEYWORDS {
+        let mut from = 0usize;
+        while let Some(pos) = lower[from..].find(kw) {
+            let kw_end = from + pos + kw.len();
+            // The secret is the next non-space token.
+            let rest = &text[kw_end..];
+            let token_start_rel = rest.len() - rest.trim_start().len();
+            let token_start = kw_end + token_start_rel;
+            let token: &str = rest
+                .trim_start()
+                .split(|c: char| c.is_whitespace() || c == ',' || c == ';')
+                .next()
+                .unwrap_or("");
+            let token = token.trim_end_matches(['.', ')', '"', '\'']);
+            if !token.is_empty() && token.len() >= 3 {
+                out.push(Finding {
+                    kind,
+                    start: token_start,
+                    end: token_start + token.len(),
+                    brand: None,
+                });
             }
+            from = kw_end;
         }
     }
 }
@@ -517,6 +607,10 @@ fn find_zips(text: &str, out: &mut Vec<Finding>) {
     if bytes.len() < 5 {
         return;
     }
+    // One automaton pass decides whether a "zip" cue can fire anywhere;
+    // candidates then fold their prefix window byte-by-byte instead of
+    // allocating a lowercased copy per 5-digit run.
+    let has_zip_cue = zip_cue_set().any_match(text);
     for start in 0..=bytes.len() - 5 {
         if !is_boundary(bytes, start) || !is_boundary(bytes, start + 5) {
             continue;
@@ -526,6 +620,45 @@ fn find_zips(text: &str, out: &mut Vec<Finding>) {
         }
         // cue: preceding two uppercase letters + space ("PA 15213") or the
         // word "zip" within the preceding 8 chars.
+        let prefix = text
+            .get(start.saturating_sub(8)..start)
+            .or_else(|| text.get(start.saturating_sub(9)..start))
+            .or_else(|| text.get(start.saturating_sub(10)..start))
+            .unwrap_or("");
+        let state_cue = prefix
+            .trim_end()
+            .chars()
+            .rev()
+            .take(2)
+            .all(|c| c.is_ascii_uppercase())
+            && prefix.trim_end().len() >= 2;
+        let zip_cue = has_zip_cue && contains_fold(prefix, "zip");
+        if state_cue || zip_cue {
+            out.push(Finding {
+                kind: SensitiveKind::Zip,
+                start,
+                end: start + 5,
+                brand: None,
+            });
+        }
+    }
+}
+
+/// The pre-`ets-scan` ZIP recognizer (lowercase allocation per candidate
+/// prefix), retained for the equivalence suite.
+fn find_zips_legacy(text: &str, out: &mut Vec<Finding>) {
+    let bytes = text.as_bytes();
+    find_shape(text, "#####-####", SensitiveKind::Zip, out);
+    if bytes.len() < 5 {
+        return;
+    }
+    for start in 0..=bytes.len() - 5 {
+        if !is_boundary(bytes, start) || !is_boundary(bytes, start + 5) {
+            continue;
+        }
+        if !bytes[start..start + 5].iter().all(u8::is_ascii_digit) {
+            continue;
+        }
         let prefix = text
             .get(start.saturating_sub(8)..start)
             .or_else(|| text.get(start.saturating_sub(9)..start))
@@ -554,6 +687,51 @@ fn find_zips(text: &str, out: &mut Vec<Finding>) {
 /// (account, member, case, id, no., #) — the paper notes this recognizer
 /// is deliberately broad and correspondingly noisy.
 fn find_id_numbers(text: &str, out: &mut Vec<Finding>) {
+    // If no cue keyword occurs anywhere in the text, no prefix window can
+    // contain one: one early automaton pass (early exit on first hit)
+    // replaces the per-call lowercase allocation entirely.
+    if !id_cue_set().any_match(text) {
+        return;
+    }
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if !bytes[i].is_ascii_digit() || !is_boundary(bytes, i) {
+            i += 1;
+            continue;
+        }
+        let mut j = i;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+        let len = j - i;
+        if (6..=12).contains(&len) && is_boundary(bytes, j) {
+            // ASCII folding preserves byte offsets and char boundaries, so
+            // windows into the raw text equal the legacy windows into the
+            // lowercased copy; the case-folded automaton supplies the
+            // case-insensitive `contains`.
+            let prefix = text
+                .get(i.saturating_sub(16)..i)
+                .or_else(|| text.get(i.saturating_sub(17)..i))
+                .or_else(|| text.get(i.saturating_sub(18)..i))
+                .unwrap_or("");
+            if id_cue_set().any_match(prefix) {
+                out.push(Finding {
+                    kind: SensitiveKind::IdNumber,
+                    start: i,
+                    end: j,
+                    brand: None,
+                });
+            }
+        }
+        i = j;
+    }
+}
+
+/// The pre-`ets-scan` id-number recognizer (lowercase the whole text,
+/// nine `contains` probes per digit run), retained for the equivalence
+/// suite and microbenches.
+fn find_id_numbers_legacy(text: &str, out: &mut Vec<Finding>) {
     let lower = text.to_ascii_lowercase();
     let bytes = text.as_bytes();
     let mut i = 0usize;
@@ -573,11 +751,7 @@ fn find_id_numbers(text: &str, out: &mut Vec<Finding>) {
                 .or_else(|| lower.get(i.saturating_sub(17)..i))
                 .or_else(|| lower.get(i.saturating_sub(18)..i))
                 .unwrap_or("");
-            let cue = [
-                "account", "member", "case", "id", "no.", "no:", "number", "#", "ref",
-            ]
-            .iter()
-            .any(|k| prefix.contains(k));
+            let cue = ID_CUES.iter().any(|k| prefix.contains(k));
             if cue {
                 out.push(Finding {
                     kind: SensitiveKind::IdNumber,

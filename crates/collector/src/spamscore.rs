@@ -4,8 +4,19 @@
 //! default threshold of 5.0, high precision and mediocre recall — the
 //! profile Table 3 measures (precision ≈ 0.97–0.98, recall 0.23–0.87
 //! depending on the corpus).
+//!
+//! The production path compiles the token table and the cue strings into
+//! one `ets-scan` automaton (built once per process) and scores each
+//! message in a single pass over the raw subject and body — no
+//! `to_ascii_lowercase` copies, no per-pattern `contains` rescans. The
+//! pre-automaton scorer is retained as [`SpamScorer::score_legacy`] for
+//! the equivalence suite and the microbenches; the two paths produce
+//! byte-identical [`SpamScore`]s (same rules, same fire order, bitwise
+//! equal totals).
 
 use ets_mail::Message;
+use ets_scan::PatternSet;
+use std::sync::OnceLock;
 
 /// The default local-mode threshold.
 pub const DEFAULT_THRESHOLD: f64 = 5.0;
@@ -104,14 +115,163 @@ const SPAM_TOKENS: &[(&str, f64)] = &[
     ("confirm your password", 1.8),
 ];
 
+/// Non-token cue strings the rule bodies test for, indexed by the
+/// `CUE_*` constants. Compiled into the same automaton as
+/// [`SPAM_TOKENS`] so one pass yields every count the rules need.
+const CUES: [&str; 10] = [
+    "re:", "!", "free", "$$$", "http://", "https://", "urgent", "usd", "$", "<",
+];
+const CUE_RE: usize = 0;
+const CUE_BANG: usize = 1;
+const CUE_FREE: usize = 2;
+const CUE_DOLLAR3: usize = 3;
+const CUE_HTTP: usize = 4;
+const CUE_HTTPS: usize = 5;
+const CUE_URGENT: usize = 6;
+const CUE_USD: usize = 7;
+const CUE_DOLLAR: usize = 8;
+const CUE_LT: usize = 9;
+
+const N_TOKENS: usize = SPAM_TOKENS.len();
+const N_PATTERNS: usize = N_TOKENS + CUES.len();
+
+/// The compiled rule automaton: [`SPAM_TOKENS`] (tags carry the token
+/// weights) followed by [`CUES`] (weight 0), built once per process.
+fn compiled_rules() -> &'static PatternSet<f64> {
+    static SET: OnceLock<PatternSet<f64>> = OnceLock::new();
+    SET.get_or_init(|| {
+        let mut patterns: Vec<(&str, f64)> = SPAM_TOKENS.to_vec();
+        patterns.extend(CUES.iter().map(|c| (*c, 0.0)));
+        PatternSet::compile(&patterns)
+    })
+}
+
 impl SpamScorer {
     /// Creates a scorer with the default threshold.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Scores a message.
+    /// Scores a message: one automaton pass over the subject and one
+    /// over the body, then the same rule bodies (in the same fire order)
+    /// as the legacy scorer, driven off the per-pattern occurrence
+    /// counts. Verdicts are byte-identical with
+    /// [`SpamScorer::score_legacy`].
     pub fn score(&self, msg: &Message) -> SpamScore {
+        let mut rules: Vec<FiredRule> = Vec::new();
+        let mut fire = |name: &'static str, score: f64| rules.push(FiredRule { name, score });
+
+        let set = compiled_rules();
+        let subject = msg.subject();
+        let body = msg.body.as_str();
+        let mut subj_hits = [0u32; N_PATTERNS];
+        for m in set.find_all(subject) {
+            subj_hits[m.pattern] += 1;
+        }
+        let mut body_hits = [0u32; N_PATTERNS];
+        for m in set.find_all(body) {
+            body_hits[m.pattern] += 1;
+        }
+        let cue = |hits: &[u32; N_PATTERNS], c: usize| hits[N_TOKENS + c];
+
+        // Header rules.
+        if msg.from_addr().is_none() {
+            fire("MISSING_OR_BAD_FROM", 1.2);
+        }
+        if !msg.headers.contains("Message-ID") {
+            fire("MISSING_MSGID", 0.8);
+        }
+        if !msg.headers.contains("Date") {
+            fire("MISSING_DATE", 0.6);
+        }
+        if let (Some(from), Some(reply)) = (msg.from_addr(), msg.reply_to_addr()) {
+            if from.registrable_domain() != reply.registrable_domain() {
+                fire("REPLYTO_DIFFERS", 0.7);
+            }
+        }
+
+        // Subject rules.
+        if !subject.is_empty() {
+            // The legacy scorer folded the subject before the letter
+            // scan, so SUBJ_ALL_CAPS can never fire; the fold is
+            // replicated per char here because verdicts must stay
+            // byte-identical with the legacy path.
+            let mut letters = 0usize;
+            let mut all_upper = true;
+            for c in subject.chars().filter(char::is_ascii_alphabetic) {
+                letters += 1;
+                all_upper &= c.to_ascii_lowercase().is_ascii_uppercase();
+            }
+            if letters >= 8 && all_upper {
+                fire("SUBJ_ALL_CAPS", 1.4);
+            }
+            if cue(&subj_hits, CUE_RE) > 0 && !msg.headers.contains("In-Reply-To") {
+                fire("FAKE_REPLY", 0.8);
+            }
+            if cue(&subj_hits, CUE_BANG) >= 2 {
+                fire("SUBJ_EXCLAIM", 0.9);
+            }
+            if cue(&subj_hits, CUE_FREE) > 0 || cue(&subj_hits, CUE_DOLLAR3) > 0 {
+                fire("SUBJ_FREE", 1.0);
+            }
+        }
+
+        // Body token rules (each token counted once; weights summed in
+        // table order so the f64 total matches the legacy loop bitwise).
+        let mut token_score = 0.0;
+        let mut token_hits = 0;
+        for (i, (_tok, w)) in SPAM_TOKENS.iter().enumerate() {
+            if body_hits[i] > 0 || subj_hits[i] > 0 {
+                token_score += w;
+                token_hits += 1;
+            }
+        }
+        if token_hits > 0 {
+            fire("BODY_SPAM_TOKENS", token_score);
+        }
+
+        // URL density.
+        let urls = cue(&body_hits, CUE_HTTP) + cue(&body_hits, CUE_HTTPS);
+        if urls >= 3 {
+            fire("MANY_URLS", 1.2);
+        }
+        if cue(&body_hits, CUE_HTTP) > 0 && body.split_whitespace().count() < 12 {
+            fire("URL_ONLY_BODY", 1.6);
+        }
+
+        // Money amounts with urgency.
+        if (cue(&body_hits, CUE_DOLLAR) > 0 || cue(&body_hits, CUE_USD) > 0)
+            && cue(&body_hits, CUE_URGENT) > 0
+        {
+            fire("MONEY_URGENT", 1.3);
+        }
+
+        // Attachment rules.
+        if msg.has_attachment_ext(&["zip", "rar"]) {
+            fire("ARCHIVE_ATTACH", 2.2);
+        }
+        if msg.has_attachment_ext(&["exe", "scr", "js", "docm", "xlsm"]) {
+            fire("EXEC_ATTACH", 2.8);
+        }
+
+        // HTML-heavy body with little text.
+        if cue(&body_hits, CUE_LT) >= 10 && body.len() < 2000 {
+            fire("HTML_HEAVY", 0.9);
+        }
+
+        let score = rules.iter().map(|r| r.score).sum();
+        SpamScore {
+            score,
+            rules,
+            threshold: self.threshold,
+        }
+    }
+
+    /// The pre-`ets-scan` scorer: lowercases subject and body, then runs
+    /// one `contains` scan per pattern. Retained verbatim as the
+    /// reference for the equivalence suite (`tests/scan_equivalence.rs`)
+    /// and the `scan_spamscore` microbench.
+    pub fn score_legacy(&self, msg: &Message) -> SpamScore {
         let mut rules: Vec<FiredRule> = Vec::new();
         let mut fire = |name: &'static str, score: f64| rules.push(FiredRule { name, score });
 
@@ -292,6 +452,25 @@ mod tests {
         assert!(!lenient.is_spam(&blatant_spam()));
         let strict = SpamScorer { threshold: 0.5 };
         assert!(strict.is_spam(&blatant_spam()));
+    }
+
+    #[test]
+    fn scan_path_matches_legacy_exactly() {
+        let mut messages = vec![ham(), blatant_spam(), Message::new()];
+        let mut zip = ham();
+        zip.attachments.push(ets_mail::Attachment::new(
+            "invoice.zip",
+            "application/zip",
+            vec![0x50, 0x4b],
+        ));
+        messages.push(zip);
+        let scorer = SpamScorer::new();
+        for m in &messages {
+            let new = scorer.score(m);
+            let legacy = scorer.score_legacy(m);
+            assert_eq!(new.rules, legacy.rules);
+            assert_eq!(new.score.to_bits(), legacy.score.to_bits());
+        }
     }
 
     #[test]

@@ -202,5 +202,32 @@ impl Lab {
             "microbench": micro,
         });
         self.write_json("bench_baseline", &value);
+        self.write_bench_scan(&micro);
+    }
+
+    /// Writes the scan-engine report (`bench_scan.json`): the
+    /// legacy-vs-automaton comparisons for the layers that moved onto
+    /// `ets-scan`, plus the scan workload counters. Timings vary run to
+    /// run; the `bench_` prefix keeps it out of the byte-identity checks.
+    fn write_bench_scan(&self, micro: &[crate::microbench::Microbench]) {
+        let scan: Vec<&crate::microbench::Microbench> = micro
+            .iter()
+            .filter(|m| m.name.starts_with("scan_"))
+            .collect();
+        if scan.is_empty() {
+            return;
+        }
+        let counters: serde_json::Map = ets_obs::metrics::counters_with_prefix("funnel.scan")
+            .into_iter()
+            .map(|(name, v)| (name, json!(v)))
+            .collect();
+        let value = json!({
+            "threads": ets_parallel::threads(),
+            "seed": self.seed,
+            "fast": self.fast,
+            "microbench": scan,
+            "counters": counters,
+        });
+        self.write_json("bench_scan", &value);
     }
 }

@@ -2,11 +2,15 @@
 //!
 //! `repro all` records these in `bench_baseline.json` alongside the
 //! pipeline stage timings, so the speedup of the byte-level typo engine,
-//! the two-row distance kernels, and the reverse DL-1 index is measured
-//! on every run — and each comparison asserts the two implementations
+//! the two-row distance kernels, the reverse DL-1 index, and the
+//! `ets-scan` automaton layers (spam scorer, scrubber) is measured on
+//! every run — and each comparison asserts the two implementations
 //! agree on a workload checksum, so a silent divergence fails loudly
 //! instead of skewing results.
 
+use ets_collector::corpus::{self, SpamDataset};
+use ets_collector::scrub;
+use ets_collector::spamscore::SpamScorer;
 use ets_core::alexa;
 use ets_core::distance;
 use ets_core::typogen::{self, TypoTable};
@@ -156,6 +160,64 @@ pub fn run() -> Vec<Microbench> {
     });
     assert_eq!(legacy_hits, new_hits, "reverse index disagrees with scan");
     out.push(record("revindex_matches", legacy_s, new_s));
+
+    // --- spam scoring: per-keyword contains vs ets-scan automaton -------
+    // Workload: a spam-heavy and a ham-heavy corpus, so both the
+    // rule-rich and the rule-poor paths are exercised.
+    let mut emails = corpus::spam_dataset(SpamDataset::Trec, 600, 0xBEEF);
+    emails.extend(corpus::enron_like(600, 0.1, 0xFEED));
+    let scorer = SpamScorer::new();
+    let (legacy_s, legacy_sum) = time(|| {
+        let mut rules = 0usize;
+        let mut score = 0.0f64;
+        for e in &emails {
+            let s = scorer.score_legacy(&e.message);
+            rules += s.rules.len();
+            score += s.score;
+        }
+        (rules, score)
+    });
+    let (new_s, new_sum) = time(|| {
+        let mut rules = 0usize;
+        let mut score = 0.0f64;
+        for e in &emails {
+            let s = scorer.score(&e.message);
+            rules += s.rules.len();
+            score += s.score;
+        }
+        (rules, score)
+    });
+    assert_eq!(legacy_sum.0, new_sum.0, "spam scorers disagree on rules");
+    assert_eq!(
+        legacy_sum.1.to_bits(),
+        new_sum.1.to_bits(),
+        "spam scorers disagree on scores"
+    );
+    out.push(record("scan_spamscore", legacy_s, new_s));
+
+    // --- scrubbing: lowercase-and-rescan vs ets-scan cue automata -------
+    let (legacy_s, legacy_sum) = time(|| {
+        let mut findings = 0usize;
+        let mut bytes = 0usize;
+        for e in &emails {
+            let r = scrub::scrub_legacy(&e.message.body);
+            findings += r.findings.len();
+            bytes += r.text.len();
+        }
+        (findings, bytes)
+    });
+    let (new_s, new_sum) = time(|| {
+        let mut findings = 0usize;
+        let mut bytes = 0usize;
+        for e in &emails {
+            let r = scrub::scrub(&e.message.body);
+            findings += r.findings.len();
+            bytes += r.text.len();
+        }
+        (findings, bytes)
+    });
+    assert_eq!(legacy_sum, new_sum, "scrub paths disagree");
+    out.push(record("scan_scrub", legacy_s, new_s));
 
     out
 }

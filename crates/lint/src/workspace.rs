@@ -23,6 +23,7 @@ pub const ANALYTICAL_CRATES: &[&str] = &[
     "ets-honeypot",
     "ets-dns",
     "ets-obs",
+    "ets-scan",
 ];
 
 /// Files allowed to read the wall clock: the microbenchmark harness plus

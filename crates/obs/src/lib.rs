@@ -13,7 +13,7 @@
 //!   [`metrics::snapshot_json`] rendering) are byte-identical across
 //!   thread counts. Gauges and stage timings may carry wall-clock
 //!   values and stay out of the snapshot.
-//! * [`span`] spans carry wall-clock timestamps and live only in trace
+//! * [`mod@span`] spans carry wall-clock timestamps and live only in trace
 //!   artifacts (`trace.json` / `trace.jsonl`), written by [`trace`].
 //! * [`clock`] is the single module allowed to read the wall clock —
 //!   `ets-lint`'s `nondeterministic-source` rule allowlists exactly

@@ -1,0 +1,83 @@
+//! ASCII case folding and fold-aware substring search.
+//!
+//! The folding here is exactly `u8::to_ascii_lowercase`: only `A`–`Z`
+//! map (to `a`–`z`), every other byte — including non-ASCII UTF-8
+//! continuation bytes — is left alone. That makes a fold-aware scan over
+//! the raw haystack byte-identical to lowercasing the haystack first,
+//! which is the equivalence the legacy `to_ascii_lowercase() + contains`
+//! call sites rely on.
+
+/// Folds one byte: `A`–`Z` to `a`–`z`, everything else unchanged.
+#[inline]
+pub const fn fold_byte(b: u8) -> u8 {
+    if b.is_ascii_uppercase() {
+        b + (b'a' - b'A')
+    } else {
+        b
+    }
+}
+
+/// Whether `haystack` contains `needle` under ASCII case folding of the
+/// haystack: equivalent to `haystack.to_ascii_lowercase().contains(needle)`
+/// for a needle with no uppercase ASCII letters, without allocating.
+///
+/// Intended for short haystacks (context windows around a candidate
+/// match); compile a [`crate::PatternSet`] for long texts or many
+/// needles.
+pub fn contains_fold(haystack: &str, needle: &str) -> bool {
+    debug_assert!(
+        !needle.bytes().any(|b| b.is_ascii_uppercase()),
+        "needle must be pre-folded"
+    );
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() {
+        return true;
+    }
+    if h.len() < n.len() {
+        return false;
+    }
+    'outer: for start in 0..=h.len() - n.len() {
+        for (i, &nb) in n.iter().enumerate() {
+            if fold_byte(h[start + i]) != nb {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_is_ascii_lowercase() {
+        for b in 0..=255u8 {
+            assert_eq!(fold_byte(b), b.to_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn contains_fold_matches_lowercased_contains() {
+        let cases = [
+            ("Pittsburgh, PA 15213", "zip", false),
+            ("the ZIP code", "zip", true),
+            ("Zip", "zip", true),
+            ("zi", "zip", false),
+            ("", "zip", false),
+            ("anything", "", true),
+            ("ACCOUNT No. 12", "no.", true),
+            ("naïve ÜBER", "über", false), // non-ASCII does not fold
+        ];
+        for (hay, needle, want) in cases {
+            assert_eq!(contains_fold(hay, needle), want, "{hay:?} / {needle:?}");
+            assert_eq!(
+                hay.to_ascii_lowercase().contains(needle),
+                want,
+                "legacy disagrees on {hay:?} / {needle:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! `ets-scan` — dependency-free single-pass multi-pattern text scanning
+//! for the measurement pipeline: a case-folding Aho–Corasick automaton
+//! with dense goto/fail tables, plus a zero-copy tokenizer.
+//!
+//! The collection hot path (the §4.3 funnel, the SpamAssassin stand-in,
+//! the sensitive-info scrubber) used to rescan every email body once per
+//! pattern — `to_ascii_lowercase()` followed by a `contains` per spam
+//! token, per reflection phrase, per keyword cue — turning the text
+//! layer into O(patterns × body) with an allocation per pass. This crate
+//! compiles each pattern list once into a [`PatternSet`] and scans the
+//! raw bytes exactly once, folding case on the fly:
+//!
+//! * [`PatternSet::compile`] builds the automaton from `(pattern, tag)`
+//!   pairs over a *folded byte alphabet*: bytes are mapped to dense
+//!   class ids after ASCII case folding, so the goto table is
+//!   `states × classes` rather than `states × 256`, and matching a
+//!   haystack is byte-identical to lowercasing it first (only `A`–`Z`
+//!   fold, exactly like `str::to_ascii_lowercase`).
+//! * [`PatternSet::find_all`] yields every occurrence as a [`Match`]
+//!   (tag + byte offsets) in increasing end-position order;
+//!   [`PatternSet::any_match`] early-exits on the first hit;
+//!   [`PatternSet::weighted_score`] sums `f64` tags over *distinct*
+//!   matched patterns in compile order (the spam-token rule shape).
+//! * [`MatchMode::WordBounded`] restricts matches to alphanumeric word
+//!   boundaries at both ends; [`MatchMode::Substring`] (the default)
+//!   reproduces plain `contains` semantics.
+//! * [`TokenStream`] iterates borrowed tokens (alphanumeric runs or
+//!   whitespace-separated words) without allocating, replacing the
+//!   allocate-lowercase-then-split pattern.
+//!
+//! Everything is a pure function of the pattern list and the haystack:
+//! construction iterates fixed-order arrays (no hash maps), so compiled
+//! tables and match order are deterministic — the crate inherits the
+//! workspace invariant that `results/*.json` is a function of
+//! `(seed, scale)` and is covered by `ets-lint`'s analytical-crate
+//! rules.
+//!
+//! ```
+//! use ets_scan::PatternSet;
+//! let set = PatternSet::compile(&[("viagra", 3.0), ("act now", 1.3)]);
+//! assert!(set.any_match("ACT NOW and buy ViAgRa"));
+//! let (score, hits) = set.weighted_score(&["ACT NOW and buy ViAgRa"]);
+//! assert_eq!((score, hits), (4.3, 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fold;
+pub mod pattern;
+pub mod tokens;
+
+pub use fold::{contains_fold, fold_byte};
+pub use pattern::{Match, MatchMode, Matches, PatternSet};
+pub use tokens::{Token, TokenStream};

@@ -1,0 +1,485 @@
+//! The case-folding Aho–Corasick automaton.
+//!
+//! [`PatternSet::compile`] lowers a `(pattern, tag)` list into a dense
+//! deterministic automaton: a trie over the *folded byte alphabet*
+//! (bytes mapped to compact class ids after ASCII case folding), failure
+//! links computed breadth-first, and the goto table completed into a
+//! full DFA so matching is one table lookup per haystack byte — no fail
+//! chasing, no per-call allocation, no case-folding pass over the
+//! haystack.
+//!
+//! Determinism: class ids are assigned in byte-value order, states in
+//! pattern-insertion order, and outputs are flattened in BFS order, so
+//! the compiled tables — and therefore match order — are a pure function
+//! of the pattern list. No hash containers are involved.
+
+use crate::fold::fold_byte;
+use std::collections::VecDeque;
+
+/// Sentinel for "no transition yet" during construction.
+const NONE: u32 = u32::MAX;
+
+/// How match candidates are accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchMode {
+    /// Plain substring occurrences — `str::contains` semantics.
+    Substring,
+    /// Occurrences whose both ends sit on alphanumeric word boundaries
+    /// (start of text, end of text, or a non-alphanumeric neighbour).
+    WordBounded,
+}
+
+/// One occurrence of a pattern in a haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match<T> {
+    /// The tag the pattern was compiled with.
+    pub tag: T,
+    /// Index of the pattern in the compile-time list.
+    pub pattern: usize,
+    /// Byte offset of the match start in the haystack.
+    pub start: usize,
+    /// Byte offset one past the match end.
+    pub end: usize,
+}
+
+/// A compiled multi-pattern matcher. Compile once (the sets in this
+/// workspace live in `OnceLock` statics), scan many haystacks.
+#[derive(Debug, Clone)]
+pub struct PatternSet<T> {
+    /// Raw byte → class id, with ASCII uppercase pre-folded onto the
+    /// class of its lowercase form. Class 0 is "appears in no pattern".
+    classes: [u16; 256],
+    /// Number of classes (width of one goto row).
+    n_classes: usize,
+    /// Dense DFA: `goto[state * n_classes + class] = next state`.
+    goto_table: Vec<u32>,
+    /// Per-state output ranges into `out_patterns` (`n_states + 1`
+    /// entries); a state's outputs are every pattern ending there,
+    /// longest first (own node, then the failure chain).
+    out_start: Vec<u32>,
+    /// Flattened output lists: pattern indices.
+    out_patterns: Vec<u32>,
+    /// Pattern byte lengths.
+    pat_len: Vec<u32>,
+    /// Pattern tags, in compile order.
+    tags: Vec<T>,
+    mode: MatchMode,
+}
+
+impl<T: Copy> PatternSet<T> {
+    /// Compiles a substring-mode matcher. Patterns fold case at compile
+    /// time, so matching a haystack is byte-identical to running
+    /// `haystack.to_ascii_lowercase().contains(pattern)` per pattern.
+    /// Duplicate patterns are allowed (each keeps its own tag and
+    /// index). Panics on an empty pattern or an empty list.
+    pub fn compile(patterns: &[(&str, T)]) -> Self {
+        Self::with_mode(patterns, MatchMode::Substring)
+    }
+
+    /// Compiles with an explicit [`MatchMode`].
+    pub fn with_mode(patterns: &[(&str, T)], mode: MatchMode) -> Self {
+        assert!(
+            !patterns.is_empty(),
+            "PatternSet needs at least one pattern"
+        );
+        let folded: Vec<Vec<u8>> = patterns
+            .iter()
+            .map(|(p, _)| p.bytes().map(fold_byte).collect())
+            .collect();
+
+        // Folded byte alphabet: class ids in byte-value order.
+        let mut used = [false; 256];
+        for f in &folded {
+            assert!(!f.is_empty(), "PatternSet patterns must be non-empty");
+            for &b in f {
+                used[b as usize] = true;
+            }
+        }
+        let mut classes = [0u16; 256];
+        let mut n_classes = 1usize; // class 0: byte in no pattern
+        for b in 0..256usize {
+            if used[b] {
+                classes[b] = n_classes as u16;
+                n_classes += 1;
+            }
+        }
+        // Pre-fold the lookup so matching needs no per-byte fold: an
+        // uppercase haystack byte lands on its lowercase class.
+        for b in b'A'..=b'Z' {
+            classes[b as usize] = classes[(b + (b'a' - b'A')) as usize];
+        }
+
+        // Trie over class ids.
+        let nc = n_classes;
+        let mut goto_table: Vec<u32> = vec![NONE; nc];
+        let mut node_out: Vec<Vec<u32>> = vec![Vec::new()];
+        for (pi, f) in folded.iter().enumerate() {
+            let mut s = 0usize;
+            for &b in f {
+                let idx = s * nc + classes[b as usize] as usize;
+                if goto_table[idx] == NONE {
+                    let next = node_out.len() as u32;
+                    goto_table[idx] = next;
+                    goto_table.resize(goto_table.len() + nc, NONE);
+                    node_out.push(Vec::new());
+                    s = next as usize;
+                } else {
+                    s = goto_table[idx] as usize;
+                }
+            }
+            node_out[s].push(pi as u32);
+        }
+        let n_states = node_out.len();
+
+        // Failure links (breadth-first) + DFA completion: by the time a
+        // state is popped, its failure state's row is already complete,
+        // so missing transitions copy straight through.
+        let mut fail = vec![0u32; n_states];
+        let mut order: Vec<u32> = Vec::with_capacity(n_states);
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for slot in goto_table.iter_mut().take(nc) {
+            match *slot {
+                NONE => *slot = 0,
+                t => {
+                    fail[t as usize] = 0;
+                    queue.push_back(t);
+                }
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            order.push(s);
+            let f = fail[s as usize] as usize;
+            for c in 0..nc {
+                let idx = s as usize * nc + c;
+                let via_fail = goto_table[f * nc + c];
+                match goto_table[idx] {
+                    NONE => goto_table[idx] = via_fail,
+                    t => {
+                        fail[t as usize] = via_fail;
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+
+        // Output inheritance along failure links, in BFS order (the
+        // failure target is shallower, hence already final): own
+        // patterns first, then the failure chain's — longest match
+        // first at any given end position.
+        for &s in &order {
+            let f = fail[s as usize] as usize;
+            if !node_out[f].is_empty() {
+                let inherited = node_out[f].clone();
+                node_out[s as usize].extend(inherited);
+            }
+        }
+        let mut out_start: Vec<u32> = Vec::with_capacity(n_states + 1);
+        let mut out_patterns: Vec<u32> = Vec::new();
+        for outs in &node_out {
+            out_start.push(out_patterns.len() as u32);
+            out_patterns.extend_from_slice(outs);
+        }
+        out_start.push(out_patterns.len() as u32);
+
+        PatternSet {
+            classes,
+            n_classes: nc,
+            goto_table,
+            out_start,
+            out_patterns,
+            pat_len: folded.iter().map(|f| f.len() as u32).collect(),
+            tags: patterns.iter().map(|(_, t)| *t).collect(),
+            mode,
+        }
+    }
+
+    /// Number of compiled patterns.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the set has no patterns (never true: `compile` rejects an
+    /// empty list, but the pair is conventional).
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// The tag of pattern `i`.
+    pub fn tag(&self, i: usize) -> T {
+        self.tags[i]
+    }
+
+    /// Iterates every match in `text`, in increasing end-position order;
+    /// several patterns ending at the same byte come longest first.
+    /// Zero allocation: one DFA lookup per haystack byte.
+    pub fn find_all<'h, 'p>(&'p self, text: &'h str) -> Matches<'h, 'p, T> {
+        Matches {
+            set: self,
+            bytes: text.as_bytes(),
+            state: 0,
+            pos: 0,
+            out_i: 0,
+            out_end: 0,
+        }
+    }
+
+    /// Whether any pattern occurs in `text` (early exit on first hit).
+    pub fn any_match(&self, text: &str) -> bool {
+        self.find_all(text).next().is_some()
+    }
+}
+
+impl PatternSet<f64> {
+    /// The spam-token rule shape: each *distinct* pattern that occurs in
+    /// any of `texts` contributes its tag exactly once; contributions
+    /// are summed in compile order, so the `f64` result is bitwise
+    /// reproducible. Returns `(score, distinct patterns hit)`.
+    ///
+    /// Allocation-free via a fixed-capacity bitset; sets are capped at
+    /// 1024 patterns (far above any rule table here).
+    pub fn weighted_score(&self, texts: &[&str]) -> (f64, usize) {
+        const MAX_PATTERNS: usize = 1024;
+        assert!(self.tags.len() <= MAX_PATTERNS);
+        let mut seen = [0u64; MAX_PATTERNS / 64];
+        for text in texts {
+            for m in self.find_all(text) {
+                seen[m.pattern / 64] |= 1 << (m.pattern % 64);
+            }
+        }
+        let mut score = 0.0;
+        let mut hits = 0usize;
+        for (i, w) in self.tags.iter().enumerate() {
+            if seen[i / 64] >> (i % 64) & 1 == 1 {
+                score += w;
+                hits += 1;
+            }
+        }
+        (score, hits)
+    }
+}
+
+/// Word boundary in the scrubber's sense: text edge or a
+/// non-alphanumeric byte on either side of the position.
+#[inline]
+fn is_boundary(bytes: &[u8], idx: usize) -> bool {
+    if idx == 0 || idx >= bytes.len() {
+        return true;
+    }
+    !bytes[idx].is_ascii_alphanumeric() || !bytes[idx - 1].is_ascii_alphanumeric()
+}
+
+/// Iterator over the matches in one haystack. See
+/// [`PatternSet::find_all`].
+#[derive(Debug)]
+pub struct Matches<'h, 'p, T> {
+    set: &'p PatternSet<T>,
+    bytes: &'h [u8],
+    state: u32,
+    /// Bytes consumed so far — the end position of any pending output.
+    pos: usize,
+    /// Pending output range of the current state.
+    out_i: u32,
+    out_end: u32,
+}
+
+impl<T: Copy> Iterator for Matches<'_, '_, T> {
+    type Item = Match<T>;
+
+    fn next(&mut self) -> Option<Match<T>> {
+        loop {
+            while self.out_i < self.out_end {
+                let p = self.set.out_patterns[self.out_i as usize] as usize;
+                self.out_i += 1;
+                let end = self.pos;
+                let start = end - self.set.pat_len[p] as usize;
+                if self.set.mode == MatchMode::WordBounded
+                    && !(is_boundary(self.bytes, start) && is_boundary(self.bytes, end))
+                {
+                    continue;
+                }
+                return Some(Match {
+                    tag: self.set.tags[p],
+                    pattern: p,
+                    start,
+                    end,
+                });
+            }
+            if self.pos >= self.bytes.len() {
+                return None;
+            }
+            let class = self.set.classes[self.bytes[self.pos] as usize] as usize;
+            self.pos += 1;
+            self.state = self.set.goto_table[self.state as usize * self.set.n_classes + class];
+            let s = self.state as usize;
+            self.out_i = self.set.out_start[s];
+            self.out_end = self.set.out_start[s + 1];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference semantics: the legacy per-pattern scan.
+    fn naive_positions(patterns: &[&str], text: &str) -> Vec<(usize, usize, usize)> {
+        let lower = text.to_ascii_lowercase();
+        let mut out = Vec::new();
+        for (pi, p) in patterns.iter().enumerate() {
+            let mut from = 0;
+            while let Some(at) = lower[from..].find(p) {
+                let start = from + at;
+                out.push((pi, start, start + p.len()));
+                from = start + 1; // all occurrences, overlaps included
+            }
+        }
+        out.sort_by_key(|&(pi, s, _)| (s, pi));
+        out
+    }
+
+    fn automaton_positions(patterns: &[&str], text: &str) -> Vec<(usize, usize, usize)> {
+        let tagged: Vec<(&str, ())> = patterns.iter().map(|p| (*p, ())).collect();
+        let set = PatternSet::compile(&tagged);
+        let mut out: Vec<(usize, usize, usize)> = set
+            .find_all(text)
+            .map(|m| (m.pattern, m.start, m.end))
+            .collect();
+        out.sort_by_key(|&(pi, s, _)| (s, pi));
+        out
+    }
+
+    #[test]
+    fn classic_overlapping_patterns() {
+        let pats = ["he", "she", "his", "hers"];
+        let text = "ushers";
+        assert_eq!(
+            automaton_positions(&pats, text),
+            vec![(1, 1, 4), (0, 2, 4), (3, 2, 6)]
+        );
+        assert_eq!(
+            automaton_positions(&pats, text),
+            naive_positions(&pats, text)
+        );
+    }
+
+    #[test]
+    fn agrees_with_naive_on_assorted_texts() {
+        let pats = [
+            "viagra",
+            "act now",
+            "a",
+            "aa",
+            "na",
+            "unsubscribe",
+            "$$$",
+            "http://",
+        ];
+        let texts = [
+            "",
+            "a",
+            "aaaa",
+            "banana nap",
+            "ACT NOW: viagra!! $$$$ http://x http://y",
+            "Unsubscribe here. UNSUBSCRIBE NOW.",
+            "préçisely übernatural — nön-ascii",
+            "$$$$$$",
+        ];
+        for t in texts {
+            assert_eq!(
+                automaton_positions(&pats, t),
+                naive_positions(&pats, t),
+                "text {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn case_folding_is_ascii_only() {
+        let set = PatternSet::compile(&[("straße", ())]);
+        assert!(set.any_match("die STRAßE")); // ASCII letters fold
+        assert!(!set.any_match("die STRASSE")); // ß does not expand
+        let upper = PatternSet::compile(&[("WinNer", 0u8)]);
+        assert!(upper.any_match("winner takes all"));
+        assert!(upper.any_match("WINNER"));
+    }
+
+    #[test]
+    fn duplicate_patterns_keep_their_indices() {
+        let set = PatternSet::compile(&[("urgent", 1u8), ("urgent", 2u8)]);
+        let hits: Vec<(usize, u8)> = set
+            .find_all("most urgent")
+            .map(|m| (m.pattern, m.tag))
+            .collect();
+        assert_eq!(hits, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn word_bounded_mode() {
+        let tagged = [("cat", ())];
+        let sub = PatternSet::with_mode(&tagged, MatchMode::Substring);
+        let word = PatternSet::with_mode(&tagged, MatchMode::WordBounded);
+        assert!(sub.any_match("concatenate"));
+        assert!(!word.any_match("concatenate"));
+        assert!(word.any_match("a cat sat"));
+        assert!(word.any_match("cat"));
+        assert!(word.any_match("CAT."));
+        assert!(word.any_match("the cat"));
+    }
+
+    #[test]
+    fn longest_match_first_at_same_end() {
+        let set = PatternSet::compile(&[("a", 'a'), ("ba", 'b')]);
+        let ms: Vec<(usize, usize, usize)> = set
+            .find_all("ba")
+            .map(|m| (m.pattern, m.start, m.end))
+            .collect();
+        // Both end at byte 2; "ba" (longer) is emitted first.
+        assert_eq!(ms, vec![(1, 0, 2), (0, 1, 2)]);
+    }
+
+    #[test]
+    fn weighted_score_counts_distinct_patterns_once() {
+        let set = PatternSet::compile(&[("spam", 2.0), ("ham", 0.5), ("x", 1.0)]);
+        let (score, hits) = set.weighted_score(&["spam spam SPAM", "ham"]);
+        assert_eq!(hits, 2);
+        assert_eq!(score, 2.5);
+        let (none, zero) = set.weighted_score(&["nothing here"]);
+        assert_eq!((none, zero), (0.0, 0));
+    }
+
+    #[test]
+    fn weighted_score_sums_in_compile_order() {
+        // f64 addition is order-sensitive; the sum must follow compile
+        // order no matter which text hit which pattern.
+        let weights = [0.1, 0.2, 0.3, 0.7, 1.9];
+        let pats: Vec<(String, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (format!("tok{i}"), w))
+            .collect();
+        let tagged: Vec<(&str, f64)> = pats.iter().map(|(p, w)| (p.as_str(), *w)).collect();
+        let set = PatternSet::compile(&tagged);
+        let forward = set.weighted_score(&["tok0 tok1 tok2 tok3 tok4"]);
+        let reverse = set.weighted_score(&["tok4 tok3 tok2 tok1 tok0"]);
+        let mut expect = 0.0;
+        for w in weights {
+            expect += w;
+        }
+        assert_eq!(forward.0.to_bits(), expect.to_bits());
+        assert_eq!(reverse.0.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn all_256_byte_values_compile() {
+        let all: Vec<u8> = (1..=255u8).collect(); // skip NUL for the str below
+        let pat = String::from_utf8_lossy(&all).into_owned();
+        let set = PatternSet::compile(&[(pat.as_str(), ())]);
+        assert!(set.any_match(&pat.to_ascii_uppercase()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_rejected() {
+        let _ = PatternSet::compile(&[("", ())]);
+    }
+}

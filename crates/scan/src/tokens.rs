@@ -1,0 +1,156 @@
+//! Zero-copy tokenization.
+//!
+//! [`TokenStream`] replaces the allocate-lowercase-then-split pattern:
+//! it yields borrowed slices of the original text with their byte
+//! offsets, so callers that only need to hash, compare, or count tokens
+//! never materialize a lowercased copy. Case-insensitive consumers fold
+//! per byte via [`crate::fold::fold_byte`] at use time.
+
+/// One token: a borrowed slice plus its start offset in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text, borrowed from the source.
+    pub text: &'a str,
+    /// Byte offset of the token start in the source text.
+    pub start: usize,
+}
+
+/// What separates tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Split {
+    /// Tokens are maximal runs of ASCII alphanumeric bytes — the
+    /// bag-of-words view (`split(|c| !c.is_ascii_alphanumeric())` with
+    /// empty segments dropped).
+    Alnum,
+    /// Tokens are separated by Unicode whitespace —
+    /// `str::split_whitespace` semantics.
+    Whitespace,
+}
+
+/// A zero-copy token iterator over a borrowed text.
+#[derive(Debug, Clone)]
+pub struct TokenStream<'a> {
+    text: &'a str,
+    pos: usize,
+    split: Split,
+}
+
+impl<'a> TokenStream<'a> {
+    /// Tokens are maximal ASCII-alphanumeric runs (the funnel's
+    /// bag-of-words view). Multi-byte characters act as separators,
+    /// exactly like the char-predicate split they replace.
+    pub fn alnum(text: &'a str) -> Self {
+        TokenStream {
+            text,
+            pos: 0,
+            split: Split::Alnum,
+        }
+    }
+
+    /// Whitespace-separated words, matching `str::split_whitespace`.
+    pub fn words(text: &'a str) -> Self {
+        TokenStream {
+            text,
+            pos: 0,
+            split: Split::Whitespace,
+        }
+    }
+}
+
+impl<'a> Iterator for TokenStream<'a> {
+    type Item = Token<'a>;
+
+    fn next(&mut self) -> Option<Token<'a>> {
+        match self.split {
+            Split::Alnum => {
+                let bytes = self.text.as_bytes();
+                while self.pos < bytes.len() && !bytes[self.pos].is_ascii_alphanumeric() {
+                    self.pos += 1;
+                }
+                if self.pos >= bytes.len() {
+                    return None;
+                }
+                let start = self.pos;
+                while self.pos < bytes.len() && bytes[self.pos].is_ascii_alphanumeric() {
+                    self.pos += 1;
+                }
+                Some(Token {
+                    text: &self.text[start..self.pos],
+                    start,
+                })
+            }
+            Split::Whitespace => {
+                let rest = &self.text[self.pos..];
+                let trimmed = rest.trim_start();
+                if trimmed.is_empty() {
+                    self.pos = self.text.len();
+                    return None;
+                }
+                let start = self.pos + (rest.len() - trimmed.len());
+                let end_rel = trimmed
+                    .char_indices()
+                    .find(|(_, c)| c.is_whitespace())
+                    .map(|(i, _)| i)
+                    .unwrap_or(trimmed.len());
+                self.pos = start + end_rel;
+                Some(Token {
+                    text: &trimmed[..end_rel],
+                    start,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alnum_matches_char_split() {
+        let texts = [
+            "",
+            "   ",
+            "one two three",
+            "semi;colons, and.dots!",
+            "unicode — déjà vu 42x",
+            "trailing!",
+            "42",
+        ];
+        for t in texts {
+            let via_stream: Vec<&str> = TokenStream::alnum(t).map(|tok| tok.text).collect();
+            let via_split: Vec<&str> = t
+                .split(|c: char| !c.is_ascii_alphanumeric())
+                .filter(|w| !w.is_empty())
+                .collect();
+            assert_eq!(via_stream, via_split, "text {t:?}");
+        }
+    }
+
+    #[test]
+    fn words_match_split_whitespace() {
+        let texts = [
+            "",
+            " \t\n ",
+            "one two\tthree\nfour",
+            "  leading and trailing  ",
+            "unicode\u{a0}nbsp stays", // NBSP is Unicode whitespace
+        ];
+        for t in texts {
+            let via_stream: Vec<&str> = TokenStream::words(t).map(|tok| tok.text).collect();
+            let via_split: Vec<&str> = t.split_whitespace().collect();
+            assert_eq!(via_stream, via_split, "text {t:?}");
+        }
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let t = "ab, cd";
+        for tok in TokenStream::alnum(t) {
+            assert_eq!(&t[tok.start..tok.start + tok.text.len()], tok.text);
+        }
+        for tok in TokenStream::words(t) {
+            assert_eq!(&t[tok.start..tok.start + tok.text.len()], tok.text);
+        }
+    }
+}
