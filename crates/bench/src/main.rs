@@ -1,0 +1,208 @@
+//! `ets-bench` — the pipeline performance ratchet.
+//!
+//! Compares a fresh `results/bench_pipeline.json` (written by
+//! `repro all`) against the committed baseline `BENCH_pipeline.json` and
+//! fails when a stage regresses. CI runs `--check` on every push; the
+//! baseline is refreshed deliberately with `--update-baseline` when a
+//! change is *supposed* to shift the profile.
+//!
+//! ```text
+//! ets-bench --check            [--bench FILE] [--baseline FILE]
+//! ets-bench --update-baseline  [--bench FILE] [--baseline FILE] [--commit HEX]
+//! ```
+//!
+//! Baseline entries are keyed by `(threads, fast, streaming)` so a
+//! single file can hold the configurations CI exercises. Wall-clock
+//! noise policy: a stage only fails the check when it exceeds the
+//! baseline by **both** 10% relative and 0.35 s absolute — tiny stages
+//! jitter far more than 10% between runs, and large stages hide real
+//! regressions behind a pure-absolute bound. A missing baseline (or a
+//! configuration the baseline has never seen) warns and exits 0, so new
+//! CI matrix cells don't fail before anyone has ratcheted them.
+
+#![forbid(unsafe_code)]
+
+use serde_json::{json, Value};
+use std::process::ExitCode;
+
+/// Relative headroom before a stage counts as regressed.
+const REL_TOLERANCE: f64 = 0.10;
+/// Absolute headroom (seconds); guards tiny stages against jitter.
+const ABS_TOLERANCE: f64 = 0.35;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode: Option<&str> = None;
+    let mut bench_path = "results/bench_pipeline.json".to_owned();
+    let mut baseline_path = "BENCH_pipeline.json".to_owned();
+    let mut commit = "unknown".to_owned();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => mode = Some("check"),
+            "--update-baseline" => mode = Some("update"),
+            "--bench" => match it.next() {
+                Some(p) => bench_path = p.clone(),
+                None => return usage("--bench needs a file path"),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = p.clone(),
+                None => return usage("--baseline needs a file path"),
+            },
+            "--commit" => match it.next() {
+                Some(c) => commit = c.clone(),
+                None => return usage("--commit needs a revision id"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let bench = match read_json(&bench_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("[ets-bench] cannot read {bench_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mode {
+        Some("check") => check(&bench, &baseline_path),
+        Some("update") => update(&bench, &baseline_path, &commit),
+        _ => usage("pass --check or --update-baseline"),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!("usage: ets-bench --check|--update-baseline [--bench FILE] [--baseline FILE] [--commit HEX]");
+    eprintln!("  --bench FILE     fresh report to evaluate (default results/bench_pipeline.json)");
+    eprintln!("  --baseline FILE  committed ratchet file (default BENCH_pipeline.json)");
+    eprintln!("  --commit HEX     revision recorded with --update-baseline");
+    ExitCode::FAILURE
+}
+
+fn read_json(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    serde_json::from_str(&text).map_err(|e| e.to_string())
+}
+
+/// The `(threads, fast, streaming)` key of a report or baseline entry.
+fn config_key(v: &Value) -> (u64, bool, bool) {
+    (
+        v.get("threads").and_then(Value::as_u64).unwrap_or(0),
+        v.get("fast").and_then(Value::as_bool).unwrap_or(false),
+        // Reports before the streaming pipeline carry no flag; they were
+        // all batch.
+        v.get("streaming").and_then(Value::as_bool).unwrap_or(false),
+    )
+}
+
+/// Stage timings of a report or baseline entry as `(name, seconds)`.
+fn stage_seconds(v: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(stages) = v.get("stages").and_then(Value::as_array) {
+        for s in stages {
+            let name = s.get("stage").and_then(Value::as_str);
+            let secs = s.get("seconds").and_then(Value::as_f64);
+            if let (Some(name), Some(secs)) = (name, secs) {
+                out.push((name.to_owned(), secs));
+            }
+        }
+    }
+    out
+}
+
+fn check(bench: &Value, baseline_path: &str) -> ExitCode {
+    let baseline = match read_json(baseline_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!(
+                "[ets-bench] no baseline at {baseline_path} ({e}); nothing to ratchet against"
+            );
+            return ExitCode::SUCCESS;
+        }
+    };
+    let key = config_key(bench);
+    let entries = baseline
+        .get("entries")
+        .and_then(Value::as_array)
+        .cloned()
+        .unwrap_or_default();
+    let Some(base) = entries.iter().find(|e| config_key(e) == key) else {
+        eprintln!(
+            "[ets-bench] baseline has no entry for threads={} fast={} streaming={}; run --update-baseline to ratchet this configuration",
+            key.0, key.1, key.2
+        );
+        return ExitCode::SUCCESS;
+    };
+    let base_stages = stage_seconds(base);
+    let mut failed = false;
+    let mut checked = 0;
+    for (name, secs) in stage_seconds(bench) {
+        let Some((_, base_secs)) = base_stages.iter().find(|(n, _)| *n == name) else {
+            eprintln!("[ets-bench] stage {name}: {secs:.3}s (new stage, no baseline)");
+            continue;
+        };
+        checked += 1;
+        let allowed = f64::max(base_secs * (1.0 + REL_TOLERANCE), base_secs + ABS_TOLERANCE);
+        if secs > allowed {
+            eprintln!(
+                "[ets-bench] REGRESSION stage {name}: {secs:.3}s vs baseline {base_secs:.3}s (allowed {allowed:.3}s)"
+            );
+            failed = true;
+        } else {
+            eprintln!("[ets-bench] ok stage {name}: {secs:.3}s vs baseline {base_secs:.3}s");
+        }
+    }
+    if checked == 0 {
+        eprintln!("[ets-bench] no overlapping stages between report and baseline");
+    }
+    if failed {
+        eprintln!(
+            "[ets-bench] FAIL: stage(s) regressed beyond {:.0}% + {ABS_TOLERANCE}s against {}",
+            REL_TOLERANCE * 100.0,
+            baseline
+                .get("commit")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!("[ets-bench] ratchet holds ({checked} stages checked)");
+        ExitCode::SUCCESS
+    }
+}
+
+fn update(bench: &Value, baseline_path: &str, commit: &str) -> ExitCode {
+    let mut entries = read_json(baseline_path)
+        .ok()
+        .and_then(|b| b.get("entries").and_then(Value::as_array).cloned())
+        .unwrap_or_default();
+    let key = config_key(bench);
+    let total = bench.get("total_seconds").cloned().unwrap_or(Value::Null);
+    let stages = bench.get("stages").cloned().unwrap_or(Value::Null);
+    let entry = json!({
+        "threads": key.0,
+        "fast": key.1,
+        "streaming": key.2,
+        "total_seconds": total,
+        "stages": stages,
+    });
+    match entries.iter_mut().find(|e| config_key(e) == key) {
+        Some(slot) => *slot = entry,
+        None => entries.push(entry),
+    }
+    let value = json!({ "commit": commit, "entries": entries });
+    let text = serde_json::to_string_pretty(&value).expect("serializable") + "\n";
+    match std::fs::write(baseline_path, text) {
+        Ok(()) => {
+            eprintln!(
+                "[ets-bench] ratcheted {} for threads={} fast={} streaming={} at {commit}",
+                baseline_path, key.0, key.1, key.2
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("[ets-bench] cannot write {baseline_path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

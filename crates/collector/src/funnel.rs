@@ -105,6 +105,96 @@ impl FunnelVerdict {
     }
 }
 
+/// Compact per-email evidence: everything the corpus-level layers (3
+/// and 5) need from one email, extracted by a single pure pass.
+///
+/// Feature extraction is the embarrassingly parallel part of
+/// classification; feeding identical feature sequences to
+/// [`Funnel::finish`] yields identical verdicts however the extraction
+/// was sharded, which is what lets the streaming pipeline match the
+/// batch oracle byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmailFeatures {
+    /// Layers 1–2 verdict (purely per-email); `None` for survivors.
+    pub verdict12: Option<FunnelVerdict>,
+    /// FNV of the envelope sender (layer-3 blacklist, layer-5 table).
+    pub sender: Option<u64>,
+    /// Bag-of-words fingerprint (layer-3 collaborative content).
+    pub bag: Option<u64>,
+    /// FNV of the envelope recipient (layer-5 table).
+    pub rcpt_key: u64,
+    /// FNV of the trimmed body (layer-5 table).
+    pub body_hash: u64,
+    /// Layer-4 reflection predicate, evaluated on layer-1/2 survivors
+    /// (spam is the bulk of traffic and never reaches layer 4).
+    pub reflection: bool,
+    /// Recipient at a study domain → receiver-candidate thresholds.
+    pub rcpt_ours: bool,
+    /// Body bytes the scan layers covered (`funnel.scan.bytes` share).
+    pub body_bytes: u64,
+}
+
+/// Mergeable cross-email state: the layer-5 frequency tables.
+///
+/// Counts accumulate by addition, which commutes — per-shard accumulators
+/// merged under any epoch grouping equal the tables one sequential pass
+/// would build, so sharding never changes a frequency verdict.
+#[derive(Debug, Clone, Default)]
+pub struct FunnelState {
+    rcpt_freq: HashMap<u64, u32>,
+    sender_freq: HashMap<u64, u32>,
+    body_freq: HashMap<u64, u32>,
+}
+
+impl FunnelState {
+    /// Empty tables.
+    pub fn new() -> FunnelState {
+        FunnelState::default()
+    }
+
+    /// Counts one email's keys.
+    pub fn absorb(&mut self, f: &EmailFeatures) {
+        *self.rcpt_freq.entry(f.rcpt_key).or_insert(0) += 1;
+        if let Some(s) = f.sender {
+            *self.sender_freq.entry(s).or_insert(0) += 1;
+        }
+        *self.body_freq.entry(f.body_hash).or_insert(0) += 1;
+    }
+
+    /// Adds another shard's counts into this accumulator.
+    pub fn merge(&mut self, part: FunnelState) {
+        // ets-lint: allow(unordered-iteration): keyed integer addition is
+        for (k, v) in part.rcpt_freq {
+            *self.rcpt_freq.entry(k).or_insert(0) += v;
+        }
+        // ets-lint: allow(unordered-iteration): commutative, so the merged
+        for (k, v) in part.sender_freq {
+            *self.sender_freq.entry(k).or_insert(0) += v;
+        }
+        // ets-lint: allow(unordered-iteration): table is order-independent.
+        for (k, v) in part.body_freq {
+            *self.body_freq.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Emails absorbed so far (every email counts once in the body table).
+    pub fn emails(&self) -> u64 {
+        // ets-lint: allow(unordered-iteration): u64 sum is commutative.
+        self.body_freq.values().map(|&v| v as u64).sum()
+    }
+}
+
+/// One epoch's worth of extracted evidence: per-email features in
+/// arrival order plus the epoch's frequency accumulator — the unit of
+/// work a streaming shard hands back for deterministic epoch-merge.
+#[derive(Debug, Default)]
+pub struct FeatureBatch {
+    /// Per-email features, in epoch order.
+    pub feats: Vec<EmailFeatures>,
+    /// Frequency counts for exactly `feats`.
+    pub freq: FunnelState,
+}
+
 /// The funnel, bound to the study infrastructure.
 pub struct Funnel<'a> {
     infra: &'a CollectionInfra,
@@ -197,53 +287,71 @@ impl<'a> Funnel<'a> {
         reflection_mail(email)
     }
 
-    /// Classifies a whole collection. Layers 3 and 5 are corpus-level, so
-    /// the funnel runs in passes over the full slice.
+    /// Extracts one email's [`EmailFeatures`] — a pure per-email function
+    /// of the email alone, so extraction can run on any shard in any
+    /// order. Layers 1–2 are decided here; the layer-4 predicate is
+    /// evaluated only for their survivors.
+    pub fn features(&self, email: &CollectedEmail) -> EmailFeatures {
+        let verdict12 = if self.layer1_spam(email) {
+            Some(FunnelVerdict::SpamHeader)
+        } else if self.layer2_spam(email) {
+            Some(FunnelVerdict::SpamScore)
+        } else {
+            None
+        };
+        EmailFeatures {
+            verdict12,
+            // Sender identity is the FNV of the canonical `local@domain`
+            // rendering (hashed in place, no per-email string) — the same
+            // keying scheme the body table uses.
+            sender: email.mail_from.as_ref().map(fnv_addr),
+            bag: bag_of_words(&email.message.body, self.config.bow_min_words),
+            rcpt_key: fnv_addr(&email.rcpt_to),
+            body_hash: fnv(email.message.body.trim().as_bytes()),
+            reflection: verdict12.is_none() && self.layer4_reflection(email),
+            rcpt_ours: self.rcpt_is_ours(email),
+            body_bytes: email.message.body.len() as u64,
+        }
+    }
+
+    /// Extracts one epoch's features plus its shard-local frequency
+    /// accumulator — the streaming work unit. Emails must be passed in
+    /// epoch order.
+    pub fn feature_batch<'e>(
+        &self,
+        emails: impl IntoIterator<Item = &'e CollectedEmail>,
+    ) -> FeatureBatch {
+        let mut batch = FeatureBatch::default();
+        for email in emails {
+            let f = self.features(email);
+            batch.freq.absorb(&f);
+            batch.feats.push(f);
+        }
+        batch
+    }
+
+    /// Runs the corpus-level layers (3, 4, 5) over extracted features.
     ///
-    /// Every pass is data-parallel with sequential semantics preserved
-    /// exactly: layers 1, 2 and 4 are pure per-email predicates; each
-    /// layer-3 fixpoint iteration is a pure function of the verdict state
-    /// at its start (the spam sender/bag tables build by parallel fold —
-    /// set union is order-insensitive — then survivors re-flag in a
-    /// parallel map); layer 5's frequency tables build by parallel fold
-    /// of per-chunk count maps merged by addition. Output is identical
-    /// for any thread count.
-    pub fn classify_all(&self, emails: &[CollectedEmail]) -> Vec<FunnelVerdict> {
-        let n = emails.len();
-        let mut funnel_span = ets_obs::span!("funnel.classify");
-        funnel_span.arg("emails", n as u64);
-        ets_obs::metrics::counter_add("funnel.emails", n as u64);
-        // Bytes the single-pass scan layers (2 and 4) cover — a pure
-        // workload quantity, so it belongs in the commutative registry.
-        let scan_bytes: u64 = emails.iter().map(|e| e.message.body.len() as u64).sum();
-        ets_obs::metrics::counter_add("funnel.scan.bytes", scan_bytes);
+    /// `feats` must be in canonical arrival order and `freq` must hold
+    /// exactly their counts. Each layer-3 fixpoint iteration is a pure
+    /// function of the verdict state at its start (the spam sender/bag
+    /// tables build by parallel fold — set union is order-insensitive —
+    /// then survivors re-flag in a parallel map); layers 4 and 5 only
+    /// read per-email flags and `freq`. Verdicts are therefore a pure
+    /// function of the feature sequence — independent of thread count
+    /// and of how extraction was sharded into epochs.
+    pub fn finish(&self, feats: &[EmailFeatures], freq: &FunnelState) -> Vec<FunnelVerdict> {
+        let n = feats.len();
+        let mut finish_span = ets_obs::span!("funnel.finish");
+        finish_span.arg("emails", n as u64);
+        let mut verdicts: Vec<Option<FunnelVerdict>> = feats.iter().map(|f| f.verdict12).collect();
 
-        // Pass 1: layers 1 and 2 per email.
-        let layer12 = ets_obs::span!("funnel.layer12");
-        let mut verdicts: Vec<Option<FunnelVerdict>> = par_map(emails, |_, e| {
-            if self.layer1_spam(e) {
-                Some(FunnelVerdict::SpamHeader)
-            } else if self.layer2_spam(e) {
-                Some(FunnelVerdict::SpamScore)
-            } else {
-                None
-            }
-        });
-        drop(layer12);
-
-        // Pass 2: layer 3 — collect spam senders and spam bags, then
-        // propagate until fixpoint (a newly flagged email contributes its
+        // Layer 3 — collect spam senders and spam bags, then propagate
+        // until fixpoint (a newly flagged email contributes its
         // sender/bag too; one extra sweep suffices in practice, but loop
         // to be exact).
         let mut layer3 = ets_obs::span!("funnel.layer3", ets_obs::Level::Debug);
         let mut layer3_rounds = 0u64;
-        // Sender identity is the FNV of the canonical `local@domain`
-        // rendering (hashed in place, no per-email string) — the same
-        // keying scheme the body tables below already use.
-        let senders: Vec<Option<u64>> = par_map(emails, |_, e| e.mail_from.as_ref().map(fnv_addr));
-        let bags: Vec<Option<u64>> = par_map(emails, |_, e| {
-            bag_of_words(&e.message.body, self.config.bow_min_words)
-        });
         loop {
             layer3_rounds += 1;
             let (spam_senders, spam_bags) = par_fold(
@@ -251,10 +359,10 @@ impl<'a> Funnel<'a> {
                 || (HashSet::<u64>::new(), HashSet::<u64>::new()),
                 |acc, i, v| {
                     if matches!(v, Some(v) if v.is_spam()) {
-                        if let Some(s) = senders[i] {
+                        if let Some(s) = feats[i].sender {
                             acc.0.insert(s);
                         }
-                        if let Some(b) = bags[i] {
+                        if let Some(b) = feats[i].bag {
                             acc.1.insert(b);
                         }
                     }
@@ -268,10 +376,14 @@ impl<'a> Funnel<'a> {
                 if v.is_some() {
                     return false;
                 }
-                let sender_hit = senders[i]
+                let sender_hit = feats[i]
+                    .sender
                     .map(|s| spam_senders.contains(&s))
                     .unwrap_or(false);
-                let bag_hit = bags[i].map(|b| spam_bags.contains(&b)).unwrap_or(false);
+                let bag_hit = feats[i]
+                    .bag
+                    .map(|b| spam_bags.contains(&b))
+                    .unwrap_or(false);
                 sender_hit || bag_hit
             });
             let mut changed = false;
@@ -289,61 +401,29 @@ impl<'a> Funnel<'a> {
         ets_obs::metrics::counter_add("funnel.layer3.rounds", layer3_rounds);
         drop(layer3);
 
-        // Pass 3: layer 4 on survivors.
+        // Layer 4 on survivors: the predicate was evaluated at feature
+        // time; here it only applies to emails layer 3 left standing.
         let layer4 = ets_obs::span!("funnel.layer4", ets_obs::Level::Debug);
-        let reflections: Vec<bool> = par_map(emails, |i, e| {
-            verdicts[i].is_none() && self.layer4_reflection(e)
-        });
-        for (i, &r) in reflections.iter().enumerate() {
-            if r {
+        for (i, f) in feats.iter().enumerate() {
+            if verdicts[i].is_none() && f.reflection {
                 verdicts[i] = Some(FunnelVerdict::Reflection);
             }
         }
         drop(layer4);
 
-        // Pass 4: layer 5 — frequency statistics over the whole corpus.
+        // Layer 5 — frequency thresholds against the corpus-wide tables.
         let layer5 = ets_obs::span!("funnel.layer5", ets_obs::Level::Debug);
-        let rcpt_keys: Vec<u64> = par_map(emails, |_, e| fnv_addr(&e.rcpt_to));
-        let body_hashes: Vec<u64> = par_map(emails, |_, e| fnv(e.message.body.trim().as_bytes()));
-        let (rcpt_freq, sender_freq, body_freq) = par_fold(
-            emails,
-            || {
-                (
-                    HashMap::<u64, usize>::new(),
-                    HashMap::<u64, usize>::new(),
-                    HashMap::<u64, usize>::new(),
-                )
-            },
-            |acc, i, _e| {
-                *acc.0.entry(rcpt_keys[i]).or_insert(0) += 1;
-                if let Some(s) = senders[i] {
-                    *acc.1.entry(s).or_insert(0) += 1;
-                }
-                *acc.2.entry(body_hashes[i]).or_insert(0) += 1;
-            },
-            |acc, part| {
-                for (k, v) in part.0 {
-                    *acc.0.entry(k).or_insert(0) += v;
-                }
-                for (k, v) in part.1 {
-                    *acc.1.entry(k).or_insert(0) += v;
-                }
-                for (k, v) in part.2 {
-                    *acc.2.entry(k).or_insert(0) += v;
-                }
-            },
-        );
-        let finals: Vec<Option<FunnelVerdict>> = par_map(emails, |i, e| {
+        let finals: Vec<Option<FunnelVerdict>> = par_map(feats, |i, f| {
             if verdicts[i].is_some() {
                 return None;
             }
-            let is_receiver_candidate = self.rcpt_is_ours(e);
-            if is_receiver_candidate {
-                let too_frequent = rcpt_freq[&rcpt_keys[i]] >= self.config.recipient_freq
-                    || senders[i]
-                        .map(|s| sender_freq[&s] >= self.config.sender_freq)
+            if f.rcpt_ours {
+                let too_frequent = freq.rcpt_freq[&f.rcpt_key] as usize
+                    >= self.config.recipient_freq
+                    || f.sender
+                        .map(|s| freq.sender_freq[&s] as usize >= self.config.sender_freq)
                         .unwrap_or(false)
-                    || body_freq[&body_hashes[i]] >= self.config.content_freq;
+                    || freq.body_freq[&f.body_hash] as usize >= self.config.content_freq;
                 Some(if too_frequent {
                     FunnelVerdict::FrequencyFiltered
                 } else {
@@ -354,7 +434,8 @@ impl<'a> Funnel<'a> {
                 // legitimately repeats, so the receiver thresholds do not
                 // disqualify it (§4.3: Layer 5 exempts SMTP typos); but
                 // machine-frequency bodies are still filtered.
-                let automated = body_freq[&body_hashes[i]] >= self.config.content_freq * 4;
+                let automated =
+                    freq.body_freq[&f.body_hash] as usize >= self.config.content_freq * 4;
                 Some(if automated {
                     FunnelVerdict::FrequencyFiltered
                 } else {
@@ -396,6 +477,35 @@ impl<'a> Funnel<'a> {
             }
         }
         verdicts
+    }
+
+    /// Classifies a whole collection: the batch oracle.
+    ///
+    /// Features extract in one data-parallel pass, the frequency tables
+    /// build by parallel fold of per-chunk accumulators merged by
+    /// addition, and [`Funnel::finish`] runs the corpus-level layers.
+    /// Output is identical for any thread count — and identical to the
+    /// streaming path, which extracts the same features epoch by epoch
+    /// and merges the same accumulators before the same `finish`.
+    pub fn classify_all(&self, emails: &[CollectedEmail]) -> Vec<FunnelVerdict> {
+        let n = emails.len();
+        let mut funnel_span = ets_obs::span!("funnel.classify");
+        funnel_span.arg("emails", n as u64);
+        ets_obs::metrics::counter_add("funnel.emails", n as u64);
+        let features_span = ets_obs::span!("funnel.features", ets_obs::Level::Debug);
+        let feats: Vec<EmailFeatures> = par_map(emails, |_, e| self.features(e));
+        drop(features_span);
+        // Bytes the single-pass scan layers (2 and 4) cover — a pure
+        // workload quantity, so it belongs in the commutative registry.
+        let scan_bytes: u64 = feats.iter().map(|f| f.body_bytes).sum();
+        ets_obs::metrics::counter_add("funnel.scan.bytes", scan_bytes);
+        let freq = par_fold(
+            &feats,
+            FunnelState::new,
+            |acc, _, f| acc.absorb(f),
+            |acc, part| acc.merge(part),
+        );
+        self.finish(&feats, &freq)
     }
 }
 

@@ -144,6 +144,23 @@ pub struct CollectedEmail {
     pub smtp_submission: bool,
 }
 
+impl CollectedEmail {
+    /// Approximate heap bytes of this record's payload (envelope strings
+    /// plus the message) — what the streaming pipeline's `MemGauge`
+    /// accounts while the email is in flight.
+    pub fn approx_heap_bytes(&self) -> u64 {
+        let envelope = self.client_helo.len()
+            + self.domain.as_str().len()
+            + self
+                .mail_from
+                .as_ref()
+                .map_or(0, |a| a.local().len() + a.domain().len())
+            + self.rcpt_to.local().len()
+            + self.rcpt_to.domain().len();
+        envelope as u64 + self.message.approx_heap_bytes()
+    }
+}
+
 /// The assembled infrastructure.
 #[derive(Debug)]
 pub struct CollectionInfra {

@@ -22,6 +22,9 @@
 //! * [`pipeline`] — the Figure-2 end-to-end processing pipeline
 //!   (tokenize → extract → scrub → encrypt).
 //! * [`funnel`] — the five-layer spam/typo classification funnel.
+//! * [`stream`] — the bounded-memory streaming driver: per-day traffic
+//!   generation and feature extraction fanned out through
+//!   `ets_parallel::stream_map`, committed in calendar order.
 //! * [`analysis`] — yearly projections, per-domain concentration,
 //!   persistence, attachment and sensitive-info statistics.
 
@@ -37,10 +40,12 @@ pub mod infra;
 pub mod pipeline;
 pub mod scrub;
 pub mod spamscore;
+pub mod stream;
 pub mod time;
 pub mod traffic;
 
 pub use funnel::{Funnel, FunnelVerdict};
 pub use infra::{CollectedEmail, CollectionInfra};
+pub use stream::{stream_collect, EmailSink, StreamFunnel};
 pub use time::SimDate;
 pub use traffic::{TrafficConfig, TrafficGenerator};

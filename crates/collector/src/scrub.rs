@@ -181,10 +181,7 @@ impl ScrubResult {
 pub fn scrub(text: &str) -> ScrubResult {
     let mut findings = Vec::new();
     find_credit_cards(text, &mut findings);
-    find_shape(text, "###-##-####", SensitiveKind::Ssn, &mut findings);
-    find_shape(text, "##-#######", SensitiveKind::Ein, &mut findings);
-    find_phones(text, &mut findings);
-    find_dates(text, &mut findings);
+    find_shapes_fused(text, &mut findings);
     find_vins(text, &mut findings);
     find_emails(text, &mut findings);
     find_context_tokens(text, &mut findings);
@@ -230,20 +227,23 @@ fn assemble(text: &str, findings: Vec<Finding>) -> ScrubResult {
     }
     accepted.sort_by_key(|f| f.start);
 
-    // Rebuild the text.
+    // Rebuild the text, appending in place (no per-segment strings).
     let mut out = String::with_capacity(text.len());
     let mut cursor = 0usize;
     for f in &accepted {
-        out.push_str(&zero_digits(&text[cursor..f.start]));
+        push_zero_digits(&mut out, &text[cursor..f.start]);
         let label = match (f.kind, f.brand) {
-            (SensitiveKind::CreditCard, Some(b)) => b.marker().to_owned(),
-            (k, _) => marker_label(k).to_owned(),
+            (SensitiveKind::CreditCard, Some(b)) => b.marker(),
+            (k, _) => marker_label(k),
         };
-        let zeroed = zero_and_mask(&text[f.start..f.end]);
-        out.push_str(&format!("*_|R|_*{label}*{zeroed}*_|R|_*"));
+        out.push_str("*_|R|_*");
+        out.push_str(label);
+        out.push('*');
+        push_zero_and_mask(&mut out, &text[f.start..f.end]);
+        out.push_str("*_|R|_*");
         cursor = f.end;
     }
-    out.push_str(&zero_digits(&text[cursor..]));
+    push_zero_digits(&mut out, &text[cursor..]);
     ScrubResult {
         text: out,
         findings: accepted,
@@ -266,26 +266,24 @@ fn marker_label(k: SensitiveKind) -> &'static str {
     }
 }
 
-fn zero_digits(s: &str) -> String {
-    s.chars()
-        .map(|c| if c.is_ascii_digit() { '0' } else { c })
-        .collect()
+fn push_zero_digits(out: &mut String, s: &str) {
+    for c in s.chars() {
+        out.push(if c.is_ascii_digit() { '0' } else { c });
+    }
 }
 
 /// Zeroes digits and masks letters (used inside markers so even
 /// non-numeric identifiers are unrecoverable).
-fn zero_and_mask(s: &str) -> String {
-    s.chars()
-        .map(|c| {
-            if c.is_ascii_digit() {
-                '0'
-            } else if c.is_ascii_alphabetic() {
-                'x'
-            } else {
-                c
-            }
-        })
-        .collect()
+fn push_zero_and_mask(out: &mut String, s: &str) {
+    for c in s.chars() {
+        out.push(if c.is_ascii_digit() {
+            '0'
+        } else if c.is_ascii_alphabetic() {
+            'x'
+        } else {
+            c
+        });
+    }
 }
 
 fn is_boundary(bytes: &[u8], idx: usize) -> bool {
@@ -421,6 +419,89 @@ fn find_dates(text: &str, out: &mut Vec<Finding>) {
         "##/##",
     ] {
         find_shape(text, shape, SensitiveKind::Date, out);
+    }
+}
+
+/// The 14 fixed shapes of the SSN/EIN/phone/date recognizers, in legacy
+/// scan order. The index is the overlap-resolution priority: `assemble`
+/// breaks span ties by insertion order, so the fused scanner must replay
+/// findings grouped by shape exactly as the per-shape loops inserted
+/// them.
+const SHAPES: [(&str, SensitiveKind); 14] = [
+    ("###-##-####", SensitiveKind::Ssn),
+    ("##-#######", SensitiveKind::Ein),
+    ("+#.##########", SensitiveKind::Phone),
+    ("(###) ###-####", SensitiveKind::Phone),
+    ("(###)###-####", SensitiveKind::Phone),
+    ("###-###-####", SensitiveKind::Phone),
+    ("###.###.####", SensitiveKind::Phone),
+    ("+# ### ### ####", SensitiveKind::Phone),
+    ("####-##-##", SensitiveKind::Date),
+    ("##/##/####", SensitiveKind::Date),
+    ("#/##/####", SensitiveKind::Date),
+    ("##/#/####", SensitiveKind::Date),
+    ("##/##/##", SensitiveKind::Date),
+    ("##/##", SensitiveKind::Date),
+];
+
+/// `SHAPES` indices grouped by first byte, the dispatch key: almost every
+/// text position starts with none of digit/`(`/`+` and falls through
+/// after a single class test, so one pass replaces fourteen.
+const DIGIT_SHAPES: [u8; 10] = [0, 1, 5, 6, 8, 9, 10, 11, 12, 13];
+const PAREN_SHAPES: [u8; 2] = [3, 4];
+const PLUS_SHAPES: [u8; 2] = [2, 7];
+
+/// All fourteen shape recognizers in a single left-to-right pass,
+/// byte-identical to running [`find_shape`] once per shape (the loop
+/// [`scrub_legacy`] still runs). Matches are collected as
+/// `(shape, start)` and stable-replayed in that order to reproduce the
+/// legacy insertion sequence.
+fn find_shapes_fused(text: &str, out: &mut Vec<Finding>) {
+    let bytes = text.as_bytes();
+    let mut hits: Vec<(u8, usize)> = Vec::new();
+    let try_shapes = |candidates: &[u8], start: usize, hits: &mut Vec<(u8, usize)>| {
+        for &si in candidates {
+            let pat = SHAPES[si as usize].0.as_bytes();
+            let end = start + pat.len();
+            if end > bytes.len() || !is_boundary(bytes, end) {
+                continue;
+            }
+            let m = pat.iter().enumerate().all(|(k, &p)| {
+                let b = bytes[start + k];
+                if p == b'#' {
+                    b.is_ascii_digit()
+                } else {
+                    b == p
+                }
+            });
+            if m {
+                hits.push((si, start));
+            }
+        }
+    };
+    for start in 0..bytes.len() {
+        let candidates: &[u8] = match bytes[start] {
+            b'0'..=b'9' => &DIGIT_SHAPES,
+            b'(' => &PAREN_SHAPES,
+            b'+' => &PLUS_SHAPES,
+            _ => continue,
+        };
+        if !is_boundary(bytes, start) {
+            continue;
+        }
+        try_shapes(candidates, start, &mut hits);
+    }
+    // Scanning left to right yields ascending starts per shape, so this
+    // sort is exactly "group by shape, keep position order".
+    hits.sort_unstable();
+    for (si, start) in hits {
+        let (shape, kind) = SHAPES[si as usize];
+        out.push(Finding {
+            kind,
+            start,
+            end: start + shape.len(),
+            brand: None,
+        });
     }
 }
 

@@ -1,0 +1,233 @@
+//! The streaming collection driver: traffic → features → funnel in
+//! bounded memory.
+//!
+//! The batch path materializes the whole study period before the funnel
+//! runs — an O(total-emails) memory term that caps the study size. This
+//! module replays the same computation as a stream over simulated days:
+//! each day is one work unit fanned out through
+//! [`ets_parallel::stream_map`] (bounded channels, reorder-commit), and
+//! the commit side — running strictly sequentially, in calendar order —
+//! absorbs the day's [`FeatureBatch`] into an incremental
+//! [`StreamFunnel`] and hands the day's emails to an [`EmailSink`].
+//!
+//! Determinism argument, layer by layer: a day's emails are a pure
+//! function of `(config, day)` (per-day RNG streams); feature extraction
+//! is a pure per-email function; the reorder buffer replays day batches
+//! in calendar order, so the sink and the feature sequence match the
+//! batch path exactly; and the funnel's cross-email state merges by
+//! commutative addition, so epoch grouping cannot change a frequency
+//! count. [`Funnel::finish`] then sees identical inputs — identical
+//! verdicts, identical bytes downstream, at any thread count or channel
+//! depth. `tests/streaming_differential.rs` holds this equivalence as a
+//! differential oracle.
+//!
+//! Peak payload memory is O(workers × channel-depth × day-batch) —
+//! measured, not claimed: workers register each day's payload bytes with
+//! [`ets_obs::mem`] when generated and release them at commit.
+
+use crate::funnel::{EmailFeatures, FeatureBatch, Funnel, FunnelState, FunnelVerdict};
+use crate::infra::CollectedEmail;
+use crate::pipeline::{Pipeline, StoredEmail};
+use crate::time::STUDY_DAYS;
+use crate::traffic::{GenEmail, TrafficGenerator, DAY_BATCH_BOUNDS};
+
+/// Where committed emails go once classified features are absorbed —
+/// storage, analysis buffers, or nothing at all.
+pub trait EmailSink {
+    /// Receives one email, in canonical (calendar) order.
+    fn accept(&mut self, email: GenEmail);
+}
+
+/// Any `FnMut(GenEmail)` closure is a sink.
+impl<F: FnMut(GenEmail)> EmailSink for F {
+    fn accept(&mut self, email: GenEmail) {
+        self(email)
+    }
+}
+
+/// A sink that seals every committed email into storage records through
+/// the Figure-2 pipeline — the shape the live SMTP ingest loop will use.
+pub struct StoreSink<'p> {
+    pipeline: &'p mut Pipeline,
+    /// Sealed records, in commit order.
+    pub stored: Vec<StoredEmail>,
+}
+
+impl<'p> StoreSink<'p> {
+    /// Wraps a storage pipeline.
+    pub fn new(pipeline: &'p mut Pipeline) -> StoreSink<'p> {
+        StoreSink {
+            pipeline,
+            stored: Vec::new(),
+        }
+    }
+}
+
+impl EmailSink for StoreSink<'_> {
+    fn accept(&mut self, email: GenEmail) {
+        self.stored
+            .push(self.pipeline.process_collected(&email.collected));
+    }
+}
+
+/// The incremental funnel: absorbs per-epoch [`FeatureBatch`]es in
+/// canonical order, merging their frequency accumulators, and runs the
+/// corpus-level layers once the stream ends. Absorbing N single-email
+/// batches, one batch of N, or any epoch grouping in between yields
+/// identical verdicts — the property the proptest in
+/// `tests/streaming_differential.rs` exercises.
+pub struct StreamFunnel<'f, 'a> {
+    funnel: &'f Funnel<'a>,
+    feats: Vec<EmailFeatures>,
+    freq: FunnelState,
+}
+
+impl<'f, 'a> StreamFunnel<'f, 'a> {
+    /// An empty incremental funnel.
+    pub fn new(funnel: &'f Funnel<'a>) -> StreamFunnel<'f, 'a> {
+        StreamFunnel {
+            funnel,
+            feats: Vec::new(),
+            freq: FunnelState::new(),
+        }
+    }
+
+    /// Absorbs one epoch's features and counts, in stream order.
+    pub fn absorb(&mut self, batch: FeatureBatch) {
+        ets_obs::metrics::counter_add("funnel.emails", batch.feats.len() as u64);
+        let scan_bytes: u64 = batch.feats.iter().map(|f| f.body_bytes).sum();
+        ets_obs::metrics::counter_add("funnel.scan.bytes", scan_bytes);
+        self.feats.extend(batch.feats);
+        self.freq.merge(batch.freq);
+    }
+
+    /// Absorbs a single email (epoch of one).
+    pub fn push(&mut self, email: &CollectedEmail) {
+        self.absorb(self.funnel.feature_batch(std::iter::once(email)));
+    }
+
+    /// Emails absorbed so far.
+    pub fn emails(&self) -> usize {
+        self.feats.len()
+    }
+
+    /// Runs layers 3–5 over everything absorbed, consuming the state.
+    pub fn finish(self) -> Vec<FunnelVerdict> {
+        self.funnel.finish(&self.feats, &self.freq)
+    }
+}
+
+/// Streams the whole study period: generates each day's traffic on a
+/// worker, extracts its [`FeatureBatch`] there too, then commits days in
+/// calendar order — absorbing features into the returned [`StreamFunnel`]
+/// and handing emails to `sink`. Call [`StreamFunnel::finish`] on the
+/// result for the verdicts.
+///
+/// Byte-identical to `generate()` + `classify_all()` at any thread count
+/// or channel depth; peak payload memory is bounded by the channel
+/// geometry, not the study size (tracked via [`ets_obs::mem`]).
+pub fn stream_collect<'f, 'a>(
+    gen: &TrafficGenerator<'a>,
+    funnel: &'f Funnel<'a>,
+    sink: &mut impl EmailSink,
+) -> StreamFunnel<'f, 'a> {
+    let mut span = ets_obs::span!("stream.collect");
+    let setup = gen.setup();
+    let mut state = StreamFunnel::new(funnel);
+    let mut total = 0u64;
+    ets_parallel::stream_map(
+        0..STUDY_DAYS as usize,
+        |_, day| {
+            let emails = gen.day(&setup, day);
+            let bytes: u64 = emails.iter().map(|e| e.collected.approx_heap_bytes()).sum();
+            ets_obs::mem::add(bytes);
+            let batch = funnel.feature_batch(emails.iter().map(|e| &e.collected));
+            (emails, batch, bytes)
+        },
+        |_, (emails, batch, bytes)| {
+            // Same workload metrics as the batch path, recorded at commit
+            // time so they land in calendar order.
+            ets_obs::metrics::histogram_record(
+                "traffic.day_batch",
+                &DAY_BATCH_BOUNDS,
+                emails.len() as u64,
+            );
+            total += emails.len() as u64;
+            state.absorb(batch);
+            for email in emails {
+                sink.accept(email);
+            }
+            ets_obs::mem::sub(bytes);
+        },
+    );
+    ets_obs::metrics::counter_add("traffic.emails", total);
+    span.arg("emails", total);
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infra::CollectionInfra;
+    use crate::traffic::TrafficConfig;
+
+    #[test]
+    fn streaming_matches_batch_oracle() {
+        let infra = CollectionInfra::build();
+        let config = TrafficConfig::test_scale(21);
+        let gen = TrafficGenerator::new(&infra, config.clone());
+        let funnel = Funnel::new(&infra);
+
+        let batch_emails = gen.generate();
+        let batch_collected: Vec<CollectedEmail> =
+            batch_emails.iter().map(|e| e.collected.clone()).collect();
+        let batch_verdicts = funnel.classify_all(&batch_collected);
+
+        let mut streamed: Vec<GenEmail> = Vec::new();
+        let mut sink = |e: GenEmail| streamed.push(e);
+        let state = stream_collect(&gen, &funnel, &mut sink);
+        assert_eq!(state.emails(), batch_collected.len());
+        let stream_verdicts = state.finish();
+
+        assert_eq!(stream_verdicts, batch_verdicts);
+        assert_eq!(streamed.len(), batch_emails.len());
+        for (a, b) in batch_emails.iter().zip(&streamed) {
+            assert_eq!(a.collected, b.collected);
+            assert_eq!(a.truth, b.truth);
+        }
+    }
+
+    #[test]
+    fn incremental_push_matches_classify_all() {
+        let infra = CollectionInfra::build();
+        let gen = TrafficGenerator::new(&infra, TrafficConfig::test_scale(22));
+        let funnel = Funnel::new(&infra);
+        let collected: Vec<CollectedEmail> = gen
+            .generate()
+            .into_iter()
+            .take(400)
+            .map(|e| e.collected)
+            .collect();
+        let mut state = StreamFunnel::new(&funnel);
+        for e in &collected {
+            state.push(e);
+        }
+        assert_eq!(state.finish(), funnel.classify_all(&collected));
+    }
+
+    #[test]
+    fn store_sink_seals_in_commit_order() {
+        let infra = CollectionInfra::build();
+        let gen = TrafficGenerator::new(&infra, TrafficConfig::test_scale(23));
+        let funnel = Funnel::new(&infra);
+        let mut pipeline = Pipeline::new([0x42; 32]);
+        let mut sink = StoreSink::new(&mut pipeline);
+        let state = stream_collect(&gen, &funnel, &mut sink);
+        assert_eq!(sink.stored.len(), state.emails());
+        assert!(sink
+            .stored
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.meta.record_id == i as u64 + 1));
+    }
+}

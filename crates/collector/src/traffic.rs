@@ -144,6 +144,25 @@ const TYPO_ATTACH_EXTS: [(&str, f64); 14] = [
     ("docm", 0.1),
 ];
 
+/// One-off generation tables, fixed for the whole study period: spam
+/// campaigns, SMTP-typo users, receiver weights, and the domain lists.
+/// Built once from the `TRAFFIC_SETUP` RNG streams, then shared by every
+/// per-day unit — so day streams never shift when the setup's draw count
+/// changes, and a streaming consumer pays setup cost exactly once.
+pub struct TrafficSetup<'a> {
+    weights: Vec<(ets_core::DomainName, f64)>,
+    campaigns: Vec<SpamCampaign>,
+    smtp_users: Vec<SmtpUser>,
+    smtp_domains: Vec<&'a ets_core::taxonomy::StudyDomain>,
+    rcv_domains: Vec<&'a ets_core::taxonomy::StudyDomain>,
+    smtp_names: Vec<ets_core::DomainName>,
+}
+
+/// Bucket bounds for the per-day batch-size histogram
+/// (`traffic.day_batch`) — shared by the batch and streaming drivers so
+/// both record into the same buckets.
+pub(crate) const DAY_BATCH_BOUNDS: [u64; 7] = [0, 8, 16, 32, 64, 128, 256];
+
 impl<'a> TrafficGenerator<'a> {
     /// Creates a generator over the study infrastructure.
     pub fn new(infra: &'a CollectionInfra, config: TrafficConfig) -> Self {
@@ -154,17 +173,10 @@ impl<'a> TrafficGenerator<'a> {
         }
     }
 
-    /// Generates the whole study period.
-    ///
-    /// Each simulated day draws from its own RNG stream derived from
-    /// `(seed, TRAFFIC_DAY, day)` and days run data-parallel; per-day
-    /// batches are concatenated in calendar order, so the output is
-    /// byte-identical for any thread count. The one-off setup tables
-    /// (spam campaigns, SMTP-typo users) come from their own
-    /// `TRAFFIC_SETUP` streams so day streams never shift when the
-    /// setup's draw count changes.
-    pub fn generate(&self) -> Vec<GenEmail> {
-        let mut gen_span = ets_obs::span!("traffic.generate");
+    /// Builds the one-off generation tables from their dedicated
+    /// `TRAFFIC_SETUP` streams. Pure: two generators with the same
+    /// config build identical setups.
+    pub fn setup(&self) -> TrafficSetup<'a> {
         let weights = self.receiver_weights();
         let mut campaign_rng = derive_rng(self.config.seed, stream::TRAFFIC_SETUP, 0);
         let campaigns = self.make_campaigns(&mut campaign_rng);
@@ -179,35 +191,62 @@ impl<'a> TrafficGenerator<'a> {
             self.infra.receiver_domains().collect();
         let smtp_names: Vec<ets_core::DomainName> =
             smtp_domains.iter().map(|d| d.domain().clone()).collect();
-        let per_day: Vec<Vec<GenEmail>> = par_map_index(STUDY_DAYS as usize, |day| {
-            let date = SimDate(day as u32);
-            if self.infra.in_outage(date) {
-                return Vec::new();
-            }
-            let mut rng = derive_rng(self.config.seed, stream::TRAFFIC_DAY, day as u64);
-            let mut out = Vec::new();
-            self.spam_for_day(
-                date,
-                &campaigns,
-                &smtp_domains,
-                &rcv_domains,
-                &mut rng,
-                &mut out,
-            );
-            self.receiver_for_day(date, &weights, &mut rng, &mut out);
-            self.reflection_for_day(date, &mut rng, &mut out);
-            self.smtp_for_day(date, &smtp_users, &mut rng, &mut out);
-            self.machine_smtp_for_day(date, &smtp_names, &mut rng, &mut out);
-            self.mystery_for_day(date, &smtp_names, &mut rng, &mut out);
-            out
-        });
+        TrafficSetup {
+            weights,
+            campaigns,
+            smtp_users,
+            smtp_domains,
+            rcv_domains,
+            smtp_names,
+        }
+    }
+
+    /// Generates one simulated day's batch, in canonical order.
+    ///
+    /// A pure function of `(config, setup, day)`: the day draws from its
+    /// own RNG stream derived from `(seed, TRAFFIC_DAY, day)`, so any
+    /// caller — batch fan-out, streaming shard, live replay — produces
+    /// identical bytes for the same day. Outage days are empty.
+    pub fn day(&self, setup: &TrafficSetup<'a>, day: usize) -> Vec<GenEmail> {
+        let date = SimDate(day as u32);
+        if self.infra.in_outage(date) {
+            return Vec::new();
+        }
+        let mut rng = derive_rng(self.config.seed, stream::TRAFFIC_DAY, day as u64);
+        let mut out = Vec::new();
+        self.spam_for_day(
+            date,
+            &setup.campaigns,
+            &setup.smtp_domains,
+            &setup.rcv_domains,
+            &mut rng,
+            &mut out,
+        );
+        self.receiver_for_day(date, &setup.weights, &mut rng, &mut out);
+        self.reflection_for_day(date, &mut rng, &mut out);
+        self.smtp_for_day(date, &setup.smtp_users, &mut rng, &mut out);
+        self.machine_smtp_for_day(date, &setup.smtp_names, &mut rng, &mut out);
+        self.mystery_for_day(date, &setup.smtp_names, &mut rng, &mut out);
+        out
+    }
+
+    /// Generates the whole study period as one materialized batch.
+    ///
+    /// Days run data-parallel over [`TrafficGenerator::day`] and per-day
+    /// batches are concatenated in calendar order, so the output is
+    /// byte-identical for any thread count — and element-identical to
+    /// draining [`TrafficGenerator::source`].
+    pub fn generate(&self) -> Vec<GenEmail> {
+        let mut gen_span = ets_obs::span!("traffic.generate");
+        let setup = self.setup();
+        let per_day: Vec<Vec<GenEmail>> =
+            par_map_index(STUDY_DAYS as usize, |day| self.day(&setup, day));
         // Per-day batch sizes are derived from per-day RNG streams, so the
         // histogram is identical regardless of how days were scheduled.
-        const DAY_BOUNDS: [u64; 7] = [0, 8, 16, 32, 64, 128, 256];
         for batch in &per_day {
             ets_obs::metrics::histogram_record(
                 "traffic.day_batch",
-                &DAY_BOUNDS,
+                &DAY_BATCH_BOUNDS,
                 batch.len() as u64,
             );
         }
@@ -218,6 +257,19 @@ impl<'a> TrafficGenerator<'a> {
         ets_obs::metrics::counter_add("traffic.emails", out.len() as u64);
         gen_span.arg("emails", out.len() as u64);
         out
+    }
+
+    /// A lazy day-by-day iterator over the study period: yields exactly
+    /// the emails [`TrafficGenerator::generate`] would return, in the
+    /// same order, while holding at most one day's batch in memory — the
+    /// generator-side event source the streaming pipeline consumes.
+    pub fn source(&self) -> TrafficSource<'_, 'a> {
+        TrafficSource {
+            gen: self,
+            setup: self.setup(),
+            next_day: 0,
+            buffer: std::collections::VecDeque::new(),
+        }
     }
 
     /// Per-domain yearly receiver-typo weights from the typing model,
@@ -644,6 +696,49 @@ impl<'a> TrafficGenerator<'a> {
     }
 }
 
+/// The lazy traffic event stream from [`TrafficGenerator::source`]:
+/// generates one day at a time and yields its emails in canonical order.
+/// Peak memory is one day's batch, not the study period.
+pub struct TrafficSource<'g, 'a> {
+    gen: &'g TrafficGenerator<'a>,
+    setup: TrafficSetup<'a>,
+    next_day: u32,
+    buffer: std::collections::VecDeque<GenEmail>,
+}
+
+impl TrafficSource<'_, '_> {
+    /// The shared setup tables (campaigns, weights, domain lists).
+    pub fn setup(&self) -> &TrafficSetup<'_> {
+        &self.setup
+    }
+}
+
+impl Iterator for TrafficSource<'_, '_> {
+    type Item = GenEmail;
+
+    fn next(&mut self) -> Option<GenEmail> {
+        loop {
+            if let Some(email) = self.buffer.pop_front() {
+                return Some(email);
+            }
+            if self.next_day >= STUDY_DAYS {
+                return None;
+            }
+            let batch = self.gen.day(&self.setup, self.next_day as usize);
+            self.next_day += 1;
+            // Same workload metrics as the batch path, recorded day by
+            // day; totals match `generate` exactly.
+            ets_obs::metrics::histogram_record(
+                "traffic.day_batch",
+                &DAY_BATCH_BOUNDS,
+                batch.len() as u64,
+            );
+            ets_obs::metrics::counter_add("traffic.emails", batch.len() as u64);
+            self.buffer.extend(batch);
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct SmtpUser {
     id: usize,
@@ -829,6 +924,20 @@ mod tests {
         for (x, y) in a.iter().zip(&b).take(50) {
             assert_eq!(x.collected.rcpt_to, y.collected.rcpt_to);
             assert_eq!(x.truth, y.truth);
+        }
+    }
+
+    #[test]
+    fn source_iterator_matches_generate() {
+        let (infra, batch) = generate(16);
+        let gen = TrafficGenerator::new(&infra, TrafficConfig::test_scale(16));
+        let streamed: Vec<GenEmail> = gen.source().collect();
+        assert_eq!(streamed.len(), batch.len());
+        for (a, b) in batch.iter().zip(&streamed) {
+            assert_eq!(a.collected.rcpt_to, b.collected.rcpt_to);
+            assert_eq!(a.collected.date, b.collected.date);
+            assert_eq!(a.collected.message.body, b.collected.message.body);
+            assert_eq!(a.truth, b.truth);
         }
     }
 

@@ -3,7 +3,8 @@
 
 use ets_collector::funnel::{Funnel, FunnelVerdict};
 use ets_collector::infra::{CollectedEmail, CollectionInfra};
-use ets_collector::traffic::{TrafficConfig, TrafficGenerator};
+use ets_collector::stream::stream_collect;
+use ets_collector::traffic::{GenEmail, TrafficConfig, TrafficGenerator};
 use ets_ecosystem::population::{PopulationConfig, World};
 use parking_lot::Mutex;
 use serde_json::json;
@@ -21,6 +22,10 @@ pub struct Lab {
     pub seed: u64,
     /// Reduced-scale mode for quick runs.
     pub fast: bool,
+    /// Streaming pipeline (the default) vs the batch
+    /// collect-then-classify oracle; results are byte-identical either
+    /// way, only peak memory and stage names differ.
+    pub streaming: bool,
     /// Output directory for JSON records.
     pub out_dir: String,
     world: OnceLock<World>,
@@ -42,10 +47,11 @@ pub struct Collection {
 
 impl Lab {
     /// Creates a lab bench.
-    pub fn new(seed: u64, fast: bool, out_dir: String) -> Lab {
+    pub fn new(seed: u64, fast: bool, streaming: bool, out_dir: String) -> Lab {
         Lab {
             seed,
             fast,
+            streaming,
             out_dir,
             world: OnceLock::new(),
             collection: OnceLock::new(),
@@ -68,6 +74,17 @@ impl Lab {
         let (out, secs) = ets_obs::metrics::time_stage(name, f);
         eprintln!("[lab] stage {name}: {secs:.2}s");
         out
+    }
+
+    /// Records the peak in-flight payload bytes of the stage just run as
+    /// a `mem.stage_peak_bytes.<name>` gauge. Peaks depend on scheduling,
+    /// so they flow only into the `bench_` reports, never the
+    /// deterministic snapshot.
+    fn gauge_stage_peak(&self, name: &str) {
+        ets_obs::metrics::gauge_set(
+            &format!("mem.stage_peak_bytes.{name}"),
+            ets_obs::mem::peak() as f64,
+        );
     }
 
     /// The ecosystem world (§5/§6/§7 substrate), built once.
@@ -108,25 +125,55 @@ impl Lab {
             };
             let spam_scale = config.spam_scale;
             eprintln!(
-                "[lab] generating {} months of traffic (spam scale 1/{:.0})...",
+                "[lab] generating {} months of traffic (spam scale 1/{:.0}, {})...",
                 7.5,
-                1.0 / spam_scale
+                1.0 / spam_scale,
+                if self.streaming { "streaming" } else { "batch" },
             );
-            let collected: Vec<CollectedEmail> = self.time_stage("traffic_generate", || {
-                TrafficGenerator::new(&infra, config)
-                    .generate()
-                    .into_iter()
-                    .map(|e| e.collected)
-                    .collect()
-            });
-            eprintln!(
-                "[lab] running the funnel over {} emails...",
-                collected.len()
-            );
+            let (collected, verdicts) = if self.streaming {
+                // Streaming: generate, extract features, and hand off
+                // day by day under back-pressure; only the finish layers
+                // see the whole corpus.
+                let gen = TrafficGenerator::new(&infra, config);
+                let funnel = Funnel::new(&infra);
+                let mut collected: Vec<CollectedEmail> = Vec::new();
+                ets_obs::mem::reset_peak();
+                let state = self.time_stage("stream_collect", || {
+                    let mut sink = |e: GenEmail| collected.push(e.collected);
+                    stream_collect(&gen, &funnel, &mut sink)
+                });
+                self.gauge_stage_peak("stream_collect");
+                eprintln!(
+                    "[lab] finishing the funnel over {} emails...",
+                    collected.len()
+                );
+                ets_obs::mem::reset_peak();
+                let verdicts = self.time_stage("funnel_finish", || state.finish());
+                self.gauge_stage_peak("funnel_finish");
+                (collected, verdicts)
+            } else {
+                let collected: Vec<CollectedEmail> = self.time_stage("traffic_generate", || {
+                    TrafficGenerator::new(&infra, config)
+                        .generate()
+                        .into_iter()
+                        .map(|e| e.collected)
+                        .collect()
+                });
+                // Batch materializes the whole corpus before the funnel
+                // runs: record its payload bytes as the stage peak so
+                // bench_pipeline.json shows the memory contrast.
+                let bytes: u64 = collected.iter().map(|e| e.approx_heap_bytes()).sum();
+                ets_obs::metrics::gauge_set("mem.stage_peak_bytes.traffic_generate", bytes as f64);
+                eprintln!(
+                    "[lab] running the funnel over {} emails...",
+                    collected.len()
+                );
+                let verdicts = self.time_stage("funnel_classify", || {
+                    Funnel::new(&infra).classify_all(&collected)
+                });
+                (collected, verdicts)
+            };
             self.record_count("traffic_emails", collected.len() as u64);
-            let verdicts = self.time_stage("funnel_classify", || {
-                Funnel::new(&infra).classify_all(&collected)
-            });
             self.record_count(
                 "funnel_true_typos",
                 verdicts.iter().filter(|v| v.is_true_typo()).count() as u64,
@@ -166,12 +213,19 @@ impl Lab {
             .map(|(name, secs)| json!({ "stage": name.as_str(), "seconds": *secs }))
             .collect();
         let total: f64 = timings.iter().map(|(_, s)| *s).sum();
+        let mem: serde_json::Map = ets_obs::metrics::gauges_with_prefix("mem")
+            .into_iter()
+            .map(|(name, v)| (name, json!(v)))
+            .collect();
         let value = json!({
             "threads": ets_parallel::threads(),
+            "streaming": self.streaming,
+            "channel_depth": ets_parallel::stream_depth(),
             "seed": self.seed,
             "fast": self.fast,
             "total_seconds": total,
             "stages": stages,
+            "mem": mem,
         });
         self.write_json("bench_pipeline", &value);
     }
@@ -194,6 +248,7 @@ impl Lab {
             .collect();
         let value = json!({
             "threads": ets_parallel::threads(),
+            "streaming": self.streaming,
             "seed": self.seed,
             "fast": self.fast,
             "total_seconds": total,

@@ -2,7 +2,8 @@
 //! (Szurdi & Christin, IMC 2017) from the simulated substrate.
 //!
 //! ```text
-//! repro <experiment> [--seed N] [--out DIR] [--fast] [--threads N] [--trace FILE]
+//! repro <experiment> [--seed N] [--out DIR] [--fast] [--threads N]
+//!                    [--streaming|--batch] [--channel-depth N] [--trace FILE]
 //!
 //! experiments:
 //!   table1      DNS settings of a typo domain
@@ -32,6 +33,15 @@
 //! * `--fast` — reduced-scale mode for quick runs.
 //! * `--threads N` — worker count for the parallel pipeline stages;
 //!   results are byte-identical for any value (0 = one per core).
+//! * `--streaming` / `--batch` — pipeline mode for the collection run.
+//!   Streaming (the default) generates, classifies, and hands off traffic
+//!   day by day under bounded channels, so peak payload memory is set by
+//!   the channel geometry rather than the study size. `--batch` runs the
+//!   original collect-then-classify oracle. Every `results/*.json`
+//!   (bench reports aside) is byte-identical between the two modes.
+//! * `--channel-depth N` — per-worker bounded-channel depth for
+//!   streaming mode (default 64); results are byte-identical for any
+//!   value, only memory and throughput change.
 //! * `--trace FILE` — write a Chrome-trace span file to `FILE` (open in
 //!   Perfetto / `chrome://tracing`), a JSONL event log next to it, and a
 //!   deterministic metrics snapshot. The `ETS_TRACE` environment variable
@@ -64,6 +74,7 @@ fn main() -> ExitCode {
     let mut seed: u64 = 2016_0604;
     let mut out_dir = "results".to_owned();
     let mut fast = false;
+    let mut streaming = true;
     let mut trace_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -87,6 +98,14 @@ fn main() -> ExitCode {
                 None => return usage("--trace needs a file path"),
             },
             "--fast" => fast = true,
+            "--streaming" => streaming = true,
+            "--batch" => streaming = false,
+            "--channel-depth" => match it.next().and_then(|s| s.parse().ok()) {
+                // Bounded-channel depth per worker in streaming mode;
+                // results are byte-identical for any value.
+                Some(n) => ets_parallel::set_stream_depth(n),
+                None => return usage("--channel-depth needs an integer"),
+            },
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_owned());
             }
@@ -113,7 +132,7 @@ fn main() -> ExitCode {
         };
         ets_obs::trace::enable(filter);
     }
-    let ctx = lab::Lab::new(seed, fast, out_dir);
+    let ctx = lab::Lab::new(seed, fast, streaming, out_dir);
     let known: Vec<Experiment> = vec![
         ("table1", section4::table1),
         ("table2", section4::table2),
@@ -167,7 +186,7 @@ fn main() -> ExitCode {
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|table5|table6|fig3..fig9|volumes|regression|honey|all> [--seed N] [--out DIR] [--fast] [--threads N] [--trace FILE]"
+        "usage: repro <table1|table2|table3|table4|table5|table6|fig3..fig9|volumes|regression|honey|all> [--seed N] [--out DIR] [--fast] [--threads N] [--streaming|--batch] [--channel-depth N] [--trace FILE]"
     );
     eprintln!("  --seed N      base RNG seed (default 20160604)");
     eprintln!(
@@ -175,6 +194,9 @@ fn usage(err: &str) -> ExitCode {
     );
     eprintln!("  --fast        reduced-scale mode for quick runs");
     eprintln!("  --threads N   parallel worker count; results are byte-identical for any value (0 = one per core)");
+    eprintln!("  --streaming   bounded-memory streaming collection (the default)");
+    eprintln!("  --batch       collect-then-classify oracle; identical results, O(corpus) memory");
+    eprintln!("  --channel-depth N  streaming channel depth per worker (default 64); identical results for any value");
     eprintln!("  --trace FILE  write Chrome-trace spans to FILE plus a .jsonl event log and .metrics.json snapshot");
     eprintln!(
         "                (filter spans with ETS_TRACE, e.g. ETS_TRACE=funnel=trace,parallel=off)"

@@ -110,6 +110,25 @@ impl Message {
         self.headers.get(names::SUBJECT).unwrap_or("")
     }
 
+    /// Approximate heap bytes this message holds: header names/values,
+    /// body text, attachment names and data. Used by the streaming
+    /// pipeline's `MemGauge` to account payload in flight; an estimate
+    /// (container overhead is ignored), but a faithful proxy for how the
+    /// payload scales.
+    pub fn approx_heap_bytes(&self) -> u64 {
+        let headers: u64 = self
+            .headers
+            .iter()
+            .map(|(n, v)| (n.as_str().len() + v.len()) as u64)
+            .sum();
+        let attachments: u64 = self
+            .attachments
+            .iter()
+            .map(|a| (a.filename.len() + a.content_type.len() + a.data.len()) as u64)
+            .sum();
+        headers + self.body.len() as u64 + attachments
+    }
+
     /// Serializes to wire format (RFC 5322; MIME multipart when attachments
     /// are present).
     pub fn to_wire(&self) -> String {

@@ -35,6 +35,7 @@
 pub mod clock;
 pub mod filter;
 mod json;
+pub mod mem;
 pub mod metrics;
 pub mod span;
 pub mod trace;

@@ -123,6 +123,20 @@ pub fn gauges() -> Vec<(String, f64)> {
     lock().gauges.iter().map(|(k, v)| (k.clone(), *v)).collect()
 }
 
+/// Gauges with the given dotted prefix, with `prefix.` stripped, sorted
+/// by name.
+pub fn gauges_with_prefix(prefix: &str) -> Vec<(String, f64)> {
+    lock()
+        .gauges
+        .iter()
+        .filter_map(|(k, v)| {
+            k.strip_prefix(prefix)
+                .and_then(|rest| rest.strip_prefix('.'))
+                .map(|rest| (rest.to_owned(), *v))
+        })
+        .collect()
+}
+
 /// Records one value into the named fixed-bucket histogram. The bucket
 /// bounds are fixed by the first call; later calls must pass the same
 /// bounds (violations are reported at export time via the

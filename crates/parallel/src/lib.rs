@@ -20,6 +20,13 @@
 //!    from `(base_seed, domain, unit)`. No draw ever crosses a unit
 //!    boundary, so decomposing a loop cannot change what any unit draws.
 //!
+//! For inputs too large (or too open-ended) to materialize, the
+//! [`stream`] module provides the streaming analogue: [`stream_map`]
+//! pushes an iterator through bounded back-pressure channels to a worker
+//! pool and replays results through a sequence-number reorder buffer, so
+//! a sequential `commit` closure observes exactly the order a
+//! single-threaded loop would produce — same bytes, bounded memory.
+//!
 //! The worker count is a process-wide setting ([`set_threads`]), wired to
 //! the `repro` driver's `--threads` flag. `threads() == 1` executes
 //! inline with zero thread overhead — `--threads 1` and `--threads N`
@@ -36,6 +43,10 @@
 //! when tracing is enabled (`repro --trace`).
 
 #![forbid(unsafe_code)]
+
+pub mod stream;
+
+pub use stream::{set_stream_depth, stream_depth, stream_map, Bounded, ReorderBuffer};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
