@@ -9,16 +9,32 @@
 //! ```text
 //! ets-bench --check            [--bench FILE] [--baseline FILE]
 //! ets-bench --update-baseline  [--bench FILE] [--baseline FILE] [--commit HEX]
+//! ets-bench --report-md        [--baseline FILE] [--readme FILE]
 //! ```
 //!
-//! Baseline entries are keyed by `(threads, fast, streaming)` so a
-//! single file can hold the configurations CI exercises. Wall-clock
-//! noise policy: a stage only fails the check when it exceeds the
-//! baseline by **both** 10% relative and 0.35 s absolute — tiny stages
-//! jitter far more than 10% between runs, and large stages hide real
-//! regressions behind a pure-absolute bound. A missing baseline (or a
-//! configuration the baseline has never seen) warns and exits 0, so new
-//! CI matrix cells don't fail before anyone has ratcheted them.
+//! Baseline entries are keyed by `(threads, fast, streaming, scale)` so
+//! a single file can hold the configurations CI exercises (reports from
+//! before the `--scale` knob carry no scale field and key as their
+//! `fast`/`default` mode). Wall-clock noise policy: a stage only fails
+//! the check when it exceeds the baseline by **both** 10% relative and
+//! 0.35 s absolute — tiny stages jitter far more than 10% between runs,
+//! and large stages hide real regressions behind a pure-absolute bound.
+//! A missing baseline (or a configuration the baseline has never seen)
+//! warns and exits 0, so new CI matrix cells don't fail before anyone
+//! has ratcheted them.
+//!
+//! Stages a run *skipped* (e.g. `world_build` satisfied from a world
+//! snapshot) appear in the report with a `skipped` reason instead of
+//! `seconds`; the ratchet never mistakes one for a 0-second run of the
+//! real stage.
+//!
+//! `--update-baseline` also **appends** the run to an ever-growing
+//! `history` array (`{commit, threads, fast, streaming, scale, stages}`),
+//! so the baseline file doubles as the performance trajectory of the
+//! repo; `--report-md` renders that trajectory as a Markdown table and
+//! can splice it into the README between the
+//! `<!-- ets-bench:trajectory -->` / `<!-- /ets-bench:trajectory -->`
+//! markers.
 
 #![forbid(unsafe_code)]
 
@@ -36,11 +52,13 @@ fn main() -> ExitCode {
     let mut bench_path = "results/bench_pipeline.json".to_owned();
     let mut baseline_path = "BENCH_pipeline.json".to_owned();
     let mut commit = "unknown".to_owned();
+    let mut readme_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--check" => mode = Some("check"),
             "--update-baseline" => mode = Some("update"),
+            "--report-md" => mode = Some("report"),
             "--bench" => match it.next() {
                 Some(p) => bench_path = p.clone(),
                 None => return usage("--bench needs a file path"),
@@ -53,8 +71,15 @@ fn main() -> ExitCode {
                 Some(c) => commit = c.clone(),
                 None => return usage("--commit needs a revision id"),
             },
+            "--readme" => match it.next() {
+                Some(p) => readme_path = Some(p.clone()),
+                None => return usage("--readme needs a file path"),
+            },
             other => return usage(&format!("unknown argument {other:?}")),
         }
+    }
+    if mode == Some("report") {
+        return report_md(&baseline_path, readme_path.as_deref());
     }
     let bench = match read_json(&bench_path) {
         Ok(v) => v,
@@ -66,16 +91,17 @@ fn main() -> ExitCode {
     match mode {
         Some("check") => check(&bench, &baseline_path),
         Some("update") => update(&bench, &baseline_path, &commit),
-        _ => usage("pass --check or --update-baseline"),
+        _ => usage("pass --check, --update-baseline, or --report-md"),
     }
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
-    eprintln!("usage: ets-bench --check|--update-baseline [--bench FILE] [--baseline FILE] [--commit HEX]");
+    eprintln!("usage: ets-bench --check|--update-baseline|--report-md [--bench FILE] [--baseline FILE] [--commit HEX] [--readme FILE]");
     eprintln!("  --bench FILE     fresh report to evaluate (default results/bench_pipeline.json)");
     eprintln!("  --baseline FILE  committed ratchet file (default BENCH_pipeline.json)");
     eprintln!("  --commit HEX     revision recorded with --update-baseline");
+    eprintln!("  --readme FILE    with --report-md: splice the trajectory table between the ets-bench:trajectory markers in FILE");
     ExitCode::FAILURE
 }
 
@@ -84,26 +110,54 @@ fn read_json(path: &str) -> Result<Value, String> {
     serde_json::from_str(&text).map_err(|e| e.to_string())
 }
 
-/// The `(threads, fast, streaming)` key of a report or baseline entry.
-fn config_key(v: &Value) -> (u64, bool, bool) {
+/// The `(threads, fast, streaming, scale)` key of a report or baseline
+/// entry.
+fn config_key(v: &Value) -> (u64, bool, bool, String) {
+    let fast = v.get("fast").and_then(Value::as_bool).unwrap_or(false);
     (
         v.get("threads").and_then(Value::as_u64).unwrap_or(0),
-        v.get("fast").and_then(Value::as_bool).unwrap_or(false),
+        fast,
         // Reports before the streaming pipeline carry no flag; they were
         // all batch.
         v.get("streaming").and_then(Value::as_bool).unwrap_or(false),
+        // Reports before the --scale knob carry no scale field; their
+        // world size was implied by the fast flag.
+        v.get("scale")
+            .and_then(Value::as_str)
+            .unwrap_or(if fast { "fast" } else { "default" })
+            .to_owned(),
     )
 }
 
 /// Stage timings of a report or baseline entry as `(name, seconds)`.
+/// Skipped stages (a `skipped` reason instead of `seconds`) are excluded
+/// here — see [`skipped_stages`].
 fn stage_seconds(v: &Value) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     if let Some(stages) = v.get("stages").and_then(Value::as_array) {
         for s in stages {
             let name = s.get("stage").and_then(Value::as_str);
             let secs = s.get("seconds").and_then(Value::as_f64);
+            if s.get("skipped").is_some() {
+                continue;
+            }
             if let (Some(name), Some(secs)) = (name, secs) {
                 out.push((name.to_owned(), secs));
+            }
+        }
+    }
+    out
+}
+
+/// Stages a report explicitly skipped, as `(name, reason)`.
+fn skipped_stages(v: &Value) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    if let Some(stages) = v.get("stages").and_then(Value::as_array) {
+        for s in stages {
+            let name = s.get("stage").and_then(Value::as_str);
+            let why = s.get("skipped").and_then(Value::as_str);
+            if let (Some(name), Some(why)) = (name, why) {
+                out.push((name.to_owned(), why.to_owned()));
             }
         }
     }
@@ -128,14 +182,17 @@ fn check(bench: &Value, baseline_path: &str) -> ExitCode {
         .unwrap_or_default();
     let Some(base) = entries.iter().find(|e| config_key(e) == key) else {
         eprintln!(
-            "[ets-bench] baseline has no entry for threads={} fast={} streaming={}; run --update-baseline to ratchet this configuration",
-            key.0, key.1, key.2
+            "[ets-bench] baseline has no entry for threads={} fast={} streaming={} scale={}; run --update-baseline to ratchet this configuration",
+            key.0, key.1, key.2, key.3
         );
         return ExitCode::SUCCESS;
     };
     let base_stages = stage_seconds(base);
     let mut failed = false;
     let mut checked = 0;
+    for (name, why) in skipped_stages(bench) {
+        eprintln!("[ets-bench] stage {name}: skipped ({why}); not ratcheted");
+    }
     for (name, secs) in stage_seconds(bench) {
         let Some((_, base_secs)) = base_stages.iter().find(|(n, _)| *n == name) else {
             eprintln!("[ets-bench] stage {name}: {secs:.3}s (new stage, no baseline)");
@@ -172,9 +229,14 @@ fn check(bench: &Value, baseline_path: &str) -> ExitCode {
 }
 
 fn update(bench: &Value, baseline_path: &str, commit: &str) -> ExitCode {
-    let mut entries = read_json(baseline_path)
-        .ok()
+    let prior = read_json(baseline_path).ok();
+    let mut entries = prior
+        .as_ref()
         .and_then(|b| b.get("entries").and_then(Value::as_array).cloned())
+        .unwrap_or_default();
+    let mut history = prior
+        .as_ref()
+        .and_then(|b| b.get("history").and_then(Value::as_array).cloned())
         .unwrap_or_default();
     let key = config_key(bench);
     let total = bench.get("total_seconds").cloned().unwrap_or(Value::Null);
@@ -183,25 +245,136 @@ fn update(bench: &Value, baseline_path: &str, commit: &str) -> ExitCode {
         "threads": key.0,
         "fast": key.1,
         "streaming": key.2,
+        "scale": key.3,
+        "total_seconds": total.clone(),
+        "stages": stages.clone(),
+    });
+    // The ratchet entry for this configuration is replaced; the history
+    // records every update ever made, so the file doubles as the repo's
+    // performance trajectory.
+    history.push(json!({
+        "commit": commit,
+        "threads": key.0,
+        "fast": key.1,
+        "streaming": key.2,
+        "scale": key.3,
         "total_seconds": total,
         "stages": stages,
-    });
+    }));
     match entries.iter_mut().find(|e| config_key(e) == key) {
         Some(slot) => *slot = entry,
         None => entries.push(entry),
     }
-    let value = json!({ "commit": commit, "entries": entries });
+    let value = json!({ "commit": commit, "entries": entries, "history": history });
     let text = serde_json::to_string_pretty(&value).expect("serializable") + "\n";
     match std::fs::write(baseline_path, text) {
         Ok(()) => {
             eprintln!(
-                "[ets-bench] ratcheted {} for threads={} fast={} streaming={} at {commit}",
-                baseline_path, key.0, key.1, key.2
+                "[ets-bench] ratcheted {} for threads={} fast={} streaming={} scale={} at {commit}",
+                baseline_path, key.0, key.1, key.2, key.3
             );
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("[ets-bench] cannot write {baseline_path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Markers between which [`report_md`] splices the trajectory table.
+const TRAJ_BEGIN: &str = "<!-- ets-bench:trajectory -->";
+const TRAJ_END: &str = "<!-- /ets-bench:trajectory -->";
+
+/// Renders the baseline's `history` as a Markdown speedup-trajectory
+/// table; prints it, and splices it into `readme` when given. Rows with
+/// a `snapshot_load` stage derive a speedup against the most recent
+/// fresh `world_build` at the same scale.
+fn report_md(baseline_path: &str, readme: Option<&str>) -> ExitCode {
+    let baseline = match read_json(baseline_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("[ets-bench] cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let history = baseline
+        .get("history")
+        .and_then(Value::as_array)
+        .cloned()
+        .unwrap_or_default();
+    let mut table = String::from(
+        "| commit | scale | threads | world_build (s) | snapshot_load (s) | load speedup | total (s) |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    let fmt = |v: Option<f64>| match v {
+        Some(s) => format!("{s:.3}"),
+        None => "—".to_owned(),
+    };
+    let mut last_build: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut rows = 0;
+    for h in &history {
+        let key = config_key(h);
+        let stages = stage_seconds(h);
+        let get = |name: &str| stages.iter().find(|(n, _)| n == name).map(|(_, s)| *s);
+        let build = get("world_build");
+        let load = get("snapshot_load");
+        if let Some(b) = build {
+            last_build.insert(key.3.clone(), b);
+        }
+        let speedup = match (load, last_build.get(&key.3)) {
+            (Some(l), Some(b)) if l > 0.0 => format!("{:.1}x", b / l),
+            _ => "—".to_owned(),
+        };
+        let commit = h.get("commit").and_then(Value::as_str).unwrap_or("unknown");
+        let short: String = commit.chars().take(9).collect();
+        let total = h.get("total_seconds").and_then(Value::as_f64);
+        table.push_str(&format!(
+            "| {short} | {} | {} | {} | {} | {speedup} | {} |\n",
+            key.3,
+            key.0,
+            fmt(build),
+            fmt(load),
+            fmt(total)
+        ));
+        rows += 1;
+    }
+    if rows == 0 {
+        table.push_str("| *(no history yet)* | | | | | | |\n");
+    }
+    print!("{table}");
+    let Some(readme_path) = readme else {
+        return ExitCode::SUCCESS;
+    };
+    let text = match std::fs::read_to_string(readme_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[ets-bench] cannot read {readme_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Some(begin), Some(end)) = (text.find(TRAJ_BEGIN), text.find(TRAJ_END)) else {
+        eprintln!("[ets-bench] {readme_path} has no {TRAJ_BEGIN} / {TRAJ_END} markers");
+        return ExitCode::FAILURE;
+    };
+    if end < begin {
+        eprintln!("[ets-bench] {readme_path}: trajectory markers are out of order");
+        return ExitCode::FAILURE;
+    }
+    let spliced = format!(
+        "{}{}\n{}{}",
+        &text[..begin],
+        TRAJ_BEGIN,
+        table,
+        &text[end..]
+    );
+    match std::fs::write(readme_path, spliced) {
+        Ok(()) => {
+            eprintln!("[ets-bench] spliced trajectory table into {readme_path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("[ets-bench] cannot write {readme_path}: {e}");
             ExitCode::FAILURE
         }
     }

@@ -133,6 +133,43 @@ impl DomainName {
         DomainName { name, sld_end }
     }
 
+    /// Joins an already-lowercase second-level label and TLD into a
+    /// registrable two-label name. Validates the same rules as
+    /// [`DomainName::parse`] — but rejects uppercase instead of folding
+    /// it, and skips the intermediate `format!` + re-scan round trip.
+    /// This is the snapshot-load fast path: persisted labels are
+    /// lowercase by construction, so a case mismatch is corruption.
+    pub fn from_sld_tld(sld: &str, tld: &str) -> Result<DomainName, DomainParseError> {
+        for label in [sld, tld] {
+            if label.is_empty() {
+                return Err(DomainParseError::EmptyLabel);
+            }
+            if label.len() > MAX_LABEL_LEN {
+                return Err(DomainParseError::LabelTooLong(label.to_owned()));
+            }
+            for c in label.chars() {
+                if !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-') {
+                    return Err(DomainParseError::BadCharacter(c));
+                }
+            }
+            if label.starts_with('-') || label.ends_with('-') {
+                return Err(DomainParseError::BadHyphen(label.to_owned()));
+            }
+        }
+        let total = sld.len() + 1 + tld.len();
+        if total > MAX_NAME_LEN {
+            return Err(DomainParseError::TooLong(total));
+        }
+        let mut name = String::with_capacity(total);
+        name.push_str(sld);
+        name.push('.');
+        name.push_str(tld);
+        Ok(DomainName {
+            name,
+            sld_end: sld.len(),
+        })
+    }
+
     /// The full name in presentation format, without a trailing dot.
     pub fn as_str(&self) -> &str {
         &self.name

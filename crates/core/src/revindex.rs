@@ -47,29 +47,61 @@ fn for_each_key(sld: &[u8], tld: &[u8], mut f: impl FnMut(u64)) {
     }
 }
 
+/// Below this many (distinct) targets the key-computation fan-out costs
+/// more than it saves; the paper-scale builds that matter are far above.
+const PARALLEL_KEY_THRESHOLD: usize = 4096;
+
+/// The deduplicated neighborhood-key set of one target, sorted. Pure —
+/// safe to compute shard-parallel.
+fn target_key_set(t: &DomainName) -> Vec<u64> {
+    let mut keys = Vec::with_capacity(t.sld().len() + 1);
+    for_each_key(t.sld().as_bytes(), t.tld().as_bytes(), |key| keys.push(key));
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
 impl ReverseDl1Index {
     /// Builds the index over `targets`. Duplicate names are collapsed;
     /// indices returned by [`ReverseDl1Index::matches`] refer to the
     /// deduplicated first-occurrence order.
+    ///
+    /// Sharded at scale: interning/dedup is a cheap sequential pass, the
+    /// per-target key sets are computed data-parallel (they are pure
+    /// functions of the name), and the bucket merge is sequential in
+    /// dense-id order — so each bucket's id list is ascending exactly as
+    /// the sequential build produced, at any thread count.
     pub fn build(targets: &[DomainName]) -> ReverseDl1Index {
         let mut index = ReverseDl1Index {
             targets: DomainInterner::with_capacity(targets.len(), 12),
             buckets: HashMap::new(),
         };
-        for t in targets {
+        // Phase 1: intern + dedup in first-occurrence order, remembering
+        // each kept target's position in the input slice.
+        let mut kept: Vec<usize> = Vec::with_capacity(targets.len());
+        for (i, t) in targets.iter().enumerate() {
             let before = index.targets.len();
-            let id = index.targets.intern(t);
-            if index.targets.len() == before {
-                continue; // duplicate target
+            index.targets.intern(t);
+            if index.targets.len() != before {
+                kept.push(i);
             }
-            let k = id.index() as u32;
-            for_each_key(t.sld().as_bytes(), t.tld().as_bytes(), |key| {
-                let bucket = index.buckets.entry(key).or_default();
-                // Deleting along a run repeats a key back-to-back.
-                if bucket.last() != Some(&k) {
-                    bucket.push(k);
-                }
-            });
+        }
+        // Phase 2: per-target key sets. The historical sequential loop's
+        // `bucket.last() != Some(&k)` guard could only ever fire on the
+        // target currently being keyed (dense ids ascend strictly across
+        // targets), i.e. it collapsed every repeated key *within one
+        // target* — the semantic unit is the per-target key SET, which
+        // sort+dedup computes shard-locally.
+        let key_sets: Vec<Vec<u64>> = if kept.len() >= PARALLEL_KEY_THRESHOLD {
+            ets_parallel::par_map(&kept, |_, &i| target_key_set(&targets[i]))
+        } else {
+            kept.iter().map(|&i| target_key_set(&targets[i])).collect()
+        };
+        // Phase 3: sequential merge in dense-id order.
+        for (k, keys) in key_sets.iter().enumerate() {
+            for &key in keys {
+                index.buckets.entry(key).or_default().push(k as u32);
+            }
         }
         index
     }
@@ -258,6 +290,54 @@ mod tests {
         assert_eq!(index.len(), 2);
         assert_eq!(index.matches(&d("gmial.com")), vec![0]);
         assert_eq!(index.target(1), Some(d("aol.com")));
+    }
+
+    /// The historical sequential build, kept verbatim as the oracle for
+    /// the sharded one.
+    fn build_sequential_reference(targets: &[DomainName]) -> ReverseDl1Index {
+        let mut index = ReverseDl1Index {
+            targets: DomainInterner::with_capacity(targets.len(), 12),
+            buckets: HashMap::new(),
+        };
+        for t in targets {
+            let before = index.targets.len();
+            let id = index.targets.intern(t);
+            if index.targets.len() == before {
+                continue; // duplicate target
+            }
+            let k = id.index() as u32;
+            for_each_key(t.sld().as_bytes(), t.tld().as_bytes(), |key| {
+                let bucket = index.buckets.entry(key).or_default();
+                if bucket.last() != Some(&k) {
+                    bucket.push(k);
+                }
+            });
+        }
+        index
+    }
+
+    #[test]
+    fn sharded_build_matches_sequential_reference() {
+        // Enough targets to cross PARALLEL_KEY_THRESHOLD, with repeated
+        // characters (key runs), duplicates, and mixed TLDs.
+        let mut ts: Vec<DomainName> = (0..PARALLEL_KEY_THRESHOLD + 500)
+            .map(|i| {
+                let tld = if i % 3 == 0 { "com" } else { "org" };
+                d(&format!("aabb{i}oo.{tld}"))
+            })
+            .collect();
+        ts.push(d("aabb7oo.org")); // duplicate of an earlier entry
+        let reference = build_sequential_reference(&ts);
+        for threads in [1, 2, 8] {
+            ets_parallel::set_threads(threads);
+            let sharded = ReverseDl1Index::build(&ts);
+            ets_parallel::set_threads(0);
+            assert_eq!(sharded.targets.len(), reference.targets.len());
+            assert_eq!(
+                sharded.buckets, reference.buckets,
+                "buckets differ at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -6,8 +6,10 @@
 
 use ets_core::DomainName;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Errors from parsing an [`Fqdn`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,16 +43,25 @@ impl std::error::Error for FqdnError {}
 
 /// A fully-qualified, lower-cased domain name. The root is the empty label
 /// sequence.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+///
+/// Stored as one shared dotted string (no trailing dot; empty for the
+/// root): cloning is a refcount bump and equality/hashing are a single
+/// pass, which matters because the registry keys ~10⁶ registrations and
+/// zones by name and every zone record carries its owner name. Ordering
+/// stays label-wise (see the manual `Ord`), so sorted outputs are
+/// identical to the old label-vector representation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[serde(try_from = "String", into = "String")]
 pub struct Fqdn {
-    labels: Vec<String>,
+    name: Arc<str>,
 }
 
 impl Fqdn {
     /// The root name (`.`).
     pub fn root() -> Self {
-        Fqdn { labels: Vec::new() }
+        Fqdn {
+            name: Arc::from(""),
+        }
     }
 
     /// Parses a name; a trailing dot is accepted and ignored, `.` or the
@@ -60,7 +71,6 @@ impl Fqdn {
         if trimmed.is_empty() {
             return Ok(Fqdn::root());
         }
-        let mut labels = Vec::new();
         let mut wire_len = 1usize; // root byte
         for (i, raw) in trimmed.split('.').enumerate() {
             if raw.is_empty() {
@@ -81,42 +91,54 @@ impl Fqdn {
                 }
             }
             wire_len += raw.len() + 1;
-            labels.push(raw.to_ascii_lowercase());
         }
         if wire_len > 255 {
             return Err(FqdnError::NameTooLong);
         }
-        Ok(Fqdn { labels })
+        Ok(Fqdn {
+            name: Arc::from(trimmed.to_ascii_lowercase()),
+        })
+    }
+
+    /// The dotted form backing this name: no trailing dot, empty for the
+    /// root (unlike [`fmt::Display`], which prints the root as `.`).
+    pub fn as_str(&self) -> &str {
+        &self.name
     }
 
     /// Labels left to right.
-    pub fn labels(&self) -> &[String] {
-        &self.labels
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        // `"".split('.')` yields one empty label, so the root needs the
+        // filter; valid names never contain empty labels.
+        self.name.split('.').filter(|l| !l.is_empty())
     }
 
     /// Number of labels (0 for the root).
     pub fn label_count(&self) -> usize {
-        self.labels.len()
+        if self.name.is_empty() {
+            return 0;
+        }
+        self.name.as_bytes().iter().filter(|&&b| b == b'.').count() + 1
     }
 
     /// Whether this is the root name.
     pub fn is_root(&self) -> bool {
-        self.labels.is_empty()
+        self.name.is_empty()
     }
 
     /// Whether the leftmost label is `*`.
     pub fn is_wildcard(&self) -> bool {
-        self.labels.first().map(String::as_str) == Some("*")
+        &*self.name == "*" || self.name.starts_with("*.")
     }
 
     /// The name with its leftmost label removed (`a.b.c` → `b.c`;
     /// root stays root).
     pub fn parent(&self) -> Fqdn {
-        if self.labels.is_empty() {
-            return Fqdn::root();
-        }
-        Fqdn {
-            labels: self.labels[1..].to_vec(),
+        match self.name.find('.') {
+            Some(dot) => Fqdn {
+                name: Arc::from(&self.name[dot + 1..]),
+            },
+            None => Fqdn::root(),
         }
     }
 
@@ -125,13 +147,33 @@ impl Fqdn {
         Fqdn::parse(&format!("{label}.{self}"))
     }
 
+    /// The wildcard owner covering names below this one (`*.self`).
+    /// Callers must not pass the root or an existing wildcard (the result
+    /// would not be a valid name).
+    pub fn wildcard(&self) -> Fqdn {
+        debug_assert!(!self.is_root() && !self.is_wildcard());
+        let mut s = String::with_capacity(self.name.len() + 2);
+        s.push_str("*.");
+        s.push_str(&self.name);
+        Fqdn { name: Arc::from(s) }
+    }
+
     /// Whether `self` equals `other` or is underneath it
     /// (`a.b.c` is within `b.c` and within `c`).
     pub fn is_within(&self, other: &Fqdn) -> bool {
-        if other.labels.len() > self.labels.len() {
+        if other.name.is_empty() {
+            return true; // everything is within the root
+        }
+        if other.name.len() > self.name.len() {
             return false;
         }
-        self.labels[self.labels.len() - other.labels.len()..] == other.labels[..]
+        if other.name.len() == self.name.len() {
+            return self.name == other.name;
+        }
+        // A proper suffix counts only on a label boundary: `b.c` contains
+        // `a.b.c` but not `ab.c`.
+        self.name.ends_with(&*other.name)
+            && self.name.as_bytes()[self.name.len() - other.name.len() - 1] == b'.'
     }
 
     /// Whether a wildcard owner name covers `name` (RFC 4592: `*.zone`
@@ -145,9 +187,13 @@ impl Fqdn {
         name.label_count() > suffix.label_count() && name.is_within(&suffix)
     }
 
-    /// Converts a registrable [`DomainName`] from `ets-core`.
+    /// Converts a registrable [`DomainName`] from `ets-core` — a single
+    /// copy, no re-validation: a `DomainName` is by construction a
+    /// lowercase dotted name within every `Fqdn` limit.
     pub fn from_domain(d: &DomainName) -> Fqdn {
-        Fqdn::parse(d.as_str()).expect("DomainName is always a valid Fqdn")
+        Fqdn {
+            name: Arc::from(d.as_str()),
+        }
     }
 
     /// Tries to view this name as a registrable two-label domain.
@@ -157,26 +203,50 @@ impl Fqdn {
 
     /// The registrable suffix (last two labels), if this name has one.
     pub fn registrable(&self) -> Option<Fqdn> {
-        if self.labels.len() < 2 {
-            return None;
-        }
+        let last = self.name.rfind('.')?;
+        let start = match self.name[..last].rfind('.') {
+            Some(dot) => dot + 1,
+            None => 0,
+        };
         Some(Fqdn {
-            labels: self.labels[self.labels.len() - 2..].to_vec(),
+            name: Arc::from(&self.name[start..]),
         })
     }
 
     /// Wire-format length (sum of label length bytes + label bytes + root).
     pub fn wire_len(&self) -> usize {
-        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+        if self.name.is_empty() {
+            1
+        } else {
+            // count byte per label + label bytes + root byte: the dotted
+            // form is one byte short per label boundary, plus the root.
+            self.name.len() + 2
+        }
     }
 }
 
 impl fmt::Display for Fqdn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.labels.is_empty() {
+        if self.name.is_empty() {
             return f.write_str(".");
         }
-        f.write_str(&self.labels.join("."))
+        f.write_str(&self.name)
+    }
+}
+
+// Ordering is label-wise, exactly as the former `Vec<String>` layout
+// compared: `a.b` sorts before `a-x.b` because the first *labels* are
+// `a` < `a-x`, even though byte-wise `-` < `.` would say otherwise.
+// Sorted result files depend on this order.
+impl Ord for Fqdn {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.labels().cmp(other.labels())
+    }
+}
+
+impl PartialOrd for Fqdn {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 

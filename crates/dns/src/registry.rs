@@ -55,10 +55,19 @@ pub struct Registry {
     inner: Arc<RwLock<RegistryInner>>,
 }
 
+/// One domain's registry row: the registration plus its published zone.
+/// One map (not registration/zone side tables) on purpose: the bulk
+/// commit paths touch ~10⁶ random buckets, and a second table doubles
+/// the cache/TLB misses that dominate that loop.
+#[derive(Debug)]
+struct RegistryEntry {
+    registration: Registration,
+    zone: Option<Zone>,
+}
+
 #[derive(Debug, Default)]
 struct RegistryInner {
-    registrations: HashMap<Fqdn, Registration>,
-    zones: HashMap<Fqdn, Zone>,
+    domains: HashMap<Fqdn, RegistryEntry>,
 }
 
 impl Registry {
@@ -67,73 +76,90 @@ impl Registry {
         Self::default()
     }
 
+    /// Pre-sizes the registration and zone tables for `additional` more
+    /// entries — the bulk paths (background population, snapshot reload)
+    /// know their counts up front, so the maps never rehash mid-commit.
+    pub fn reserve(&self, additional: usize) {
+        let mut inner = self.inner.write();
+        inner.domains.reserve(additional);
+    }
+
     /// Registers a domain with its zone. Returns `false` (and changes
     /// nothing) if the domain was already taken.
     pub fn register(&self, registration: Registration, zone: Option<Zone>) -> bool {
         let mut inner = self.inner.write();
-        if inner.registrations.contains_key(&registration.domain) {
-            return false;
+        match inner.domains.entry(registration.domain.clone()) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                if let Some(z) = &zone {
+                    assert!(
+                        z.origin == registration.domain,
+                        "zone origin {} does not match registration {}",
+                        z.origin,
+                        registration.domain
+                    );
+                }
+                slot.insert(RegistryEntry { registration, zone });
+                true
+            }
         }
-        let domain = registration.domain.clone();
-        inner.registrations.insert(domain.clone(), registration);
-        if let Some(z) = zone {
-            assert!(
-                z.origin == domain,
-                "zone origin {} does not match registration {}",
-                z.origin,
-                domain
-            );
-            inner.zones.insert(domain, z);
-        }
-        true
     }
 
     /// Removes a registration (domain surrender, per the study's trademark
     /// policy). Returns the removed registration, if any.
     pub fn surrender(&self, domain: &Fqdn) -> Option<Registration> {
         let mut inner = self.inner.write();
-        inner.zones.remove(domain);
-        inner.registrations.remove(domain)
+        inner.domains.remove(domain).map(|e| e.registration)
     }
 
     /// Whether a domain is registered.
     pub fn is_registered(&self, domain: &Fqdn) -> bool {
-        self.inner.read().registrations.contains_key(domain)
+        self.inner.read().domains.contains_key(domain)
     }
 
     /// The registration of a domain.
     pub fn registration(&self, domain: &Fqdn) -> Option<Registration> {
-        self.inner.read().registrations.get(domain).cloned()
+        self.inner
+            .read()
+            .domains
+            .get(domain)
+            .map(|e| e.registration.clone())
     }
 
     /// The public WHOIS view of a domain (proxy record when proxied).
     pub fn whois(&self, domain: &Fqdn) -> Option<WhoisRecord> {
         self.inner
             .read()
-            .registrations
+            .domains
             .get(domain)
-            .map(Registration::public_whois)
+            .map(|e| e.registration.public_whois())
     }
 
     /// The authoritative zone for a domain, if one is published.
     pub fn zone(&self, domain: &Fqdn) -> Option<Zone> {
-        self.inner.read().zones.get(domain).cloned()
+        self.inner
+            .read()
+            .domains
+            .get(domain)
+            .and_then(|e| e.zone.clone())
     }
 
     /// Replaces (or publishes) a domain's zone. Returns `false` if the
     /// domain is not registered.
     pub fn publish_zone(&self, zone: Zone) -> bool {
         let mut inner = self.inner.write();
-        if !inner.registrations.contains_key(&zone.origin) {
-            return false;
+        match inner.domains.get_mut(&zone.origin) {
+            Some(e) => {
+                e.zone = Some(zone);
+                true
+            }
+            None => false,
         }
-        inner.zones.insert(zone.origin.clone(), zone);
-        true
     }
 
     /// Number of registrations.
     pub fn len(&self) -> usize {
-        self.inner.read().registrations.len()
+        self.inner.read().domains.len()
     }
 
     /// Whether the registry is empty.
@@ -143,7 +169,7 @@ impl Registry {
 
     /// All registered domains (sorted, for determinism).
     pub fn domains(&self) -> Vec<Fqdn> {
-        let mut v: Vec<Fqdn> = self.inner.read().registrations.keys().cloned().collect();
+        let mut v: Vec<Fqdn> = self.inner.read().domains.keys().cloned().collect();
         v.sort();
         v
     }
@@ -153,8 +179,8 @@ impl Registry {
     pub fn zone_file(&self) -> Vec<(Fqdn, Fqdn)> {
         let inner = self.inner.read();
         let mut rows: Vec<(Fqdn, Fqdn)> = Vec::new();
-        for (domain, reg) in &inner.registrations {
-            for ns in &reg.nameservers {
+        for (domain, e) in &inner.domains {
+            for ns in &e.registration.nameservers {
                 rows.push((domain.clone(), ns.clone()));
             }
         }
@@ -165,10 +191,10 @@ impl Registry {
     /// Runs `f` over every registration without cloning the map.
     pub fn for_each<F: FnMut(&Registration)>(&self, mut f: F) {
         let inner = self.inner.read();
-        let mut keys: Vec<&Fqdn> = inner.registrations.keys().collect();
+        let mut keys: Vec<&Fqdn> = inner.domains.keys().collect();
         keys.sort();
         for k in keys {
-            f(&inner.registrations[k]);
+            f(&inner.domains[k].registration);
         }
     }
 }

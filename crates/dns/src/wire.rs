@@ -247,7 +247,7 @@ fn encode_rr(buf: &mut BytesMut, rr: &ResourceRecord, compress: &mut HashMap<Str
 /// Encodes a name with compression: each suffix already emitted is replaced
 /// by a pointer.
 fn encode_name(buf: &mut BytesMut, name: &Fqdn, compress: &mut HashMap<String, u16>) {
-    let labels = name.labels();
+    let labels: Vec<&str> = name.labels().collect();
     for i in 0..labels.len() {
         let suffix = labels[i..].join(".");
         if let Some(&off) = compress.get(&suffix) {
@@ -257,7 +257,7 @@ fn encode_name(buf: &mut BytesMut, name: &Fqdn, compress: &mut HashMap<String, u
         if buf.len() <= 0x3FFF {
             compress.insert(suffix, buf.len() as u16);
         }
-        let label = &labels[i];
+        let label = labels[i];
         buf.put_u8(label.len() as u8);
         buf.put_slice(label.as_bytes());
     }

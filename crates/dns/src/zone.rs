@@ -1,7 +1,7 @@
 //! Authoritative zones with wildcard matching.
 
 use crate::name::Fqdn;
-use crate::record::{RecordType, ResourceRecord};
+use crate::record::{RecordData, RecordType, ResourceRecord};
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
@@ -24,13 +24,10 @@ impl Zone {
 
     /// Adds a record. Panics if the owner name is outside the zone.
     pub fn add(&mut self, record: ResourceRecord) {
-        let owner = if record.name.is_wildcard() {
-            record.name.parent()
-        } else {
-            record.name.clone()
-        };
+        // A wildcard `*.x` passes the suffix test for zone `x` directly,
+        // so no separate parent() step is needed.
         assert!(
-            owner.is_within(&self.origin),
+            record.name.is_within(&self.origin),
             "record owner {} outside zone {}",
             record.name,
             self.origin
@@ -73,13 +70,26 @@ impl Zone {
     /// apex MX pointing at the apex, wildcard and apex A pointing at the
     /// collection VPS.
     pub fn catch_all(origin: &Fqdn, vps_addr: Ipv4Addr, ttl: u32) -> Zone {
+        // Built from name *values*: this runs once per ctypo registration,
+        // so no record takes the string/re-parse round trip.
         let mut z = Zone::new(origin.clone());
-        let apex = origin.to_string();
-        let wildcard = format!("*.{apex}");
-        z.add(ResourceRecord::mx(&wildcard, ttl, 1, &apex));
-        z.add(ResourceRecord::mx(&apex, ttl, 1, &apex));
-        z.add(ResourceRecord::a(&wildcard, ttl, vps_addr));
-        z.add(ResourceRecord::a(&apex, ttl, vps_addr));
+        let wildcard = origin.wildcard();
+        let mx = |exchange: Fqdn| RecordData::Mx {
+            preference: 1,
+            exchange,
+        };
+        z.add(ResourceRecord::new(
+            wildcard.clone(),
+            ttl,
+            mx(origin.clone()),
+        ));
+        z.add(ResourceRecord::new(origin.clone(), ttl, mx(origin.clone())));
+        z.add(ResourceRecord::new(wildcard, ttl, RecordData::A(vps_addr)));
+        z.add(ResourceRecord::new(
+            origin.clone(),
+            ttl,
+            RecordData::A(vps_addr),
+        ));
         z
     }
 
@@ -87,7 +97,11 @@ impl Zone {
     /// cannot receive email" population of Table 4).
     pub fn parked(origin: &Fqdn, addr: Ipv4Addr, ttl: u32) -> Zone {
         let mut z = Zone::new(origin.clone());
-        z.add(ResourceRecord::a(&origin.to_string(), ttl, addr));
+        z.add(ResourceRecord::new(
+            origin.clone(),
+            ttl,
+            RecordData::A(addr),
+        ));
         z
     }
 
@@ -100,10 +114,16 @@ impl Zone {
         ttl: u32,
     ) -> Zone {
         let mut z = Zone::new(origin.clone());
-        let apex = origin.to_string();
-        z.add(ResourceRecord::mx(&apex, ttl, 10, &mx_host.to_string()));
+        z.add(ResourceRecord::new(
+            origin.clone(),
+            ttl,
+            RecordData::Mx {
+                preference: 10,
+                exchange: mx_host.clone(),
+            },
+        ));
         if let Some(a) = web_addr {
-            z.add(ResourceRecord::a(&apex, ttl, a));
+            z.add(ResourceRecord::new(origin.clone(), ttl, RecordData::A(a)));
         }
         z
     }

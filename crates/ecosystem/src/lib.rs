@@ -26,6 +26,7 @@ pub mod mxconc;
 pub mod nameserver;
 pub mod population;
 pub mod scan;
+pub mod snapshot;
 pub mod whois_cluster;
 
 pub use population::{CtypoInfo, PopulationConfig, RegistrantArchetype, SmtpProfile, World};

@@ -159,6 +159,26 @@ impl PopulationConfig {
             ..Default::default()
         }
     }
+
+    /// A world scaled to `n_targets` (the `--scale` presets: 1k, 100k,
+    /// 1M). The registrant population grows with the target universe so
+    /// portfolio sizes keep the paper's heavy tail, but stays exactly at
+    /// the historical default below 30k targets so every previously
+    /// committed result remains byte-identical.
+    pub fn at_scale(n_targets: usize, seed: u64) -> Self {
+        let default_registrants = PopulationConfig::default().n_registrants;
+        let n_registrants = if n_targets <= 30_000 {
+            default_registrants
+        } else {
+            (n_targets / 50).max(default_registrants)
+        };
+        PopulationConfig {
+            n_targets,
+            n_registrants,
+            seed,
+            ..Default::default()
+        }
+    }
 }
 
 /// The Table-6 mail-hosting provider domains, most private, plus the two
@@ -207,6 +227,12 @@ pub struct World {
     pub ns_customer_base: Vec<(Fqdn, usize)>,
     /// Config used to build this world.
     pub config: PopulationConfig,
+    /// Per-ctypo registration draws, index-aligned with `ctypos`: the
+    /// compact struct-of-arrays record of every RNG roll each
+    /// registration consumed. Together with `ctypos` this is the entire
+    /// non-derivable state of the world — exactly what the snapshot
+    /// persists (everything else is a pure function of `config`).
+    pub(crate) ctypo_meta: Vec<CtypoMeta>,
     /// Interned ctypo names, id-aligned with `ctypos` (interned in the
     /// final sorted order), so ownership and SMTP-profile queries are a
     /// hash probe over arena slices instead of a linear scan.
@@ -217,7 +243,37 @@ pub struct World {
     typo_index: ReverseDl1Index,
 }
 
+/// Default transient-payload budget for one gtypo band (bytes). The band
+/// loop shrinks or grows the per-band target count so the pending
+/// registrations held between compute and commit stay near this bound,
+/// which is what lets a 1M-target world build without materializing its
+/// whole candidate set at once.
+pub const DEFAULT_BAND_BUDGET_BYTES: usize = 256 << 20;
+
+/// First band size (targets); adapted between bands from measured payload.
+const INITIAL_BAND_TARGETS: usize = 4096;
+/// Band-size clamp: never shrink below this many targets per band.
+const MIN_BAND_TARGETS: usize = 16;
+/// Band-size clamp: never grow beyond this many targets per band.
+const MAX_BAND_TARGETS: usize = 65_536;
+/// Bucket bounds for the `world.band_pending_bytes` histogram (1 MiB to
+/// 256 MiB, ×4 steps).
+const BAND_BYTES_BOUNDS: [u64; 5] = [1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28];
+/// Snapshot-rebuild band: records materialized per commit round. Sized so
+/// the pending registrations (~1 KiB each) stay within a few MiB — hot in
+/// cache when the sequential commit consumes them, and bounding peak
+/// memory the same way the fresh build's band budget does.
+const SNAPSHOT_COMMIT_BAND: usize = 8_192;
+/// Bucket bounds for the `world.dl1_fanout` histogram.
+const DL1_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
 impl World {
+    /// Builds the world deterministically from a config, with the default
+    /// per-band memory budget (see [`World::build_with_budget`]).
+    pub fn build(config: PopulationConfig) -> World {
+        Self::build_with_budget(config, DEFAULT_BAND_BUDGET_BYTES)
+    }
+
     /// Builds the world deterministically from a config.
     ///
     /// Every sampled unit — a registrant, a filler site, a background
@@ -228,146 +284,40 @@ impl World {
     /// sequential in canonical (target-rank, generation) order because
     /// first-registration-wins must resolve cross-target name collisions
     /// the same way every run.
-    pub fn build(config: PopulationConfig) -> World {
+    ///
+    /// The gtypo phase is **sharded**: targets are processed in
+    /// rank-ordered bands, each band fanned out over the worker pool and
+    /// committed before the next band starts, so the transient pending
+    /// payload stays near `band_budget_bytes` regardless of scale. Band
+    /// geometry adapts only to deterministic payload-byte counts (never
+    /// to wall clock or thread count), and per-unit RNG streams depend
+    /// only on target rank — so any banding produces byte-identical
+    /// worlds.
+    pub fn build_with_budget(config: PopulationConfig, band_budget_bytes: usize) -> World {
+        Self::build_banded(config, band_budget_bytes, INITIAL_BAND_TARGETS)
+    }
+
+    fn build_banded(
+        config: PopulationConfig,
+        band_budget_bytes: usize,
+        initial_band: usize,
+    ) -> World {
         let mut build_span = ets_obs::span!("world.build");
         build_span.arg("n_targets", config.n_targets as u64);
         let popularity = alexa::synthetic_top(config.n_targets);
         let targets: Vec<DomainName> = popularity.iter().map(|e| e.domain.clone()).collect();
         ets_obs::metrics::counter_add("world.targets", targets.len() as u64);
         let registry = Registry::new();
-
-        let ns_providers: Vec<Fqdn> = (0..config.n_ns_providers)
-            .map(|i| {
-                let name = if i < config.n_cesspool_ns {
-                    format!("ns1.cheap-dns-{i}.example")
-                } else {
-                    format!("ns1.provider-{i}.example")
-                };
-                name.parse().expect("generated ns names are valid")
-            })
-            .collect();
-        let mx_providers: Vec<Fqdn> = MX_PROVIDERS
-            .iter()
-            .map(|(d, _, _)| d.parse::<Fqdn>().expect("static"))
-            .chain(
-                (0..MID_TIER_MX)
-                    .map(|i| format!("mailhost-{i}.example").parse().expect("generated")),
-            )
-            .collect();
+        let ns_providers = make_ns_providers(&config);
+        let mx_providers = make_mx_providers();
+        let mx_hosts = mx_hosts_of(&mx_providers);
 
         // --- registrants with Zipf-sized portfolios -------------------
         let registrant_span = ets_obs::span!("world.registrants", ets_obs::Level::Debug);
-        let registrants: Vec<Registrant> = par_map_index(config.n_registrants, |id| {
-            let mut rng = derive_rng(config.seed, stream::POPULATION_REGISTRANT, id as u64);
-            let archetype = match id {
-                0..=2 => RegistrantArchetype::DomainSeller,
-                3..=13 => RegistrantArchetype::MailTyposquatter,
-                _ => RegistrantArchetype::SmallSquatter,
-            };
-            let private = rng.gen_bool(config.privacy_share);
-            // Typosquatters favor the cesspool name servers.
-            let ns_provider = match archetype {
-                RegistrantArchetype::MailTyposquatter | RegistrantArchetype::DomainSeller
-                    if rng.gen_bool(0.7) =>
-                {
-                    rng.gen_range(0..config.n_cesspool_ns.max(1))
-                }
-                _ => rng.gen_range(0..config.n_ns_providers),
-            };
-            // Mail hosting: weighted pick over the Table-6 providers.
-            let mx_provider = match archetype {
-                RegistrantArchetype::MailTyposquatter | RegistrantArchetype::DomainSeller => {
-                    Some(pick_mx_provider(&mut rng))
-                }
-                RegistrantArchetype::SmallSquatter if rng.gen_bool(0.55) => {
-                    Some(pick_mx_provider(&mut rng))
-                }
-                _ => None,
-            };
-            let reads_mail = if rng.gen_bool(0.002) { 0.5 } else { 0.0 };
-            Registrant {
-                id,
-                archetype,
-                whois: synth_whois(id, &mut rng),
-                private,
-                ns_provider,
-                mx_provider,
-                reads_mail,
-            }
-        });
-
+        let registrants = make_registrants(&config);
         drop(registrant_span);
 
-        // --- register benign filler sites (the targets themselves) ----
-        let filler_span = ets_obs::span!("world.fillers", ets_obs::Level::Debug);
-        let fillers: Vec<(Registration, Zone)> = par_map(&targets, |rank, t| {
-            let mut rng = derive_rng(config.seed, stream::POPULATION_BACKGROUND, rank as u64);
-            let fq = Fqdn::from_domain(t);
-            let zone = Zone::hosted_mail(
-                &fq,
-                &fq.child("mx").expect("valid"),
-                Some(ip_for(rank as u64, 1)),
-                300,
-            );
-            let mut full_zone = zone;
-            full_zone.add(ets_dns::record::ResourceRecord::a(
-                &format!("mx.{fq}"),
-                300,
-                ip_for(rank as u64, 2),
-            ));
-            (
-                Registration {
-                    domain: fq,
-                    registrar: "registrar-legit".to_owned(),
-                    whois: synth_whois(1_000_000 + rank, &mut rng),
-                    privacy_proxy: None,
-                    nameservers: vec![ns_providers[rank % config.n_ns_providers.max(1)].clone()],
-                    created_day: 0,
-                },
-                full_zone,
-            )
-        });
-        for (reg, zone) in fillers {
-            registry.register(reg, Some(zone));
-        }
-        drop(filler_span);
-        let background_span = ets_obs::span!("world.background", ets_obs::Level::Debug);
-
-        // --- benign background per name-server provider ----------------
-        // §5.2's ratios only make sense against each provider's ordinary
-        // customer base: clean providers host many unrelated businesses,
-        // cesspools host few.
-        let bg_units: Vec<(usize, usize)> = ns_providers
-            .iter()
-            .enumerate()
-            .flat_map(|(pi, _)| {
-                let benign_customers = if pi < config.n_cesspool_ns { 4 } else { 30 };
-                (0..benign_customers).map(move |j| (pi, j))
-            })
-            .collect();
-        let background: Vec<(Registration, Zone)> = par_map(&bg_units, |_, &(pi, j)| {
-            // Background units share the filler stream domain; offset far
-            // past any filler rank so unit ids never collide.
-            let unit = (1u64 << 32) | (pi as u64 * 1000 + j as u64);
-            let mut rng = derive_rng(config.seed, stream::POPULATION_BACKGROUND, unit);
-            let ns = &ns_providers[pi];
-            let name: Fqdn = format!("biz-{pi}-{j}.com").parse().expect("valid");
-            (
-                Registration {
-                    domain: name.clone(),
-                    registrar: "registrar-legit".to_owned(),
-                    whois: synth_whois(4_000_000 + pi * 1000 + j, &mut rng),
-                    privacy_proxy: None,
-                    nameservers: vec![ns.clone()],
-                    created_day: 0,
-                },
-                Zone::parked(&name, ip_for((pi * 1000 + j) as u64, 9), 300),
-            )
-        });
-        for (reg, zone) in background {
-            registry.register(reg, Some(zone));
-        }
-        drop(background_span);
+        register_background(&config, &registry, &targets, &ns_providers);
 
         // --- the registration process over gtypos ----------------------
         // Portfolio assignment: Zipf over registrants (registrant 0 has
@@ -377,90 +327,281 @@ impl World {
             .collect();
         let appetite_total: f64 = appetite.iter().sum();
 
-        // Parallel compute: each target draws its gtypo band from its own
-        // stream and prepares registrations without touching the registry.
+        // The registration probability decays monotonically with rank, so
+        // every target past the cutoff would return an empty band without
+        // consuming a single draw — skip them without even deriving their
+        // streams.
+        let active_targets = (0..targets.len())
+            .find(|&rank0| target_registration_p(&config, rank0) < 0.01)
+            .unwrap_or(targets.len());
+
+        // Parallel compute per band: each target draws its gtypo band
+        // from its own stream and prepares registrations without touching
+        // the registry; the sequential commit between bands keeps
+        // first-registration-wins in canonical rank order and bounds the
+        // pending payload to roughly one band.
         let pending_span = ets_obs::span!("world.ctypo_pending", ets_obs::Level::Debug);
-        let pending: Vec<Vec<PendingCtypo>> = par_map(&targets, |rank0, target| {
-            let mut rng = derive_rng(config.seed, stream::POPULATION_TARGET, rank0 as u64);
-            let rank = rank0 + 1;
-            // Skip filler sites for typo generation beyond a band: gtypos
-            // of rank > n_targets still exist but almost none registered;
-            // generating them all would be wasted work, so sample.
-            let p_target = config.base_registration_rate / (rank as f64).powf(config.rank_decay);
-            if p_target < 0.01 {
-                return Vec::new();
-            }
-            let mut out = Vec::new();
-            // Column access into the typo table; candidate domain names are
-            // only materialized for the few variants that pass the
-            // registration roll.
-            let table = typogen::TypoTable::generate(target);
-            for ci in 0..table.len() {
-                // Low visual distance and fat-finger adjacency make a typo
-                // attractive; deletions/transpositions too (Figure 9).
-                let attractiveness = {
-                    let v = table.visual_normalized(ci);
-                    let base = (1.0 - v).clamp(0.05, 1.0);
-                    let ff = if table.fat_finger(ci) { 1.5 } else { 1.0 };
-                    let kind = match table.kind(ci) {
-                        ets_core::MistakeKind::Deletion => 1.4,
-                        ets_core::MistakeKind::Transposition => 1.3,
-                        ets_core::MistakeKind::Substitution => 1.0,
-                        ets_core::MistakeKind::Addition => 0.8,
+        let mut pairs: Vec<(CtypoInfo, CtypoMeta)> = Vec::new();
+        let mut pending_total: u64 = 0;
+        let mut band = initial_band.clamp(MIN_BAND_TARGETS, MAX_BAND_TARGETS);
+        let mut start = 0;
+        while start < active_targets {
+            let end = (start + band).min(active_targets);
+            let pending: Vec<Vec<PendingCtypo>> = par_map(&targets[start..end], |i, target| {
+                let rank0 = start + i;
+                let mut rng = derive_rng(config.seed, stream::POPULATION_TARGET, rank0 as u64);
+                let p_target = target_registration_p(&config, rank0);
+                let mut out = Vec::new();
+                // Column access into the typo table; candidate domain
+                // names are only materialized for the few variants that
+                // pass the registration roll.
+                let table = typogen::TypoTable::generate(target);
+                for ci in 0..table.len() {
+                    // Low visual distance and fat-finger adjacency make a
+                    // typo attractive; deletions/transpositions too
+                    // (Figure 9).
+                    let attractiveness = {
+                        let v = table.visual_normalized(ci);
+                        let base = (1.0 - v).clamp(0.05, 1.0);
+                        let ff = if table.fat_finger(ci) { 1.5 } else { 1.0 };
+                        let kind = match table.kind(ci) {
+                            ets_core::MistakeKind::Deletion => 1.4,
+                            ets_core::MistakeKind::Transposition => 1.3,
+                            ets_core::MistakeKind::Substitution => 1.0,
+                            ets_core::MistakeKind::Addition => 0.8,
+                        };
+                        (base * ff * kind).min(2.0)
                     };
-                    (base * ff * kind).min(2.0)
-                };
-                let p = (p_target * attractiveness * 0.35).min(0.95);
-                if !rng.gen_bool(p) {
-                    continue;
-                }
-                // Who takes it?
-                let class_roll: f64 = rng.gen();
-                let (class, owner) = if class_roll < config.defensive_share {
-                    (DomainClass::Defensive, usize::MAX)
-                } else if class_roll < config.defensive_share + config.benign_share {
-                    (DomainClass::BenignCollision, usize::MAX - 1)
-                } else {
-                    let mut pick = rng.gen::<f64>() * appetite_total;
-                    let mut owner = config.n_registrants - 1;
-                    for (i, a) in appetite.iter().enumerate() {
-                        if pick < *a {
-                            owner = i;
-                            break;
-                        }
-                        pick -= *a;
+                    let p = (p_target * attractiveness * 0.35).min(0.95);
+                    if !rng.gen_bool(p) {
+                        continue;
                     }
-                    (DomainClass::Typosquatting, owner)
-                };
-                if let Some(p) = prepare_ctypo(
-                    &registrants,
-                    &ns_providers,
-                    &mx_providers,
-                    table.candidate(ci),
-                    class,
-                    owner,
-                    &mut rng,
-                ) {
-                    out.push(p);
+                    // Who takes it?
+                    let class_roll: f64 = rng.gen();
+                    let (class, owner) = if class_roll < config.defensive_share {
+                        (DomainClass::Defensive, usize::MAX)
+                    } else if class_roll < config.defensive_share + config.benign_share {
+                        (DomainClass::BenignCollision, usize::MAX - 1)
+                    } else {
+                        let mut pick = rng.gen::<f64>() * appetite_total;
+                        let mut owner = config.n_registrants - 1;
+                        for (i, a) in appetite.iter().enumerate() {
+                            if pick < *a {
+                                owner = i;
+                                break;
+                            }
+                            pick -= *a;
+                        }
+                        (DomainClass::Typosquatting, owner)
+                    };
+                    let prepared =
+                        draw_ctypo(&registrants, config.n_ns_providers, class, owner, &mut rng)
+                            .and_then(|draw| {
+                                materialize_ctypo(
+                                    table.candidate(ci),
+                                    class,
+                                    owner,
+                                    &draw,
+                                    rank0 as u32,
+                                    &registrants,
+                                    &ns_providers,
+                                    &mx_hosts,
+                                )
+                            });
+                    if let Some(p) = prepared {
+                        out.push(p);
+                    }
+                }
+                out
+            });
+            // Account the band's transient payload before committing it:
+            // the budget histogram is a pure function of (seed, scale,
+            // budget), while the mem gauge feeds the wall-clock-side peak
+            // reports.
+            let band_bytes: u64 = pending
+                .iter()
+                .flat_map(|b| b.iter())
+                .map(PendingCtypo::approx_bytes)
+                .sum();
+            ets_obs::metrics::histogram_record(
+                "world.band_pending_bytes",
+                &BAND_BYTES_BOUNDS,
+                band_bytes,
+            );
+            ets_obs::mem::add(band_bytes);
+            for batch in pending {
+                pending_total += batch.len() as u64;
+                for p in batch {
+                    if registry.register(p.registration, p.zone) {
+                        pairs.push((p.info, p.meta));
+                    }
                 }
             }
-            out
-        });
-        let pending_total: u64 = pending.iter().map(|b| b.len() as u64).sum();
-        ets_obs::metrics::counter_add("world.ctypo_pending", pending_total);
-        drop(pending_span);
-        // Sequential commit in target-rank order: first registration wins,
-        // exactly as the sequential loop resolved collisions.
-        let commit_span = ets_obs::span!("world.commit", ets_obs::Level::Debug);
-        let mut ctypos: Vec<CtypoInfo> = Vec::new();
-        for batch in pending {
-            for p in batch {
-                if registry.register(p.registration, p.zone) {
-                    ctypos.push(p.info);
-                }
+            ets_obs::mem::sub(band_bytes);
+            ets_obs::metrics::counter_add("world.bands", 1);
+            start = end;
+            // Adapt the band to the budget: halve when over, grow when
+            // well under. Driven only by the deterministic payload bytes,
+            // so the band schedule (and the world) never depends on
+            // threads or timing.
+            if band_bytes as usize > band_budget_bytes {
+                band = (band / 2).max(MIN_BAND_TARGETS);
+            } else if (band_bytes as usize) < band_budget_bytes / 4 {
+                band = (band * 2).min(MAX_BAND_TARGETS);
             }
         }
-        ctypos.sort_by(|a, b| a.candidate.domain.cmp(&b.candidate.domain));
+        ets_obs::metrics::counter_add("world.ctypo_pending", pending_total);
+        drop(pending_span);
+        let commit_span = ets_obs::span!("world.commit", ets_obs::Level::Debug);
+        pairs.sort_by(|a, b| a.0.candidate.domain.cmp(&b.0.candidate.domain));
+        let (ctypos, ctypo_meta): (Vec<CtypoInfo>, Vec<CtypoMeta>) = pairs.into_iter().unzip();
+        drop(commit_span);
+        Self::finish(
+            config,
+            registry,
+            popularity,
+            targets,
+            ctypos,
+            ctypo_meta,
+            registrants,
+            ns_providers,
+            mx_providers,
+        )
+    }
+
+    /// Rebuilds a world from snapshot records: every derivable phase
+    /// (popularity, registrants, fillers, background, indices, NS
+    /// customer bases) is recomputed from `config`'s RNG streams exactly
+    /// as a fresh build would, and each persisted ctypo is materialized
+    /// purely from its stored draws — no registration roll is ever
+    /// re-drawn, which is why the result is byte-identical to the build
+    /// that produced the snapshot. Records arrive in the world's sorted
+    /// ctypo order. Any inconsistency (out-of-range index, unparsable
+    /// name, unsorted or colliding records) is an error, never a panic:
+    /// the caller falls back to a fresh build.
+    pub(crate) fn from_snapshot_records(
+        config: PopulationConfig,
+        records: Vec<CtypoRecord>,
+    ) -> Result<World, String> {
+        let mut load_span = ets_obs::span!("world.snapshot_rebuild");
+        load_span.arg("n_targets", config.n_targets as u64);
+        let popularity = alexa::synthetic_top(config.n_targets);
+        let targets: Vec<DomainName> = popularity.iter().map(|e| e.domain.clone()).collect();
+        ets_obs::metrics::counter_add("world.targets", targets.len() as u64);
+        let registry = Registry::new();
+        registry.reserve(targets.len() + records.len());
+        let ns_providers = make_ns_providers(&config);
+        let mx_providers = make_mx_providers();
+        let mx_hosts = mx_hosts_of(&mx_providers);
+        let registrants = make_registrants(&config);
+        register_background(&config, &registry, &targets, &ns_providers);
+
+        // Materialization is pure per record, so it fans out; the
+        // registry commit stays sequential in stored (sorted) order.
+        // Both run band-by-band: a bounded pending buffer keeps the
+        // transient registrations cache-hot when they are committed and
+        // caps peak memory exactly like the fresh build's band budget.
+        let mut ctypos: Vec<CtypoInfo> = Vec::with_capacity(records.len());
+        let mut ctypo_meta: Vec<CtypoMeta> = Vec::with_capacity(records.len());
+        for band in records.chunks(SNAPSHOT_COMMIT_BAND) {
+            let materialized: Vec<Result<PendingCtypo, String>> = par_map(band, |_, rec| {
+                let rank = rec.target_rank as usize;
+                let target = targets
+                    .get(rank)
+                    .ok_or_else(|| format!("target rank {rank} out of range"))?;
+                let domain = DomainName::from_sld_tld(&rec.sld, target.tld())
+                    .map_err(|e| format!("bad ctypo name {:?}: {e}", rec.sld))?;
+                if rec.class == DomainClass::Typosquatting && rec.owner >= registrants.len() {
+                    return Err(format!("owner {} out of range", rec.owner));
+                }
+                if (rec.draw.ns as usize) >= ns_providers.len() {
+                    return Err(format!("ns provider {} out of range", rec.draw.ns));
+                }
+                if let Some(mi) = rec.draw.mx {
+                    if (mi as usize) >= mx_providers.len() {
+                        return Err(format!("mx provider {mi} out of range"));
+                    }
+                }
+                let cand = TypoCandidate {
+                    domain,
+                    target: target.clone(),
+                    kind: rec.kind,
+                    position: rec.position as usize,
+                    fat_finger: rec.fat_finger,
+                    visual: rec.visual,
+                };
+                materialize_ctypo(
+                    cand,
+                    rec.class,
+                    rec.owner,
+                    &rec.draw,
+                    rec.target_rank,
+                    &registrants,
+                    &ns_providers,
+                    &mx_hosts,
+                )
+                .ok_or_else(|| "unregistered class in snapshot".to_owned())
+            });
+            // Same transient-payload accounting as the fresh build's
+            // band loop, so the two paths report comparable peaks.
+            let band_bytes: u64 = materialized
+                .iter()
+                .filter_map(|p| p.as_ref().ok())
+                .map(PendingCtypo::approx_bytes)
+                .sum();
+            ets_obs::mem::add(band_bytes);
+            let committed = (|| {
+                for p in materialized {
+                    let p = p?;
+                    if let Some(prev) = ctypos.last() {
+                        if prev.candidate.domain >= p.info.candidate.domain {
+                            return Err("snapshot records not in sorted order".to_owned());
+                        }
+                    }
+                    if !registry.register(p.registration, p.zone) {
+                        return Err(format!(
+                            "snapshot ctypo {} collides with an existing registration",
+                            p.info.candidate.domain
+                        ));
+                    }
+                    ctypos.push(p.info);
+                    ctypo_meta.push(p.meta);
+                }
+                Ok(())
+            })();
+            ets_obs::mem::sub(band_bytes);
+            committed?;
+        }
+        let out = Ok(Self::finish(
+            config,
+            registry,
+            popularity,
+            targets,
+            ctypos,
+            ctypo_meta,
+            registrants,
+            ns_providers,
+            mx_providers,
+        ));
+        out
+    }
+
+    /// The shared tail of a fresh build and a snapshot rebuild: workload
+    /// counters, the interned ctypo index, the reverse DL-1 index with
+    /// its fan-out histogram, and the NS customer bases. `ctypos` must
+    /// already be in sorted order.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        config: PopulationConfig,
+        registry: Registry,
+        popularity: PopularityList,
+        targets: Vec<DomainName>,
+        ctypos: Vec<CtypoInfo>,
+        ctypo_meta: Vec<CtypoMeta>,
+        registrants: Vec<Registrant>,
+        ns_providers: Vec<Fqdn>,
+        mx_providers: Vec<Fqdn>,
+    ) -> World {
         ets_obs::metrics::counter_add("world.ctypos", ctypos.len() as u64);
         // Registry first-registration-wins guarantees ctypo names are
         // unique, so interning in sorted order makes `id.index()` the
@@ -469,13 +610,11 @@ impl World {
         for c in &ctypos {
             ctypo_index.intern(&c.candidate.domain);
         }
-        drop(commit_span);
         let index_span = ets_obs::span!("world.index", ets_obs::Level::Debug);
         let typo_index = ReverseDl1Index::build(&targets);
         // The DL-1 fan-out distribution: how many targets share each
         // deletion-neighborhood key. A pure function of the target list,
         // so it belongs in the deterministic snapshot.
-        const DL1_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
         for size in typo_index.bucket_sizes() {
             ets_obs::metrics::histogram_record("world.dl1_fanout", &DL1_BOUNDS, size as u64);
         }
@@ -507,6 +646,7 @@ impl World {
             mx_providers,
             ns_customer_base,
             config,
+            ctypo_meta,
             ctypo_index,
             typo_index,
         }
@@ -548,121 +688,405 @@ impl World {
     }
 }
 
+/// The complete record of every RNG roll one ctypo registration
+/// consumed, in stream order. [`materialize_ctypo`] turns a draw into
+/// the actual registration *purely*, which is what makes the snapshot a
+/// faithful stand-in for a fresh build: persist the draws, re-run the
+/// pure part.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CtypoDraw {
+    /// WHOIS field-drop bits (see `WHOIS_DROP_*`); unused for
+    /// typosquatting registrations, which reuse the registrant's record.
+    pub(crate) whois_mask: u8,
+    /// Privacy-proxy roll (typosquatting: the registrant's flag).
+    pub(crate) private: bool,
+    /// Name-server provider index.
+    pub(crate) ns: u16,
+    /// Mail-provider index, `None` when self-hosted or mail-less.
+    pub(crate) mx: Option<u16>,
+    /// SMTP behaviour roll.
+    pub(crate) smtp: SmtpProfile,
+    /// Whether a zone is published at all (lame delegation when false).
+    pub(crate) has_zone: bool,
+    /// The parked-vs-empty roll; only drawn (and only meaningful) for
+    /// zones with no MX and no SMTP listener.
+    pub(crate) parked: bool,
+    /// Registration day roll (0..3650).
+    pub(crate) created_day: u16,
+}
+
+/// Snapshot-side per-ctypo metadata: the target rank plus the draws.
+/// Index-aligned with [`World::ctypos`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CtypoMeta {
+    /// Zero-based rank of the target this ctypo was generated from.
+    pub(crate) target_rank: u32,
+    /// The registration's RNG draws.
+    pub(crate) draw: CtypoDraw,
+}
+
+/// One persisted ctypo as decoded from a snapshot: candidate identity
+/// (the SLD; the TLD is the target's), generation metadata, and draws.
+#[derive(Debug, Clone)]
+pub(crate) struct CtypoRecord {
+    /// Second-level label of the ctypo domain.
+    pub(crate) sld: String,
+    /// Zero-based target rank.
+    pub(crate) target_rank: u32,
+    /// Mistake kind of the candidate.
+    pub(crate) kind: ets_core::MistakeKind,
+    /// Mistake position within the SLD.
+    pub(crate) position: u32,
+    /// Fat-finger adjacency flag.
+    pub(crate) fat_finger: bool,
+    /// Unnormalized visual distance (bit-exact).
+    pub(crate) visual: f64,
+    /// Ground-truth owner (sentinels for defensive/benign).
+    pub(crate) owner: usize,
+    /// Ground-truth class.
+    pub(crate) class: DomainClass,
+    /// The registration's RNG draws.
+    pub(crate) draw: CtypoDraw,
+}
+
 /// A ctypo registration prepared off-registry during the parallel compute
 /// phase; committed (or dropped on name collision) sequentially.
 struct PendingCtypo {
     registration: Registration,
     zone: Option<Zone>,
     info: CtypoInfo,
+    meta: CtypoMeta,
 }
 
-/// Draws everything a ctypo registration needs from the caller's RNG
-/// stream without touching the registry, so targets can run in parallel.
-fn prepare_ctypo(
-    registrants: &[Registrant],
+impl PendingCtypo {
+    /// Deterministic estimate of this pending registration's payload
+    /// bytes (names, synthetic WHOIS text, zone records). Drives the
+    /// band-size adaptation and the `world.band_pending_bytes`
+    /// histogram; precision matters less than being a pure function of
+    /// the data.
+    fn approx_bytes(&self) -> u64 {
+        let names =
+            self.info.candidate.domain.as_str().len() + self.info.candidate.target.as_str().len();
+        let whois = 160;
+        let zone = if self.zone.is_some() { 256 } else { 0 };
+        (std::mem::size_of::<PendingCtypo>() + names + whois + zone + 64) as u64
+    }
+}
+
+/// Registration probability for the target at zero-based `rank0` —
+/// monotonically decreasing in rank, so the first rank below the 0.01
+/// cutoff bounds the active target set.
+fn target_registration_p(config: &PopulationConfig, rank0: usize) -> f64 {
+    config.base_registration_rate / ((rank0 + 1) as f64).powf(config.rank_decay)
+}
+
+/// Name-server provider host names (first `n_cesspool_ns` are dirty).
+fn make_ns_providers(config: &PopulationConfig) -> Vec<Fqdn> {
+    (0..config.n_ns_providers)
+        .map(|i| {
+            let name = if i < config.n_cesspool_ns {
+                format!("ns1.cheap-dns-{i}.example")
+            } else {
+                format!("ns1.provider-{i}.example")
+            };
+            name.parse().expect("generated ns names are valid")
+        })
+        .collect()
+}
+
+/// The Table-6 provider MX domains plus the mid-tier hosts.
+fn make_mx_providers() -> Vec<Fqdn> {
+    MX_PROVIDERS
+        .iter()
+        .map(|(d, _, _)| d.parse::<Fqdn>().expect("static"))
+        .chain(
+            (0..MID_TIER_MX).map(|i| format!("mailhost-{i}.example").parse().expect("generated")),
+        )
+        .collect()
+}
+
+/// The registrant population, one derived stream per id.
+fn make_registrants(config: &PopulationConfig) -> Vec<Registrant> {
+    par_map_index(config.n_registrants, |id| {
+        let mut rng = derive_rng(config.seed, stream::POPULATION_REGISTRANT, id as u64);
+        let archetype = match id {
+            0..=2 => RegistrantArchetype::DomainSeller,
+            3..=13 => RegistrantArchetype::MailTyposquatter,
+            _ => RegistrantArchetype::SmallSquatter,
+        };
+        let private = rng.gen_bool(config.privacy_share);
+        // Typosquatters favor the cesspool name servers.
+        let ns_provider = match archetype {
+            RegistrantArchetype::MailTyposquatter | RegistrantArchetype::DomainSeller
+                if rng.gen_bool(0.7) =>
+            {
+                rng.gen_range(0..config.n_cesspool_ns.max(1))
+            }
+            _ => rng.gen_range(0..config.n_ns_providers),
+        };
+        // Mail hosting: weighted pick over the Table-6 providers.
+        let mx_provider = match archetype {
+            RegistrantArchetype::MailTyposquatter | RegistrantArchetype::DomainSeller => {
+                Some(pick_mx_provider(&mut rng))
+            }
+            RegistrantArchetype::SmallSquatter if rng.gen_bool(0.55) => {
+                Some(pick_mx_provider(&mut rng))
+            }
+            _ => None,
+        };
+        let reads_mail = if rng.gen_bool(0.002) { 0.5 } else { 0.0 };
+        Registrant {
+            id,
+            archetype,
+            whois: synth_whois(id, &mut rng),
+            private,
+            ns_provider,
+            mx_provider,
+            reads_mail,
+        }
+    })
+}
+
+/// Registers the benign filler sites (the targets themselves) and each
+/// name-server provider's background customer base — the derivable,
+/// non-ctypo registry content shared by fresh builds and snapshot
+/// rebuilds.
+fn register_background(
+    config: &PopulationConfig,
+    registry: &Registry,
+    targets: &[DomainName],
     ns_providers: &[Fqdn],
-    mx_providers: &[Fqdn],
-    cand: TypoCandidate,
+) {
+    // --- register benign filler sites (the targets themselves) ----
+    let filler_span = ets_obs::span!("world.fillers", ets_obs::Level::Debug);
+    registry.reserve(targets.len());
+    let fillers: Vec<(Registration, Zone)> = par_map(targets, |rank, t| {
+        let mut rng = derive_rng(config.seed, stream::POPULATION_BACKGROUND, rank as u64);
+        let fq = Fqdn::from_domain(t);
+        let zone = Zone::hosted_mail(
+            &fq,
+            &fq.child("mx").expect("valid"),
+            Some(ip_for(rank as u64, 1)),
+            300,
+        );
+        let mut full_zone = zone;
+        full_zone.add(ets_dns::record::ResourceRecord::a(
+            &format!("mx.{fq}"),
+            300,
+            ip_for(rank as u64, 2),
+        ));
+        (
+            Registration {
+                domain: fq,
+                registrar: "registrar-legit".to_owned(),
+                whois: synth_whois(1_000_000 + rank, &mut rng),
+                privacy_proxy: None,
+                nameservers: vec![ns_providers[rank % config.n_ns_providers.max(1)].clone()],
+                created_day: 0,
+            },
+            full_zone,
+        )
+    });
+    for (reg, zone) in fillers {
+        registry.register(reg, Some(zone));
+    }
+    drop(filler_span);
+    let background_span = ets_obs::span!("world.background", ets_obs::Level::Debug);
+
+    // --- benign background per name-server provider ----------------
+    // §5.2's ratios only make sense against each provider's ordinary
+    // customer base: clean providers host many unrelated businesses,
+    // cesspools host few.
+    let bg_units: Vec<(usize, usize)> = ns_providers
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| {
+            let benign_customers = if pi < config.n_cesspool_ns { 4 } else { 30 };
+            (0..benign_customers).map(move |j| (pi, j))
+        })
+        .collect();
+    let background: Vec<(Registration, Zone)> = par_map(&bg_units, |_, &(pi, j)| {
+        // Background units share the filler stream domain; offset far
+        // past any filler rank so unit ids never collide.
+        let unit = (1u64 << 32) | (pi as u64 * 1000 + j as u64);
+        let mut rng = derive_rng(config.seed, stream::POPULATION_BACKGROUND, unit);
+        let ns = &ns_providers[pi];
+        let name: Fqdn = format!("biz-{pi}-{j}.com").parse().expect("valid");
+        (
+            Registration {
+                domain: name.clone(),
+                registrar: "registrar-legit".to_owned(),
+                whois: synth_whois(4_000_000 + pi * 1000 + j, &mut rng),
+                privacy_proxy: None,
+                nameservers: vec![ns.clone()],
+                created_day: 0,
+            },
+            Zone::parked(&name, ip_for((pi * 1000 + j) as u64, 9), 300),
+        )
+    });
+    for (reg, zone) in background {
+        registry.register(reg, Some(zone));
+    }
+    drop(background_span);
+}
+
+/// Consumes a ctypo registration's RNG rolls — and nothing else. The
+/// draw order is load-bearing: it must match what the historical
+/// `prepare_ctypo` consumed per class, or every world built since the
+/// seed commit changes. Returns `None` only for the unregistered class
+/// (no rolls consumed).
+fn draw_ctypo(
+    registrants: &[Registrant],
+    n_ns_providers: usize,
     class: DomainClass,
     owner: usize,
     rng: &mut ChaCha8Rng,
-) -> Option<PendingCtypo> {
-    let fq = Fqdn::from_domain(&cand.domain);
-    let (whois, private, ns, mx, smtp): (WhoisRecord, bool, Fqdn, Option<Fqdn>, SmtpProfile) =
-        match class {
-            DomainClass::Defensive => {
-                // Defensive registrations point at the owner, park the web
-                // host, and rarely run mail.
-                (
-                    synth_whois(
-                        2_000_000 + (owner_hash(&cand.target) % 100_000) as usize,
-                        rng,
-                    ),
-                    false,
-                    ns_providers[ns_providers.len() - 1].clone(),
-                    None,
-                    SmtpProfile::NoListener,
-                )
-            }
-            DomainClass::BenignCollision => (
-                synth_whois(
-                    3_000_000 + (owner_hash(&cand.domain) % 100_000) as usize,
-                    rng,
-                ),
-                rng.gen_bool(0.2),
-                ns_providers[rng.gen_range(0..ns_providers.len())].clone(),
-                rng.gen_bool(0.3).then(|| mx_providers[8].clone()),
-                if rng.gen_bool(0.5) {
-                    SmtpProfile::StarttlsOk
-                } else {
-                    SmtpProfile::NoListener
-                },
-            ),
-            DomainClass::Typosquatting => {
-                let r = &registrants[owner];
-                let mx = r.mx_provider.map(|i| mx_providers[i].clone());
-                let top_tier = r
-                    .mx_provider
-                    .map(|i| i < MX_PROVIDERS.len())
-                    .unwrap_or(false);
-                let smtp = sample_smtp_profile(r.archetype, mx.is_some(), top_tier, rng);
-                (
-                    r.whois.clone(),
-                    r.private,
-                    ns_providers[r.ns_provider].clone(),
-                    mx,
-                    smtp,
-                )
-            }
-            DomainClass::Unregistered => return None,
-        };
-
+) -> Option<CtypoDraw> {
+    let (whois_mask, private, ns, mx, smtp) = match class {
+        DomainClass::Defensive => {
+            // Defensive registrations point at the owner, park the web
+            // host, and rarely run mail.
+            (
+                whois_field_mask(rng),
+                false,
+                (n_ns_providers - 1) as u16,
+                None,
+                SmtpProfile::NoListener,
+            )
+        }
+        DomainClass::BenignCollision => {
+            let mask = whois_field_mask(rng);
+            let private = rng.gen_bool(0.2);
+            let ns = rng.gen_range(0..n_ns_providers) as u16;
+            let mx = rng.gen_bool(0.3).then_some(BENIGN_MX_PROVIDER as u16);
+            let smtp = if rng.gen_bool(0.5) {
+                SmtpProfile::StarttlsOk
+            } else {
+                SmtpProfile::NoListener
+            };
+            (mask, private, ns, mx, smtp)
+        }
+        DomainClass::Typosquatting => {
+            let r = &registrants[owner];
+            let top_tier = r
+                .mx_provider
+                .map(|i| i < MX_PROVIDERS.len())
+                .unwrap_or(false);
+            let smtp = sample_smtp_profile(r.archetype, r.mx_provider.is_some(), top_tier, rng);
+            (
+                0,
+                r.private,
+                r.ns_provider as u16,
+                r.mx_provider.map(|i| i as u16),
+                smtp,
+            )
+        }
+        DomainClass::Unregistered => return None,
+    };
     // Lame delegation (Table 4 "No info"): registered, but no zone answers.
     let has_zone = !rng.gen_bool(0.34);
-    let zone = if !has_zone {
+    // The parked-vs-empty roll happens only inside the no-MX/no-listener
+    // zone arm — short-circuiting keeps the stream position identical.
+    let parked = has_zone && mx.is_none() && smtp == SmtpProfile::NoListener && rng.gen_bool(0.6);
+    let created_day = rng.gen_range(0..3650u32) as u16;
+    Some(CtypoDraw {
+        whois_mask,
+        private,
+        ns,
+        mx,
+        smtp,
+        has_zone,
+        parked,
+        created_day,
+    })
+}
+
+/// Turns a candidate plus its draws into the actual registration, zone,
+/// and ground-truth record — a pure function (registrar, WHOIS ids, and
+/// IPs are `owner_hash`-derived), shared verbatim by the fresh build and
+/// the snapshot rebuild. Returns `None` only for the unregistered class.
+#[allow(clippy::too_many_arguments)]
+fn materialize_ctypo(
+    cand: TypoCandidate,
+    class: DomainClass,
+    owner: usize,
+    draw: &CtypoDraw,
+    target_rank: u32,
+    registrants: &[Registrant],
+    ns_providers: &[Fqdn],
+    mx_hosts: &[Fqdn],
+) -> Option<PendingCtypo> {
+    let fq = Fqdn::from_domain(&cand.domain);
+    let domain_hash = owner_hash(&cand.domain);
+    let whois: WhoisRecord = match class {
+        DomainClass::Defensive => synth_whois_masked(
+            2_000_000 + (owner_hash(&cand.target) % 100_000) as usize,
+            draw.whois_mask,
+        ),
+        DomainClass::BenignCollision => synth_whois_masked(
+            3_000_000 + (domain_hash % 100_000) as usize,
+            draw.whois_mask,
+        ),
+        DomainClass::Typosquatting => registrants[owner].whois.clone(),
+        DomainClass::Unregistered => return None,
+    };
+    let zone = if !draw.has_zone {
         None
     } else {
-        match (&mx, smtp) {
-            (_, SmtpProfile::NoListener) if mx.is_none() => {
+        match draw.mx {
+            None if draw.smtp == SmtpProfile::NoListener => {
                 // Web-only parking or nothing at all.
-                if rng.gen_bool(0.6) {
-                    Some(Zone::parked(&fq, ip_for(owner_hash(&cand.domain), 3), 300))
+                if draw.parked {
+                    Some(Zone::parked(&fq, ip_for(domain_hash, 3), 300))
                 } else {
                     Some(Zone::new(fq.clone())) // neither MX nor A
                 }
             }
-            (Some(mx_domain), _) => Some(Zone::hosted_mail(
+            Some(mi) => Some(Zone::hosted_mail(
                 &fq,
-                &mx_domain.child("mx1").expect("valid"),
-                Some(ip_for(owner_hash(&cand.domain), 4)),
+                &mx_hosts[mi as usize],
+                Some(ip_for(domain_hash, 4)),
                 300,
             )),
-            (None, _) => Some(Zone::catch_all(
-                &fq,
-                ip_for(owner_hash(&cand.domain), 5),
-                300,
-            )),
+            None => Some(Zone::catch_all(&fq, ip_for(domain_hash, 5), 300)),
         }
     };
-
-    let private_svc = private.then(|| "privacy-guard.example".to_owned());
+    let private_svc = draw.private.then(|| "privacy-guard.example".to_owned());
+    // The ten registrar identities, preformatted: `format!` per
+    // registration showed up in the snapshot-load profile.
+    const REGISTRARS: [&str; 10] = [
+        "registrar-0",
+        "registrar-1",
+        "registrar-2",
+        "registrar-3",
+        "registrar-4",
+        "registrar-5",
+        "registrar-6",
+        "registrar-7",
+        "registrar-8",
+        "registrar-9",
+    ];
     Some(PendingCtypo {
         registration: Registration {
             domain: fq,
-            registrar: format!("registrar-{}", owner_hash(&cand.domain) % 10),
+            registrar: REGISTRARS[(domain_hash % 10) as usize].to_owned(),
             whois,
             privacy_proxy: private_svc,
-            nameservers: vec![ns],
-            created_day: rng.gen_range(0..3650),
+            nameservers: vec![ns_providers[draw.ns as usize].clone()],
+            created_day: draw.created_day as u32,
         },
         zone,
         info: CtypoInfo {
             candidate: cand,
             owner,
             class,
-            private,
-            smtp,
-            has_zone,
+            private: draw.private,
+            smtp: draw.smtp,
+            has_zone: draw.has_zone,
+        },
+        meta: CtypoMeta {
+            target_rank,
+            draw: *draw,
         },
     })
 }
@@ -750,7 +1174,37 @@ fn pick_mx_provider(rng: &mut ChaCha8Rng) -> usize {
     MX_PROVIDERS.len() - 1
 }
 
-fn synth_whois(id: usize, rng: &mut ChaCha8Rng) -> WhoisRecord {
+/// MX-provider index used by benign collisions that host mail
+/// (google.com in the Table-6 list).
+const BENIGN_MX_PROVIDER: usize = 8;
+
+/// WHOIS field-drop bit: no fax on file.
+const WHOIS_DROP_FAX: u8 = 1;
+/// WHOIS field-drop bit: no organization on file.
+const WHOIS_DROP_ORG: u8 = 2;
+/// WHOIS field-drop bit: no phone, mail address, or fax — the records
+/// that can never cluster.
+const WHOIS_DROP_CONTACT: u8 = 4;
+
+/// Rolls which WHOIS fields a record leaves blank. Exactly the three
+/// `gen_bool` draws the historical `synth_whois` consumed, in order.
+fn whois_field_mask(rng: &mut ChaCha8Rng) -> u8 {
+    let mut mask = 0;
+    if rng.gen_bool(0.15) {
+        mask |= WHOIS_DROP_FAX;
+    }
+    if rng.gen_bool(0.1) {
+        mask |= WHOIS_DROP_ORG;
+    }
+    if rng.gen_bool(0.05) {
+        mask |= WHOIS_DROP_CONTACT;
+    }
+    mask
+}
+
+/// Builds the synthetic WHOIS record for `id` with the given field-drop
+/// mask — the pure half of `synth_whois`, reused by the snapshot rebuild.
+fn synth_whois_masked(id: usize, mask: u8) -> WhoisRecord {
     // Most registrants fill most fields (with plausibly fake data); some
     // leave fields blank so they can never cluster.
     let mut w = WhoisRecord::full(
@@ -761,13 +1215,13 @@ fn synth_whois(id: usize, rng: &mut ChaCha8Rng) -> WhoisRecord {
         &format!("+1.556{:07}", id % 10_000_000),
         &format!("{} Main Street, Springfield", id % 9_999),
     );
-    if rng.gen_bool(0.15) {
+    if mask & WHOIS_DROP_FAX != 0 {
         w.fax = None;
     }
-    if rng.gen_bool(0.1) {
+    if mask & WHOIS_DROP_ORG != 0 {
         w.organization = None;
     }
-    if rng.gen_bool(0.05) {
+    if mask & WHOIS_DROP_CONTACT != 0 {
         w.phone = None;
         w.mail_address = None;
         w.fax = None;
@@ -775,14 +1229,39 @@ fn synth_whois(id: usize, rng: &mut ChaCha8Rng) -> WhoisRecord {
     w
 }
 
+fn synth_whois(id: usize, rng: &mut ChaCha8Rng) -> WhoisRecord {
+    let mask = whois_field_mask(rng);
+    synth_whois_masked(id, mask)
+}
+
 fn owner_hash(d: impl std::fmt::Display) -> u64 {
-    let s = d.to_string();
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
+    // FNV-1a folded straight off the `Display` stream: same bytes (and so
+    // the same hash) as hashing `d.to_string()`, without the allocation —
+    // this runs several times per materialized registration.
+    struct Fnv(u64);
+    impl std::fmt::Write for Fnv {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for b in s.bytes() {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100000001b3);
+            }
+            Ok(())
+        }
     }
-    h
+    let mut h = Fnv(0xcbf29ce484222325);
+    use std::fmt::Write as _;
+    // `Fnv::write_str` never errors, so the write cannot fail.
+    let _ = write!(h, "{d}");
+    h.0
+}
+
+/// Hosted-mail MX targets: one `mx1` child per provider, built once per
+/// world build instead of re-deriving the child name per ctypo.
+fn mx_hosts_of(mx_providers: &[Fqdn]) -> Vec<Fqdn> {
+    mx_providers
+        .iter()
+        .map(|p| p.child("mx1").expect("provider names are valid"))
+        .collect()
 }
 
 fn ip_for(seed: u64, salt: u64) -> Ipv4Addr {
@@ -949,5 +1428,69 @@ mod tests {
             .registry
             .zone(&Fqdn::from_domain(&c.candidate.domain))
             .is_none());
+    }
+
+    /// Everything a downstream analysis can observe about the world:
+    /// ctypos, registrants, registrations and zones of every ctypo, NS
+    /// customer bases, and the snapshot metadata column.
+    fn world_fingerprint(w: &World) -> String {
+        let mut regs = String::new();
+        for c in &w.ctypos {
+            let fq = Fqdn::from_domain(&c.candidate.domain);
+            let r = w.registry.registration(&fq).expect("ctypo registered");
+            regs.push_str(&format!("{r:?}\n"));
+            if let Some(z) = w.registry.zone(&fq) {
+                regs.push_str(&format!("{z:?}\n"));
+            }
+        }
+        format!(
+            "{}\n{}\n{:?}\n{:?}\n{regs}",
+            serde_json::to_string(&w.ctypos).expect("serializable"),
+            serde_json::to_string(&w.registrants).expect("serializable"),
+            w.ns_customer_base,
+            w.ctypo_meta,
+        )
+    }
+
+    #[test]
+    fn banded_build_is_band_schedule_invariant() {
+        let reference = world_fingerprint(&World::build(PopulationConfig::tiny(7)));
+        // A 1-byte budget collapses bands to MIN_BAND_TARGETS after the
+        // first adaptation; an unbounded budget doubles them to the max.
+        // Both extremes (and an awkward initial band) must produce a
+        // byte-identical world.
+        for (budget, initial) in [(1, 16), (usize::MAX, 7), (64 << 10, 33)] {
+            let banded = World::build_banded(PopulationConfig::tiny(7), budget, initial);
+            assert_eq!(
+                world_fingerprint(&banded),
+                reference,
+                "band schedule (budget {budget}, initial {initial}) changed the world"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_byte_identical() {
+        let world = World::build(PopulationConfig::tiny(11));
+        let reloaded = crate::snapshot::roundtrip_in_memory(&world).expect("roundtrip");
+        assert_eq!(world_fingerprint(&reloaded), world_fingerprint(&world));
+    }
+
+    #[test]
+    fn at_scale_matches_default_at_seed_scales() {
+        // Scales at or below the paper-default 30k keep the default
+        // registrant population, so existing seeds stay byte-identical.
+        let base = PopulationConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        let scaled = PopulationConfig::at_scale(base.n_targets, 7);
+        assert_eq!(
+            serde_json::to_string(&scaled).expect("serializable"),
+            serde_json::to_string(&base).expect("serializable"),
+        );
+        let big = PopulationConfig::at_scale(1_000_000, 7);
+        assert_eq!(big.n_targets, 1_000_000);
+        assert!(big.n_registrants > base.n_registrants);
     }
 }

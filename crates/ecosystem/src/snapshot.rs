@@ -1,0 +1,497 @@
+//! Persistent world snapshots over the `ets-store` container.
+//!
+//! The world is almost entirely *derivable*: popularity, targets,
+//! registrants, filler and background registrations, both indices, and
+//! the NS customer bases are pure functions of [`PopulationConfig`]'s
+//! RNG streams. The only non-derivable state is which gtypos won their
+//! registration rolls and what each registration drew — so that is all a
+//! snapshot stores: one compact struct-of-arrays record per ctypo (SLD
+//! arena, target rank, mistake metadata, bit-exact visual distance, and
+//! the full [`CtypoDraw`](crate::population) column set). On load the
+//! derivable phases are recomputed from the same streams and each ctypo
+//! is materialized purely from its stored draws, which makes the loaded
+//! world **byte-identical** to the one that wrote the snapshot — every
+//! `results/*.json` matches, at any thread count.
+//!
+//! Invalidation is strict: the store layer rejects structural damage
+//! (bad magic, truncation, checksum mismatches), and this layer rejects
+//! any `(format_version, config)` mismatch — the config comparison
+//! covers seed and scale, since both are config fields. Every rejection
+//! is a typed [`LoadError`] the caller logs before falling back to a
+//! fresh build; nothing in this path panics.
+
+use crate::population::{CtypoDraw, CtypoRecord, PopulationConfig, SmtpProfile, World};
+use ets_core::taxonomy::DomainClass;
+use ets_core::MistakeKind;
+use ets_store::{SectionBuf, Snapshot, SnapshotWriter, StoreError};
+use std::fmt;
+use std::path::Path;
+
+/// Version of the *world section schema*. Bump whenever the per-ctypo
+/// columns or their meaning change; old snapshots then fail with
+/// [`LoadError::FormatVersion`] and the caller rebuilds.
+pub const WORLD_FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot was rejected. Every variant is recoverable: log it and
+/// build fresh.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The container itself is unreadable or damaged.
+    Store(StoreError),
+    /// The snapshot was written by a different world schema version.
+    FormatVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+    /// The snapshot was built from a different configuration (seed,
+    /// scale, or any other knob).
+    ConfigMismatch,
+    /// Structurally valid container, but the world data inside is
+    /// inconsistent (out-of-range index, unsorted records, …).
+    Corrupt(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Store(e) => write!(f, "{e}"),
+            LoadError::FormatVersion { found, expected } => {
+                write!(f, "snapshot format v{found}, this build reads v{expected}")
+            }
+            LoadError::ConfigMismatch => write!(f, "snapshot built from a different config"),
+            LoadError::Corrupt(what) => write!(f, "inconsistent snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<StoreError> for LoadError {
+    fn from(e: StoreError) -> LoadError {
+        LoadError::Store(e)
+    }
+}
+
+/// The canonical byte string identifying a world configuration — the
+/// config serialized as JSON (derived `Serialize` keeps field order
+/// stable). Stored as the container meta blob and compared verbatim.
+fn config_fingerprint(config: &PopulationConfig) -> String {
+    serde_json::to_string(config).unwrap_or_default()
+}
+
+fn encode_kind(k: MistakeKind) -> u8 {
+    match k {
+        MistakeKind::Addition => 0,
+        MistakeKind::Deletion => 1,
+        MistakeKind::Substitution => 2,
+        MistakeKind::Transposition => 3,
+    }
+}
+
+fn decode_kind(v: u8) -> Result<MistakeKind, LoadError> {
+    match v {
+        0 => Ok(MistakeKind::Addition),
+        1 => Ok(MistakeKind::Deletion),
+        2 => Ok(MistakeKind::Substitution),
+        3 => Ok(MistakeKind::Transposition),
+        other => Err(LoadError::Corrupt(format!("mistake kind {other}"))),
+    }
+}
+
+fn encode_class(c: DomainClass) -> u8 {
+    match c {
+        DomainClass::Typosquatting => 0,
+        DomainClass::Defensive => 1,
+        DomainClass::BenignCollision => 2,
+        DomainClass::Unregistered => 3,
+    }
+}
+
+fn decode_class(v: u8) -> Result<DomainClass, LoadError> {
+    match v {
+        0 => Ok(DomainClass::Typosquatting),
+        1 => Ok(DomainClass::Defensive),
+        2 => Ok(DomainClass::BenignCollision),
+        other => Err(LoadError::Corrupt(format!("domain class {other}"))),
+    }
+}
+
+fn encode_smtp(s: SmtpProfile) -> u8 {
+    match s {
+        SmtpProfile::NoListener => 0,
+        SmtpProfile::PlainOnly => 1,
+        SmtpProfile::StarttlsBroken => 2,
+        SmtpProfile::StarttlsOk => 3,
+        SmtpProfile::SilentTimeout => 4,
+        SmtpProfile::ConnectionReset => 5,
+        SmtpProfile::BounceAll => 6,
+    }
+}
+
+fn decode_smtp(v: u8) -> Result<SmtpProfile, LoadError> {
+    match v {
+        0 => Ok(SmtpProfile::NoListener),
+        1 => Ok(SmtpProfile::PlainOnly),
+        2 => Ok(SmtpProfile::StarttlsBroken),
+        3 => Ok(SmtpProfile::StarttlsOk),
+        4 => Ok(SmtpProfile::SilentTimeout),
+        5 => Ok(SmtpProfile::ConnectionReset),
+        6 => Ok(SmtpProfile::BounceAll),
+        other => Err(LoadError::Corrupt(format!("smtp profile {other}"))),
+    }
+}
+
+/// Owner sentinels survive the u32 narrowing at the top of the range;
+/// real owner ids are bounded by the registrant count, far below.
+fn encode_owner(owner: usize) -> u32 {
+    if owner == usize::MAX {
+        u32::MAX
+    } else if owner == usize::MAX - 1 {
+        u32::MAX - 1
+    } else {
+        owner as u32
+    }
+}
+
+fn decode_owner(v: u32) -> usize {
+    if v == u32::MAX {
+        usize::MAX
+    } else if v == u32::MAX - 1 {
+        usize::MAX - 1
+    } else {
+        v as usize
+    }
+}
+
+const FLAG_FAT_FINGER: u8 = 1;
+const FLAG_PRIVATE: u8 = 2;
+const FLAG_HAS_ZONE: u8 = 4;
+const FLAG_PARKED: u8 = 8;
+/// `mx` column sentinel for "no mail provider".
+const MX_NONE: u16 = u16::MAX;
+
+/// Writes `world` to `path` as a versioned, checksummed snapshot.
+/// Atomic: a crashed save never leaves a half-written file.
+pub fn save(world: &World, path: &Path) -> Result<(), StoreError> {
+    let meta = config_fingerprint(&world.config);
+    let mut writer = SnapshotWriter::new(WORLD_FORMAT_VERSION, meta.as_bytes());
+    let n = world.ctypos.len();
+
+    let mut arena = SectionBuf::with_capacity(n * 12);
+    let mut ends = SectionBuf::with_capacity(n * 4 + 8);
+    let mut slds = String::new();
+    let mut end_offsets: Vec<u32> = Vec::with_capacity(n);
+    for c in &world.ctypos {
+        slds.push_str(c.candidate.domain.sld());
+        end_offsets.push(slds.len() as u32);
+    }
+    arena.put_str(&slds);
+    ends.put_u32s(&end_offsets);
+    writer.add_section("ctypo.sld_arena", arena);
+    writer.add_section("ctypo.sld_ends", ends);
+
+    let mut target_rank = SectionBuf::with_capacity(n * 4 + 8);
+    let mut kind = SectionBuf::with_capacity(n + 8);
+    let mut position = SectionBuf::with_capacity(n * 4 + 8);
+    let mut flags = SectionBuf::with_capacity(n + 8);
+    let mut visual = SectionBuf::with_capacity(n * 8 + 8);
+    let mut owner = SectionBuf::with_capacity(n * 4 + 8);
+    let mut class = SectionBuf::with_capacity(n + 8);
+    let mut smtp = SectionBuf::with_capacity(n + 8);
+    let mut whois_mask = SectionBuf::with_capacity(n + 8);
+    let mut ns = SectionBuf::with_capacity(n * 2 + 8);
+    let mut mx = SectionBuf::with_capacity(n * 2 + 8);
+    let mut created = SectionBuf::with_capacity(n * 2 + 8);
+    target_rank.put_u32s(
+        &world
+            .ctypo_meta
+            .iter()
+            .map(|m| m.target_rank)
+            .collect::<Vec<u32>>(),
+    );
+    kind.put_u8s(
+        &world
+            .ctypos
+            .iter()
+            .map(|c| encode_kind(c.candidate.kind))
+            .collect::<Vec<u8>>(),
+    );
+    position.put_u32s(
+        &world
+            .ctypos
+            .iter()
+            .map(|c| c.candidate.position as u32)
+            .collect::<Vec<u32>>(),
+    );
+    flags.put_u8s(
+        &world
+            .ctypos
+            .iter()
+            .zip(&world.ctypo_meta)
+            .map(|(c, m)| {
+                let mut f = 0;
+                if c.candidate.fat_finger {
+                    f |= FLAG_FAT_FINGER;
+                }
+                if m.draw.private {
+                    f |= FLAG_PRIVATE;
+                }
+                if m.draw.has_zone {
+                    f |= FLAG_HAS_ZONE;
+                }
+                if m.draw.parked {
+                    f |= FLAG_PARKED;
+                }
+                f
+            })
+            .collect::<Vec<u8>>(),
+    );
+    visual.put_f64s(
+        &world
+            .ctypos
+            .iter()
+            .map(|c| c.candidate.visual)
+            .collect::<Vec<f64>>(),
+    );
+    owner.put_u32s(
+        &world
+            .ctypos
+            .iter()
+            .map(|c| encode_owner(c.owner))
+            .collect::<Vec<u32>>(),
+    );
+    class.put_u8s(
+        &world
+            .ctypos
+            .iter()
+            .map(|c| encode_class(c.class))
+            .collect::<Vec<u8>>(),
+    );
+    smtp.put_u8s(
+        &world
+            .ctypos
+            .iter()
+            .map(|c| encode_smtp(c.smtp))
+            .collect::<Vec<u8>>(),
+    );
+    whois_mask.put_u8s(
+        &world
+            .ctypo_meta
+            .iter()
+            .map(|m| m.draw.whois_mask)
+            .collect::<Vec<u8>>(),
+    );
+    ns.put_u16s(
+        &world
+            .ctypo_meta
+            .iter()
+            .map(|m| m.draw.ns)
+            .collect::<Vec<u16>>(),
+    );
+    mx.put_u16s(
+        &world
+            .ctypo_meta
+            .iter()
+            .map(|m| m.draw.mx.unwrap_or(MX_NONE))
+            .collect::<Vec<u16>>(),
+    );
+    created.put_u16s(
+        &world
+            .ctypo_meta
+            .iter()
+            .map(|m| m.draw.created_day)
+            .collect::<Vec<u16>>(),
+    );
+    writer.add_section("ctypo.target_rank", target_rank);
+    writer.add_section("ctypo.kind", kind);
+    writer.add_section("ctypo.position", position);
+    writer.add_section("ctypo.flags", flags);
+    writer.add_section("ctypo.visual", visual);
+    writer.add_section("ctypo.owner", owner);
+    writer.add_section("ctypo.class", class);
+    writer.add_section("ctypo.smtp", smtp);
+    writer.add_section("ctypo.whois_mask", whois_mask);
+    writer.add_section("ctypo.ns", ns);
+    writer.add_section("ctypo.mx", mx);
+    writer.add_section("ctypo.created_day", created);
+    writer.write_to(path)
+}
+
+/// One fully-read u8 column of length `expect`.
+fn col_u8(snap: &Snapshot, name: &str, expect: usize) -> Result<Vec<u8>, LoadError> {
+    let mut r = snap.section(name)?;
+    let v = r.take_u8s()?.to_vec();
+    r.finish()?;
+    if v.len() != expect {
+        return Err(LoadError::Corrupt(format!(
+            "{name}: {} rows, expected {expect}",
+            v.len()
+        )));
+    }
+    Ok(v)
+}
+
+fn col_u16(snap: &Snapshot, name: &str, expect: usize) -> Result<Vec<u16>, LoadError> {
+    let mut r = snap.section(name)?;
+    let v = r.take_u16s()?;
+    r.finish()?;
+    if v.len() != expect {
+        return Err(LoadError::Corrupt(format!(
+            "{name}: {} rows, expected {expect}",
+            v.len()
+        )));
+    }
+    Ok(v)
+}
+
+fn col_u32(snap: &Snapshot, name: &str, expect: usize) -> Result<Vec<u32>, LoadError> {
+    let mut r = snap.section(name)?;
+    let v = r.take_u32s()?;
+    r.finish()?;
+    if v.len() != expect {
+        return Err(LoadError::Corrupt(format!(
+            "{name}: {} rows, expected {expect}",
+            v.len()
+        )));
+    }
+    Ok(v)
+}
+
+fn col_f64(snap: &Snapshot, name: &str, expect: usize) -> Result<Vec<f64>, LoadError> {
+    let mut r = snap.section(name)?;
+    let v = r.take_f64s()?;
+    r.finish()?;
+    if v.len() != expect {
+        return Err(LoadError::Corrupt(format!(
+            "{name}: {} rows, expected {expect}",
+            v.len()
+        )));
+    }
+    Ok(v)
+}
+
+/// Loads a world from `path`, verifying that the snapshot was written by
+/// this schema version from exactly `config`. On success the returned
+/// world is byte-identical (every derived result file included) to
+/// `World::build(config)`.
+pub fn load(path: &Path, config: &PopulationConfig) -> Result<World, LoadError> {
+    let snap = Snapshot::open(path)?;
+    if snap.app_version() != WORLD_FORMAT_VERSION {
+        return Err(LoadError::FormatVersion {
+            found: snap.app_version(),
+            expected: WORLD_FORMAT_VERSION,
+        });
+    }
+    if snap.meta() != config_fingerprint(config).as_bytes() {
+        return Err(LoadError::ConfigMismatch);
+    }
+
+    let mut ends_r = snap.section("ctypo.sld_ends")?;
+    let ends = ends_r.take_u32s()?;
+    ends_r.finish()?;
+    let n = ends.len();
+    let mut arena_r = snap.section("ctypo.sld_arena")?;
+    let arena = arena_r.take_str()?;
+    arena_r.finish()?;
+
+    let target_rank = col_u32(&snap, "ctypo.target_rank", n)?;
+    let kind = col_u8(&snap, "ctypo.kind", n)?;
+    let position = col_u32(&snap, "ctypo.position", n)?;
+    let flags = col_u8(&snap, "ctypo.flags", n)?;
+    let visual = col_f64(&snap, "ctypo.visual", n)?;
+    let owner = col_u32(&snap, "ctypo.owner", n)?;
+    let class = col_u8(&snap, "ctypo.class", n)?;
+    let smtp = col_u8(&snap, "ctypo.smtp", n)?;
+    let whois_mask = col_u8(&snap, "ctypo.whois_mask", n)?;
+    let ns = col_u16(&snap, "ctypo.ns", n)?;
+    let mx = col_u16(&snap, "ctypo.mx", n)?;
+    let created_day = col_u16(&snap, "ctypo.created_day", n)?;
+
+    let mut records: Vec<CtypoRecord> = Vec::with_capacity(n);
+    let mut prev_end = 0usize;
+    for i in 0..n {
+        let end = ends[i] as usize;
+        let sld = arena
+            .get(prev_end..end)
+            .ok_or_else(|| LoadError::Corrupt(format!("sld arena bounds at row {i}")))?;
+        prev_end = end;
+        records.push(CtypoRecord {
+            sld: sld.to_owned(),
+            target_rank: target_rank[i],
+            kind: decode_kind(kind[i])?,
+            position: position[i],
+            fat_finger: flags[i] & FLAG_FAT_FINGER != 0,
+            visual: visual[i],
+            owner: decode_owner(owner[i]),
+            class: decode_class(class[i])?,
+            draw: CtypoDraw {
+                whois_mask: whois_mask[i],
+                private: flags[i] & FLAG_PRIVATE != 0,
+                ns: ns[i],
+                mx: (mx[i] != MX_NONE).then_some(mx[i]),
+                smtp: decode_smtp(smtp[i])?,
+                has_zone: flags[i] & FLAG_HAS_ZONE != 0,
+                parked: flags[i] & FLAG_PARKED != 0,
+                created_day: created_day[i],
+            },
+        });
+    }
+    World::from_snapshot_records(config.clone(), records).map_err(LoadError::Corrupt)
+}
+
+/// Round-trips `world` through the snapshot encoding in memory (tests
+/// and tooling; the file path goes through [`save`]/[`load`]).
+pub fn roundtrip_in_memory(world: &World) -> Result<World, LoadError> {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!(
+        "ets-world-roundtrip-{}-{}.ets",
+        std::process::id(),
+        world.config.seed
+    ));
+    save(world, &path)?;
+    let out = load(&path, &world.config);
+    let _ = std::fs::remove_file(&path);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_sentinels_survive_narrowing() {
+        for o in [0usize, 1, 599, usize::MAX - 1, usize::MAX] {
+            assert_eq!(decode_owner(encode_owner(o)), o);
+        }
+    }
+
+    #[test]
+    fn enum_codes_round_trip() {
+        for k in MistakeKind::ALL {
+            assert_eq!(decode_kind(encode_kind(k)).unwrap(), k);
+        }
+        for c in [
+            DomainClass::Typosquatting,
+            DomainClass::Defensive,
+            DomainClass::BenignCollision,
+        ] {
+            assert_eq!(decode_class(encode_class(c)).unwrap(), c);
+        }
+        for s in [
+            SmtpProfile::NoListener,
+            SmtpProfile::PlainOnly,
+            SmtpProfile::StarttlsBroken,
+            SmtpProfile::StarttlsOk,
+            SmtpProfile::SilentTimeout,
+            SmtpProfile::ConnectionReset,
+            SmtpProfile::BounceAll,
+        ] {
+            assert_eq!(decode_smtp(encode_smtp(s)).unwrap(), s);
+        }
+        assert!(decode_kind(9).is_err());
+        assert!(decode_class(3).is_err()); // unregistered is never stored
+        assert!(decode_smtp(7).is_err());
+    }
+}

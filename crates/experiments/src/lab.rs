@@ -6,8 +6,10 @@ use ets_collector::infra::{CollectedEmail, CollectionInfra};
 use ets_collector::stream::stream_collect;
 use ets_collector::traffic::{GenEmail, TrafficConfig, TrafficGenerator};
 use ets_ecosystem::population::{PopulationConfig, World};
+use ets_ecosystem::snapshot;
 use parking_lot::Mutex;
 use serde_json::json;
+use std::path::Path;
 use std::sync::OnceLock;
 
 /// The lab bench: seeds, scale, output directory, cached substrates.
@@ -28,9 +30,19 @@ pub struct Lab {
     pub streaming: bool,
     /// Output directory for JSON records.
     pub out_dir: String,
+    /// Explicit world scale (`--scale`): number of popularity targets.
+    /// Overrides the `--fast`/default world size when set.
+    pub scale: Option<usize>,
+    /// World snapshot path (`--snapshot`): load the world from here when
+    /// valid, otherwise build fresh and save here.
+    pub snapshot: Option<String>,
     world: OnceLock<World>,
     collection: OnceLock<Collection>,
     log: Mutex<()>,
+    /// Stages skipped this run (name, reason) — reported in
+    /// `bench_pipeline.json` so the ratchet never compares a skipped
+    /// stage's absence against a real timing.
+    skipped: Mutex<Vec<(String, String)>>,
 }
 
 /// A completed collection run: infrastructure, generated mail, verdicts.
@@ -53,9 +65,42 @@ impl Lab {
             fast,
             streaming,
             out_dir,
+            scale: None,
+            snapshot: None,
             world: OnceLock::new(),
             collection: OnceLock::new(),
             log: Mutex::new(()),
+            skipped: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The scale key for the bench reports: `--scale` rendered as the
+    /// preset name (`1k`, `100k`, `1m`, or the raw count), else the
+    /// historical `fast`/`default` modes.
+    pub fn scale_label(&self) -> String {
+        match self.scale {
+            Some(n) if n >= 1_000_000 && n % 1_000_000 == 0 => format!("{}m", n / 1_000_000),
+            Some(n) if n >= 1_000 && n % 1_000 == 0 => format!("{}k", n / 1_000),
+            Some(n) => n.to_string(),
+            None if self.fast => "fast".to_owned(),
+            None => "default".to_owned(),
+        }
+    }
+
+    /// The world config this lab builds: `--scale` wins, then `--fast`,
+    /// then the paper default.
+    fn world_config(&self) -> PopulationConfig {
+        match self.scale {
+            Some(n) => PopulationConfig::at_scale(n, self.seed),
+            None if self.fast => PopulationConfig {
+                n_targets: 150,
+                seed: self.seed,
+                ..PopulationConfig::default()
+            },
+            None => PopulationConfig {
+                seed: self.seed,
+                ..PopulationConfig::default()
+            },
         }
     }
 
@@ -87,27 +132,82 @@ impl Lab {
         );
     }
 
-    /// The ecosystem world (§5/§6/§7 substrate), built once.
+    /// The ecosystem world (§5/§6/§7 substrate), built once — or loaded
+    /// near-zero-copy from `--snapshot` when the file matches this exact
+    /// `(seed, scale, format_version)` config, in which case the
+    /// `world_build` stage is reported as skipped. Any mismatch or
+    /// corruption logs its reason and falls back to a fresh build (which
+    /// then refreshes the snapshot).
     pub fn world(&self) -> &World {
         self.world.get_or_init(|| {
-            let config = if self.fast {
-                PopulationConfig {
-                    n_targets: 150,
-                    seed: self.seed,
-                    ..PopulationConfig::default()
-                }
-            } else {
-                PopulationConfig {
-                    seed: self.seed,
-                    ..PopulationConfig::default()
+            let config = self.world_config();
+            let world = match self.load_world_snapshot(&config) {
+                Some(world) => world,
+                None => {
+                    eprintln!("[lab] building world ({} targets)...", config.n_targets);
+                    ets_obs::mem::reset_peak();
+                    let world = self.time_stage("world_build", || World::build(config));
+                    self.gauge_stage_peak("world_build");
+                    self.save_world_snapshot(&world);
+                    world
                 }
             };
-            eprintln!("[lab] building world ({} targets)...", config.n_targets);
-            let world = self.time_stage("world_build", || World::build(config));
             self.record_count("world_targets", world.targets.len() as u64);
             self.record_count("world_ctypos", world.ctypos.len() as u64);
             world
         })
+    }
+
+    /// Attempts the `--snapshot` load. `None` means "build fresh" — the
+    /// reason has already been logged. A failed attempt records no
+    /// `snapshot_load` stage, so the ratchet never sees a phantom load.
+    fn load_world_snapshot(&self, config: &PopulationConfig) -> Option<World> {
+        let path = self.snapshot.as_deref()?;
+        if !Path::new(path).exists() {
+            eprintln!("[lab] no snapshot at {path} yet; building fresh");
+            return None;
+        }
+        ets_obs::mem::reset_peak();
+        let (result, secs) = ets_obs::metrics::time_stage_result("snapshot_load", || {
+            snapshot::load(Path::new(path), config)
+        });
+        match result {
+            Ok(world) => {
+                eprintln!(
+                    "[lab] stage snapshot_load: {secs:.2}s ({} ctypos from {path})",
+                    world.ctypos.len()
+                );
+                self.gauge_stage_peak("snapshot_load");
+                self.note_skipped("world_build", "snapshot");
+                Some(world)
+            }
+            Err(e) => {
+                eprintln!("[lab] snapshot {path} rejected ({e}); building fresh");
+                None
+            }
+        }
+    }
+
+    /// Saves the freshly built world to `--snapshot` (best-effort: a save
+    /// failure costs the next run a rebuild, never this run's results).
+    fn save_world_snapshot(&self, world: &World) {
+        let Some(path) = self.snapshot.as_deref() else {
+            return;
+        };
+        let (result, secs) = ets_obs::metrics::time_stage_result("snapshot_save", || {
+            snapshot::save(world, Path::new(path))
+        });
+        match result {
+            Ok(()) => eprintln!("[lab] stage snapshot_save: {secs:.2}s (wrote {path})"),
+            Err(e) => eprintln!("[lab] cannot write snapshot {path}: {e}"),
+        }
+    }
+
+    /// Notes a stage this run skipped (with why) for the bench report.
+    fn note_skipped(&self, stage: &str, reason: &str) {
+        self.skipped
+            .lock()
+            .push((stage.to_owned(), reason.to_owned()));
     }
 
     /// The collection run (§4 substrate), built once.
@@ -208,10 +308,16 @@ impl Lab {
         if timings.is_empty() {
             return;
         }
-        let stages: Vec<serde_json::Value> = timings
+        let mut stages: Vec<serde_json::Value> = timings
             .iter()
             .map(|(name, secs)| json!({ "stage": name.as_str(), "seconds": *secs }))
             .collect();
+        // Skipped stages are listed with a reason *instead of* seconds,
+        // so the ratchet knows "world_build: skipped (snapshot)" is not a
+        // 0-second build.
+        for (stage, reason) in self.skipped.lock().iter() {
+            stages.push(json!({ "stage": stage.as_str(), "skipped": reason.as_str() }));
+        }
         let total: f64 = timings.iter().map(|(_, s)| *s).sum();
         let mem: serde_json::Map = ets_obs::metrics::gauges_with_prefix("mem")
             .into_iter()
@@ -223,6 +329,7 @@ impl Lab {
             "channel_depth": ets_parallel::stream_depth(),
             "seed": self.seed,
             "fast": self.fast,
+            "scale": self.scale_label(),
             "total_seconds": total,
             "stages": stages,
             "mem": mem,
@@ -251,6 +358,7 @@ impl Lab {
             "streaming": self.streaming,
             "seed": self.seed,
             "fast": self.fast,
+            "scale": self.scale_label(),
             "total_seconds": total,
             "stages": stages,
             "counts": counts_json,

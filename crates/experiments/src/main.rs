@@ -2,7 +2,8 @@
 //! (Szurdi & Christin, IMC 2017) from the simulated substrate.
 //!
 //! ```text
-//! repro <experiment> [--seed N] [--out DIR] [--fast] [--threads N]
+//! repro <experiment> [--seed N] [--out DIR] [--fast] [--scale N]
+//!                    [--snapshot FILE] [--threads N]
 //!                    [--streaming|--batch] [--channel-depth N] [--trace FILE]
 //!
 //! experiments:
@@ -22,6 +23,8 @@
 //!   volumes     §4.4.1 headline volumes
 //!   regression  §6 projection model
 //!   honey       §7 honey-token campaign
+//!   snapshot    build (or load) the world substrate only — use with
+//!               `--snapshot FILE` to warm a snapshot cache
 //!   all         everything above
 //! ```
 //!
@@ -31,6 +34,16 @@
 //! * `--out DIR` — output directory for JSON records (default `results/`,
 //!   created if missing).
 //! * `--fast` — reduced-scale mode for quick runs.
+//! * `--scale N` — world scale: number of popularity targets. Accepts the
+//!   presets `1k`, `100k`, `1m` or any integer; overrides `--fast` for
+//!   the world (the collection run is unaffected). Results at a given
+//!   scale are byte-identical for any thread count.
+//! * `--snapshot FILE` — persistent world snapshot. When `FILE` holds a
+//!   snapshot built from the same `(seed, scale, format version)`, the
+//!   world is reloaded from it near-zero-copy and the `world_build` stage
+//!   is skipped (reported as skipped in `bench_pipeline.json`); on any
+//!   mismatch or corruption the reason is logged, the world is rebuilt,
+//!   and `FILE` is refreshed. Loaded and fresh worlds are byte-identical.
 //! * `--threads N` — worker count for the parallel pipeline stages;
 //!   results are byte-identical for any value (0 = one per core).
 //! * `--streaming` / `--batch` — pipeline mode for the collection run.
@@ -74,6 +87,8 @@ fn main() -> ExitCode {
     let mut seed: u64 = 2016_0604;
     let mut out_dir = "results".to_owned();
     let mut fast = false;
+    let mut scale: Option<usize> = None;
+    let mut snapshot: Option<String> = None;
     let mut streaming = true;
     let mut trace_path: Option<String> = None;
     let mut it = args.iter();
@@ -86,6 +101,14 @@ fn main() -> ExitCode {
             "--out" => match it.next() {
                 Some(d) => out_dir = d.clone(),
                 None => return usage("--out needs a directory"),
+            },
+            "--scale" => match it.next().and_then(|s| parse_scale(s)) {
+                Some(n) => scale = Some(n),
+                None => return usage("--scale needs 1k, 100k, 1m, or a positive integer"),
+            },
+            "--snapshot" => match it.next() {
+                Some(p) => snapshot = Some(p.clone()),
+                None => return usage("--snapshot needs a file path"),
             },
             "--threads" => match it.next().and_then(|s| s.parse().ok()) {
                 // Worker count for the parallel pipeline stages; results
@@ -132,7 +155,10 @@ fn main() -> ExitCode {
         };
         ets_obs::trace::enable(filter);
     }
-    let ctx = lab::Lab::new(seed, fast, streaming, out_dir);
+    let mut ctx = lab::Lab::new(seed, fast, streaming, out_dir);
+    ctx.scale = scale;
+    ctx.snapshot = snapshot;
+    let ctx = ctx;
     let known: Vec<Experiment> = vec![
         ("table1", section4::table1),
         ("table2", section4::table2),
@@ -152,6 +178,19 @@ fn main() -> ExitCode {
         ("honey", section7::honey),
     ];
     match experiment.as_str() {
+        "snapshot" => {
+            // World substrate only: load-or-build (and persist, when
+            // `--snapshot` is given). Warms a snapshot cache without
+            // running any analysis.
+            let world = ctx.world();
+            println!(
+                "world: {} targets, {} ctypos (scale {})",
+                world.targets.len(),
+                world.ctypos.len(),
+                ctx.scale_label()
+            );
+            ctx.write_bench_pipeline();
+        }
         "all" => {
             for (name, f) in &known {
                 println!("\n=== {name} ===");
@@ -183,16 +222,32 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses a `--scale` value: the presets `1k`/`100k`/`1m` (any integer
+/// with a `k`/`m` suffix, really) or a raw positive integer.
+fn parse_scale(s: &str) -> Option<usize> {
+    let lower = s.to_ascii_lowercase();
+    let n = if let Some(prefix) = lower.strip_suffix('k') {
+        prefix.parse::<usize>().ok()?.checked_mul(1_000)?
+    } else if let Some(prefix) = lower.strip_suffix('m') {
+        prefix.parse::<usize>().ok()?.checked_mul(1_000_000)?
+    } else {
+        lower.parse::<usize>().ok()?
+    };
+    (n > 0).then_some(n)
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|table5|table6|fig3..fig9|volumes|regression|honey|all> [--seed N] [--out DIR] [--fast] [--threads N] [--streaming|--batch] [--channel-depth N] [--trace FILE]"
+        "usage: repro <table1|table2|table3|table4|table5|table6|fig3..fig9|volumes|regression|honey|snapshot|all> [--seed N] [--out DIR] [--fast] [--scale N] [--snapshot FILE] [--threads N] [--streaming|--batch] [--channel-depth N] [--trace FILE]"
     );
     eprintln!("  --seed N      base RNG seed (default 20160604)");
     eprintln!(
         "  --out DIR     output directory for JSON records (default results/, created if missing)"
     );
     eprintln!("  --fast        reduced-scale mode for quick runs");
+    eprintln!("  --scale N     world scale in targets (1k, 100k, 1m, or any integer); overrides --fast for the world");
+    eprintln!("  --snapshot FILE  load the world from FILE when it matches (seed, scale, format); else build fresh and save there");
     eprintln!("  --threads N   parallel worker count; results are byte-identical for any value (0 = one per core)");
     eprintln!("  --streaming   bounded-memory streaming collection (the default)");
     eprintln!("  --batch       collect-then-classify oracle; identical results, O(corpus) memory");

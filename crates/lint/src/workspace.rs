@@ -24,6 +24,9 @@ pub const ANALYTICAL_CRATES: &[&str] = &[
     "ets-dns",
     "ets-obs",
     "ets-scan",
+    // Snapshot bytes are compared (and checksummed) verbatim, so the
+    // container writer's iteration order is result-affecting too.
+    "ets-store",
 ];
 
 /// Files allowed to read the wall clock: the microbenchmark harness plus

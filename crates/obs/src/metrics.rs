@@ -188,6 +188,25 @@ pub fn time_stage<T>(name: &str, f: impl FnOnce() -> T) -> (T, f64) {
     (out, secs)
 }
 
+/// Like [`time_stage`], but the stage lands on the timeline only when
+/// `f` returns `Ok` — a failed attempt (e.g. a rejected snapshot load
+/// that falls back to a fresh build) must not masquerade as a completed
+/// pipeline stage in the bench reports. The span and the measured
+/// seconds are produced either way.
+pub fn time_stage_result<T, E>(
+    name: &str,
+    f: impl FnOnce() -> Result<T, E>,
+) -> (Result<T, E>, f64) {
+    let _span = crate::span::enter(&format!("stage.{name}"));
+    let sw = crate::clock::Stopwatch::start();
+    let out = f();
+    let secs = sw.elapsed_secs();
+    if out.is_ok() {
+        stage_record(name, secs);
+    }
+    (out, secs)
+}
+
 /// The deterministic snapshot: counters and histograms only, sorted by
 /// name, rendered to JSON. Byte-identical across thread counts for a
 /// given `(seed, scale)` workload.

@@ -1,0 +1,178 @@
+//! World-snapshot persistence: round-trip byte-identity and corruption
+//! resilience.
+//!
+//! The contract under test: a world loaded from a snapshot is
+//! **byte-identical** to the world that wrote it (same ctypos, same
+//! registrations and zones, same downstream analysis outputs), at any
+//! thread count — and *no* damaged, stale, or mismatched snapshot ever
+//! panics or silently loads: every rejection is a typed error the caller
+//! can log before rebuilding fresh.
+
+use ets_dns::Fqdn;
+use ets_ecosystem::population::{PopulationConfig, World};
+use ets_ecosystem::snapshot::{self, LoadError, WORLD_FORMAT_VERSION};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+/// `set_threads` is process-global; tests that touch it must not
+/// interleave.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ets-snapshot-test-{}-{tag}.ets",
+        std::process::id()
+    ))
+}
+
+/// Everything downstream analyses can observe about a world.
+fn fingerprint(w: &World) -> String {
+    let mut regs = String::new();
+    for c in &w.ctypos {
+        let fq = Fqdn::from_domain(&c.candidate.domain);
+        let r = w.registry.registration(&fq).expect("ctypo registered");
+        regs.push_str(&format!("{r:?}\n"));
+        if let Some(z) = w.registry.zone(&fq) {
+            regs.push_str(&format!("{z:?}\n"));
+        }
+    }
+    format!(
+        "{}\n{}\n{:?}\n{regs}",
+        serde_json::to_string(&w.ctypos).expect("serializable"),
+        serde_json::to_string(&w.registrants).expect("serializable"),
+        w.ns_customer_base,
+    )
+}
+
+/// A valid snapshot's raw bytes plus its config and fingerprint, built
+/// once and shared by the corruption properties.
+fn reference() -> &'static (Vec<u8>, PopulationConfig, String) {
+    static REF: OnceLock<(Vec<u8>, PopulationConfig, String)> = OnceLock::new();
+    REF.get_or_init(|| {
+        let config = PopulationConfig::tiny(20170401);
+        let world = World::build(config.clone());
+        let path = temp_path("reference");
+        snapshot::save(&world, &path).expect("save");
+        let bytes = std::fs::read(&path).expect("read back");
+        let _ = std::fs::remove_file(&path);
+        (bytes, config, fingerprint(&world))
+    })
+}
+
+#[test]
+fn roundtrip_is_byte_identical_across_seeds() {
+    for seed in [1, 7, 20161105] {
+        let config = PopulationConfig::tiny(seed);
+        let world = World::build(config.clone());
+        let path = temp_path(&format!("seed{seed}"));
+        snapshot::save(&world, &path).expect("save");
+        let loaded = snapshot::load(&path, &config).expect("load");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(fingerprint(&loaded), fingerprint(&world), "seed {seed}");
+    }
+}
+
+#[test]
+fn roundtrip_is_thread_invariant() {
+    // A snapshot written by a single-threaded build must load to the
+    // identical world at any worker count (and vice versa): the load
+    // path fans out materialization over the pool too.
+    let _guard = LOCK.lock().unwrap();
+    let config = PopulationConfig::tiny(99);
+    ets_parallel::set_threads(1);
+    let world = World::build(config.clone());
+    let reference = fingerprint(&world);
+    let path = temp_path("threads");
+    snapshot::save(&world, &path).expect("save");
+    for threads in [1, 2, 8] {
+        ets_parallel::set_threads(threads);
+        let loaded = snapshot::load(&path, &config).expect("load");
+        assert_eq!(
+            fingerprint(&loaded),
+            reference,
+            "load at {threads} threads diverged"
+        );
+    }
+    ets_parallel::set_threads(0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mismatched_config_is_rejected() {
+    let (bytes, _, _) = reference();
+    let path = temp_path("config-mismatch");
+    std::fs::write(&path, bytes).expect("write");
+    // Same shape, different seed — a snapshot must never satisfy it.
+    let other = PopulationConfig::tiny(999);
+    let err = snapshot::load(&path, &other).expect_err("must reject");
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        matches!(err, LoadError::ConfigMismatch),
+        "expected ConfigMismatch, got: {err}"
+    );
+}
+
+#[test]
+fn stale_format_version_is_rejected() {
+    let (_, config, _) = reference();
+    let meta = serde_json::to_string(config).expect("serializable");
+    let writer = ets_store::SnapshotWriter::new(WORLD_FORMAT_VERSION + 1, meta.as_bytes());
+    let path = temp_path("stale-version");
+    writer.write_to(&path).expect("write");
+    let err = snapshot::load(&path, config).expect_err("must reject");
+    let _ = std::fs::remove_file(&path);
+    match err {
+        LoadError::FormatVersion { found, expected } => {
+            assert_eq!(found, WORLD_FORMAT_VERSION + 1);
+            assert_eq!(expected, WORLD_FORMAT_VERSION);
+        }
+        other => panic!("expected FormatVersion, got: {other}"),
+    }
+}
+
+#[test]
+fn rejected_snapshot_still_rebuilds_cleanly() {
+    // The caller's fallback after any load error is a fresh build; it
+    // must produce the exact world the snapshot would have.
+    let (bytes, config, reference_fp) = reference();
+    let path = temp_path("fallback");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("write truncated");
+    assert!(snapshot::load(&path, config).is_err());
+    let _ = std::fs::remove_file(&path);
+    let rebuilt = World::build(config.clone());
+    assert_eq!(&fingerprint(&rebuilt), reference_fp);
+}
+
+proptest! {
+    /// Any single flipped byte is detected: the load returns an error —
+    /// never a panic, never a silently different world.
+    #[test]
+    fn flipped_byte_never_loads(pos_frac in 0.0f64..1.0, bit in 0u32..8) {
+        let (bytes, config, _) = reference();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1 << bit;
+        let path = temp_path(&format!("flip{pos}-{bit}"));
+        std::fs::write(&path, &corrupt).expect("write");
+        let result = snapshot::load(&path, config);
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(
+            result.is_err(),
+            "flipping bit {} of byte {} went undetected", bit, pos
+        );
+    }
+
+    /// Any truncation is detected, including cuts inside the header,
+    /// the TOC, a section payload, or the checksum trailer.
+    #[test]
+    fn truncated_file_never_loads(len_frac in 0.0f64..1.0) {
+        let (bytes, config, _) = reference();
+        let len = ((bytes.len() - 1) as f64 * len_frac) as usize;
+        let path = temp_path(&format!("trunc{len}"));
+        std::fs::write(&path, &bytes[..len]).expect("write");
+        let result = snapshot::load(&path, config);
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(result.is_err(), "truncation to {} bytes went undetected", len);
+    }
+}
