@@ -161,17 +161,17 @@ impl FunnelState {
         *self.body_freq.entry(f.body_hash).or_insert(0) += 1;
     }
 
-    /// Adds another shard's counts into this accumulator.
+    /// Adds another shard's counts into this accumulator. Keyed integer
+    /// addition commutes, so iterating the source tables in hash order
+    /// is safe — ets-lint recognizes the entry-fold shape and exempts
+    /// these loops from `unordered-iteration`.
     pub fn merge(&mut self, part: FunnelState) {
-        // ets-lint: allow(unordered-iteration): keyed integer addition is
         for (k, v) in part.rcpt_freq {
             *self.rcpt_freq.entry(k).or_insert(0) += v;
         }
-        // ets-lint: allow(unordered-iteration): commutative, so the merged
         for (k, v) in part.sender_freq {
             *self.sender_freq.entry(k).or_insert(0) += v;
         }
-        // ets-lint: allow(unordered-iteration): table is order-independent.
         for (k, v) in part.body_freq {
             *self.body_freq.entry(k).or_insert(0) += v;
         }

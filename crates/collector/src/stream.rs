@@ -97,6 +97,8 @@ impl<'f, 'a> StreamFunnel<'f, 'a> {
         ets_obs::metrics::counter_add("funnel.emails", batch.feats.len() as u64);
         let scan_bytes: u64 = batch.feats.iter().map(|f| f.body_bytes).sum();
         ets_obs::metrics::counter_add("funnel.scan.bytes", scan_bytes);
+        // ets-lint: allow(non-commutative-merge): the reorder buffer commits
+        // epochs in canonical order, so this append is order-stable.
         self.feats.extend(batch.feats);
         self.freq.merge(batch.freq);
     }

@@ -94,6 +94,8 @@ fn serve_loop(socket: UdpSocket, resolver: Resolver, shutdown: Arc<AtomicBool>) 
             }
         };
         let bytes = wire::encode(&response);
+        // ets-lint: allow(swallowed-error): UDP responses are best-effort
+        // by protocol; a failed send is the client's timeout to handle.
         let _ = socket.send_to(&bytes, peer);
     }
 }

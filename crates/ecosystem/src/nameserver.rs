@@ -76,8 +76,7 @@ impl NsAnalysis {
             .collect();
         stats.sort_by(|a, b| {
             b.typo_ratio()
-                .partial_cmp(&a.typo_ratio())
-                .unwrap()
+                .total_cmp(&a.typo_ratio())
                 .then_with(|| a.nameserver.cmp(&b.nameserver))
         });
         let (c, t) = stats.iter().fold((0usize, 0usize), |(c, t), s| {
@@ -113,8 +112,7 @@ impl NsAnalysis {
         a.stats.retain(|s| s.total_count >= min_domains);
         a.stats.sort_by(|x, y| {
             y.typo_ratio()
-                .partial_cmp(&x.typo_ratio())
-                .unwrap()
+                .total_cmp(&x.typo_ratio())
                 .then_with(|| x.nameserver.cmp(&y.nameserver))
         });
         let (c, t) = a.stats.iter().fold((0usize, 0usize), |(c, t), s| {

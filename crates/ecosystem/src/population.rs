@@ -572,7 +572,7 @@ impl World {
             ets_obs::mem::sub(band_bytes);
             committed?;
         }
-        let out = Ok(Self::finish(
+        Ok(Self::finish(
             config,
             registry,
             popularity,
@@ -582,8 +582,7 @@ impl World {
             registrants,
             ns_providers,
             mx_providers,
-        ));
-        out
+        ))
     }
 
     /// The shared tail of a fresh build and a snapshot rebuild: workload

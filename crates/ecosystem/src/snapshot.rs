@@ -452,7 +452,12 @@ pub fn roundtrip_in_memory(world: &World) -> Result<World, LoadError> {
     ));
     save(world, &path)?;
     let out = load(&path, &world.config);
-    let _ = std::fs::remove_file(&path);
+    if let Err(e) = std::fs::remove_file(&path) {
+        eprintln!(
+            "warning: failed to remove roundtrip temp file {}: {e}",
+            path.display()
+        );
+    }
     out
 }
 

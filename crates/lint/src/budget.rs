@@ -1,12 +1,14 @@
-//! The `panic-in-library` ratchet budget.
+//! The ratchet budgets.
 //!
 //! `crates/lint/panic_budget.json` records, per crate, how many
-//! warn-tier panic sites the tree is *allowed* to contain. A crate over
-//! budget is a deny-tier failure; a crate under budget asks for the
-//! file to be ratcheted down (`ets-lint --update-budget` rewrites it).
-//! The self-lint test asserts the file matches the tree exactly, so the
-//! budget can only move together with the code — debt is paid off, never
-//! silently re-accrued.
+//! warn-tier panic sites the tree is *allowed* to contain, and
+//! `crates/lint/pragma_budget.json` does the same for `ets-lint:
+//! allow(...)` suppression pragmas. A crate over budget is a deny-tier
+//! failure; a crate under budget asks for the file to be ratcheted down
+//! (`ets-lint --update-budget` rewrites both). The self-lint tests
+//! assert each file matches the tree exactly, so a budget can only move
+//! together with the code — debt is paid off, never silently
+//! re-accrued.
 
 use std::collections::BTreeMap;
 
@@ -84,12 +86,15 @@ pub fn render(map: &BTreeMap<String, usize>) -> String {
     s
 }
 
-/// Compares actual warn counts against the budget. Returns
+/// Compares actual counts against a budget. `what` names the counted
+/// thing and `file` the budget file, for the messages. Returns
 /// `(violations, ratchet_hints)`: crates over budget (deny) and crates
 /// under budget (the file should be ratcheted down).
 pub fn check(
     budget: &BTreeMap<String, usize>,
     actual: &BTreeMap<String, usize>,
+    what: &str,
+    file: &str,
 ) -> (Vec<String>, Vec<String>) {
     let mut over = Vec::new();
     let mut under = Vec::new();
@@ -101,11 +106,11 @@ pub fn check(
         let have = actual.get(name).copied().unwrap_or(0);
         if have > allowed {
             over.push(format!(
-                "crate `{name}` has {have} panic-in-library sites, budget allows {allowed}"
+                "crate `{name}` has {have} {what}, budget allows {allowed}"
             ));
         } else if have < allowed {
             under.push(format!(
-                "crate `{name}` is under budget ({have} < {allowed}): ratchet panic_budget.json down"
+                "crate `{name}` is under budget ({have} < {allowed}): ratchet {file} down"
             ));
         }
     }
@@ -133,7 +138,12 @@ mod tests {
         actual.insert("a".to_string(), 4);
         actual.insert("b".to_string(), 1);
         actual.insert("c".to_string(), 1);
-        let (over, under) = check(&budget, &actual);
+        let (over, under) = check(
+            &budget,
+            &actual,
+            "panic-in-library sites",
+            "panic_budget.json",
+        );
         assert_eq!(over.len(), 2); // a over, c unbudgeted
         assert_eq!(under.len(), 1); // b under
     }

@@ -391,14 +391,24 @@ fn lex_quote(cur: &mut Cursor, src: &str, line: u32, col: u32) -> Token {
         }
         if is_ident_start(c) {
             // Could be 'a' (char) or 'a / 'static (lifetime): lifetime iff
-            // the char after the ident run is not a closing quote.
+            // the char after the ident run is not a closing quote. The
+            // run length is counted in *characters*, not bytes — `'ï'`
+            // is a char literal whose payload is two bytes long.
             let mut k = 0usize;
-            while cur.peek(k).is_some_and(is_ident_cont) {
+            let mut chars = 0usize;
+            while let Some(b) = cur.peek(k) {
+                if !is_ident_cont(b) {
+                    break;
+                }
+                if b & 0xC0 != 0x80 {
+                    chars += 1;
+                }
                 k += 1;
             }
-            if cur.peek(k) == Some(b'\'') && k == 1 {
-                cur.bump();
-                cur.bump();
+            if cur.peek(k) == Some(b'\'') && chars == 1 {
+                for _ in 0..=k {
+                    cur.bump();
+                }
                 return Token {
                     kind: TokKind::Char,
                     text: src[start..cur.pos].to_string(),
@@ -416,13 +426,17 @@ fn lex_quote(cur: &mut Cursor, src: &str, line: u32, col: u32) -> Token {
                 col,
             };
         }
-        // Something like '✓' (multi-byte char literal) or stray quote.
-        cur.bump();
-        while cur.peek(0).is_some_and(|b| b & 0xC0 == 0x80) {
-            cur.bump();
+        // Something like '.' or '✓' (punct / multi-byte char literal).
+        // Consume it only if the closing quote is really there — a
+        // stray quote must not swallow the token after it.
+        let mut k = 1usize;
+        while cur.peek(k).is_some_and(|b| b & 0xC0 == 0x80) {
+            k += 1;
         }
-        if cur.peek(0) == Some(b'\'') {
-            cur.bump();
+        if cur.peek(k) == Some(b'\'') {
+            for _ in 0..=k {
+                cur.bump();
+            }
             return Token {
                 kind: TokKind::Char,
                 text: src[start..cur.pos].to_string(),
@@ -555,6 +569,21 @@ mod tests {
             2
         );
         assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn multibyte_and_punct_char_literals() {
+        // `'ï'` is one character, two bytes — a char literal, not the
+        // lifetime `'ï` plus a stray quote that would eat the `)`.
+        let toks = kinds("f(BadCharacter('ï')); g('_', '.', '✓');");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 4);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            0
+        );
+        let opens = toks.iter().filter(|(k, _)| matches!(k, TokKind::Open(_)));
+        let closes = toks.iter().filter(|(k, _)| matches!(k, TokKind::Close(_)));
+        assert_eq!(opens.count(), closes.count());
     }
 
     #[test]

@@ -16,15 +16,27 @@
 //! | `float-reduction-order` | deny | floating-point accumulation inside `ets-parallel` fan-out closures (chunk boundaries depend on the worker count, so FP reduction there is thread-dependent) |
 //! | `panic-in-library` | warn | `unwrap()` / `expect()` / `panic!` in library crates, ratcheted down by a per-crate budget file |
 //! | `crate-hygiene` | deny | crate roots missing `#![forbid(unsafe_code)]` |
+//! | `shared-mutation-in-fanout` | deny | writes to captured state, lock/atomic mutation, or interior mutability inside worker closures of `ets-parallel` fan-out calls (sequential commit closures exempt) |
+//! | `swallowed-error` | deny | `.unwrap()` / `.expect()` / `let _ =` / dropped `.ok()` on `Result`s carrying `StoreError` / `io::Error` in library crates |
+//! | `non-commutative-merge` | deny | order-dependent operations (subtraction, division, unsorted `push`/`extend`, float accumulation) inside `merge`/`absorb` fns |
+//!
+//! The last three are syntax-aware: they run on the lightweight AST
+//! built by [`parser`] over the token stream ([`ast`] holds the node
+//! types and the worker-position resolver).
 //!
 //! A pragma suppresses a rule on its own line and on the next line of
-//! code: `// ets-lint: allow(unordered-iteration): reason`.
+//! code: `// ets-lint: allow(unordered-iteration): reason`. Pragmas are
+//! themselves budgeted per crate (`crates/lint/pragma_budget.json`) so
+//! suppression debt ratchets down, never silently up.
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
 pub mod budget;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 pub mod workspace;
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -99,6 +111,9 @@ pub const RULES: &[&str] = &[
     "float-reduction-order",
     "panic-in-library",
     "crate-hygiene",
+    "shared-mutation-in-fanout",
+    "swallowed-error",
+    "non-commutative-merge",
 ];
 
 /// Lexed file plus the derived facts every rule needs: pragma map,
@@ -106,6 +121,11 @@ pub const RULES: &[&str] = &[
 pub struct FileCtx<'a> {
     pub meta: &'a FileMeta,
     pub tokens: Vec<Token>,
+    /// Structural parse of the token stream (syntax-aware rules).
+    pub ast: ast::Ast,
+    /// Number of `ets-lint: allow(...)` pragma comments in the file
+    /// (counted against `pragma_budget.json`).
+    pub pragma_count: usize,
     /// `rule name -> set of suppressed lines`.
     pragma_lines: BTreeMap<String, BTreeSet<u32>>,
     /// Token-index ranges lexically inside test-only code.
@@ -120,7 +140,10 @@ impl<'a> FileCtx<'a> {
 
         // Pragmas: `ets-lint: allow(rule-a, rule-b)` in a line comment
         // suppresses those rules on the pragma's line and on the next
-        // line that carries code.
+        // line that carries code. Doc comments are excluded: prose that
+        // *mentions* the pragma syntax (like this crate's own docs) is
+        // not a suppression and must not count against the pragma
+        // budget.
         let mut code_lines: BTreeSet<u32> = BTreeSet::new();
         let mut line_idents: BTreeMap<u32, Vec<String>> = BTreeMap::new();
         for t in &lexed.tokens {
@@ -130,11 +153,19 @@ impl<'a> FileCtx<'a> {
             }
         }
         let mut pragma_lines: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
+        let mut pragma_count = 0usize;
         for c in &lexed.comments {
-            let Some(idx) = c.text.find("ets-lint:") else {
+            if c.text.starts_with("///") || c.text.starts_with("//!") {
+                continue;
+            }
+            // The pragma must lead the comment (`// ets-lint: allow(..)`);
+            // prose that merely mentions the syntax mid-sentence is not a
+            // suppression.
+            let lead = c.text.trim_start_matches('/').trim_start();
+            let Some(rest) = lead.strip_prefix("ets-lint:") else {
                 continue;
             };
-            let rest = c.text[idx + "ets-lint:".len()..].trim_start();
+            let rest = rest.trim_start();
             let Some(rest) = rest.strip_prefix("allow") else {
                 continue;
             };
@@ -142,6 +173,7 @@ impl<'a> FileCtx<'a> {
             let Some(close) = rest[open..].find(')') else {
                 continue;
             };
+            pragma_count += 1;
             let next_code = code_lines.range(c.line + 1..).next().copied();
             for rule in rest[open + 1..open + close].split(',') {
                 let rule = rule.trim().to_string();
@@ -154,10 +186,13 @@ impl<'a> FileCtx<'a> {
         }
 
         let test_ranges = find_test_ranges(&lexed.tokens);
+        let ast = parser::parse(&lexed.tokens);
 
         FileCtx {
             meta,
             tokens: lexed.tokens,
+            ast,
+            pragma_count,
             pragma_lines,
             test_ranges,
             line_idents,
@@ -283,19 +318,26 @@ fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
     ranges
 }
 
-/// Runs every rule over one file.
-pub fn lint_file(meta: &FileMeta, src: &str) -> Vec<Diagnostic> {
-    let ctx = FileCtx::new(meta, src);
+/// Runs every rule over an already-built [`FileCtx`].
+pub fn lint_ctx(ctx: &FileCtx) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    rules::unordered_iteration(&ctx, &mut out);
-    rules::nondeterministic_source(&ctx, &mut out);
-    rules::float_reduction_order(&ctx, &mut out);
-    rules::panic_in_library(&ctx, &mut out);
-    rules::crate_hygiene(&ctx, &mut out);
+    rules::unordered_iteration(ctx, &mut out);
+    rules::nondeterministic_source(ctx, &mut out);
+    rules::float_reduction_order(ctx, &mut out);
+    rules::panic_in_library(ctx, &mut out);
+    rules::crate_hygiene(ctx, &mut out);
+    rules::fanout::shared_mutation_in_fanout(ctx, &mut out);
+    rules::errors::swallowed_error(ctx, &mut out);
+    rules::merge::non_commutative_merge(ctx, &mut out);
     out.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
     });
     out
+}
+
+/// Runs every rule over one file.
+pub fn lint_file(meta: &FileMeta, src: &str) -> Vec<Diagnostic> {
+    lint_ctx(&FileCtx::new(meta, src))
 }
 
 /// Serializes diagnostics as deterministic JSON (hand-rolled: the crate

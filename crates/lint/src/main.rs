@@ -1,35 +1,46 @@
 //! `ets-lint` CLI.
 //!
 //! ```text
-//! ets-lint [--workspace | FILE...] [--deny] [--format human|json]
-//!          [--budget PATH] [--update-budget]
+//! ets-lint [--workspace | FILE...] [--deny] [--format human|json|sarif]
+//!          [--budget PATH] [--pragma-budget PATH] [--update-budget]
 //!
-//!   --workspace       lint every member crate's src/ tree (default)
-//!   --deny            exit 1 on deny-tier findings or a busted budget
-//!   --format json     machine-readable findings + summary
-//!   --budget PATH     panic budget file (default crates/lint/panic_budget.json)
-//!   --update-budget   rewrite the budget file to match the tree
+//!   --workspace          lint every member crate's src/ tree (default)
+//!   --deny               exit 1 on deny-tier findings or a busted budget
+//!   --format json        machine-readable findings + summary
+//!   --format sarif       SARIF 2.1.0 log (GitHub code-scanning upload)
+//!   --budget PATH        panic budget file (default crates/lint/panic_budget.json)
+//!   --pragma-budget PATH pragma budget file (default crates/lint/pragma_budget.json)
+//!   --update-budget      rewrite both budget files to match the tree
 //! ```
 
 #![forbid(unsafe_code)]
 
 use ets_lint::workspace::{find_workspace_root, lint_workspace};
-use ets_lint::{budget, to_json};
+use ets_lint::{budget, sarif, to_json};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Args {
     deny: bool,
-    json: bool,
+    format: Format,
     budget_path: Option<PathBuf>,
+    pragma_budget_path: Option<PathBuf>,
     update_budget: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         deny: false,
-        json: false,
+        format: Format::Human,
         budget_path: None,
+        pragma_budget_path: None,
         update_budget: false,
     };
     let mut it = std::env::args().skip(1);
@@ -38,18 +49,24 @@ fn parse_args() -> Result<Args, String> {
             "--workspace" => {}
             "--deny" => args.deny = true,
             "--format" => match it.next().as_deref() {
-                Some("json") => args.json = true,
-                Some("human") => args.json = false,
-                other => return Err(format!("--format expects human|json, got {other:?}")),
+                Some("json") => args.format = Format::Json,
+                Some("human") => args.format = Format::Human,
+                Some("sarif") => args.format = Format::Sarif,
+                other => return Err(format!("--format expects human|json|sarif, got {other:?}")),
             },
             "--budget" => {
                 args.budget_path = Some(PathBuf::from(it.next().ok_or("--budget expects a path")?));
             }
+            "--pragma-budget" => {
+                args.pragma_budget_path = Some(PathBuf::from(
+                    it.next().ok_or("--pragma-budget expects a path")?,
+                ));
+            }
             "--update-budget" => args.update_budget = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: ets-lint [--workspace] [--deny] [--format human|json] \
-                            [--budget PATH] [--update-budget]"
+                    "usage: ets-lint [--workspace] [--deny] [--format human|json|sarif] \
+                            [--budget PATH] [--pragma-budget PATH] [--update-budget]"
                         .to_string(),
                 );
             }
@@ -85,43 +102,69 @@ fn main() -> ExitCode {
         }
     };
 
-    // Budget bookkeeping.
+    // Budget bookkeeping: panic sites and suppression pragmas, both
+    // ratcheted per crate.
     let budget_path = args
         .budget_path
         .unwrap_or_else(|| root.join("crates/lint/panic_budget.json"));
+    let pragma_budget_path = args
+        .pragma_budget_path
+        .unwrap_or_else(|| root.join("crates/lint/pragma_budget.json"));
     if args.update_budget {
-        if let Err(e) = std::fs::write(&budget_path, budget::render(&report.warn_counts)) {
-            eprintln!("ets-lint: writing {}: {e}", budget_path.display());
-            return ExitCode::from(2);
-        }
-        eprintln!("ets-lint: wrote {}", budget_path.display());
-    }
-    let budget_map = match std::fs::read_to_string(&budget_path) {
-        Ok(text) => match budget::parse(&text) {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("ets-lint: {}: {e}", budget_path.display());
+        for (path, counts) in [
+            (&budget_path, &report.warn_counts),
+            (&pragma_budget_path, &report.pragma_counts),
+        ] {
+            if let Err(e) = std::fs::write(path, budget::render(counts)) {
+                eprintln!("ets-lint: writing {}: {e}", path.display());
                 return ExitCode::from(2);
             }
-        },
-        Err(_) => Default::default(),
+            eprintln!("ets-lint: wrote {}", path.display());
+        }
+    }
+    let read_budget = |path: &PathBuf| match std::fs::read_to_string(path) {
+        Ok(text) => budget::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(_) => Ok(Default::default()),
     };
-    let (over, under) = budget::check(&budget_map, &report.warn_counts);
+    let (budget_map, pragma_map) =
+        match (read_budget(&budget_path), read_budget(&pragma_budget_path)) {
+            (Ok(b), Ok(p)) => (b, p),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("ets-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+    let (mut over, mut under) = budget::check(
+        &budget_map,
+        &report.warn_counts,
+        "panic-in-library sites",
+        "panic_budget.json",
+    );
+    let (p_over, p_under) = budget::check(
+        &pragma_map,
+        &report.pragma_counts,
+        "ets-lint allow pragmas",
+        "pragma_budget.json",
+    );
+    over.extend(p_over);
+    under.extend(p_under);
 
-    if args.json {
-        print!("{}", to_json(&report.diagnostics));
-    } else {
-        for d in &report.diagnostics {
-            println!("{d}");
-        }
-        let deny = report.deny_count();
-        let warn = report.diagnostics.len() - deny;
-        println!("ets-lint: {deny} deny, {warn} warn finding(s)");
-        for msg in &over {
-            println!("ets-lint: BUDGET {msg}");
-        }
-        for msg in &under {
-            println!("ets-lint: note: {msg}");
+    match args.format {
+        Format::Json => print!("{}", to_json(&report.diagnostics)),
+        Format::Sarif => print!("{}", sarif::to_sarif(&report.diagnostics)),
+        Format::Human => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            let deny = report.deny_count();
+            let warn = report.diagnostics.len() - deny;
+            println!("ets-lint: {deny} deny, {warn} warn finding(s)");
+            for msg in &over {
+                println!("ets-lint: BUDGET {msg}");
+            }
+            for msg in &under {
+                println!("ets-lint: note: {msg}");
+            }
         }
     }
 

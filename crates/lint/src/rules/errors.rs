@@ -1,0 +1,179 @@
+//! rule `swallowed-error` (deny): error hygiene for the snapshot /
+//! network contracts.
+//!
+//! PR 7's contract is "a corrupt snapshot never panics and never
+//! vanishes silently — it falls back with a logged reason". This rule
+//! enforces the static half of that contract in library crates:
+//! `Result`s whose error type is `StoreError` or `std::io::Error` must
+//! not be `.unwrap()`ed / `.expect()`ed (panic on the error path),
+//! discarded with `let _ = ..` (silent loss), or neutered with a
+//! dropped `.ok()`.
+//!
+//! Error-type attribution is syntactic but two-layered: calls to
+//! functions *defined in the same file* resolve through the parsed
+//! [`crate::ast::FnInfo::ret`] signature, and a fixed table of std
+//! fs/net/io producers covers the rest. Genuinely fire-and-forget sites
+//! (a best-effort UDP reply, a QUIT on a closing SMTP session) carry a
+//! written `// ets-lint: allow(swallowed-error): reason` pragma.
+
+use crate::ast::CallInfo;
+use crate::lexer::TokKind;
+use crate::rules::stmt_start_before;
+use crate::{Diagnostic, FileCtx, Tier};
+use std::collections::BTreeSet;
+
+const RULE: &str = "swallowed-error";
+
+/// std fs / net / io functions and methods returning `io::Result`.
+const IO_FNS: &[&str] = &[
+    "write_all",
+    "write",
+    "write_fmt",
+    "flush",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_dir",
+    "copy",
+    "rename",
+    "remove_file",
+    "remove_dir_all",
+    "create_dir_all",
+    "sync_all",
+    "sync_data",
+    "set_len",
+    "metadata",
+    "open",
+    "create",
+    "bind",
+    "connect",
+    // Bare `send`/`recv` are mpsc channel methods in this workspace, not
+    // io; the UDP socket API goes through `send_to`/`recv_from`.
+    "send_to",
+    "recv_from",
+    "shutdown",
+    "set_nonblocking",
+    "set_read_timeout",
+    "set_write_timeout",
+];
+
+/// Return-signature fragments (space-joined tokens) marking a local fn
+/// as producing one of the guarded error types.
+const ERROR_RET_FRAGMENTS: &[&str] = &["StoreError", "io :: Result", "io :: Error"];
+
+pub fn swallowed_error(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !ctx.meta.library {
+        return;
+    }
+    let toks = &ctx.tokens;
+
+    // Local fns whose declared return type carries a guarded error.
+    let error_fns: BTreeSet<&str> = ctx
+        .ast
+        .fns
+        .iter()
+        .filter(|f| ERROR_RET_FRAGMENTS.iter().any(|frag| f.ret.contains(frag)))
+        .map(|f| f.name.as_str())
+        .collect();
+
+    // Sorted call sites of guarded producers, for range queries.
+    let producer_sites: Vec<&CallInfo> = ctx
+        .ast
+        .calls
+        .iter()
+        .filter(|c| error_fns.contains(c.callee.as_str()) || IO_FNS.contains(&c.callee.as_str()))
+        .collect();
+    if producer_sites.is_empty() {
+        return;
+    }
+    let producer_in = |lo: usize, hi: usize| {
+        producer_sites
+            .iter()
+            .find(|c| c.callee_idx >= lo && c.callee_idx < hi)
+    };
+
+    // `.unwrap()` / `.expect(..)` / dropped `.ok()` whose statement
+    // contains a guarded producer.
+    for call in &ctx.ast.calls {
+        if !call.method {
+            continue;
+        }
+        let swallow_kind = match call.callee.as_str() {
+            "unwrap" | "expect" => "panics on",
+            // `.ok()` only swallows when the Option is dropped on the
+            // spot; `.ok()?` or a consumed Option is a conversion.
+            "ok" if toks.get(call.end).is_some_and(|t| t.is_punct(";")) => "silently discards",
+            _ => continue,
+        };
+        let i = call.callee_idx;
+        if ctx.in_test_code(i) || ctx.allowed(RULE, toks[i].line) {
+            continue;
+        }
+        let stmt_start = stmt_start_before(toks, i, 0);
+        let Some(producer) = producer_in(stmt_start, i) else {
+            continue;
+        };
+        out.push(ctx.diag(
+            RULE,
+            Tier::Deny,
+            &toks[i],
+            format!(
+                "`.{}()` {} the `{}` error from `{}`; library code must propagate it \
+                 or fall back with a logged reason",
+                call.callee,
+                swallow_kind,
+                error_kind(&error_fns, producer),
+                producer.callee
+            ),
+        ));
+    }
+
+    // `let _ = <expr containing a guarded producer>;`
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if !(toks[i].is_ident("let") && toks[i + 1].is_ident("_") && toks[i + 2].is_punct("=")) {
+            i += 1;
+            continue;
+        }
+        // Statement runs from the `=` to the `;` at this level.
+        let mut end = i + 3;
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(end) {
+            match t.kind {
+                TokKind::Open(_) => depth += 1,
+                TokKind::Close(_) => depth -= 1,
+                TokKind::Punct if depth == 0 && t.text == ";" => break,
+                _ => {}
+            }
+            if depth < 0 {
+                break;
+            }
+            end += 1;
+        }
+        if !ctx.in_test_code(i) && !ctx.allowed(RULE, toks[i].line) {
+            if let Some(producer) = producer_in(i + 3, end) {
+                out.push(ctx.diag(
+                    RULE,
+                    Tier::Deny,
+                    &toks[i],
+                    format!(
+                        "`let _ =` discards the `{}` error from `{}`; library code must \
+                         propagate it or fall back with a logged reason",
+                        error_kind(&error_fns, producer),
+                        producer.callee
+                    ),
+                ));
+            }
+        }
+        i = end + 1;
+    }
+}
+
+fn error_kind(error_fns: &BTreeSet<&str>, producer: &CallInfo) -> &'static str {
+    if error_fns.contains(producer.callee.as_str()) {
+        "StoreError/io::Error"
+    } else {
+        "io::Error"
+    }
+}

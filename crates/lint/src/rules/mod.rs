@@ -8,6 +8,10 @@
 //! justification, while a false negative silently erodes the
 //! reproducibility invariant the whole pipeline is built on.
 
+pub mod errors;
+pub mod fanout;
+pub mod merge;
+
 use crate::lexer::{is_float_literal, Delim, TokKind, Token};
 use crate::{Diagnostic, FileCtx, Tier};
 use std::collections::BTreeSet;
@@ -29,7 +33,7 @@ const HASH_ITER_METHODS: &[&str] = &[
 /// Identifiers whose presence near an unordered iteration makes it
 /// deterministic: an explicit sort, or re-collection into an ordered
 /// structure.
-const ORDERING_IDENTS: &[&str] = &[
+pub(crate) const ORDERING_IDENTS: &[&str] = &[
     "sort",
     "sort_unstable",
     "sort_by",
@@ -165,9 +169,14 @@ pub fn unordered_iteration(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
             if let Some(start) = in_kw {
                 let mut k = start + 1;
                 let mut depth = 0i32;
+                let mut body_open = None;
+                let mut hash_hits: Vec<usize> = Vec::new();
                 while let Some(n) = toks.get(k) {
                     match n.kind {
-                        TokKind::Open(Delim::Brace) if depth == 0 => break,
+                        TokKind::Open(Delim::Brace) if depth == 0 => {
+                            body_open = Some(k);
+                            break;
+                        }
                         TokKind::Open(_) => depth += 1,
                         TokKind::Close(_) => depth -= 1,
                         // Skip when the loop head itself re-collects or
@@ -176,11 +185,21 @@ pub fn unordered_iteration(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
                             if hash_idents.contains(n.text.as_str())
                                 && !chain_is_order_free(toks, k) =>
                         {
-                            flag(ctx, k, n, "for-loop head", out);
+                            hash_hits.push(k);
                         }
                         _ => {}
                     }
                     k += 1;
+                }
+                // A body made solely of commutative entry-folds
+                // (`*map.entry(k).or_insert(0) += v;`) is order-free:
+                // integer addition keyed by the entry commutes across
+                // the iteration order.
+                let exempt = body_open.is_some_and(|b| body_is_commutative_entry_fold(toks, b));
+                if !exempt {
+                    for h in hash_hits {
+                        flag(ctx, h, &toks[h], "for-loop head", out);
+                    }
                 }
                 i = k;
                 continue;
@@ -203,6 +222,77 @@ pub fn unordered_iteration(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
         }
         i += 1;
     }
+}
+
+/// True if the brace group at `open` consists solely of commutative
+/// entry-fold statements — `*map.entry(k).or_insert(0) += v;` — i.e.
+/// every `;`-terminated statement routes exactly one integer `+=`
+/// through an `entry(..).or_insert(..)/or_default()` chain, with no
+/// float operands and no other assignment. Folding such a body over a
+/// hash iteration is iteration-order-free.
+fn body_is_commutative_entry_fold(toks: &[Token], open: usize) -> bool {
+    let mut depth = 0i32;
+    let mut close = open;
+    while let Some(t) = toks.get(close) {
+        match t.kind {
+            TokKind::Open(_) => depth += 1,
+            TokKind::Close(_) => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        close += 1;
+    }
+    if close >= toks.len() || close <= open + 1 {
+        return false;
+    }
+    let mut stmt_start = open + 1;
+    let mut saw_stmt = false;
+    let mut d = 0i32;
+    for j in open + 1..close {
+        match toks[j].kind {
+            TokKind::Open(_) => d += 1,
+            TokKind::Close(_) => d -= 1,
+            TokKind::Punct if d == 0 && toks[j].text == ";" => {
+                if !stmt_is_entry_fold(&toks[stmt_start..j]) {
+                    return false;
+                }
+                saw_stmt = true;
+                stmt_start = j + 1;
+            }
+            _ => {}
+        }
+    }
+    // A trailing expression (no `;`) disqualifies the body.
+    saw_stmt && stmt_start == close
+}
+
+fn stmt_is_entry_fold(stmt: &[Token]) -> bool {
+    let mut plus_eq = 0usize;
+    let mut has_entry = false;
+    let mut has_or = false;
+    for t in stmt {
+        match t.kind {
+            TokKind::Ident if t.text == "entry" => has_entry = true,
+            TokKind::Ident if t.text == "or_insert" || t.text == "or_default" => has_or = true,
+            TokKind::Ident if t.text == "f32" || t.text == "f64" => return false,
+            TokKind::Number if is_float_literal(&t.text) => return false,
+            TokKind::Punct if t.text == "+=" => plus_eq += 1,
+            TokKind::Punct
+                if matches!(
+                    t.text.as_str(),
+                    "=" | "-=" | "*=" | "/=" | "%=" | "|=" | "&=" | "^=" | "<<=" | ">>="
+                ) =>
+            {
+                return false;
+            }
+            _ => {}
+        }
+    }
+    has_entry && has_or && plus_eq == 1
 }
 
 /// Collects names bound or annotated as `HashMap`/`HashSet` anywhere in
@@ -437,10 +527,39 @@ pub fn float_reduction_order(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Index of the first token of the statement containing `at`: walks
+/// backward to the nearest `;` / `{` at the same nesting level (never
+/// crossing below `lo`) and returns the index just past it. A `}` at
+/// the same level also ends the search — in statement position a block
+/// (`if`/`for`/`match` statement) terminates the preceding statement;
+/// the rare expression-position block receiver (`match e { .. }.f()`)
+/// merely shortens the range, which is the conservative direction.
+pub(crate) fn stmt_start_before(toks: &[Token], at: usize, lo: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = at;
+    while i > lo {
+        let t = &toks[i - 1];
+        match t.kind {
+            TokKind::Close(Delim::Brace) if depth == 0 => return i,
+            TokKind::Close(_) => depth += 1,
+            TokKind::Open(_) => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            TokKind::Punct if depth == 0 && t.text == ";" => return i,
+            _ => {}
+        }
+        i -= 1;
+    }
+    lo
+}
+
 /// Looks for a float hint (an `f32`/`f64` ident, a float literal, or
 /// `as f64`) in the statement containing token `at`, bounded to the
 /// enclosing fan-out argument group.
-fn statement_has_float_hint(toks: &[Token], at: usize, lo: usize, hi: usize) -> bool {
+pub(crate) fn statement_has_float_hint(toks: &[Token], at: usize, lo: usize, hi: usize) -> bool {
     let mut start = at;
     while start > lo {
         let t = &toks[start - 1];

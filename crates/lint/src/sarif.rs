@@ -1,0 +1,97 @@
+//! SARIF 2.1.0 output: the interchange format GitHub code scanning
+//! ingests for inline PR annotations.
+//!
+//! Hand-rolled like the JSON reporter (the crate is dependency-free)
+//! and deterministic: diagnostics arrive pre-sorted from the driver,
+//! the rule table follows [`crate::RULES`] order, and no timestamps or
+//! absolute paths are embedded — the same tree always produces the same
+//! bytes. Deny-tier findings map to SARIF `error`, warn-tier to
+//! `warning`.
+
+use crate::{json_str, Diagnostic, Tier, RULES};
+
+/// One-line rule descriptions for the SARIF rule table, keyed by
+/// [`RULES`] order.
+const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    (
+        "unordered-iteration",
+        "Hash collection iterated in hash order in an analytical crate without an adjacent \
+         deterministic sort or ordered re-collection.",
+    ),
+    (
+        "nondeterministic-source",
+        "Wall-clock or OS-entropy read outside the timing-only allowlist.",
+    ),
+    (
+        "float-reduction-order",
+        "Floating-point accumulation inside an ets-parallel fan-out closure; chunk boundaries \
+         depend on the worker count.",
+    ),
+    (
+        "panic-in-library",
+        "unwrap/expect/panic in library code, counted against panic_budget.json.",
+    ),
+    (
+        "crate-hygiene",
+        "Crate root missing #![forbid(unsafe_code)].",
+    ),
+    (
+        "shared-mutation-in-fanout",
+        "Write to captured state, lock/atomic mutation, or interior mutability inside a worker \
+         closure of an ets-parallel fan-out call.",
+    ),
+    (
+        "swallowed-error",
+        "unwrap/expect, `let _ =`, or dropped .ok() on a Result carrying StoreError or io::Error \
+         in a library crate.",
+    ),
+    (
+        "non-commutative-merge",
+        "Order-dependent operation (subtraction, division, unsorted push/extend, float \
+         accumulation) inside a merge/absorb fn.",
+    ),
+];
+
+/// Serializes diagnostics as a single-run SARIF 2.1.0 log.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut s = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"ets-lint\",\n          \
+         \"informationUri\": \"https://github.com/ets/ets#ets-lint\",\n          \"rules\": [\n",
+    );
+    for (i, rule) in RULES.iter().enumerate() {
+        let desc = RULE_DESCRIPTIONS
+            .iter()
+            .find(|(r, _)| r == rule)
+            .map(|(_, d)| *d)
+            .unwrap_or("");
+        s.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            json_str(rule),
+            json_str(desc),
+            if i + 1 < RULES.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let level = match d.tier {
+            Tier::Deny => "error",
+            Tier::Warn => "warning",
+        };
+        s.push_str(&format!(
+            "        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": {}}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}{}\n",
+            json_str(d.rule),
+            json_str(level),
+            json_str(&d.message),
+            json_str(&d.file),
+            d.line,
+            d.col,
+            if i + 1 < diags.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}

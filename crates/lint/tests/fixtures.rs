@@ -57,6 +57,29 @@ fn check(name: &str, meta: FileMeta, expect_tier: Tier) {
     }
 }
 
+/// Like [`check`], but compares only diagnostics of one rule — for
+/// fixtures whose seeded sites legitimately trip a second rule at a
+/// different tier (e.g. `swallowed-error` unwraps also count against
+/// `panic-in-library`).
+fn check_rule(name: &str, meta: FileMeta, rule: &str, expect_tier: Tier) {
+    let src = std::fs::read_to_string(fixture_path(name)).unwrap();
+    let diags: Vec<_> = lint_file(&meta, &src)
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .collect();
+    let mut got: Vec<(String, u32)> = diags.iter().map(|d| (d.rule.to_string(), d.line)).collect();
+    got.sort();
+    assert_eq!(
+        got,
+        expected(&src),
+        "`{rule}` diagnostics for {name} diverge from //~ markers:\n{}",
+        diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+    for d in &diags {
+        assert_eq!(d.tier, expect_tier, "{d}");
+    }
+}
+
 #[test]
 fn unordered_iteration_fixture() {
     check(
@@ -120,6 +143,44 @@ fn panic_rule_skips_binary_code() {
     let src = std::fs::read_to_string(fixture_path("panics.rs")).unwrap();
     let diags = lint_file(&meta("panics.rs", false, false, false), &src);
     assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn shared_mutation_in_fanout_fixture() {
+    check(
+        "fanout.rs",
+        meta("fanout.rs", false, false, false),
+        Tier::Deny,
+    );
+}
+
+#[test]
+fn swallowed_error_fixture() {
+    check_rule(
+        "swallow.rs",
+        meta("swallow.rs", false, true, false),
+        "swallowed-error",
+        Tier::Deny,
+    );
+}
+
+#[test]
+fn swallowed_error_skips_binary_code() {
+    let src = std::fs::read_to_string(fixture_path("swallow.rs")).unwrap();
+    let diags = lint_file(&meta("swallow.rs", false, false, false), &src);
+    assert!(
+        !diags.iter().any(|d| d.rule == "swallowed-error"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn non_commutative_merge_fixture() {
+    check(
+        "mergefix.rs",
+        meta("mergefix.rs", false, false, false),
+        Tier::Deny,
+    );
 }
 
 #[test]

@@ -1,0 +1,81 @@
+//! Fixture: `shared-mutation-in-fanout` (deny tier).
+//! (Not compiled — consumed by crates/lint/tests/fixtures.rs.)
+
+pub fn bad_captured_accumulate(items: &[u32]) -> u32 {
+    let mut total = 0;
+    par_map(items, |x| {
+        total += x; //~ shared-mutation-in-fanout
+        x
+    });
+    total
+}
+
+pub fn bad_captured_push(items: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    par_map(items, |x| {
+        out.push(x + 1); //~ shared-mutation-in-fanout
+        x
+    });
+    out
+}
+
+pub fn bad_lock_in_worker(items: &[u32], shared: &Mutex<Vec<u32>>) {
+    run_parallel(items, |x| {
+        shared.lock().unwrap().push(*x); //~ shared-mutation-in-fanout
+    });
+}
+
+pub fn bad_atomic_rmw(items: &[u32], hits: &AtomicU64) {
+    par_flat_map(items, |x| {
+        hits.fetch_add(1, Ordering::Relaxed); //~ shared-mutation-in-fanout
+        vec![*x]
+    });
+}
+
+// Commit/merge closures run sequentially on the calling thread; `&mut`
+// captures there are the sanctioned pattern, not a race.
+pub fn good_commit_phase_mutation(items: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    stream_map(
+        items,
+        |x| x * 2,
+        |v| {
+            out.push(v);
+        },
+    );
+    out
+}
+
+pub fn good_par_fold_merge(items: &[u32]) -> u32 {
+    let mut grand = 0;
+    par_fold(
+        items,
+        || 0u32,
+        |acc, x| acc + x,
+        |partial| {
+            grand += partial;
+        },
+    );
+    grand
+}
+
+// State the worker binds itself is private per-item scratch.
+pub fn good_worker_local_state(items: &[u32]) -> Vec<u32> {
+    par_map(items, |x| {
+        let mut local = Vec::new();
+        local.push(x);
+        local.sort_unstable();
+        local.truncate(1);
+        local[0]
+    })
+}
+
+pub fn good_pragma(items: &[u32]) -> u32 {
+    let mut seen = 0;
+    par_map(items, |x| {
+        // ets-lint: allow(shared-mutation-in-fanout): fixture-only justification
+        seen += 1;
+        x + seen
+    });
+    seen
+}

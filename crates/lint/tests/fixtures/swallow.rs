@@ -1,0 +1,66 @@
+//! Fixture: `swallowed-error` (deny tier, library code only).
+//! (Not compiled — consumed by crates/lint/tests/fixtures.rs.)
+
+use std::io::{self, Write};
+
+pub struct StoreError;
+
+fn persist(buf: &[u8]) -> io::Result<usize> {
+    Ok(buf.len())
+}
+
+fn flush_index() -> Result<(), StoreError> {
+    Ok(())
+}
+
+pub fn bad_unwrap(buf: &[u8]) -> usize {
+    persist(buf).unwrap() //~ swallowed-error
+}
+
+pub fn bad_expect() {
+    flush_index().expect("index flush"); //~ swallowed-error
+}
+
+pub fn bad_dropped_ok(buf: &[u8]) {
+    persist(buf).ok(); //~ swallowed-error
+}
+
+pub fn bad_let_underscore(buf: &[u8]) {
+    let _ = persist(buf); //~ swallowed-error
+}
+
+pub fn bad_io_method(mut w: impl Write, buf: &[u8]) {
+    let _ = w.write_all(buf); //~ swallowed-error
+}
+
+pub fn good_propagated(buf: &[u8]) -> io::Result<usize> {
+    persist(buf)
+}
+
+pub fn good_question_mark(buf: &[u8]) -> io::Result<usize> {
+    let n = persist(buf)?;
+    Ok(n + 1)
+}
+
+pub fn good_handled(buf: &[u8]) -> usize {
+    match persist(buf) {
+        Ok(n) => n,
+        Err(_e) => 0,
+    }
+}
+
+// `.ok()` that is consumed is a conversion, not a swallow.
+pub fn good_ok_consumed(buf: &[u8]) -> Option<usize> {
+    persist(buf).ok()
+}
+
+// Unwrap with no guarded producer in the statement is out of scope for
+// this rule (panic-in-library owns it).
+pub fn good_unrelated_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn pragma_suppressed(buf: &[u8]) {
+    // ets-lint: allow(swallowed-error): best-effort warm-up, loss is benign
+    let _ = persist(buf);
+}

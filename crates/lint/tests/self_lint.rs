@@ -39,6 +39,52 @@ fn panic_budget_matches_tree_exactly() {
 }
 
 #[test]
+fn pragma_budget_matches_tree_exactly() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let report = lint_workspace(&root).expect("lint the workspace");
+    let text = std::fs::read_to_string(root.join("crates/lint/pragma_budget.json"))
+        .expect("pragma_budget.json");
+    let budget_map = budget::parse(&text).expect("parse budget");
+    assert_eq!(
+        budget_map, report.pragma_counts,
+        "pragma_budget.json is stale; run `cargo run -p ets-lint -- --workspace --update-budget`"
+    );
+}
+
+/// The structural layer must parse every real workspace file without
+/// recording a single delimiter error — the rules silently degrade on a
+/// file the parser can't model, so this is the canary.
+#[test]
+fn workspace_parses_without_errors() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let crates = ets_lint::workspace::discover_crates(&root).expect("discover crates");
+    assert!(!crates.is_empty());
+    let mut files = 0usize;
+    for c in &crates {
+        for path in ets_lint::workspace::rust_files(&c.dir).expect("walk crate") {
+            let src = std::fs::read_to_string(&path).expect("read source");
+            let lexed = ets_lint::lexer::lex(&src);
+            let ast = ets_lint::parser::parse(&lexed.tokens);
+            assert!(
+                ast.errors.is_empty(),
+                "{} has parse errors: {:?}",
+                path.display(),
+                ast.errors
+            );
+            assert!(
+                !ast.fns.is_empty() || src.lines().all(|l| !l.contains("fn ")),
+                "{}: no fns recovered",
+                path.display()
+            );
+            files += 1;
+        }
+    }
+    assert!(files > 50, "only {files} files walked");
+}
+
+#[test]
 fn deny_gate_exits_zero_on_this_tree() {
     // The exact command CI runs.
     let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();

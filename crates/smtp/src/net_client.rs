@@ -86,6 +86,8 @@ pub fn send_email(
                 stream.flush()?;
             }
             ClientAction::Finished(outcome) => {
+                // ets-lint: allow(swallowed-error): QUIT is a courtesy;
+                // the delivery outcome is already decided at this point.
                 let _ = stream.write_all(b"QUIT\r\n");
                 return Ok(outcome);
             }
