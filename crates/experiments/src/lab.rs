@@ -323,6 +323,11 @@ impl Lab {
             .into_iter()
             .map(|(name, v)| (name, json!(v)))
             .collect();
+        // Recorder contention check: the sharded thread-local counters
+        // must keep beating a single global mutex under fan-out. The
+        // `bench_` prefix keeps this out of the byte-identity checks,
+        // and `ets-bench --check` reads only the `stages` array.
+        let obs = crate::microbench::obs_counter_contention();
         let value = json!({
             "threads": ets_parallel::threads(),
             "streaming": self.streaming,
@@ -333,6 +338,7 @@ impl Lab {
             "total_seconds": total,
             "stages": stages,
             "mem": mem,
+            "obs_microbench": obs,
         });
         self.write_json("bench_pipeline", &value);
     }

@@ -5,6 +5,7 @@
 //! repro <experiment> [--seed N] [--out DIR] [--fast] [--scale N]
 //!                    [--snapshot FILE] [--threads N]
 //!                    [--streaming|--batch] [--channel-depth N] [--trace FILE]
+//!                    [--telemetry ADDR]
 //!
 //! experiments:
 //!   table1      DNS settings of a typo domain
@@ -55,6 +56,10 @@
 //! * `--channel-depth N` — per-worker bounded-channel depth for
 //!   streaming mode (default 64); results are byte-identical for any
 //!   value, only memory and throughput change.
+//! * `--telemetry ADDR` — serve live introspection over HTTP on `ADDR`
+//!   while the run executes: `/metrics` (Prometheus text), `/snapshot.json`
+//!   and `/healthz`. Telemetry reads the merged metric shards and records
+//!   only gauges of its own, so it never changes `results/*.json`.
 //! * `--trace FILE` — write a Chrome-trace span file to `FILE` (open in
 //!   Perfetto / `chrome://tracing`), a JSONL event log next to it, and a
 //!   deterministic metrics snapshot. The `ETS_TRACE` environment variable
@@ -91,6 +96,7 @@ fn main() -> ExitCode {
     let mut snapshot: Option<String> = None;
     let mut streaming = true;
     let mut trace_path: Option<String> = None;
+    let mut telemetry_addr: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -119,6 +125,10 @@ fn main() -> ExitCode {
             "--trace" => match it.next() {
                 Some(p) => trace_path = Some(p.clone()),
                 None => return usage("--trace needs a file path"),
+            },
+            "--telemetry" => match it.next() {
+                Some(addr) => telemetry_addr = Some(addr.clone()),
+                None => return usage("--telemetry needs a bind address"),
             },
             "--fast" => fast = true,
             "--streaming" => streaming = true,
@@ -155,6 +165,22 @@ fn main() -> ExitCode {
         };
         ets_obs::trace::enable(filter);
     }
+    // Live introspection listener (`/metrics`, `/snapshot.json`,
+    // `/healthz`). It reads merged counters and records only gauges, so
+    // enabling it never perturbs the deterministic results/*.json.
+    let _telemetry_server = match &telemetry_addr {
+        Some(addr) => match ets_obs::serve::serve(addr) {
+            Ok(srv) => {
+                eprintln!("[telemetry] serving on http://{}", srv.addr());
+                Some(srv)
+            }
+            Err(e) => {
+                eprintln!("cannot bind telemetry {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let mut ctx = lab::Lab::new(seed, fast, streaming, out_dir);
     ctx.scale = scale;
     ctx.snapshot = snapshot;
@@ -239,7 +265,7 @@ fn parse_scale(s: &str) -> Option<usize> {
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|table5|table6|fig3..fig9|volumes|regression|honey|snapshot|all> [--seed N] [--out DIR] [--fast] [--scale N] [--snapshot FILE] [--threads N] [--streaming|--batch] [--channel-depth N] [--trace FILE]"
+        "usage: repro <table1|table2|table3|table4|table5|table6|fig3..fig9|volumes|regression|honey|snapshot|all> [--seed N] [--out DIR] [--fast] [--scale N] [--snapshot FILE] [--threads N] [--streaming|--batch] [--channel-depth N] [--trace FILE] [--telemetry ADDR]"
     );
     eprintln!("  --seed N      base RNG seed (default 20160604)");
     eprintln!(
@@ -252,6 +278,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("  --streaming   bounded-memory streaming collection (the default)");
     eprintln!("  --batch       collect-then-classify oracle; identical results, O(corpus) memory");
     eprintln!("  --channel-depth N  streaming channel depth per worker (default 64); identical results for any value");
+    eprintln!("  --telemetry ADDR  serve live /metrics, /snapshot.json and /healthz on ADDR during the run (never changes results/*.json)");
     eprintln!("  --trace FILE  write Chrome-trace spans to FILE plus a .jsonl event log and .metrics.json snapshot");
     eprintln!(
         "                (filter spans with ETS_TRACE, e.g. ETS_TRACE=funnel=trace,parallel=off)"

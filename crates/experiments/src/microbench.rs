@@ -221,3 +221,73 @@ pub fn run() -> Vec<Microbench> {
 
     out
 }
+
+/// Contended counter recording: a single `Mutex<BTreeMap>` (the pre-v9
+/// `ets-obs` recorder design) vs the sharded thread-local atomics now
+/// behind [`ets_obs::metrics::counter_add`], hammered by 8 threads.
+///
+/// Both sides perform the same update stream and the totals are
+/// asserted equal, so the comparison cannot silently diverge. The
+/// sharded side records into the process-global registry under
+/// `bench.obs.contention.*` names; the op count is fixed, so the
+/// resulting counter values are deterministic.
+pub fn obs_counter_contention() -> Microbench {
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+    const THREADS: u64 = 8;
+    const OPS: u64 = 200_000;
+    const NAMES: [&str; 4] = [
+        "bench.obs.contention.a",
+        "bench.obs.contention.b",
+        "bench.obs.contention.c",
+        "bench.obs.contention.d",
+    ];
+    let legacy: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+    let (legacy_s, ()) = time(|| {
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for i in 0..OPS {
+                        *legacy
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .entry(NAMES[(i % 4) as usize].to_owned())
+                            .or_insert(0) += 1;
+                    }
+                });
+            }
+        });
+    });
+    let legacy_total: u64 = legacy
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .values()
+        .sum();
+    let read_total = || -> u64 {
+        NAMES
+            .iter()
+            .map(|n| ets_obs::metrics::counter_value(n))
+            .sum()
+    };
+    let before = read_total();
+    let (new_s, ()) = time(|| {
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for i in 0..OPS {
+                        ets_obs::metrics::counter_add(NAMES[(i % 4) as usize], 1);
+                    }
+                    ets_obs::metrics::retire_local();
+                });
+            }
+        });
+    });
+    let sharded_total = read_total() - before;
+    assert_eq!(legacy_total, THREADS * OPS, "mutex recorder lost updates");
+    assert_eq!(
+        sharded_total,
+        THREADS * OPS,
+        "sharded recorder lost updates"
+    );
+    record("obs_counter_contention", legacy_s, new_s)
+}

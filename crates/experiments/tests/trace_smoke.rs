@@ -14,14 +14,16 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 /// Stages `repro all` runs through `time_stage` — each must appear as a
-/// `stage.<name>` span in the trace.
-const STAGES: [&str; 3] = ["world_build", "traffic_generate", "funnel_classify"];
+/// `stage.<name>` span in the trace. (The streaming pipeline fuses
+/// traffic generation and funnel classification into `stream_collect` +
+/// `funnel_finish`; the batch names died with the batch default.)
+const STAGES: [&str; 3] = ["world_build", "stream_collect", "funnel_finish"];
 
 /// Top-level pipeline spans every `all --fast` trace must contain.
 const PIPELINE_SPANS: [&str; 6] = [
     "world.build",
-    "traffic.generate",
-    "funnel.classify",
+    "stream.collect",
+    "funnel.finish",
     "scan.census",
     "whois.cluster",
     "regression.fit",
@@ -114,9 +116,14 @@ fn trace_artifacts_are_valid_and_deterministic() {
     }
 
     // --- per-worker child spans parented to their fan-out ---------------
+    // Fan-out parents: `parallel.par_map` / `parallel.par_fold` /
+    // `parallel.stream` (the streaming pipeline's worker pool).
     let ids: Vec<u64> = spans
         .iter()
-        .filter(|e| str_field(e, "name").starts_with("parallel.par_"))
+        .filter(|e| {
+            let n = str_field(e, "name");
+            n.starts_with("parallel.") && n != "parallel.worker"
+        })
         .filter_map(|e| field(field(e, "args"), "id").as_u64())
         .collect();
     let workers: Vec<&&Value> = spans

@@ -180,7 +180,7 @@ pub struct FanoutClosure<'a> {
 
 /// Resolves which closures are worker bodies (and which are commit
 /// bodies) of `ets-parallel` fan-out calls: for each call to a
-/// [`FAN_OUT`] entry, each top-level argument contributing a closure is
+/// `FAN_OUT` entry, each top-level argument contributing a closure is
 /// classified by position — the last closure-bearing argument of
 /// `par_fold`/`stream_map` is the sequential commit phase, everything
 /// else runs on workers.

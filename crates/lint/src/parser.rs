@@ -1,5 +1,5 @@
 //! Recursive-descent layer over [`crate::lexer`]: builds the
-//! delimiter [`Tree`](crate::ast::Tree) and derives the fn / closure /
+//! delimiter [`crate::ast::Tree`] and derives the fn / closure /
 //! call tables of [`crate::ast::Ast`].
 //!
 //! This is a *structural* parser, not a grammar: it matches delimiters

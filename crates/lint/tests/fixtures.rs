@@ -233,6 +233,14 @@ fn timing_allowlist_is_path_exact_for_obs_clock() {
         "src/lab.rs"
     ));
 
+    // The SMTP serving-telemetry module is the second (and only other)
+    // path-exact entry: allowed in ets-smtp, while the same filename in
+    // any other crate — and every other ets-smtp file — stays denied.
+    assert!(timing_allowed_for("ets-smtp", "smtp", "src/telemetry.rs"));
+    assert!(!timing_allowed_for("ets-smtp", "smtp", "src/server.rs"));
+    assert!(!timing_allowed_for("ets-smtp", "smtp", "src/net_client.rs"));
+    assert!(!timing_allowed_for("ets-dns", "dns", "src/telemetry.rs"));
+
     // And a denied meta really does fire on wall-clock reads.
     let src = std::fs::read_to_string(fixture_path("nondet.rs")).unwrap();
     let mut m = meta("nondet.rs", false, true, false);

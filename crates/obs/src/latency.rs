@@ -1,0 +1,357 @@
+//! Log-linear latency histograms with exact-count quantile extraction.
+//!
+//! The serving path needs p50/p99/p999 over values spanning six orders
+//! of magnitude (a sub-millisecond command parse to a multi-second
+//! read-timeout), which fixed-bucket histograms cannot cover without
+//! either huge bucket counts or useless resolution. The classic answer
+//! (HdrHistogram) is log2 bucket groups subdivided linearly:
+//!
+//! * Values below 2^[`SUB_BITS`] get exact unit buckets.
+//! * Each power-of-two group `[2^k, 2^(k+1))` is split into
+//!   2^[`SUB_BITS`] equal sub-buckets, bounding the relative quantile
+//!   error at `1/2^SUB_BITS` (6.25%).
+//! * Values at or above 2^[`MAX_EXP`] land in one overflow bucket
+//!   (about 12.7 days in microseconds — nothing a session should reach);
+//!   quantiles falling there report the exact tracked maximum.
+//!
+//! Bucket counts are plain `u64` adds, so two histograms merge
+//! commutatively — the same determinism-boundary property the counter
+//! registry relies on. [`AtomicLatencyHistogram`] is the shared-recording
+//! variant (relaxed `fetch_add`/`fetch_max`), used by the SMTP serving
+//! path and snapshotted by the telemetry exposition tick.
+//!
+//! Latency values are wall-clock derived, so like gauges they are
+//! **excluded** from the deterministic `metrics::snapshot_json` — they
+//! appear only in the live `/metrics` + `/snapshot.json` exposition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Linear sub-bucket resolution: each log2 group splits into
+/// `2^SUB_BITS` sub-buckets.
+pub const SUB_BITS: u32 = 4;
+/// Sub-buckets per group.
+const SUB: usize = 1 << SUB_BITS;
+/// Values at or above `2^MAX_EXP` fall into the overflow bucket.
+pub const MAX_EXP: u32 = 40;
+/// Total bucket count, including the overflow bucket.
+pub const BUCKETS: usize = SUB + (MAX_EXP - SUB_BITS) as usize * SUB + 1;
+
+/// The bucket index for `value`.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB as u64 {
+        return value as usize;
+    }
+    let top = 63 - value.leading_zeros();
+    if top >= MAX_EXP {
+        return BUCKETS - 1;
+    }
+    let group = (top - SUB_BITS) as usize;
+    let sub = ((value >> (top - SUB_BITS)) as usize) - SUB;
+    SUB + group * SUB + sub
+}
+
+/// The inclusive `(lower, upper)` value range of bucket `index`.
+pub fn bucket_range(index: usize) -> (u64, u64) {
+    if index < SUB {
+        return (index as u64, index as u64);
+    }
+    if index >= BUCKETS - 1 {
+        return (1u64 << MAX_EXP, u64::MAX);
+    }
+    let group = ((index - SUB) / SUB) as u32;
+    let sub = ((index - SUB) % SUB) as u64;
+    let lower = ((SUB as u64) + sub) << group;
+    (lower, lower + (1u64 << group) - 1)
+}
+
+/// A mergeable log-linear histogram (single-threaded view).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges `other` into `self`. Bucket adds are `u64` and the max is
+    /// a max, so the merge commutes: any merge order yields the same
+    /// histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (zero when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `(lower, upper)` bucket range containing the `q`-quantile
+    /// (`0.0 ..= 1.0`) by exact cumulative count, or `None` when empty.
+    /// The true rank-`q` value is guaranteed to lie within the range.
+    pub fn quantile_range(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_range(i));
+            }
+        }
+        Some(bucket_range(BUCKETS - 1))
+    }
+
+    /// The `q`-quantile estimate: the upper edge of the quantile's
+    /// bucket, clamped to the tracked maximum (so the overflow bucket
+    /// reports the exact max, and no estimate exceeds an observed
+    /// value). Relative error is at most `1/2^SUB_BITS`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.quantile_range(q).map(|(_, upper)| upper.min(self.max))
+    }
+}
+
+/// The shared-recording variant: relaxed atomic adds, safe to hammer
+/// from many connection-handler threads at once.
+pub struct AtomicLatencyHistogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicLatencyHistogram {
+    fn default() -> Self {
+        AtomicLatencyHistogram::new()
+    }
+}
+
+impl AtomicLatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> AtomicLatencyHistogram {
+        AtomicLatencyHistogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (lock-free).
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy. Concurrent records may straddle the copy
+    /// (the per-field loads are not one atomic transaction), which only
+    /// shifts a record into the next exposition tick.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        LatencyHistogram {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The process-global latency registry, keyed by metric name. Handles
+/// are `Arc`-shared so hot paths resolve a name once and record through
+/// the atomic histogram with zero lookups.
+static LATENCY: Mutex<Vec<(String, Arc<AtomicLatencyHistogram>)>> = Mutex::new(Vec::new());
+
+fn registry() -> MutexGuard<'static, Vec<(String, Arc<AtomicLatencyHistogram>)>> {
+    LATENCY.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The shared recorder for `name`, created on first use.
+pub fn recorder(name: &str) -> Arc<AtomicLatencyHistogram> {
+    let mut reg = registry();
+    if let Some((_, h)) = reg.iter().find(|(n, _)| n == name) {
+        return h.clone();
+    }
+    let h = Arc::new(AtomicLatencyHistogram::new());
+    reg.push((name.to_owned(), h.clone()));
+    reg.sort_by(|(a, _), (b, _)| a.cmp(b));
+    h
+}
+
+/// Point-in-time snapshots of every registered latency histogram,
+/// sorted by name.
+pub fn snapshots() -> Vec<(String, LatencyHistogram)> {
+    registry()
+        .iter()
+        .map(|(n, h)| (n.clone(), h.snapshot()))
+        .collect()
+}
+
+/// Clears the registry (tests only). Existing handles keep recording
+/// into their (now unregistered) histograms.
+pub fn reset() {
+    registry().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for q in [0.01, 0.5, 1.0] {
+            let (lo, hi) = h.quantile_range(q).unwrap();
+            assert_eq!(lo, hi, "q={q}");
+        }
+        assert_eq!(h.quantile(1.0), Some(15));
+        assert_eq!(h.count(), 16);
+    }
+
+    #[test]
+    fn bucket_ranges_partition_the_value_space() {
+        // Every bucket's range maps back to the same bucket, and ranges
+        // are contiguous.
+        let mut expected_lower = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert_eq!(lo, expected_lower, "bucket {i}");
+            assert_eq!(bucket_index(lo), i, "lower edge of {i}");
+            assert_eq!(bucket_index(hi), i, "upper edge of {i}");
+            if i < BUCKETS - 1 {
+                expected_lower = hi + 1;
+            }
+        }
+        assert_eq!(bucket_range(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        for v in [1_000u64, 25_000, 2_000_000, 900_000_000] {
+            h.record(v);
+            let (lo, hi) = h.quantile_range(1.0).unwrap();
+            assert!(lo <= v && v <= hi);
+            let width = (hi - lo) as f64;
+            assert!(width / lo as f64 <= 1.0 / SUB as f64 + 1e-9);
+            h = LatencyHistogram::new();
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_exact_max() {
+        let mut h = LatencyHistogram::new();
+        let big = (1u64 << MAX_EXP) + 123_456;
+        h.record(big);
+        h.record(7);
+        assert_eq!(h.quantile(1.0), Some(big));
+        assert_eq!(h.quantile(0.25), Some(7));
+    }
+
+    #[test]
+    fn merge_commutes_and_matches_combined() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for v in [3u64, 17, 900, 1 << 20] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [5u64, 4_000, u64::MAX / 2] {
+            b.record(v);
+            combined.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, combined);
+    }
+
+    #[test]
+    fn atomic_variant_matches_plain() {
+        let atomic = AtomicLatencyHistogram::new();
+        let mut plain = LatencyHistogram::new();
+        for v in [0u64, 9, 300, 70_000, 1 << 41] {
+            atomic.record(v);
+            plain.record(v);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn registry_hands_out_shared_recorders() {
+        let _guard = crate::test_lock();
+        reset();
+        let a = recorder("test.latency");
+        let b = recorder("test.latency");
+        a.record(10);
+        b.record(20);
+        let snaps = snapshots();
+        let (_, h) = snaps
+            .iter()
+            .find(|(n, _)| n == "test.latency")
+            .expect("registered");
+        assert_eq!(h.count(), 2);
+        reset();
+    }
+}

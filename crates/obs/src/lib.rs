@@ -15,6 +15,11 @@
 //!   values and stay out of the snapshot.
 //! * [`mod@span`] spans carry wall-clock timestamps and live only in trace
 //!   artifacts (`trace.json` / `trace.jsonl`), written by [`trace`].
+//! * [`latency`] log-linear histograms hold wall-clock durations with
+//!   p50/p99/p999 quantile extraction; like gauges they are excluded
+//!   from the deterministic snapshot and surface through the live
+//!   [`serve`] introspection endpoints (`/metrics`, `/snapshot.json`,
+//!   `/healthz`).
 //! * [`clock`] is the single module allowed to read the wall clock —
 //!   `ets-lint`'s `nondeterministic-source` rule allowlists exactly
 //!   `crates/obs/src/clock.rs` and denies `Instant::now` everywhere
@@ -35,8 +40,11 @@
 pub mod clock;
 pub mod filter;
 mod json;
+pub mod latency;
 pub mod mem;
 pub mod metrics;
+pub mod serve;
+mod sharded;
 pub mod span;
 pub mod trace;
 

@@ -13,12 +13,19 @@
 //!   deterministic snapshot and only flow into trace and bench
 //!   artifacts.
 //!
-//! Everything is process-global behind one mutex; hot paths record once
-//! per batch, not once per item.
+//! Counters and histograms record through the per-thread sharded backend
+//! (`crate::sharded`): the hot path is a thread-local lookup plus one
+//! relaxed `fetch_add`, and readers merge shards commutatively, so the
+//! contention of the old single global mutex is gone while the snapshot
+//! stays thread-count-invariant. Gauges and the stage timeline are cold
+//! (once per stage / per tick) and stay behind one mutex.
 
 use crate::json;
-use std::collections::BTreeMap;
+use crate::sharded;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Mutex, MutexGuard};
+
+pub use crate::sharded::retire_local;
 
 /// A fixed-bucket histogram: `counts[i]` is the number of recorded
 /// values `<= bounds[i]`, with one overflow bucket at the end.
@@ -31,18 +38,6 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(bounds: &[u64]) -> Histogram {
-        Histogram {
-            bounds: bounds.to_vec(),
-            counts: vec![0; bounds.len() + 1],
-        }
-    }
-
-    fn record(&mut self, value: u64) {
-        let i = self.bounds.partition_point(|&b| b < value);
-        self.counts[i] += 1;
-    }
-
     /// Total number of recorded values.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
@@ -51,20 +46,20 @@ impl Histogram {
 
 #[derive(Debug)]
 struct Inner {
-    counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
     /// `(stage name, wall-clock seconds)` in run order — the
     /// `bench_pipeline.json` timeline.
     stages: Vec<(String, f64)>,
 }
 
 static REGISTRY: Mutex<Inner> = Mutex::new(Inner {
-    counters: BTreeMap::new(),
     gauges: BTreeMap::new(),
-    histograms: BTreeMap::new(),
     stages: Vec::new(),
 });
+
+/// Histogram names already warned about, so a hot-path bounds conflict
+/// logs once instead of once per record.
+static BOUNDS_WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
 
 /// Poison only means a panicking thread held the guard mid-update; the
 /// panic still propagates to the test/process, so recovering here never
@@ -75,34 +70,23 @@ fn lock() -> MutexGuard<'static, Inner> {
 
 /// Adds `delta` to the named monotonic counter (created at zero).
 pub fn counter_add(name: &str, delta: u64) {
-    let mut r = lock();
-    match r.counters.get_mut(name) {
-        Some(v) => *v += delta,
-        None => {
-            r.counters.insert(name.to_owned(), delta);
-        }
-    }
+    sharded::counter_add(name, delta);
 }
 
 /// Current value of a counter (zero when never touched).
 pub fn counter_value(name: &str) -> u64 {
-    lock().counters.get(name).copied().unwrap_or(0)
+    sharded::counter_value(name)
 }
 
 /// All counters, sorted by name.
 pub fn counters() -> Vec<(String, u64)> {
-    lock()
-        .counters
-        .iter()
-        .map(|(k, v)| (k.clone(), *v))
-        .collect()
+    sharded::merged_counters().into_iter().collect()
 }
 
 /// Counters with the given dotted prefix, with `prefix.` stripped,
 /// sorted by name.
 pub fn counters_with_prefix(prefix: &str) -> Vec<(String, u64)> {
-    lock()
-        .counters
+    sharded::merged_counters()
         .iter()
         .filter_map(|(k, v)| {
             k.strip_prefix(prefix)
@@ -139,31 +123,34 @@ pub fn gauges_with_prefix(prefix: &str) -> Vec<(String, f64)> {
 
 /// Records one value into the named fixed-bucket histogram. The bucket
 /// bounds are fixed by the first call; later calls must pass the same
-/// bounds (violations are reported at export time via the
-/// `obs.histogram_bounds_conflict` counter rather than panicking inside
-/// a measurement run).
+/// bounds. A violation drops the value, bumps the
+/// `obs.histogram_bounds_conflict` counter, and logs one warning per
+/// metric name (never panics inside a measurement run).
 pub fn histogram_record(name: &str, bounds: &[u64], value: u64) {
-    let mut r = lock();
-    match r.histograms.get_mut(name) {
-        Some(h) => {
-            if h.bounds != bounds {
-                drop(r);
-                counter_add("obs.histogram_bounds_conflict", 1);
-                return;
-            }
-            h.record(value);
-        }
-        None => {
-            let mut h = Histogram::new(bounds);
-            h.record(value);
-            r.histograms.insert(name.to_owned(), h);
-        }
+    if let Err(canonical) = sharded::histogram_record(name, bounds, value) {
+        counter_add("obs.histogram_bounds_conflict", 1);
+        warn_bounds_conflict(name, &canonical, bounds);
     }
+}
+
+/// Logs the bounds-conflict diagnostic, rate-limited to once per metric
+/// name. Returns whether this call was the one that logged.
+fn warn_bounds_conflict(name: &str, registered: &[u64], passed: &[u64]) -> bool {
+    let mut warned = BOUNDS_WARNED.lock().unwrap_or_else(|p| p.into_inner());
+    if !warned.insert(name.to_owned()) {
+        return false;
+    }
+    eprintln!(
+        "[ets-obs] warn: histogram {name:?} bounds conflict: registered {registered:?} \
+         but caller passed {passed:?}; value dropped \
+         (counted in obs.histogram_bounds_conflict; warning once per metric)"
+    );
+    true
 }
 
 /// A copy of the named histogram, if recorded.
 pub fn histogram(name: &str) -> Option<Histogram> {
-    lock().histograms.get(name).cloned()
+    sharded::merged_histogram(name).map(|(bounds, counts)| Histogram { bounds, counts })
 }
 
 /// Appends one entry to the stage-timing timeline.
@@ -211,9 +198,9 @@ pub fn time_stage_result<T, E>(
 /// name, rendered to JSON. Byte-identical across thread counts for a
 /// given `(seed, scale)` workload.
 pub fn snapshot_json() -> String {
-    let r = lock();
+    let merged = sharded::merged_counters();
     let mut out = String::from("{\n  \"counters\": {");
-    for (i, (name, value)) in r.counters.iter().enumerate() {
+    for (i, (name, value)) in merged.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str("    ");
         json::write_str(&mut out, name);
@@ -221,14 +208,14 @@ pub fn snapshot_json() -> String {
         out.push_str(&value.to_string());
     }
     out.push_str("\n  },\n  \"histograms\": {");
-    for (i, (name, h)) in r.histograms.iter().enumerate() {
+    for (i, (name, (bounds, counts))) in sharded::merged_histograms().iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str("    ");
         json::write_str(&mut out, name);
         out.push_str(": {\"bounds\": ");
-        json::write_u64_array(&mut out, &h.bounds);
+        json::write_u64_array(&mut out, bounds);
         out.push_str(", \"counts\": ");
-        json::write_u64_array(&mut out, &h.counts);
+        json::write_u64_array(&mut out, counts);
         out.push('}');
     }
     out.push_str("\n  }\n}\n");
@@ -238,11 +225,15 @@ pub fn snapshot_json() -> String {
 /// Clears every metric and the stage timeline (tests only — production
 /// code records for the life of the process).
 pub fn reset() {
+    sharded::reset();
     let mut r = lock();
-    r.counters.clear();
     r.gauges.clear();
-    r.histograms.clear();
     r.stages.clear();
+    drop(r);
+    BOUNDS_WARNED
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clear();
 }
 
 #[cfg(test)]
@@ -306,6 +297,43 @@ mod tests {
             histogram_record("t.h2", &[1, 3], 1);
             assert_eq!(counter_value("obs.histogram_bounds_conflict"), 1);
             assert_eq!(histogram("t.h2").unwrap().total(), 1);
+        });
+    }
+
+    #[test]
+    fn bounds_conflict_warns_once_per_metric() {
+        locked(|| {
+            histogram_record("t.warn", &[1, 2], 1);
+            // First conflicting record logs; the repeat is rate-limited.
+            assert!(warn_bounds_conflict("t.warn", &[1, 2], &[9]));
+            assert!(!warn_bounds_conflict("t.warn", &[1, 2], &[9]));
+            // A different metric gets its own one-shot warning.
+            assert!(warn_bounds_conflict("t.warn2", &[1], &[2]));
+            // And the real record path flows through the same limiter.
+            histogram_record("t.warn", &[1, 9], 1);
+            assert_eq!(counter_value("obs.histogram_bounds_conflict"), 1);
+        });
+    }
+
+    #[test]
+    fn counts_from_other_threads_merge_into_reads() {
+        locked(|| {
+            counter_add("t.cross", 1);
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| {
+                        counter_add("t.cross", 10);
+                        histogram_record("t.cross_h", &[8], 3);
+                    });
+                }
+            });
+            assert_eq!(counter_value("t.cross"), 41);
+            assert_eq!(histogram("t.cross_h").unwrap().total(), 4);
+            // The scoped threads have exited, so their shards are
+            // already retired; an explicit retire of this thread's
+            // shard must not change any merged value.
+            retire_local();
+            assert_eq!(counter_value("t.cross"), 41);
         });
     }
 

@@ -1,0 +1,458 @@
+//! Dependency-free HTTP introspection listener for live telemetry.
+//!
+//! Serves three read-only endpoints over plain `std::net`:
+//!
+//! * `/metrics` — Prometheus text exposition (version 0.0.4): counters,
+//!   gauges, fixed-bucket histograms, and latency summaries with
+//!   p50/p99/p999 quantiles.
+//! * `/snapshot.json` — the full registry as JSON: counters, gauges,
+//!   histograms, latency quantiles, plus any registered custom sections
+//!   (e.g. the SMTP sampled-session ring).
+//! * `/healthz` — liveness probe (`200 ok`).
+//!
+//! Rendering happens on a periodic **aggregation tick**, not per scrape:
+//! the tick thread merges the sharded registry once and caches the
+//! rendered bodies, so an aggressive scraper costs one buffer copy per
+//! request and never touches the recording hot path. Telemetry about
+//! the listener itself (tick count, scrape count, HTTP errors) is
+//! recorded as *gauges* — wall-clock-side by definition — so enabling
+//! `--telemetry` can never perturb the deterministic counter snapshot.
+
+use crate::{json, latency, metrics};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Options for [`serve_with`].
+pub struct ServeOptions {
+    /// Aggregation interval between registry renders.
+    pub tick: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            tick: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// A handle to the running introspection listener; dropping it shuts
+/// the listener down and joins its threads.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    tick_thread: Option<JoinHandle<()>>,
+}
+
+/// Rendered endpoint bodies, swapped atomically each tick.
+struct Rendered {
+    metrics_text: String,
+    snapshot_json: String,
+}
+
+type SectionFn = dyn Fn() -> String + Send + Sync;
+
+/// Custom `/snapshot.json` sections: name → callback returning a raw
+/// JSON value. Process-global so instrumented subsystems (the SMTP
+/// session ring) can register without holding a server handle.
+static SECTIONS: Mutex<Vec<(String, Arc<SectionFn>)>> = Mutex::new(Vec::new());
+
+fn sections() -> MutexGuard<'static, Vec<(String, Arc<SectionFn>)>> {
+    SECTIONS.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Registers (or replaces) a custom `/snapshot.json` section. The
+/// callback runs on the aggregation tick and must return a raw JSON
+/// value (object, array, or scalar).
+pub fn register_section(name: &str, f: impl Fn() -> String + Send + Sync + 'static) {
+    let mut secs = sections();
+    if let Some(slot) = secs.iter_mut().find(|(n, _)| n == name) {
+        slot.1 = Arc::new(f);
+        return;
+    }
+    secs.push((name.to_owned(), Arc::new(f)));
+    secs.sort_by(|(a, _), (b, _)| a.cmp(b));
+}
+
+/// Starts the introspection listener on `addr` (port 0 binds an
+/// ephemeral port) with default options.
+pub fn serve(addr: &str) -> io::Result<TelemetryServer> {
+    serve_with(addr, ServeOptions::default())
+}
+
+/// Starts the introspection listener with explicit options.
+pub fn serve_with(addr: &str, opts: ServeOptions) -> io::Result<TelemetryServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    // First render happens synchronously so even an immediate scrape
+    // sees a complete document rather than a 503.
+    let cache = Arc::new(Mutex::new(Arc::new(render_all())));
+
+    let tick_thread = {
+        let cache = cache.clone();
+        let flag = shutdown.clone();
+        std::thread::spawn(move || {
+            let mut ticks = 0u64;
+            while !flag.load(Ordering::Relaxed) {
+                sleep_responsive(opts.tick, &flag);
+                if flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                let fresh = Arc::new(render_all());
+                *cache.lock().unwrap_or_else(|p| p.into_inner()) = fresh;
+                ticks += 1;
+                metrics::gauge_set("obs.telemetry.ticks", ticks as f64);
+            }
+        })
+    };
+
+    let accept_thread = {
+        let cache = cache.clone();
+        let flag = shutdown.clone();
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            let mut errors = 0u64;
+            for stream in listener.incoming() {
+                if flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let doc = cache.lock().unwrap_or_else(|p| p.into_inner()).clone();
+                match handle_client(stream, &doc) {
+                    Ok(()) => scrapes += 1,
+                    Err(_) => errors += 1,
+                }
+                metrics::gauge_set("obs.telemetry.scrapes", scrapes as f64);
+                if errors > 0 {
+                    metrics::gauge_set("obs.telemetry.http_errors", errors as f64);
+                }
+            }
+        })
+    };
+
+    Ok(TelemetryServer {
+        addr: local,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        tick_thread: Some(tick_thread),
+    })
+}
+
+impl TelemetryServer {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop with a dummy connection; if the connect
+        // fails the listener is already gone and accept errors out.
+        if let Ok(wake) = TcpStream::connect(self.addr) {
+            drop(wake);
+        }
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.tick_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Sleeps up to `total`, polling `flag` so shutdown is prompt even with
+/// slow ticks.
+fn sleep_responsive(total: Duration, flag: &AtomicBool) {
+    let step = Duration::from_millis(25);
+    let mut remaining = total;
+    while remaining > Duration::ZERO && !flag.load(Ordering::Relaxed) {
+        let chunk = remaining.min(step);
+        std::thread::sleep(chunk);
+        remaining = remaining.saturating_sub(chunk);
+    }
+}
+
+/// Answers one HTTP request on `stream` from the cached documents.
+fn handle_client(mut stream: TcpStream, doc: &Rendered) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the end of the request head (we ignore bodies).
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() > 8192 {
+            return respond(&mut stream, 431, "text/plain", "head too large\n");
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "only GET\n");
+    }
+    match path {
+        "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+        "/metrics" => respond(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &doc.metrics_text,
+        ),
+        "/snapshot.json" => respond(&mut stream, 200, "application/json", &doc.snapshot_json),
+        _ => respond(&mut stream, 404, "text/plain", "unknown path\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A metric name in Prometheus grammar: dots (and any other separator)
+/// become underscores.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders both endpoint bodies from one pass over the registry.
+fn render_all() -> Rendered {
+    let counters = metrics::counters();
+    let gauges = metrics::gauges();
+    let latencies = latency::snapshots();
+    let histograms: Vec<(String, metrics::Histogram)> = counter_histograms();
+    Rendered {
+        metrics_text: render_metrics(&counters, &gauges, &histograms, &latencies),
+        snapshot_json: render_snapshot(&counters, &gauges, &histograms, &latencies),
+    }
+}
+
+/// Every fixed-bucket histogram in the registry, by name.
+fn counter_histograms() -> Vec<(String, metrics::Histogram)> {
+    crate::sharded::merged_histograms()
+        .into_iter()
+        .map(|(name, (bounds, counts))| (name, metrics::Histogram { bounds, counts }))
+        .collect()
+}
+
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")];
+
+fn render_metrics(
+    counters: &[(String, u64)],
+    gauges: &[(String, f64)],
+    histograms: &[(String, metrics::Histogram)],
+    latencies: &[(String, latency::LatencyHistogram)],
+) -> String {
+    let mut out = String::new();
+    for (name, value) in counters {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in gauges {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+    }
+    for (name, h) in histograms {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.counts) {
+            cumulative += count;
+            out.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        let total = h.total();
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {total}\n"));
+        out.push_str(&format!("{n}_count {total}\n"));
+    }
+    for (name, h) in latencies {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        for (q, label) in QUANTILES {
+            let v = h.quantile(q).unwrap_or(0);
+            out.push_str(&format!("{n}{{quantile=\"{label}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum(), h.count()));
+    }
+    out
+}
+
+fn render_snapshot(
+    counters: &[(String, u64)],
+    gauges: &[(String, f64)],
+    histograms: &[(String, metrics::Histogram)],
+    latencies: &[(String, latency::LatencyHistogram)],
+) -> String {
+    let mut out = String::from("{\n  \"uptime_us\": ");
+    out.push_str(&crate::clock::monotonic_micros().to_string());
+    out.push_str(",\n  \"counters\": {");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        json::write_str(&mut out, name);
+        out.push_str(": ");
+        out.push_str(&value.to_string());
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, (name, value)) in gauges.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        json::write_str(&mut out, name);
+        out.push_str(": ");
+        json::write_f64(&mut out, *value);
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, (name, h)) in histograms.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        json::write_str(&mut out, name);
+        out.push_str(": {\"bounds\": ");
+        json::write_u64_array(&mut out, &h.bounds);
+        out.push_str(", \"counts\": ");
+        json::write_u64_array(&mut out, &h.counts);
+        out.push('}');
+    }
+    out.push_str("\n  },\n  \"latency\": {");
+    for (i, (name, h)) in latencies.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        json::write_str(&mut out, name);
+        out.push_str(&format!(
+            ": {{\"count\": {}, \"sum\": {}, \"max\": {}",
+            h.count(),
+            h.sum(),
+            h.max()
+        ));
+        for (q, label) in QUANTILES {
+            out.push_str(&format!(
+                ", \"p{}\": {}",
+                label.trim_start_matches("0."),
+                h.quantile(q).unwrap_or(0)
+            ));
+        }
+        out.push('}');
+    }
+    out.push_str("\n  },\n  \"sections\": {");
+    let secs: Vec<(String, Arc<SectionFn>)> = sections().clone();
+    for (i, (name, f)) in secs.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        json::write_str(&mut out, name);
+        out.push_str(": ");
+        out.push_str(&f());
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn endpoints_serve_cached_registry() {
+        let _guard = crate::test_lock();
+        metrics::reset();
+        latency::reset();
+        metrics::counter_add("serve.test_counter", 7);
+        metrics::gauge_set("serve.test_gauge", 1.5);
+        metrics::histogram_record("serve.test_hist", &[10, 100], 42);
+        latency::recorder("serve.test_us").record(1234);
+        let srv = serve_with(
+            "127.0.0.1:0",
+            ServeOptions {
+                tick: Duration::from_millis(20),
+            },
+        )
+        .unwrap();
+
+        let (head, body) = get(srv.addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(srv.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("# TYPE serve_test_counter counter"));
+        assert!(body.contains("serve_test_counter 7"));
+        assert!(body.contains("# TYPE serve_test_gauge gauge"));
+        assert!(body.contains("serve_test_hist_bucket{le=\"100\"} 1"));
+        assert!(body.contains("serve_test_us{quantile=\"0.999\"}"));
+
+        let (_, body) = get(srv.addr(), "/snapshot.json");
+        assert!(body.contains("\"serve.test_counter\": 7"));
+        assert!(body.contains("\"uptime_us\""));
+        assert!(body.contains("\"p999\""));
+
+        let (head, _) = get(srv.addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        drop(srv);
+        metrics::reset();
+        latency::reset();
+    }
+
+    #[test]
+    fn sections_render_into_snapshot() {
+        let _guard = crate::test_lock();
+        metrics::reset();
+        register_section("unit_test_section", || "{\"n\": 3}".to_owned());
+        let srv = serve("127.0.0.1:0").unwrap();
+        let (_, body) = get(srv.addr(), "/snapshot.json");
+        assert!(body.contains("\"unit_test_section\": {\"n\": 3}"), "{body}");
+        drop(srv);
+        metrics::reset();
+    }
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(
+            prom_name("smtp.session_outcome.no_error"),
+            "smtp_session_outcome_no_error"
+        );
+        assert_eq!(prom_name("a-b.c"), "a_b_c");
+    }
+}

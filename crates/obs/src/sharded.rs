@@ -1,0 +1,342 @@
+//! Per-thread sharded recording backend for counters and fixed-bucket
+//! histograms.
+//!
+//! The v1 registry funneled every `counter_add` through one global
+//! `Mutex<BTreeMap>`. Under the serving path's per-connection threads
+//! (and the fan-out workers of `ets-parallel`) that mutex becomes the
+//! contention point, so recording is now sharded:
+//!
+//! * Each recording thread lazily registers one **shard** and caches
+//!   `Arc`-shared atomic cells per metric name in a thread-local map.
+//!   The steady-state hot path is one epoch load, one local lookup, and
+//!   one `fetch_add(Relaxed)` — no global lock, no inter-thread cache
+//!   traffic beyond the cell itself.
+//! * Readers (`merged_counters`, `merged_histograms`, the snapshot)
+//!   merge the retired state with every live shard by **summing `u64`
+//!   cells** — a commutative, associative merge, so the totals (and the
+//!   rendered snapshot) are a pure function of the workload, never of
+//!   thread count or scheduling. This preserves the PR 4 determinism
+//!   boundary verbatim.
+//! * When a thread exits, its `Local` cache drops and the shard's cells
+//!   are folded into the global retired maps ([`retire_shard`]), so the
+//!   live-shard list stays bounded by the number of *live* threads.
+//!   `std::thread` runs TLS destructors before `join` returns, so after
+//!   a `thread::scope` (or an `ets-parallel` fan-out) completes, every
+//!   worker's counts are already retired.
+//!
+//! `reset()` bumps a global epoch: stale thread-local caches detect the
+//! mismatch on their next record and re-register a fresh shard, which
+//! keeps the test-only reset coherent without blocking the hot path.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One histogram's shared recording cell: canonical bounds plus one
+/// atomic count per bucket (`counts.len() == bounds.len() + 1`, the last
+/// being the overflow bucket).
+pub(crate) struct HistCell {
+    bounds: Arc<Vec<u64>>,
+    counts: Vec<AtomicU64>,
+}
+
+impl HistCell {
+    fn new(bounds: Arc<Vec<u64>>) -> HistCell {
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        HistCell { bounds, counts }
+    }
+
+    fn record(&self, value: u64) {
+        let i = self.bounds.partition_point(|&b| b < value);
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn load_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// One thread's shard. The maps are only locked on a thread's *first*
+/// touch of a given metric name (and by readers); steady-state records
+/// go straight to the cached `Arc` cells.
+#[derive(Default)]
+struct Shard {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    hists: Mutex<BTreeMap<String, Arc<HistCell>>>,
+}
+
+/// Global sharded state: the live shard list, the folded state of exited
+/// threads, and the canonical (first-registration-wins) histogram
+/// bounds.
+struct Global {
+    shards: Vec<Arc<Shard>>,
+    retired_counters: BTreeMap<String, u64>,
+    /// Counts only; bounds come from `canonical_bounds`.
+    retired_hists: BTreeMap<String, Vec<u64>>,
+    canonical_bounds: BTreeMap<String, Arc<Vec<u64>>>,
+}
+
+static GLOBAL: Mutex<Global> = Mutex::new(Global {
+    shards: Vec::new(),
+    retired_counters: BTreeMap::new(),
+    retired_hists: BTreeMap::new(),
+    canonical_bounds: BTreeMap::new(),
+});
+
+/// Epoch counter bumped by [`reset`]; thread-local caches self-invalidate
+/// on mismatch.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Poison only means a panicking thread held the guard mid-update; the
+/// panic still propagates to the test/process, so recovering here never
+/// masks a failure.
+fn glock() -> MutexGuard<'static, Global> {
+    GLOBAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn shard_counters(shard: &Shard) -> MutexGuard<'_, BTreeMap<String, Arc<AtomicU64>>> {
+    shard.counters.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn shard_hists(shard: &Shard) -> MutexGuard<'_, BTreeMap<String, Arc<HistCell>>> {
+    shard.hists.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The thread-local recorder: a registered shard plus name→cell caches.
+/// The caches are lookup-only (`get`/`insert`/`clear`), never iterated —
+/// iteration and merging happen over the shard's ordered maps.
+struct Local {
+    epoch: u64,
+    shard: Arc<Shard>,
+    counter_cache: HashMap<String, Arc<AtomicU64>>,
+    hist_cache: HashMap<String, Arc<HistCell>>,
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        retire_shard(&self.shard, self.epoch);
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+}
+
+/// Folds a shard's cells into the retired maps and drops it from the
+/// live list. A no-op when `epoch` is stale: `reset` already bumped the
+/// epoch and cleared the state this shard belonged to.
+fn retire_shard(shard: &Arc<Shard>, epoch: u64) {
+    let mut g = glock();
+    if EPOCH.load(Ordering::Relaxed) != epoch {
+        return;
+    }
+    let Some(pos) = g.shards.iter().position(|s| Arc::ptr_eq(s, shard)) else {
+        return;
+    };
+    g.shards.swap_remove(pos);
+    for (name, cell) in shard_counters(shard).iter() {
+        *g.retired_counters.entry(name.clone()).or_insert(0) += cell.load(Ordering::Relaxed);
+    }
+    for (name, cell) in shard_hists(shard).iter() {
+        let fresh = cell.load_counts();
+        let folded = g
+            .retired_hists
+            .entry(name.clone())
+            .or_insert_with(|| vec![0; fresh.len()]);
+        for (dst, src) in folded.iter_mut().zip(fresh) {
+            *dst += src;
+        }
+    }
+}
+
+/// Ensures the calling thread has a current-epoch recorder, registering
+/// a fresh shard (and discarding any stale cache) as needed.
+fn ensure(slot: &mut Option<Local>) -> &mut Local {
+    let current = EPOCH.load(Ordering::Relaxed);
+    if slot.as_ref().map(|l| l.epoch) != Some(current) {
+        // Dropping a stale recorder is a no-op retire (epoch mismatch).
+        *slot = None;
+    }
+    slot.get_or_insert_with(|| {
+        let shard: Arc<Shard> = Arc::default();
+        let mut g = glock();
+        // Re-read under the lock: `reset` bumps the epoch while holding
+        // it, so shard registration and epoch observation are coherent.
+        let epoch = EPOCH.load(Ordering::Relaxed);
+        g.shards.push(shard.clone());
+        drop(g);
+        Local {
+            epoch,
+            shard,
+            counter_cache: HashMap::new(),
+            hist_cache: HashMap::new(),
+        }
+    })
+}
+
+/// Adds `delta` to the named counter (created at zero) via the calling
+/// thread's shard.
+pub(crate) fn counter_add(name: &str, delta: u64) {
+    let direct = LOCAL.try_with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let l = ensure(&mut slot);
+        if let Some(cell) = l.counter_cache.get(name) {
+            cell.fetch_add(delta, Ordering::Relaxed);
+            return;
+        }
+        let cell = shard_counters(&l.shard)
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        cell.fetch_add(delta, Ordering::Relaxed);
+        l.counter_cache.insert(name.to_owned(), cell);
+    });
+    if direct.is_err() {
+        // TLS already torn down (a destructor is recording): fold the
+        // delta straight into the retired state.
+        let mut g = glock();
+        *g.retired_counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+}
+
+/// Records one histogram value via the calling thread's shard. Bounds
+/// are canonicalized on first registration; a mismatching caller gets
+/// `Err` with the canonical bounds (and the value is dropped).
+pub(crate) fn histogram_record(
+    name: &str,
+    bounds: &[u64],
+    value: u64,
+) -> Result<(), Arc<Vec<u64>>> {
+    let recorded = LOCAL.try_with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let l = ensure(&mut slot);
+        if let Some(cell) = l.hist_cache.get(name) {
+            if cell.bounds.as_slice() != bounds {
+                return Err(cell.bounds.clone());
+            }
+            cell.record(value);
+            return Ok(());
+        }
+        let canonical = canonical_bounds(name, bounds);
+        if canonical.as_slice() != bounds {
+            return Err(canonical);
+        }
+        let cell = shard_hists(&l.shard)
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(HistCell::new(canonical)))
+            .clone();
+        cell.record(value);
+        l.hist_cache.insert(name.to_owned(), cell);
+        Ok(())
+    });
+    match recorded {
+        Ok(r) => r,
+        Err(_) => {
+            // TLS torn down: record into the retired counts directly.
+            let canonical = canonical_bounds(name, bounds);
+            if canonical.as_slice() != bounds {
+                return Err(canonical);
+            }
+            let mut g = glock();
+            let counts = g
+                .retired_hists
+                .entry(name.to_owned())
+                .or_insert_with(|| vec![0; bounds.len() + 1]);
+            let i = bounds.partition_point(|&b| b < value);
+            counts[i] += 1;
+            Ok(())
+        }
+    }
+}
+
+/// The canonical bounds for `name`: registers `bounds` on first use.
+fn canonical_bounds(name: &str, bounds: &[u64]) -> Arc<Vec<u64>> {
+    let mut g = glock();
+    g.canonical_bounds
+        .entry(name.to_owned())
+        .or_insert_with(|| Arc::new(bounds.to_vec()))
+        .clone()
+}
+
+/// Current merged value of one counter (zero when never touched).
+pub(crate) fn counter_value(name: &str) -> u64 {
+    let g = glock();
+    let mut total = g.retired_counters.get(name).copied().unwrap_or(0);
+    for shard in &g.shards {
+        if let Some(cell) = shard_counters(shard).get(name) {
+            total += cell.load(Ordering::Relaxed);
+        }
+    }
+    total
+}
+
+/// All counters, merged across retired state and live shards.
+pub(crate) fn merged_counters() -> BTreeMap<String, u64> {
+    let g = glock();
+    let mut out = g.retired_counters.clone();
+    for shard in &g.shards {
+        for (name, cell) in shard_counters(shard).iter() {
+            *out.entry(name.clone()).or_insert(0) += cell.load(Ordering::Relaxed);
+        }
+    }
+    out
+}
+
+/// All histograms as `(bounds, counts)`, merged across retired state and
+/// live shards.
+pub(crate) fn merged_histograms() -> BTreeMap<String, (Vec<u64>, Vec<u64>)> {
+    let g = glock();
+    let mut out: BTreeMap<String, (Vec<u64>, Vec<u64>)> = BTreeMap::new();
+    for (name, bounds) in g.canonical_bounds.iter() {
+        let mut counts = vec![0u64; bounds.len() + 1];
+        if let Some(folded) = g.retired_hists.get(name) {
+            for (dst, src) in counts.iter_mut().zip(folded) {
+                *dst += src;
+            }
+        }
+        for shard in &g.shards {
+            if let Some(cell) = shard_hists(shard).get(name) {
+                for (dst, src) in counts.iter_mut().zip(cell.load_counts()) {
+                    *dst += src;
+                }
+            }
+        }
+        // Bounds registered by a conflicting caller may never have been
+        // recorded into; surface them anyway (all-zero counts) so the
+        // registry's view matches what `histogram_record` accepted.
+        out.insert(name.clone(), (bounds.as_ref().clone(), counts));
+    }
+    out
+}
+
+/// One merged histogram, if its bounds were ever registered.
+pub(crate) fn merged_histogram(name: &str) -> Option<(Vec<u64>, Vec<u64>)> {
+    merged_histograms().remove(name)
+}
+
+/// Flushes the calling thread's shard into the retired state and drops
+/// its caches. Recording from this thread remains valid (a fresh shard
+/// is registered on the next record); retiring eagerly keeps the live
+/// shard list — and thus reader latency — bounded when many short-lived
+/// worker threads record.
+pub fn retire_local() {
+    // Ignore errors during TLS teardown: the destructor already retired.
+    let _ = LOCAL.try_with(|slot| {
+        *slot.borrow_mut() = None;
+    });
+}
+
+/// Clears all sharded state and invalidates every thread-local cache
+/// (tests only — production code records for the life of the process).
+pub(crate) fn reset() {
+    let mut g = glock();
+    EPOCH.fetch_add(1, Ordering::Relaxed);
+    g.shards.clear();
+    g.retired_counters.clear();
+    g.retired_hists.clear();
+    g.canonical_bounds.clear();
+}

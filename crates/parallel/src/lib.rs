@@ -181,6 +181,11 @@ where
                         .push((c, out));
                 }
                 span.arg("items", items_done);
+                // Fold this worker's metric shard into the global
+                // retired state *inside* the scope, so counter reads
+                // immediately after the join are complete without
+                // leaning on TLS-destructor ordering.
+                ets_obs::metrics::retire_local();
             });
         }
     });
@@ -258,6 +263,9 @@ where
                         .push((c, acc));
                 }
                 span.arg("items", items_done);
+                // See par_map: deterministic shard retirement at the
+                // fan-out boundary.
+                ets_obs::metrics::retire_local();
             });
         }
     });

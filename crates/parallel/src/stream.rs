@@ -261,6 +261,9 @@ where
                     output.close();
                 }
                 span.arg("items", items_done);
+                // Fold this worker's metric shard before the scope
+                // joins (see par_map in lib.rs).
+                ets_obs::metrics::retire_local();
             });
         }
         let _guard = CloseOnDrop { input, output };

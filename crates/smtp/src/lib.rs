@@ -17,6 +17,12 @@
 //!
 //! [`fault`] injects the failure modes of Table 5 (bounce, timeout,
 //! network error, other error) into either driver.
+//!
+//! The TCP driver is instrumented by [`telemetry`]: per-phase latency
+//! histograms (accept→banner, command, policy, DATA, whole-session),
+//! in-flight gauges, a Table 5 outcome-taxonomy counter family, and a
+//! 1-in-N sampled session ring — all scrapeable live through
+//! `ets_obs::serve` (`ets-smtp --telemetry ADDR`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +36,7 @@ pub mod pipe;
 pub mod reply;
 pub mod server;
 pub mod session;
+pub mod telemetry;
 
 pub use client::{ClientSession, Email};
 pub use codec::LineCodec;

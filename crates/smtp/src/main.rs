@@ -1,0 +1,208 @@
+//! `ets-smtp` — run the loopback SMTP server as a standalone process
+//! with the live telemetry plane attached.
+//!
+//! ```text
+//! ets-smtp [--listen ADDR] [--telemetry ADDR] [--hostname H]
+//!          [--domains a,b,...] [--read-timeout-ms N] [--sample-every N]
+//!          [--drive N] [--linger-secs S]
+//! ```
+//!
+//! * `--listen ADDR` — SMTP bind address (default `127.0.0.1:0`).
+//! * `--telemetry ADDR` — start the `ets-obs` introspection listener
+//!   (`/metrics`, `/snapshot.json`, `/healthz`) on `ADDR`.
+//! * `--hostname H` / `--domains a,b` — catch-all policy (defaults:
+//!   `mx.gmial.com` accepting `gmial.com`).
+//! * `--read-timeout-ms N` — per-connection read timeout (default
+//!   30000); drive mode uses a short value so the `Timeout` taxonomy
+//!   row exercises quickly.
+//! * `--sample-every N` — session trace sampling rate (default 16).
+//! * `--drive N` — drive `N` deterministic loopback sessions cycling
+//!   through all five Table 5 outcomes, then report the counters.
+//! * `--linger-secs S` — keep serving for `S` seconds after the drive
+//!   (so an external scraper can read `/metrics`), then exit.
+
+#![forbid(unsafe_code)]
+
+use ets_smtp::client::Email;
+use ets_smtp::net_client::send_email;
+use ets_smtp::server::{ServerOptions, SmtpServer};
+use ets_smtp::session::ServerPolicy;
+use ets_smtp::telemetry::TelemetryConfig;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "127.0.0.1:0".to_owned();
+    let mut telemetry_addr: Option<String> = None;
+    let mut hostname = "mx.gmial.com".to_owned();
+    let mut domains = vec!["gmial.com".to_owned()];
+    let mut read_timeout_ms: u64 = 30_000;
+    let mut sample_every: u64 = 16;
+    let mut drive: Option<usize> = None;
+    let mut linger_secs: u64 = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => match it.next() {
+                Some(v) => listen = v.clone(),
+                None => return usage("--listen needs an address"),
+            },
+            "--telemetry" => match it.next() {
+                Some(v) => telemetry_addr = Some(v.clone()),
+                None => return usage("--telemetry needs an address"),
+            },
+            "--hostname" => match it.next() {
+                Some(v) => hostname = v.clone(),
+                None => return usage("--hostname needs a name"),
+            },
+            "--domains" => match it.next() {
+                Some(v) => domains = v.split(',').map(str::to_owned).collect(),
+                None => return usage("--domains needs a comma-separated list"),
+            },
+            "--read-timeout-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => read_timeout_ms = n,
+                None => return usage("--read-timeout-ms needs an integer"),
+            },
+            "--sample-every" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => sample_every = n,
+                None => return usage("--sample-every needs an integer"),
+            },
+            "--drive" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => drive = Some(n),
+                None => return usage("--drive needs an integer"),
+            },
+            "--linger-secs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => linger_secs = n,
+                None => return usage("--linger-secs needs an integer"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let options = ServerOptions {
+        read_timeout: Duration::from_millis(read_timeout_ms),
+        telemetry: TelemetryConfig {
+            sample_every,
+            ..TelemetryConfig::default()
+        },
+    };
+    let policy = ServerPolicy::catch_all(&hostname, &domains);
+    let server = match SmtpServer::bind_with(&listen, policy, options) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("smtp listening on {}", server.addr());
+
+    let _telemetry_server = match telemetry_addr {
+        Some(addr) => match ets_obs::serve::serve(&addr) {
+            Ok(srv) => {
+                println!("telemetry on {}", srv.addr());
+                Some(srv)
+            }
+            Err(e) => {
+                eprintln!("cannot bind telemetry {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    // Unbuffer the addresses for supervising scripts.
+    let _ = std::io::stdout().flush();
+
+    if let Some(n) = drive {
+        drive_sessions(&server, n, read_timeout_ms, &domains[0]);
+        let drained = server.drain();
+        println!("drive complete: {n} sessions, {} delivered", drained.len());
+        for (name, v) in ets_obs::metrics::counters_with_prefix("smtp.session_outcome") {
+            println!("  outcome {name}: {v}");
+        }
+        let _ = std::io::stdout().flush();
+    }
+
+    if linger_secs > 0 {
+        std::thread::sleep(Duration::from_secs(linger_secs));
+    } else if drive.is_none() {
+        // Serve until killed.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Drives `n` loopback sessions cycling deterministically through the
+/// five Table 5 outcomes: accepted delivery, bounced recipient, read
+/// timeout, silent connect-and-drop, and protocol garbage.
+fn drive_sessions(server: &SmtpServer, n: usize, read_timeout_ms: u64, local_domain: &str) {
+    let addr = server.addr().to_string();
+    let client_timeout = Duration::from_millis(read_timeout_ms.max(1_000) * 4);
+    for i in 0..n {
+        match i % 5 {
+            // NoError: a catch-all accepted delivery.
+            0 => {
+                let email = Email::new(
+                    Some("alice@gmail.com".parse().expect("static address")),
+                    vec![format!("user{i}@{local_domain}").parse().expect("address")],
+                    format!("Subject: drive {i}\r\n\r\nhello"),
+                );
+                let _ = send_email(&addr, email, "drive.example", false, client_timeout);
+            }
+            // Bounce: a recipient outside the catch-all domains.
+            1 => {
+                let email = Email::new(
+                    Some("alice@gmail.com".parse().expect("static address")),
+                    vec![format!("user{i}@unrelated.example")
+                        .parse()
+                        .expect("address")],
+                    "Subject: bounce\r\n\r\nhello".to_owned(),
+                );
+                let _ = send_email(&addr, email, "drive.example", false, client_timeout);
+            }
+            // Timeout: greet, then stall past the server's read timeout.
+            2 => {
+                if let Ok(mut s) = TcpStream::connect(&addr) {
+                    let _ = s.set_read_timeout(Some(client_timeout));
+                    let mut banner = [0u8; 256];
+                    let _ = s.read(&mut banner);
+                    std::thread::sleep(Duration::from_millis(read_timeout_ms + 200));
+                }
+            }
+            // NetworkError: connect and vanish without a word.
+            3 => {
+                if let Ok(s) = TcpStream::connect(&addr) {
+                    drop(s);
+                    // Give the handler a beat to observe the EOF.
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+            // OtherError: protocol chatter that never forms a
+            // transaction.
+            _ => {
+                if let Ok(mut s) = TcpStream::connect(&addr) {
+                    let _ = s.set_read_timeout(Some(client_timeout));
+                    let mut banner = [0u8; 256];
+                    let _ = s.read(&mut banner);
+                    let _ = s.write_all(b"XYZZY plugh\r\n");
+                    let _ = s.read(&mut banner);
+                }
+            }
+        }
+    }
+    // Let the last handler threads classify before reporting.
+    std::thread::sleep(Duration::from_millis(300));
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: ets-smtp [--listen ADDR] [--telemetry ADDR] [--hostname H] [--domains a,b] \
+         [--read-timeout-ms N] [--sample-every N] [--drive N] [--linger-secs S]"
+    );
+    ExitCode::FAILURE
+}

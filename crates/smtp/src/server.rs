@@ -8,13 +8,33 @@
 
 use crate::codec::{Frame, LineCodec};
 use crate::session::{ReceivedEmail, ServerPolicy, ServerSession};
+use crate::telemetry::{SessionObserver, SmtpTelemetry, TelemetryConfig};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::io::{Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Tuning knobs for [`SmtpServer::bind_with`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Per-connection read timeout; a stalled client resolves to the
+    /// Table 5 `Timeout` outcome when it expires.
+    pub read_timeout: Duration,
+    /// Telemetry sampling configuration.
+    pub telemetry: TelemetryConfig,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            read_timeout: Duration::from_secs(30),
+            telemetry: TelemetryConfig::default(),
+        }
+    }
+}
 
 /// A running SMTP server bound to a local address.
 pub struct SmtpServer {
@@ -22,29 +42,55 @@ pub struct SmtpServer {
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     rx: Receiver<ReceivedEmail>,
+    telemetry: Arc<SmtpTelemetry>,
 }
 
 impl SmtpServer {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
     /// accepting connections with the given policy.
     pub fn bind(addr: &str, policy: ServerPolicy) -> std::io::Result<SmtpServer> {
+        SmtpServer::bind_with(addr, policy, ServerOptions::default())
+    }
+
+    /// Like [`SmtpServer::bind`], with explicit timeout/telemetry
+    /// options.
+    pub fn bind_with(
+        addr: &str,
+        policy: ServerPolicy,
+        options: ServerOptions,
+    ) -> std::io::Result<SmtpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        // The owner channel is unbounded: a slow `drain`er cannot stall
+        // connection handlers, but nothing bounds the backlog either —
+        // the `smtp.accept_queue_depth` gauge makes that gap observable,
+        // and bounding it (with back-pressure into the accept loop) is
+        // deferred to the loadgen closed-loop work.
         let (tx, rx) = unbounded();
+        let telemetry = SmtpTelemetry::new(&options.telemetry);
         let flag = shutdown.clone();
-        let accept_thread = std::thread::spawn(move || accept_loop(listener, policy, tx, flag));
+        let tm = telemetry.clone();
+        let read_timeout = options.read_timeout;
+        let accept_thread =
+            std::thread::spawn(move || accept_loop(listener, policy, tx, flag, tm, read_timeout));
         Ok(SmtpServer {
             addr: local,
             shutdown,
             accept_thread: Some(accept_thread),
             rx,
+            telemetry,
         })
     }
 
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The server's telemetry plane (latency recorders, session ring).
+    pub fn telemetry(&self) -> &Arc<SmtpTelemetry> {
+        &self.telemetry
     }
 
     /// Receiver of accepted messages.
@@ -88,6 +134,8 @@ fn accept_loop(
     policy: ServerPolicy,
     tx: Sender<ReceivedEmail>,
     shutdown: Arc<AtomicBool>,
+    telemetry: Arc<SmtpTelemetry>,
+    read_timeout: Duration,
 ) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     for stream in listener.incoming() {
@@ -95,12 +143,17 @@ fn accept_loop(
             break;
         }
         let Ok(stream) = stream else { continue };
+        telemetry.accept_queue_depth(tx.len());
         let tx = tx.clone();
         let policy = policy.clone();
+        let tm = telemetry.clone();
         handlers.push(std::thread::spawn(move || {
-            // ets-lint: allow(swallowed-error): a broken client connection
-            // only ends that session; the harness observes delivery via rx.
-            let _ = handle_connection(stream, policy, tx);
+            let mut observer = tm.session_start();
+            // A broken client connection only ends that session: the
+            // error feeds the Table 5 outcome taxonomy and the harness
+            // observes delivery via rx.
+            let result = handle_connection(stream, policy, tx, read_timeout, &mut observer);
+            observer.finish(result.as_ref().err());
         }));
         // Opportunistically reap finished handlers.
         handlers.retain(|h| !h.is_finished());
@@ -114,20 +167,27 @@ fn handle_connection(
     mut stream: TcpStream,
     policy: ServerPolicy,
     tx: Sender<ReceivedEmail>,
+    read_timeout: Duration,
+    observer: &mut SessionObserver,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_read_timeout(Some(read_timeout))?;
     stream.set_nodelay(true)?;
     let mut session = ServerSession::new(policy);
     let mut framer = LineCodec::new();
     write_reply(&mut stream, &session.greeting().to_string())?;
+    observer.banner_sent();
     let mut buf = [0u8; 4096];
     loop {
         // Drain complete frames before reading more bytes.
         loop {
             match framer.next_frame() {
                 Ok(Some(Frame::Line(line))) => {
+                    let is_rcpt = line
+                        .get(..4)
+                        .is_some_and(|p| p.eq_ignore_ascii_case("RCPT"));
                     let action = session.on_line(&line);
                     write_reply(&mut stream, &action.reply.to_string())?;
+                    observer.command(is_rcpt, action.reply.code);
                     if action.enter_data {
                         framer.enter_data_mode();
                     }
@@ -139,8 +199,10 @@ fn handle_connection(
                     }
                 }
                 Ok(Some(Frame::Data(payload))) => {
+                    let bytes = payload.len();
                     let action = session.on_data(&payload);
                     write_reply(&mut stream, &action.reply.to_string())?;
+                    observer.data_done(bytes, action.event.is_some());
                     if let Some(e) = action.event {
                         let _ = tx.send(e);
                     }
@@ -150,12 +212,28 @@ fn handle_connection(
                 }
                 Ok(None) => break,
                 Err(_) => {
+                    observer.framing_error();
                     write_reply(&mut stream, "500 Line too long")?;
                     return Ok(());
                 }
             }
         }
-        let n = stream.read(&mut buf)?;
+        let n = match stream.read(&mut buf) {
+            Ok(n) => n,
+            Err(e) => {
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) {
+                    // ets-lint: allow(swallowed-error): courtesy 421 on an
+                    // already-stalled connection (RFC 5321 §4.2.4.1); the
+                    // Timeout outcome is decided whether or not the client
+                    // hears it.
+                    let _ = write_reply(&mut stream, "421 4.4.2 idle timeout, closing");
+                }
+                return Err(e);
+            }
+        };
         if n == 0 {
             return Ok(()); // client hung up
         }

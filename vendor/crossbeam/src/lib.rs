@@ -113,6 +113,16 @@ pub mod channel {
             self.inner.not_empty.notify_one();
             Ok(())
         }
+
+        /// Number of queued messages (matches `crossbeam_channel::Sender::len`).
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Receiver<T> {
