@@ -37,12 +37,17 @@ pub const TIMING_ALLOWLIST_FILES: &[&str] = &["microbench.rs"];
 pub const TIMING_ALLOWLIST_CRATES: &[&str] = &["ets-bench"];
 /// Workspace-relative paths allowed to read the wall clock. Path-exact on
 /// purpose: `crates/obs/src/clock.rs` is the *only* wall-clock source in
-/// the observability subsystem and `crates/smtp/src/telemetry.rs` is the
-/// only one in the SMTP serving plane (per-phase latency observers), so a
-/// `clock.rs`/`telemetry.rs` in any other crate — or `Instant::now`
-/// anywhere else in `ets-obs`/`ets-smtp` — is still denied.
-pub const TIMING_ALLOWLIST_PATHS: &[&str] =
-    &["crates/obs/src/clock.rs", "crates/smtp/src/telemetry.rs"];
+/// the observability subsystem, `crates/smtp/src/telemetry.rs` is the
+/// only one in the SMTP serving plane (per-phase latency observers), and
+/// `crates/loadgen/src/runner.rs` is the only one in the load harness
+/// (open-loop pacing and request latency) — so a `clock.rs`/
+/// `telemetry.rs`/`runner.rs` in any other crate, or `Instant::now`
+/// anywhere else in `ets-obs`/`ets-smtp`/`ets-loadgen`, is still denied.
+pub const TIMING_ALLOWLIST_PATHS: &[&str] = &[
+    "crates/obs/src/clock.rs",
+    "crates/smtp/src/telemetry.rs",
+    "crates/loadgen/src/runner.rs",
+];
 
 /// Walks up from `start` to the directory whose `Cargo.toml` declares
 /// `[workspace]`.

@@ -241,6 +241,22 @@ fn timing_allowlist_is_path_exact_for_obs_clock() {
     assert!(!timing_allowed_for("ets-smtp", "smtp", "src/net_client.rs"));
     assert!(!timing_allowed_for("ets-dns", "dns", "src/telemetry.rs"));
 
+    // The load-harness runner is the third path-exact entry: open-loop
+    // pacing needs the clock, but the rest of ets-loadgen (scenario
+    // draws, stats, reports) must stay deterministic.
+    assert!(timing_allowed_for(
+        "ets-loadgen",
+        "loadgen",
+        "src/runner.rs"
+    ));
+    assert!(!timing_allowed_for("ets-loadgen", "loadgen", "src/lib.rs"));
+    assert!(!timing_allowed_for(
+        "ets-loadgen",
+        "loadgen",
+        "src/scenario.rs"
+    ));
+    assert!(!timing_allowed_for("ets-core", "core", "src/runner.rs"));
+
     // And a denied meta really does fire on wall-clock reads.
     let src = std::fs::read_to_string(fixture_path("nondet.rs")).unwrap();
     let mut m = meta("nondet.rs", false, true, false);

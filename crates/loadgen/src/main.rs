@@ -1,0 +1,225 @@
+//! `ets-loadgen` — drive a workload at the SMTP serving path and write
+//! `results/bench_serve.json`.
+//!
+//! ```text
+//! ets-loadgen [--server-mode both|pool|thread] [--mix paper|delivery|faults]
+//!             [--connections N] [--requests N] [--rps X] [--seed N]
+//!             [--workers N] [--conn-queue N] [--owner-queue N]
+//!             [--read-timeout-ms N] [--client-timeout-ms N]
+//!             [--max-failure-rate F] [--max-p50-ms F] [--max-p99-ms F]
+//!             [--out PATH] [--check]
+//! ```
+//!
+//! * `--server-mode` — which in-process server phases to run: the worker
+//!   `pool`, the `thread`-per-connection baseline, or `both` (baseline
+//!   first, then pool, so the report carries a before/after comparison).
+//! * `--mix` — scenario mix: `paper` (delivery-dominated with a protocol
+//!   fault tail covering every Table 5 row), `delivery`, or `faults`.
+//! * `--connections` / `--requests` — concurrency slots × sessions each.
+//! * `--rps` — open-loop target rate across all slots; `0` = closed loop.
+//! * `--max-*` — stop rules; with `--check` any violation fails the run.
+
+#![forbid(unsafe_code)]
+
+use ets_loadgen::report;
+use ets_loadgen::runner::{run_phase, PhaseResult, RunConfig, ServerSpec};
+use ets_loadgen::scenario::ScenarioMix;
+use ets_loadgen::stats::StopRules;
+use ets_smtp::server::ConcurrencyModel;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut server_mode = "both".to_owned();
+    let mut mix = ScenarioMix::paper();
+    let mut connections: usize = 64;
+    let mut requests: usize = 16;
+    let mut rps: f64 = 0.0;
+    let mut seed: u64 = 42;
+    let mut workers: Option<usize> = None;
+    let mut conn_queue: Option<usize> = None;
+    let mut owner_queue: usize = 1024;
+    let mut read_timeout_ms: u64 = 150;
+    let mut client_timeout_ms: u64 = 5_000;
+    let mut rules = StopRules::default();
+    let mut out = "results/bench_serve.json".to_owned();
+    let mut check = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--server-mode" => match it.next().map(String::as_str) {
+                Some(m @ ("both" | "pool" | "thread")) => server_mode = m.to_owned(),
+                _ => return usage("--server-mode needs both|pool|thread"),
+            },
+            "--mix" => match it.next().and_then(|v| ScenarioMix::by_name(v)) {
+                Some(m) => mix = m,
+                None => return usage("--mix needs paper|delivery|faults"),
+            },
+            "--connections" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => connections = n,
+                _ => return usage("--connections needs a positive integer"),
+            },
+            "--requests" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => requests = n,
+                _ => return usage("--requests needs a positive integer"),
+            },
+            "--rps" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(x) => rps = x,
+                None => return usage("--rps needs a number"),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage("--seed needs an integer"),
+            },
+            "--workers" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => workers = Some(n),
+                None => return usage("--workers needs an integer"),
+            },
+            "--conn-queue" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => conn_queue = Some(n),
+                None => return usage("--conn-queue needs an integer"),
+            },
+            "--owner-queue" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => owner_queue = n,
+                None => return usage("--owner-queue needs an integer"),
+            },
+            "--read-timeout-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => read_timeout_ms = n,
+                None => return usage("--read-timeout-ms needs an integer"),
+            },
+            "--client-timeout-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => client_timeout_ms = n,
+                None => return usage("--client-timeout-ms needs an integer"),
+            },
+            "--max-failure-rate" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(f) => rules.max_failure_rate = f,
+                None => return usage("--max-failure-rate needs a number"),
+            },
+            "--max-p50-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(f) => rules.max_p50_ms = f,
+                None => return usage("--max-p50-ms needs a number"),
+            },
+            "--max-p99-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(f) => rules.max_p99_ms = f,
+                None => return usage("--max-p99-ms needs a number"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => return usage("--out needs a path"),
+            },
+            "--check" => check = true,
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let read_timeout = Duration::from_millis(read_timeout_ms);
+    let mut pool_spec = ServerSpec::pool();
+    pool_spec.read_timeout = read_timeout;
+    pool_spec.owner_queue = owner_queue;
+    if let (Some(w), ConcurrencyModel::WorkerPool { queue, .. }) = (workers, pool_spec.model) {
+        pool_spec.model = ConcurrencyModel::WorkerPool {
+            workers: w,
+            queue: conn_queue.unwrap_or(queue),
+        };
+    } else if let (None, Some(q), ConcurrencyModel::WorkerPool { workers: w, .. }) =
+        (workers, conn_queue, pool_spec.model)
+    {
+        pool_spec.model = ConcurrencyModel::WorkerPool {
+            workers: w,
+            queue: q,
+        };
+    }
+    let mut thread_spec = ServerSpec::thread_per_connection();
+    thread_spec.read_timeout = read_timeout;
+    thread_spec.owner_queue = owner_queue;
+
+    let cfg = RunConfig {
+        connections,
+        requests_per_conn: requests,
+        target_rps: rps,
+        mix: mix.clone(),
+        seed,
+        client_timeout: Duration::from_millis(client_timeout_ms),
+        stall: read_timeout + Duration::from_millis(80),
+        local_domain: pool_spec.domain.clone(),
+    };
+
+    let phase_plan: &[(&str, &ServerSpec)] = match server_mode.as_str() {
+        "pool" => &[("pool", &pool_spec)],
+        "thread" => &[("thread", &thread_spec)],
+        _ => &[("thread", &thread_spec), ("pool", &pool_spec)],
+    };
+
+    let mut results: Vec<PhaseResult> = Vec::new();
+    for (name, spec) in phase_plan {
+        eprintln!(
+            "phase {name}: {connections} connections x {requests} requests, mix {} (rps target {rps})",
+            mix.name
+        );
+        match run_phase(name, &cfg, spec) {
+            Ok(r) => {
+                eprintln!(
+                    "  {:.0} rps achieved, p50 {:.2} ms, p99 {:.2} ms, {} mismatches, {} delivered",
+                    r.achieved_rps,
+                    r.stats.quantile_ms(0.50),
+                    r.stats.quantile_ms(0.99),
+                    r.stats.mismatches,
+                    r.delivered,
+                );
+                results.push(r);
+            }
+            Err(e) => {
+                eprintln!("phase {name} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let doc = report::render(mix.name, seed, &results, &rules);
+    let text = report::to_pretty_string(&doc);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    let mut failed = false;
+    for r in &results {
+        for v in rules.violations(&r.stats) {
+            eprintln!("stop rule [{}]: {v}", r.phase);
+            failed = true;
+        }
+        if r.lost_workers > 0 {
+            eprintln!(
+                "stop rule [{}]: {} worker threads died",
+                r.phase, r.lost_workers
+            );
+            failed = true;
+        }
+    }
+    if check && failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: ets-loadgen [--server-mode both|pool|thread] [--mix paper|delivery|faults] \
+         [--connections N] [--requests N] [--rps X] [--seed N] [--workers N] [--conn-queue N] \
+         [--owner-queue N] [--read-timeout-ms N] [--client-timeout-ms N] [--max-failure-rate F] \
+         [--max-p50-ms F] [--max-p99-ms F] [--out PATH] [--check]"
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,410 @@
+//! The wall-clock half of the harness: sockets, pacing, worker threads.
+//!
+//! This is the only module in `ets-loadgen` permitted to read the clock
+//! (`ets-lint` pins the allowlist path-exactly). Everything it measures
+//! flows into the pure [`crate::stats`] accumulators so the analysis and
+//! report layers stay deterministic.
+//!
+//! ## Open vs closed loop
+//!
+//! With `target_rps > 0` the run is *open-loop*: request `k` of
+//! connection slot `c` has an absolute scheduled start of
+//! `t0 + (k·connections + c) / rps`, and latency is measured from that
+//! scheduled start even when the harness falls behind — so server-side
+//! queueing delay is charged to the server rather than silently absorbed
+//! by the load generator (the coordinated-omission correction). With
+//! `target_rps == 0` the run is *closed-loop*: each slot issues its next
+//! request the moment the previous one completes, and latency is
+//! measured from the actual start.
+
+use crate::scenario::{build_email, conn_rng, Scenario, ScenarioMix};
+use crate::stats::{outcome_index, PhaseStats};
+use ets_obs::latency;
+use ets_obs::metrics;
+use ets_smtp::client::ClientOutcome;
+use ets_smtp::fault::DeliveryOutcome;
+use ets_smtp::net_client::{send_email, RawSession, SendError};
+use ets_smtp::server::{ConcurrencyModel, ServerOptions, SmtpServer};
+use ets_smtp::session::ServerPolicy;
+use ets_smtp::telemetry::TelemetryConfig;
+use std::io::ErrorKind;
+use std::time::{Duration, Instant};
+
+/// What the load generator does: the workload half of a phase.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Concurrent connection slots (each runs its requests in series).
+    pub connections: usize,
+    /// Requests (= SMTP sessions) per slot.
+    pub requests_per_conn: usize,
+    /// Open-loop target rate across all slots; `0.0` selects closed loop.
+    pub target_rps: f64,
+    /// Scenario mix to draw from.
+    pub mix: ScenarioMix,
+    /// Run seed: fixes every scenario draw and message body.
+    pub seed: u64,
+    /// Client-side socket timeout.
+    pub client_timeout: Duration,
+    /// How long a slowloris connection stalls (must exceed the server's
+    /// read timeout for the scenario to land in the Timeout row).
+    pub stall: Duration,
+    /// The server's catch-all domain, used to address deliveries.
+    pub local_domain: String,
+}
+
+impl RunConfig {
+    /// A small smoke-test configuration against a server whose read
+    /// timeout is `server_read_timeout`.
+    pub fn smoke(server_read_timeout: Duration) -> RunConfig {
+        RunConfig {
+            connections: 4,
+            requests_per_conn: 8,
+            target_rps: 0.0,
+            mix: ScenarioMix::paper(),
+            seed: 42,
+            client_timeout: Duration::from_secs(5),
+            stall: server_read_timeout + Duration::from_millis(80),
+            local_domain: "gmial.com".to_owned(),
+        }
+    }
+}
+
+/// How the in-process server under test is built.
+#[derive(Debug, Clone)]
+pub struct ServerSpec {
+    /// Concurrency model under test.
+    pub model: ConcurrencyModel,
+    /// Per-connection read timeout (keep short so slowloris rows finish).
+    pub read_timeout: Duration,
+    /// Bound of the owner delivery channel.
+    pub owner_queue: usize,
+    /// Server hostname for the banner.
+    pub hostname: String,
+    /// Catch-all domain.
+    pub domain: String,
+    /// Session-trace sampling rate for the telemetry plane.
+    pub sample_every: u64,
+}
+
+impl ServerSpec {
+    /// The default system under test: worker pool, short read timeout.
+    pub fn pool() -> ServerSpec {
+        ServerSpec {
+            model: ConcurrencyModel::default_pool(),
+            read_timeout: Duration::from_millis(150),
+            owner_queue: 1024,
+            hostname: "mx.gmial.com".to_owned(),
+            domain: "gmial.com".to_owned(),
+            sample_every: 64,
+        }
+    }
+
+    /// The measurable baseline: thread-per-connection, same policy.
+    pub fn thread_per_connection() -> ServerSpec {
+        ServerSpec {
+            model: ConcurrencyModel::ThreadPerConnection,
+            ..ServerSpec::pool()
+        }
+    }
+}
+
+/// Everything measured about one executed phase.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    /// Phase label (`pool`, `thread`, …) used in reports and metrics.
+    pub phase: String,
+    /// The merged accumulators.
+    pub stats: PhaseStats,
+    /// Emails the server actually handed to its owner channel.
+    pub delivered: u64,
+    /// Wall-clock duration of the phase.
+    pub elapsed_secs: f64,
+    /// `requests / elapsed` — the rate actually sustained.
+    pub achieved_rps: f64,
+    /// The open-loop target (0 for closed loop).
+    pub target_rps: f64,
+    /// Connection slots used.
+    pub connections: usize,
+    /// Requests per slot.
+    pub requests_per_conn: usize,
+    /// Worker threads that died instead of reporting (always 0 in a
+    /// healthy run).
+    pub lost_workers: u64,
+}
+
+/// Binds an in-process server per `spec`, drives the full workload at
+/// it, keeps the owner channel drained throughout, and shuts the server
+/// down. The phase's latency distribution is also published to the
+/// `ets-obs` latency plane as `loadgen.<phase>.request_us`.
+pub fn run_phase(phase: &str, cfg: &RunConfig, spec: &ServerSpec) -> std::io::Result<PhaseResult> {
+    let options = ServerOptions {
+        read_timeout: spec.read_timeout,
+        telemetry: TelemetryConfig {
+            sample_every: spec.sample_every,
+            ..TelemetryConfig::default()
+        },
+        model: spec.model,
+        owner_queue: spec.owner_queue,
+    };
+    let policy = ServerPolicy::catch_all(&spec.hostname, std::slice::from_ref(&spec.domain));
+    let server = SmtpServer::bind_with("127.0.0.1:0", policy, options)?;
+    let addr = server.addr().to_string();
+
+    let recorder = latency::recorder(&format!("loadgen.{phase}.request_us"));
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.connections);
+    for c in 0..cfg.connections {
+        let addr = addr.clone();
+        let cfg = cfg.clone();
+        let recorder = recorder.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = conn_rng(cfg.seed, c as u64);
+            let mut stats = PhaseStats::new();
+            for k in 0..cfg.requests_per_conn {
+                let scenario = cfg.mix.draw(&mut rng);
+                let lat_start = if cfg.target_rps > 0.0 {
+                    let offset =
+                        Duration::from_secs_f64((k * cfg.connections + c) as f64 / cfg.target_rps);
+                    let sched = t0 + offset;
+                    let now = Instant::now();
+                    if sched > now {
+                        std::thread::sleep(sched - now);
+                    }
+                    sched
+                } else {
+                    Instant::now()
+                };
+                let observed = execute(&addr, scenario, c as u64, k as u64, &cfg);
+                let micros = Instant::now()
+                    .saturating_duration_since(lat_start)
+                    .as_micros() as u64;
+                recorder.record(micros);
+                stats.record(scenario, observed, micros);
+            }
+            stats
+        }));
+    }
+
+    // Keep the bounded owner channel drained while the storm runs, so
+    // handlers never block on a full delivery queue.
+    let mut delivered = 0u64;
+    while handles.iter().any(|h| !h.is_finished()) {
+        delivered += server.drain().len() as u64;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let mut stats = PhaseStats::new();
+    let mut lost_workers = 0u64;
+    for h in handles {
+        match h.join() {
+            Ok(s) => stats.merge(&s),
+            Err(_) => lost_workers += 1,
+        }
+    }
+    let elapsed_secs = t0.elapsed().as_secs_f64();
+    delivered += server.shutdown().len() as u64;
+
+    for (i, o) in DeliveryOutcome::ALL.iter().enumerate() {
+        metrics::counter_add(&format!("loadgen.{phase}.outcome.{o:?}"), stats.observed[i]);
+    }
+    metrics::counter_add(&format!("loadgen.{phase}.delivered"), delivered);
+
+    let achieved_rps = if elapsed_secs > 0.0 {
+        stats.requests as f64 / elapsed_secs
+    } else {
+        0.0
+    };
+    Ok(PhaseResult {
+        phase: phase.to_owned(),
+        stats,
+        delivered,
+        elapsed_secs,
+        achieved_rps,
+        target_rps: cfg.target_rps,
+        connections: cfg.connections,
+        requests_per_conn: cfg.requests_per_conn,
+        lost_workers,
+    })
+}
+
+/// Executes one request (one full SMTP session) and classifies what the
+/// client observed into the Table 5 taxonomy.
+fn execute(
+    addr: &str,
+    scenario: Scenario,
+    conn: u64,
+    req: u64,
+    cfg: &RunConfig,
+) -> DeliveryOutcome {
+    match scenario {
+        s if s.is_delivery() => match build_email(s, conn, req, &cfg.local_domain) {
+            Some(email) => classify_send(send_email(
+                addr,
+                email,
+                "loadgen.example",
+                false,
+                cfg.client_timeout,
+            )),
+            None => DeliveryOutcome::OtherError,
+        },
+        Scenario::Malformed => malformed(addr, cfg),
+        Scenario::Slowloris => slowloris(addr, cfg),
+        Scenario::SilentDrop => silent_drop(addr, cfg),
+        // `is_delivery` covered every other variant above.
+        _ => DeliveryOutcome::OtherError,
+    }
+}
+
+/// Table 5 classification of a full delivery attempt.
+fn classify_send(result: Result<ClientOutcome, SendError>) -> DeliveryOutcome {
+    match result {
+        Ok(ClientOutcome::Accepted) => DeliveryOutcome::NoError,
+        Ok(ClientOutcome::Rejected { .. }) => DeliveryOutcome::Bounce,
+        Ok(ClientOutcome::TransientFailure { .. }) => DeliveryOutcome::OtherError,
+        Err(e) => classify_transport(&e),
+    }
+}
+
+/// Table 5 classification of a transport-level failure.
+fn classify_transport(e: &SendError) -> DeliveryOutcome {
+    match e {
+        SendError::Io(io) => match io.kind() {
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => DeliveryOutcome::Timeout,
+            _ => DeliveryOutcome::NetworkError,
+        },
+        SendError::ProtocolGarbage(_) | SendError::ConnectionClosed => DeliveryOutcome::OtherError,
+    }
+}
+
+/// Greets, then speaks garbage that never forms a transaction. A correct
+/// server answers each junk line with a 5xx and keeps the session —
+/// classified `OtherError`, mirroring the drive-mode taxonomy.
+fn malformed(addr: &str, cfg: &RunConfig) -> DeliveryOutcome {
+    let mut s = match RawSession::connect(addr, cfg.client_timeout) {
+        Ok(s) => s,
+        Err(e) => return classify_transport(&e),
+    };
+    if let Err(e) = s.read_code() {
+        return classify_transport(&e);
+    }
+    for junk in [b"XYZZY plugh\r\n".as_slice(), b"MAIL WITHOUT COLON\r\n"] {
+        if let Err(e) = s.write_raw(junk) {
+            return classify_transport(&e);
+        }
+        match s.read_code() {
+            Ok(_) => {}
+            Err(e) => return classify_transport(&e),
+        }
+    }
+    DeliveryOutcome::OtherError
+}
+
+/// Greets, then stalls past the server's read timeout. A correct server
+/// answers with a 421 courtesy reply (or just closes) — both classify
+/// as `Timeout`.
+fn slowloris(addr: &str, cfg: &RunConfig) -> DeliveryOutcome {
+    let mut s = match RawSession::connect(addr, cfg.client_timeout) {
+        Ok(s) => s,
+        Err(e) => return classify_transport(&e),
+    };
+    if let Err(e) = s.read_code() {
+        return classify_transport(&e);
+    }
+    std::thread::sleep(cfg.stall);
+    match s.read_code() {
+        Ok(421) => DeliveryOutcome::Timeout,
+        Ok(_) => DeliveryOutcome::OtherError,
+        Err(SendError::ConnectionClosed) => DeliveryOutcome::Timeout,
+        Err(SendError::Io(io)) => match io.kind() {
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => DeliveryOutcome::Timeout,
+            _ => DeliveryOutcome::NetworkError,
+        },
+        Err(_) => DeliveryOutcome::OtherError,
+    }
+}
+
+/// Connects and vanishes without a word — the client *is* the network
+/// error, so the observed outcome is `NetworkError` by construction
+/// once the connection opened.
+fn silent_drop(addr: &str, cfg: &RunConfig) -> DeliveryOutcome {
+    match RawSession::connect(addr, cfg.client_timeout) {
+        Ok(s) => {
+            drop(s);
+            DeliveryOutcome::NetworkError
+        }
+        Err(e) => classify_transport(&e),
+    }
+}
+
+/// Sanity accessor used by reports: the observed count for one outcome.
+pub fn observed(stats: &PhaseStats, o: DeliveryOutcome) -> u64 {
+    stats.observed[outcome_index(o)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> (RunConfig, ServerSpec) {
+        let mut spec = ServerSpec::pool();
+        spec.read_timeout = Duration::from_millis(60);
+        spec.model = ConcurrencyModel::WorkerPool {
+            workers: 8,
+            queue: 64,
+        };
+        let mut cfg = RunConfig::smoke(spec.read_timeout);
+        cfg.connections = 6;
+        cfg.requests_per_conn = 10;
+        (cfg, spec)
+    }
+
+    #[test]
+    fn smoke_run_covers_all_outcomes_and_loses_nothing() {
+        let (cfg, spec) = fast_cfg();
+        let r = run_phase("test_pool", &cfg, &spec).unwrap();
+        assert_eq!(r.stats.requests, 60);
+        assert_eq!(r.lost_workers, 0);
+        assert_eq!(r.stats.mismatches, 0, "observed: {:?}", r.stats.observed);
+        // The paper mix draws every scenario class across 60 requests
+        // with this seed; all five Table 5 rows must be populated.
+        for (i, o) in DeliveryOutcome::ALL.iter().enumerate() {
+            assert!(r.stats.observed[i] > 0, "empty taxonomy row {o}");
+        }
+        // Every accepted delivery reached the owner channel.
+        assert_eq!(r.delivered, observed(&r.stats, DeliveryOutcome::NoError));
+        assert!(r.achieved_rps > 0.0);
+        assert_eq!(r.stats.latency.count(), 60);
+    }
+
+    #[test]
+    fn thread_model_smoke_run_matches_plan() {
+        let mut spec = ServerSpec::thread_per_connection();
+        spec.read_timeout = Duration::from_millis(60);
+        let mut cfg = RunConfig::smoke(spec.read_timeout);
+        cfg.connections = 4;
+        cfg.requests_per_conn = 6;
+        cfg.mix = ScenarioMix::delivery_only();
+        let r = run_phase("test_thread", &cfg, &spec).unwrap();
+        assert_eq!(r.stats.requests, 24);
+        assert_eq!(r.stats.mismatches, 0);
+        // Delivery-only mix: every request forms a transaction and the
+        // expected split is exactly the planned split.
+        assert_eq!(r.stats.observed, r.stats.expected);
+    }
+
+    #[test]
+    fn open_loop_pacing_spreads_the_run() {
+        let (mut cfg, spec) = fast_cfg();
+        cfg.mix = ScenarioMix::delivery_only();
+        cfg.connections = 2;
+        cfg.requests_per_conn = 5;
+        cfg.target_rps = 50.0; // 10 requests at 50/s ≈ 0.2 s floor
+        let r = run_phase("test_paced", &cfg, &spec).unwrap();
+        assert!(
+            r.elapsed_secs >= 0.15,
+            "open loop finished too fast: {}",
+            r.elapsed_secs
+        );
+        assert!(r.achieved_rps <= 75.0, "rps {}", r.achieved_rps);
+    }
+}

@@ -1,0 +1,315 @@
+//! Deterministic workload scenarios: what each connection does.
+//!
+//! One scenario is one TCP connection's worth of behaviour, drawn from a
+//! weighted [`ScenarioMix`] by a per-connection ChaCha8 stream keyed on
+//! `(run seed, connection id)`. The same seed therefore produces the
+//! same scenario plan regardless of how many worker threads execute it
+//! or in what order connections complete — the property the serving
+//! differential test pins.
+//!
+//! The five delivery classes mirror the collector's traffic taxonomy
+//! (spam, receiver typos, reflection typos, SMTP typos, probes) and the
+//! three fault classes enact the non-delivery rows of Table 5 at the
+//! transport level.
+
+use ets_smtp::client::Email;
+use ets_smtp::fault::DeliveryOutcome;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One connection's behaviour class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scenario {
+    /// Bulk spam to a catch-all recipient — the dominant traffic class.
+    Spam,
+    /// A misdirected personal email: someone typo'd the recipient domain.
+    ReceiverTypo,
+    /// A reply to a typo'd sender: the reflection channel.
+    ReflectionTypo,
+    /// Correct addresses, wrong MX: an SMTP-level typo delivery.
+    SmtpTypo,
+    /// A delivery probe for a recipient outside the catch-all domains.
+    BounceProbe,
+    /// Protocol garbage that never forms a transaction.
+    Malformed,
+    /// Greet, then stall past the server's read timeout.
+    Slowloris,
+    /// Connect and vanish without a word.
+    SilentDrop,
+}
+
+impl Scenario {
+    /// Every scenario, in mix-weight order.
+    pub const ALL: [Scenario; 8] = [
+        Scenario::Spam,
+        Scenario::ReceiverTypo,
+        Scenario::ReflectionTypo,
+        Scenario::SmtpTypo,
+        Scenario::BounceProbe,
+        Scenario::Malformed,
+        Scenario::Slowloris,
+        Scenario::SilentDrop,
+    ];
+
+    /// Stable snake_case name used in reports and plans.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Spam => "spam",
+            Scenario::ReceiverTypo => "receiver_typo",
+            Scenario::ReflectionTypo => "reflection_typo",
+            Scenario::SmtpTypo => "smtp_typo",
+            Scenario::BounceProbe => "bounce_probe",
+            Scenario::Malformed => "malformed",
+            Scenario::Slowloris => "slowloris",
+            Scenario::SilentDrop => "silent_drop",
+        }
+    }
+
+    /// The Table 5 outcome a correct server produces for this scenario.
+    pub fn expected_outcome(self) -> DeliveryOutcome {
+        match self {
+            Scenario::Spam
+            | Scenario::ReceiverTypo
+            | Scenario::ReflectionTypo
+            | Scenario::SmtpTypo => DeliveryOutcome::NoError,
+            Scenario::BounceProbe => DeliveryOutcome::Bounce,
+            Scenario::Malformed => DeliveryOutcome::OtherError,
+            Scenario::Slowloris => DeliveryOutcome::Timeout,
+            Scenario::SilentDrop => DeliveryOutcome::NetworkError,
+        }
+    }
+
+    /// Whether the scenario speaks a complete, well-formed transaction
+    /// (and therefore runs through the full [`ets_smtp::net_client`]
+    /// delivery path rather than a raw scripted exchange).
+    pub fn is_delivery(self) -> bool {
+        matches!(
+            self,
+            Scenario::Spam
+                | Scenario::ReceiverTypo
+                | Scenario::ReflectionTypo
+                | Scenario::SmtpTypo
+                | Scenario::BounceProbe
+        )
+    }
+}
+
+/// A probability mix over the eight scenarios, in [`Scenario::ALL`] order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMix {
+    /// Non-negative weights summing to ~1.
+    pub weights: [f64; 8],
+    /// Stable name recorded in reports and ratchet keys.
+    pub name: &'static str,
+}
+
+impl ScenarioMix {
+    /// The serving mix modelled on the collector's observed traffic:
+    /// delivery-dominated with a sustained protocol-fault tail, so every
+    /// Table 5 row stays populated.
+    pub fn paper() -> ScenarioMix {
+        ScenarioMix {
+            weights: [0.35, 0.20, 0.10, 0.05, 0.10, 0.08, 0.06, 0.06],
+            name: "paper",
+        }
+    }
+
+    /// Well-formed transactions only — the pure throughput mix.
+    pub fn delivery_only() -> ScenarioMix {
+        ScenarioMix {
+            weights: [0.50, 0.25, 0.15, 0.10, 0.0, 0.0, 0.0, 0.0],
+            name: "delivery",
+        }
+    }
+
+    /// Protocol faults only — the abuse-resilience mix.
+    pub fn faults_only() -> ScenarioMix {
+        ScenarioMix {
+            weights: [0.0, 0.0, 0.0, 0.0, 0.0, 0.4, 0.3, 0.3],
+            name: "faults",
+        }
+    }
+
+    /// Resolves a CLI mix name.
+    pub fn by_name(name: &str) -> Option<ScenarioMix> {
+        match name {
+            "paper" => Some(ScenarioMix::paper()),
+            "delivery" => Some(ScenarioMix::delivery_only()),
+            "faults" => Some(ScenarioMix::faults_only()),
+            _ => None,
+        }
+    }
+
+    /// Draws one scenario from the mix.
+    pub fn draw(&self, rng: &mut ChaCha8Rng) -> Scenario {
+        let total: f64 = self.weights.iter().sum();
+        let mut point = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        for (scenario, &w) in Scenario::ALL.iter().zip(&self.weights) {
+            if point < w {
+                return *scenario;
+            }
+            point -= w;
+        }
+        // Float summation slack lands on the last weighted scenario.
+        *Scenario::ALL
+            .iter()
+            .zip(&self.weights)
+            .filter(|(_, &w)| w > 0.0)
+            .map(|(s, _)| s)
+            .next_back()
+            .unwrap_or(&Scenario::Spam)
+    }
+}
+
+/// The per-connection deterministic stream: scenario draws and message
+/// content for connection `conn` of the run keyed by `seed` depend only
+/// on those two values.
+pub fn conn_rng(seed: u64, conn: u64) -> ChaCha8Rng {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    rng.set_stream(conn);
+    rng
+}
+
+/// The full scenario plan for a run: `plan[conn][req]`. Pure — this is
+/// what the differential test renders and compares across thread counts.
+pub fn plan(
+    mix: &ScenarioMix,
+    seed: u64,
+    connections: usize,
+    requests: usize,
+) -> Vec<Vec<Scenario>> {
+    (0..connections as u64)
+        .map(|conn| {
+            let mut rng = conn_rng(seed, conn);
+            (0..requests).map(|_| mix.draw(&mut rng)).collect()
+        })
+        .collect()
+}
+
+/// Renders a plan as stable text (one connection per line) for
+/// byte-identity checks.
+pub fn render_plan(plan: &[Vec<Scenario>]) -> String {
+    let mut out = String::new();
+    for (conn, reqs) in plan.iter().enumerate() {
+        out.push_str(&format!("conn {conn:04}:"));
+        for s in reqs {
+            out.push(' ');
+            out.push_str(s.name());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Builds the email for a delivery-class request, or `None` for fault
+/// scenarios (which never form a transaction). `local_domain` is the
+/// server's catch-all domain; `BounceProbe` deliberately addresses a
+/// foreign domain.
+pub fn build_email(scenario: Scenario, conn: u64, req: u64, local_domain: &str) -> Option<Email> {
+    let (from, to, subject, body) = match scenario {
+        Scenario::Spam => (
+            format!("promo{conn}@blast.example"),
+            format!("user{req}@{local_domain}"),
+            format!("Exclusive offer #{conn}-{req}"),
+            "Act now! This unbeatable deal expires at midnight.".to_owned(),
+        ),
+        Scenario::ReceiverTypo => (
+            format!("friend{conn}@gmail.com"),
+            format!("alice{req}@{local_domain}"),
+            "Re: dinner on Friday".to_owned(),
+            format!("Hey, are we still on for Friday? -- msg {conn}/{req}"),
+        ),
+        Scenario::ReflectionTypo => (
+            format!("support{conn}@bank.example"),
+            format!("customer{req}@{local_domain}"),
+            "Your recent enquiry".to_owned(),
+            format!("Replying to your message (ticket {conn}{req})."),
+        ),
+        Scenario::SmtpTypo => (
+            format!("ops{conn}@corp.example"),
+            format!("team{req}@{local_domain}"),
+            "Weekly report".to_owned(),
+            format!("Attached as usual. (routed via typo MX, {conn}/{req})"),
+        ),
+        Scenario::BounceProbe => (
+            format!("probe{conn}@research.example"),
+            format!("nobody{req}@unrelated.example"),
+            "Delivery probe".to_owned(),
+            format!("connectivity probe {conn}/{req}"),
+        ),
+        Scenario::Malformed | Scenario::Slowloris | Scenario::SilentDrop => return None,
+    };
+    let data = format!("Subject: {subject}\r\nFrom: <{from}>\r\nTo: <{to}>\r\n\r\n{body}");
+    Some(Email::new(
+        Some(from.parse().ok()?),
+        vec![to.parse().ok()?],
+        data,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn plan_is_deterministic_and_order_free() {
+        let mix = ScenarioMix::paper();
+        let a = plan(&mix, 42, 16, 8);
+        let b = plan(&mix, 42, 16, 8);
+        assert_eq!(a, b);
+        // A connection's stream does not depend on how many siblings run.
+        let wide = plan(&mix, 42, 64, 8);
+        assert_eq!(&wide[..16], &a[..]);
+    }
+
+    #[test]
+    fn paper_mix_covers_every_scenario() {
+        let mix = ScenarioMix::paper();
+        let drawn: HashSet<Scenario> = plan(&mix, 7, 64, 16).into_iter().flatten().collect();
+        assert_eq!(drawn.len(), Scenario::ALL.len(), "missing: {drawn:?}");
+    }
+
+    #[test]
+    fn expected_outcomes_cover_table5() {
+        let outcomes: HashSet<DeliveryOutcome> =
+            Scenario::ALL.iter().map(|s| s.expected_outcome()).collect();
+        assert_eq!(outcomes.len(), DeliveryOutcome::ALL.len());
+    }
+
+    #[test]
+    fn delivery_emails_parse_and_target_the_right_domain() {
+        for s in Scenario::ALL.iter().filter(|s| s.is_delivery()) {
+            let email = build_email(*s, 3, 9, "gmial.com").unwrap();
+            assert_eq!(email.rcpt_to.len(), 1);
+            let domain_ok = email.rcpt_to[0].domain() == "gmial.com";
+            assert_eq!(domain_ok, *s != Scenario::BounceProbe, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn fault_scenarios_build_no_email() {
+        for s in Scenario::ALL.iter().filter(|s| !s.is_delivery()) {
+            assert!(build_email(*s, 0, 0, "x.com").is_none());
+        }
+    }
+
+    #[test]
+    fn faults_only_mix_never_draws_deliveries() {
+        let mix = ScenarioMix::faults_only();
+        assert!(plan(&mix, 1, 32, 8)
+            .into_iter()
+            .flatten()
+            .all(|s| !s.is_delivery()));
+    }
+
+    #[test]
+    fn render_plan_is_stable() {
+        let mix = ScenarioMix::delivery_only();
+        let p = plan(&mix, 5, 2, 3);
+        let text = render_plan(&p);
+        assert_eq!(text, render_plan(&plan(&mix, 5, 2, 3)));
+        assert!(text.starts_with("conn 0000:"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Run statistics: pure, commutative, mergeable in any order.
+//!
+//! Each runner worker owns a private [`PhaseStats`] and merges it into
+//! the phase total when it finishes. Merge is commutative and
+//! associative — counters add and the latency histogram's bucket-wise
+//! merge is order-free — so the aggregate does not depend on thread
+//! scheduling, which is what keeps the report deterministic for a
+//! deterministic workload.
+
+use crate::scenario::Scenario;
+use ets_obs::latency::LatencyHistogram;
+use ets_smtp::fault::DeliveryOutcome;
+
+/// Everything measured about one phase (one server model under one mix).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseStats {
+    /// Per-request latency in microseconds, measured from the request's
+    /// *scheduled* start (open loop) or actual start (closed loop).
+    pub latency: LatencyHistogram,
+    /// Observed Table 5 outcomes, indexed in [`DeliveryOutcome::ALL`] order.
+    pub observed: [u64; 5],
+    /// Expected outcomes from the scenario plan, same order.
+    pub expected: [u64; 5],
+    /// Requests whose observed outcome differed from the scenario's
+    /// expectation — the harness's failure definition.
+    pub mismatches: u64,
+    /// Total requests executed.
+    pub requests: u64,
+    /// Requests issued per scenario, in [`Scenario::ALL`] order.
+    pub per_scenario: [u64; 8],
+}
+
+impl PhaseStats {
+    /// A fresh, empty accumulator.
+    pub fn new() -> PhaseStats {
+        PhaseStats::default()
+    }
+
+    /// Records one finished request.
+    pub fn record(&mut self, scenario: Scenario, observed: DeliveryOutcome, latency_micros: u64) {
+        self.latency.record(latency_micros);
+        self.observed[outcome_index(observed)] += 1;
+        self.expected[outcome_index(scenario.expected_outcome())] += 1;
+        if observed != scenario.expected_outcome() {
+            self.mismatches += 1;
+        }
+        self.requests += 1;
+        if let Some(i) = Scenario::ALL.iter().position(|s| *s == scenario) {
+            self.per_scenario[i] += 1;
+        }
+    }
+
+    /// Folds another accumulator in. Commutative: `a.merge(b)` and
+    /// `b.merge(a)` produce identical state.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.latency.merge(&other.latency);
+        for i in 0..5 {
+            self.observed[i] += other.observed[i];
+            self.expected[i] += other.expected[i];
+        }
+        for i in 0..8 {
+            self.per_scenario[i] += other.per_scenario[i];
+        }
+        self.mismatches += other.mismatches;
+        self.requests += other.requests;
+    }
+
+    /// Fraction of requests whose outcome missed the scenario
+    /// expectation (0 when nothing ran).
+    pub fn failure_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.mismatches as f64 / self.requests as f64
+        }
+    }
+
+    /// Latency quantile in milliseconds (upper bucket bound), 0 when empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.latency.quantile(q).unwrap_or(0) as f64 / 1_000.0
+    }
+}
+
+/// Index of `o` in [`DeliveryOutcome::ALL`] (Table 5 row order).
+pub fn outcome_index(o: DeliveryOutcome) -> usize {
+    match o {
+        DeliveryOutcome::NoError => 0,
+        DeliveryOutcome::Bounce => 1,
+        DeliveryOutcome::Timeout => 2,
+        DeliveryOutcome::NetworkError => 3,
+        DeliveryOutcome::OtherError => 4,
+    }
+}
+
+/// Pass/fail thresholds for a load run, evaluated after the phase
+/// completes — the scalability-suite style stop rules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopRules {
+    /// Maximum tolerated [`PhaseStats::failure_rate`].
+    pub max_failure_rate: f64,
+    /// Maximum tolerated p50 latency in milliseconds (0 disables).
+    pub max_p50_ms: f64,
+    /// Maximum tolerated p99 latency in milliseconds (0 disables).
+    pub max_p99_ms: f64,
+}
+
+impl Default for StopRules {
+    fn default() -> StopRules {
+        StopRules {
+            max_failure_rate: 0.01,
+            max_p50_ms: 0.0,
+            max_p99_ms: 0.0,
+        }
+    }
+}
+
+impl StopRules {
+    /// Every rule the phase violates, as human-readable strings; empty
+    /// means the phase passes.
+    pub fn violations(&self, stats: &PhaseStats) -> Vec<String> {
+        let mut v = Vec::new();
+        let fr = stats.failure_rate();
+        if fr > self.max_failure_rate {
+            v.push(format!(
+                "failure rate {:.4} exceeds {:.4} ({} of {} requests missed expectation)",
+                fr, self.max_failure_rate, stats.mismatches, stats.requests
+            ));
+        }
+        let p50 = stats.quantile_ms(0.50);
+        if self.max_p50_ms > 0.0 && p50 > self.max_p50_ms {
+            v.push(format!("p50 {p50:.2} ms exceeds {:.2} ms", self.max_p50_ms));
+        }
+        let p99 = stats.quantile_ms(0.99);
+        if self.max_p99_ms > 0.0 && p99 > self.max_p99_ms {
+            v.push(format!("p99 {p99:.2} ms exceeds {:.2} ms", self.max_p99_ms));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(reqs: u64, seed: u64) -> PhaseStats {
+        let mut s = PhaseStats::new();
+        for i in 0..reqs {
+            let scenario = Scenario::ALL[((i + seed) % 8) as usize];
+            // Every third bounce probe "fails" by delivering instead.
+            let observed = if scenario == Scenario::BounceProbe && i % 3 == 0 {
+                DeliveryOutcome::NoError
+            } else {
+                scenario.expected_outcome()
+            };
+            s.record(scenario, observed, 100 + 37 * (i % 11) + seed);
+        }
+        s
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = sample(200, 1);
+        let b = sample(137, 9);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.observed, ba.observed);
+        assert_eq!(ab.expected, ba.expected);
+        assert_eq!(ab.per_scenario, ba.per_scenario);
+        assert_eq!(ab.mismatches, ba.mismatches);
+        assert_eq!(ab.requests, ba.requests);
+        assert_eq!(ab.latency.count(), ba.latency.count());
+        assert_eq!(ab.latency.sum(), ba.latency.sum());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(ab.latency.quantile(q), ba.latency.quantile(q));
+        }
+    }
+
+    #[test]
+    fn mismatches_count_expectation_misses() {
+        let mut s = PhaseStats::new();
+        s.record(Scenario::Spam, DeliveryOutcome::NoError, 50);
+        s.record(Scenario::Spam, DeliveryOutcome::Timeout, 50);
+        s.record(Scenario::BounceProbe, DeliveryOutcome::Bounce, 50);
+        assert_eq!(s.mismatches, 1);
+        assert!((s.failure_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.observed[outcome_index(DeliveryOutcome::Timeout)], 1);
+        assert_eq!(s.expected[outcome_index(DeliveryOutcome::Timeout)], 0);
+    }
+
+    #[test]
+    fn stop_rules_flag_failure_rate_and_latency() {
+        let mut s = PhaseStats::new();
+        for _ in 0..9 {
+            s.record(Scenario::Spam, DeliveryOutcome::NoError, 1_000);
+        }
+        s.record(Scenario::Spam, DeliveryOutcome::Bounce, 500_000);
+        let strict = StopRules {
+            max_failure_rate: 0.05,
+            max_p50_ms: 0.5,
+            max_p99_ms: 100.0,
+        };
+        let v = strict.violations(&s);
+        assert_eq!(v.len(), 3, "{v:?}");
+        let lax = StopRules {
+            max_failure_rate: 0.2,
+            max_p50_ms: 0.0,
+            max_p99_ms: 0.0,
+        };
+        assert!(lax.violations(&s).is_empty());
+    }
+
+    #[test]
+    fn empty_stats_pass_default_rules() {
+        let s = PhaseStats::new();
+        assert!(StopRules::default().violations(&s).is_empty());
+        assert_eq!(s.failure_rate(), 0.0);
+        assert_eq!(s.quantile_ms(0.99), 0.0);
+    }
+}

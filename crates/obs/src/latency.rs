@@ -126,6 +126,12 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Arithmetic mean of recorded values, rounded down (zero when
+    /// empty). Exact — the sum is tracked outside the bucket grid.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
     /// The `(lower, upper)` bucket range containing the `q`-quantile
     /// (`0.0 ..= 1.0`) by exact cumulative count, or `None` when empty.
     /// The true rank-`q` value is guaranteed to lie within the range.

@@ -4,7 +4,8 @@
 //! ```text
 //! ets-smtp [--listen ADDR] [--telemetry ADDR] [--hostname H]
 //!          [--domains a,b,...] [--read-timeout-ms N] [--sample-every N]
-//!          [--drive N] [--linger-secs S]
+//!          [--server-model pool|thread] [--workers N] [--conn-queue N]
+//!          [--owner-queue N] [--drive N] [--linger-secs S]
 //! ```
 //!
 //! * `--listen ADDR` — SMTP bind address (default `127.0.0.1:0`).
@@ -16,6 +17,9 @@
 //!   30000); drive mode uses a short value so the `Timeout` taxonomy
 //!   row exercises quickly.
 //! * `--sample-every N` — session trace sampling rate (default 16).
+//! * `--server-model pool|thread` — worker-pool (default) or the legacy
+//!   thread-per-connection baseline; `--workers`/`--conn-queue` size the
+//!   pool, `--owner-queue` bounds the delivery channel.
 //! * `--drive N` — drive `N` deterministic loopback sessions cycling
 //!   through all five Table 5 outcomes, then report the counters.
 //! * `--linger-secs S` — keep serving for `S` seconds after the drive
@@ -25,7 +29,7 @@
 
 use ets_smtp::client::Email;
 use ets_smtp::net_client::send_email;
-use ets_smtp::server::{ServerOptions, SmtpServer};
+use ets_smtp::server::{ConcurrencyModel, ServerOptions, SmtpServer};
 use ets_smtp::session::ServerPolicy;
 use ets_smtp::telemetry::TelemetryConfig;
 use std::io::{Read, Write};
@@ -43,6 +47,10 @@ fn main() -> ExitCode {
     let mut sample_every: u64 = 16;
     let mut drive: Option<usize> = None;
     let mut linger_secs: u64 = 0;
+    let mut thread_model = false;
+    let mut workers: Option<usize> = None;
+    let mut conn_queue: Option<usize> = None;
+    let mut owner_queue: usize = 1024;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -78,16 +86,50 @@ fn main() -> ExitCode {
                 Some(n) => linger_secs = n,
                 None => return usage("--linger-secs needs an integer"),
             },
+            "--server-model" => match it.next().map(String::as_str) {
+                Some("pool") => thread_model = false,
+                Some("thread") => thread_model = true,
+                _ => return usage("--server-model needs `pool` or `thread`"),
+            },
+            "--workers" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => workers = Some(n),
+                None => return usage("--workers needs an integer"),
+            },
+            "--conn-queue" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => conn_queue = Some(n),
+                None => return usage("--conn-queue needs an integer"),
+            },
+            "--owner-queue" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => owner_queue = n,
+                None => return usage("--owner-queue needs an integer"),
+            },
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
 
+    let model = if thread_model {
+        ConcurrencyModel::ThreadPerConnection
+    } else {
+        match (workers, ConcurrencyModel::default_pool()) {
+            (None, d) => d,
+            (Some(w), ConcurrencyModel::WorkerPool { queue, .. }) => ConcurrencyModel::WorkerPool {
+                workers: w,
+                queue: conn_queue.unwrap_or(queue),
+            },
+            (Some(w), _) => ConcurrencyModel::WorkerPool {
+                workers: w,
+                queue: conn_queue.unwrap_or(256),
+            },
+        }
+    };
     let options = ServerOptions {
         read_timeout: Duration::from_millis(read_timeout_ms),
         telemetry: TelemetryConfig {
             sample_every,
             ..TelemetryConfig::default()
         },
+        model,
+        owner_queue,
     };
     let policy = ServerPolicy::catch_all(&hostname, &domains);
     let server = match SmtpServer::bind_with(&listen, policy, options) {
@@ -202,7 +244,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: ets-smtp [--listen ADDR] [--telemetry ADDR] [--hostname H] [--domains a,b] \
-         [--read-timeout-ms N] [--sample-every N] [--drive N] [--linger-secs S]"
+         [--read-timeout-ms N] [--sample-every N] [--server-model pool|thread] [--workers N] \
+         [--conn-queue N] [--owner-queue N] [--drive N] [--linger-secs S]"
     );
     ExitCode::FAILURE
 }

@@ -52,11 +52,19 @@ pub fn send_email(
     let mut session = ClientSession::new(email, helo_name, use_starttls);
     let mut framer = LineCodec::new();
     let mut buf = [0u8; 4096];
+    // One reply-line buffer reused across the whole exchange: the frame
+    // borrows the codec's scratch, so it is copied out before the next
+    // read can invalidate it.
+    let mut line = String::new();
     loop {
         // Read one complete reply line.
-        let line = loop {
+        loop {
             match framer.next_frame() {
-                Ok(Some(Frame::Line(l))) => break l,
+                Ok(Some(Frame::Line(l))) => {
+                    line.clear();
+                    line.push_str(l);
+                    break;
+                }
                 // ets-lint: allow(panic-in-library): framer stays in line mode
                 // on the client side; a DATA frame here is impossible.
                 Ok(Some(Frame::Data(_))) => unreachable!("client never reads DATA frames"),
@@ -69,12 +77,12 @@ pub fn send_email(
                 }
                 Err(e) => return Err(SendError::ProtocolGarbage(e.to_string())),
             }
-        };
+        }
         // Multiline replies: consume continuation lines (code-dash).
         if line.len() >= 4 && &line[3..4] == "-" {
             continue;
         }
-        let reply = Reply::parse(&line).ok_or(SendError::ProtocolGarbage(line))?;
+        let reply = Reply::parse(&line).ok_or_else(|| SendError::ProtocolGarbage(line.clone()))?;
         match session.on_reply(&reply) {
             ClientAction::SendLine(l) => {
                 stream.write_all(l.as_bytes())?;
@@ -92,6 +100,86 @@ pub fn send_email(
                 return Ok(outcome);
             }
         }
+    }
+}
+
+/// A scripted raw-socket SMTP exchange: the shared low-level client for
+/// the server's protocol-fault tests and `ets-loadgen`'s
+/// malformed/slowloris scenarios.
+///
+/// Unlike [`send_email`] it makes no attempt to speak well-formed SMTP:
+/// the caller writes whatever bytes it wants with
+/// [`RawSession::write_raw`] and reads whatever reply lines arrive with
+/// [`RawSession::read_line_into`] / [`RawSession::read_code`]. Every
+/// transport failure surfaces as a [`SendError`] — no unwraps, so test
+/// clients and fault injectors share one audited error path.
+pub struct RawSession {
+    stream: TcpStream,
+    framer: LineCodec,
+    buf: [u8; 1024],
+}
+
+impl RawSession {
+    /// Connects to `addr` with symmetric read/write timeouts.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<RawSession, SendError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(RawSession {
+            stream,
+            framer: LineCodec::new(),
+            buf: [0u8; 1024],
+        })
+    }
+
+    /// Reads one complete reply line (CRLF stripped) into `line`,
+    /// replacing its contents. Reusing one `String` across calls keeps
+    /// the read loop allocation-free.
+    pub fn read_line_into(&mut self, line: &mut String) -> Result<(), SendError> {
+        loop {
+            match self.framer.next_frame() {
+                Ok(Some(Frame::Line(l))) => {
+                    line.clear();
+                    line.push_str(l);
+                    return Ok(());
+                }
+                // The raw framer never enters DATA mode; a server pushing
+                // a payload frame at us is protocol garbage, not a panic.
+                Ok(Some(Frame::Data(d))) => return Err(SendError::ProtocolGarbage(d.to_owned())),
+                Ok(None) => {
+                    let n = self.stream.read(&mut self.buf)?;
+                    if n == 0 {
+                        return Err(SendError::ConnectionClosed);
+                    }
+                    self.framer.feed(&self.buf[..n]);
+                }
+                Err(e) => return Err(SendError::ProtocolGarbage(e.to_string())),
+            }
+        }
+    }
+
+    /// Reads one reply line, returning it owned.
+    pub fn read_line(&mut self) -> Result<String, SendError> {
+        let mut line = String::new();
+        self.read_line_into(&mut line)?;
+        Ok(line)
+    }
+
+    /// Reads one reply line and returns its parsed three-digit code.
+    pub fn read_code(&mut self) -> Result<u16, SendError> {
+        let line = self.read_line()?;
+        match Reply::parse(&line) {
+            Some(r) => Ok(r.code),
+            None => Err(SendError::ProtocolGarbage(line)),
+        }
+    }
+
+    /// Writes raw bytes verbatim and flushes.
+    pub fn write_raw(&mut self, bytes: &[u8]) -> Result<(), SendError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
     }
 }
 

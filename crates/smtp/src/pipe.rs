@@ -105,7 +105,7 @@ pub fn deliver(
                     Ok(Some(codec::Frame::Data(p))) => p,
                     _ => return Err(PipeError::ConnectionClosed),
                 };
-                let sa = server.on_data(&payload);
+                let sa = server.on_data(payload);
                 transcript.push((false, sa.reply.to_string()));
                 if let Some(e) = sa.event {
                     received.push(e);

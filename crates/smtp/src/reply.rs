@@ -1,22 +1,36 @@
 //! SMTP replies (RFC 5321 §4.2).
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// A server reply: three-digit code plus text.
+///
+/// The fixed protocol replies (`250 OK`, `354 …`, `550 …`) carry
+/// `Cow::Borrowed` static text, so the per-command serving hot path
+/// allocates nothing; only dynamic texts (greeting banners, parsed
+/// replies) own their string.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reply {
     /// The reply code (e.g. 250).
     pub code: u16,
     /// Human-readable text (single line in this subset).
-    pub text: String,
+    pub text: Cow<'static, str>,
 }
 
 impl Reply {
-    /// Creates a reply.
+    /// Creates a reply with owned (dynamic) text.
     pub fn new(code: u16, text: &str) -> Self {
         Reply {
             code,
-            text: text.to_owned(),
+            text: Cow::Owned(text.to_owned()),
+        }
+    }
+
+    /// Creates a reply with static text — zero-allocation, `const`.
+    pub const fn fixed(code: u16, text: &'static str) -> Self {
+        Reply {
+            code,
+            text: Cow::Borrowed(text),
         }
     }
 
@@ -26,43 +40,58 @@ impl Reply {
     }
 
     /// `250 OK`.
-    pub fn ok() -> Self {
-        Reply::new(250, "OK")
+    pub const fn ok() -> Self {
+        Reply::fixed(250, "OK")
+    }
+
+    /// `250` transaction queued.
+    pub const fn queued() -> Self {
+        Reply::fixed(250, "OK: queued")
     }
 
     /// `221` closing.
-    pub fn closing() -> Self {
-        Reply::new(221, "Bye")
+    pub const fn closing() -> Self {
+        Reply::fixed(221, "Bye")
     }
 
     /// `354` start mail input.
-    pub fn start_data() -> Self {
-        Reply::new(354, "End data with <CR><LF>.<CR><LF>")
+    pub const fn start_data() -> Self {
+        Reply::fixed(354, "End data with <CR><LF>.<CR><LF>")
     }
 
     /// `550` mailbox unavailable (the bounce of Table 5).
-    pub fn mailbox_unavailable() -> Self {
-        Reply::new(550, "No such user here")
+    pub const fn mailbox_unavailable() -> Self {
+        Reply::fixed(550, "No such user here")
     }
 
     /// `503` bad sequence of commands.
-    pub fn bad_sequence() -> Self {
-        Reply::new(503, "Bad sequence of commands")
+    pub const fn bad_sequence() -> Self {
+        Reply::fixed(503, "Bad sequence of commands")
     }
 
     /// `500` syntax error.
-    pub fn syntax_error() -> Self {
-        Reply::new(500, "Syntax error")
+    pub const fn syntax_error() -> Self {
+        Reply::fixed(500, "Syntax error")
+    }
+
+    /// `500` framing rejection (oversized line / bad DATA framing).
+    pub const fn line_too_long() -> Self {
+        Reply::fixed(500, "Line too long")
     }
 
     /// `502` command not implemented.
-    pub fn not_implemented() -> Self {
-        Reply::new(502, "Command not implemented")
+    pub const fn not_implemented() -> Self {
+        Reply::fixed(502, "Command not implemented")
     }
 
     /// `421` service not available (used when shedding load / faulting).
-    pub fn unavailable() -> Self {
-        Reply::new(421, "Service not available")
+    pub const fn unavailable() -> Self {
+        Reply::fixed(421, "Service not available")
+    }
+
+    /// `421` idle-timeout courtesy close (RFC 5321 §4.2.4.1).
+    pub const fn idle_timeout() -> Self {
+        Reply::fixed(421, "4.4.2 idle timeout, closing")
     }
 
     /// Positive completion (2xx).
@@ -129,6 +158,25 @@ mod tests {
         ] {
             let line = r.to_string();
             assert_eq!(Reply::parse(&line).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn fixed_replies_borrow_static_text() {
+        for r in [
+            Reply::ok(),
+            Reply::queued(),
+            Reply::closing(),
+            Reply::start_data(),
+            Reply::mailbox_unavailable(),
+            Reply::bad_sequence(),
+            Reply::syntax_error(),
+            Reply::line_too_long(),
+            Reply::not_implemented(),
+            Reply::unavailable(),
+            Reply::idle_timeout(),
+        ] {
+            assert!(matches!(r.text, Cow::Borrowed(_)), "{r}");
         }
     }
 

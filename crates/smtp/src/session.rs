@@ -205,7 +205,7 @@ impl ServerSession {
                 } else if self.policy.broken_starttls {
                     // Table 4's "Supp. STARTTLS with errors": the upgrade
                     // handshake fails and the connection dies.
-                    let mut a = ServerAction::reply(Reply::new(454, "TLS not available"));
+                    let mut a = ServerAction::reply(Reply::fixed(454, "TLS not available"));
                     a.close = true;
                     a
                 } else if self.tls {
@@ -214,7 +214,7 @@ impl ServerSession {
                     self.tls = true;
                     self.state = State::Start; // RFC 3207: forget everything
                     self.reset_transaction();
-                    let mut a = ServerAction::reply(Reply::new(220, "Ready to start TLS"));
+                    let mut a = ServerAction::reply(Reply::fixed(220, "Ready to start TLS"));
                     a.restart_tls = true;
                     a
                 }
@@ -274,7 +274,7 @@ impl ServerSession {
             tls: self.tls,
         };
         self.state = State::Greeted;
-        let mut a = ServerAction::reply(Reply::new(250, "OK: queued"));
+        let mut a = ServerAction::reply(Reply::queued());
         a.event = Some(event);
         a
     }

@@ -20,8 +20,10 @@
 //!   family `smtp.session_outcome.*` keyed to the five Table 5
 //!   [`DeliveryOutcome`] rows (all five are pre-registered at zero so a
 //!   scrape always sees the full family);
-//! * in-flight gauges (`smtp.open_connections`,
-//!   `smtp.accept_queue_depth`);
+//! * in-flight gauges (`smtp.open_connections`, plus the two bounded
+//!   back-pressure stages: `smtp.accept_queue_depth` for the worker
+//!   pool's connection queue and `smtp.owner_queue_depth` for the
+//!   bounded delivery channel);
 //! * a 1-in-N sampled full-session trace into a bounded ring buffer,
 //!   exposed as the `smtp_sessions` section of `/snapshot.json`.
 
@@ -138,9 +140,20 @@ impl SmtpTelemetry {
     }
 
     /// Called by the accept loop on every accepted connection; `depth`
-    /// is the owner channel's current backlog.
+    /// is the bounded connection queue's backlog at accept time (always
+    /// `0` under the thread-per-connection model, which has no queue).
+    /// When this gauge rides near the configured queue depth, the next
+    /// back-pressure stage is the kernel accept backlog.
     pub fn accept_queue_depth(&self, depth: usize) {
         metrics::gauge_set("smtp.accept_queue_depth", depth as f64);
+    }
+
+    /// Called by a session handler as it queues a completed transaction;
+    /// `depth` is the bounded owner channel's backlog at that instant. A
+    /// reading near the configured capacity means a slow `drain`er is
+    /// about to stall producers.
+    pub fn owner_queue_depth(&self, depth: usize) {
+        metrics::gauge_set("smtp.owner_queue_depth", depth as f64);
     }
 
     /// Opens a per-session observer. Counts the connection and bumps

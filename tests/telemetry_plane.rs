@@ -303,6 +303,7 @@ fn live_scrape_shows_outcomes_and_quantiles() {
                 sample_every: 1,
                 ring_capacity: 16,
             },
+            ..ServerOptions::default()
         },
     )
     .expect("bind smtp");
